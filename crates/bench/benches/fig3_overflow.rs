@@ -1,0 +1,35 @@
+//! Figure 3 bench: HTM-overflow analysis of SPEC2000-like traces through
+//! the 32 KB 4-way cache, with and without the 1-entry victim buffer
+//! (the paper's two bar groups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_cache_sim::{overflow::run_to_overflow, CacheConfig};
+use tm_traces::spec::profile_by_name;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CacheConfig::paper_l1();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+
+    // One streaming and one pointer-chasing benchmark bound the range.
+    for name in ["bzip2", "mcf"] {
+        let trace = profile_by_name(name).unwrap().generate(100_000, 1);
+        for vb in [0usize, 1] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{name}_vb{vb}"), trace.len()),
+                &vb,
+                |b, &vb| {
+                    b.iter(|| {
+                        let r = run_to_overflow(&trace, cfg, vb);
+                        assert!(r.overflowed);
+                        r
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 bench: open-system lockstep simulation, one representative
+//! point per panel (a: footprint/table sweep at C = 2; b: a concurrency
+//! cluster at C = 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_sim::open::{run_open_system, OpenSystemParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+
+    for &(cc, n) in &[(2u32, 512usize), (2, 4096), (8, 4096)] {
+        g.bench_with_input(
+            BenchmarkId::new("point", format!("c{cc}_n{n}")),
+            &(cc, n),
+            |b, &(cc, n)| {
+                b.iter(|| {
+                    run_open_system(&OpenSystemParams {
+                        concurrency: cc,
+                        write_footprint: 20,
+                        alpha: 2,
+                        table_entries: n,
+                        runs: 200,
+                        seed: 1,
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

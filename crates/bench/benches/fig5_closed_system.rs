@@ -1,0 +1,34 @@
+//! Figure 5 bench: closed-system simulation points spanning the footprint
+//! (a) and table-size (b) axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_sim::closed::{run_closed_system, ClosedSystemParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+
+    for &(w, n) in &[(5u32, 4096usize), (20, 4096), (20, 16_384)] {
+        g.bench_with_input(
+            BenchmarkId::new("point", format!("w{w}_n{n}")),
+            &(w, n),
+            |b, &(w, n)| {
+                b.iter(|| {
+                    run_closed_system(&ClosedSystemParams {
+                        threads: 4,
+                        write_footprint: w,
+                        alpha: 2,
+                        table_entries: n,
+                        target_commits: 130,
+                        reaction: Default::default(),
+                        seed: 1,
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

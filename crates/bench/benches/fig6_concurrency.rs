@@ -1,0 +1,33 @@
+//! Figure 6 bench: closed-system simulation across applied concurrency,
+//! including the actual-concurrency (occupancy) instrumentation the paper
+//! uses to explain the high-conflict convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_sim::closed::{run_closed_system, ClosedSystemParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+
+    for &threads in &[2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("applied_c", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let r = run_closed_system(&ClosedSystemParams {
+                    threads: t,
+                    write_footprint: 10,
+                    alpha: 2,
+                    table_entries: 4096,
+                    target_commits: 130,
+                    reaction: Default::default(),
+                    seed: 1,
+                });
+                assert!(r.actual_concurrency <= t as f64 + 0.5);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §3 bench: the analytical model and its inverse solvers (the paper's
+//! inline sizing "tables"). These are closed-form — the bench documents
+//! that using the model is effectively free compared to simulating.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_model::{exact, lockstep, sizing};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sizing_model");
+
+    g.bench_function("eq8_closed_form", |b| {
+        b.iter(|| lockstep::conflict_likelihood(black_box(8), black_box(71), 2.0, 65_536))
+    });
+    g.bench_function("eq7_sum_form", |b| {
+        b.iter(|| lockstep::conflict_likelihood_sum(black_box(8), black_box(71), 2.0, 65_536))
+    });
+    g.bench_function("exact_product_form", |b| {
+        b.iter(|| exact::conflict_probability(black_box(8), black_box(71), 2.0, 65_536))
+    });
+    g.bench_function("table_sizing_solver", |b| {
+        b.iter(|| sizing::table_entries_for_commit_prob(black_box(0.95), 8, 71, 2.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation: end-to-end STM throughput, tagless vs tagged (the workspace's
+//! E13 extension experiment).
+//!
+//! Threads run transactions over **disjoint** data, so every abort under the
+//! tagless organization is a false conflict; the tagged organization incurs
+//! only its per-op overhead. The paper's Damron-et-al. anecdote (§2.1) —
+//! throughput *decreasing* with processors due to ownership-table collisions
+//! — is this effect at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_stm::lazy::LazyStm;
+use tm_stm::{tagged_stm, tagless_stm};
+
+const TXN_WORDS: u64 = 24; // modest transaction: 16 reads + 8 writes
+const TXNS_PER_THREAD: usize = 100;
+const HEAP_WORDS: usize = 1 << 16;
+
+fn run_tagless(threads: u32, table_entries: usize) {
+    let stm = tagless_stm(HEAP_WORDS, table_entries);
+    workload(&stm, threads);
+}
+
+fn run_tagged(threads: u32, table_entries: usize) {
+    let stm = tagged_stm(HEAP_WORDS, table_entries);
+    workload(&stm, threads);
+}
+
+fn run_lazy(threads: u32, table_entries: usize) {
+    let stm = LazyStm::new(HEAP_WORDS, table_entries);
+    crossbeam::scope(|s| {
+        for id in 0..threads {
+            let stm = &stm;
+            s.spawn(move |_| {
+                let base = id as u64 * 4096;
+                for t in 0..TXNS_PER_THREAD as u64 {
+                    stm.run(id as u64, |txn| {
+                        for w in 0..TXN_WORDS {
+                            let addr = base + ((t * 67 + w * 13) % 512) * 8;
+                            if w % 3 == 2 {
+                                let v = txn.read(addr)?;
+                                txn.write(addr, v + 1)?;
+                            } else {
+                                txn.read(addr)?;
+                            }
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+fn workload<T: tm_stm::ConcurrentTable>(stm: &tm_stm::Stm<T>, threads: u32) {
+    crossbeam::scope(|s| {
+        for id in 0..threads {
+            s.spawn(move |_| {
+                // Disjoint region per thread: no true conflicts exist.
+                let base = id as u64 * 4096;
+                for t in 0..TXNS_PER_THREAD as u64 {
+                    stm.run(id, |txn| {
+                        for w in 0..TXN_WORDS {
+                            let addr = base + ((t * 67 + w * 13) % 512) * 8;
+                            if w % 3 == 2 {
+                                let v = txn.read(addr)?;
+                                txn.write(addr, v + 1)?;
+                            } else {
+                                txn.read(addr)?;
+                            }
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm_throughput");
+    g.sample_size(10);
+
+    for &threads in &[1u32, 2, 4] {
+        // A small table makes tagless aliasing likely (the Damron effect);
+        // both organizations get the same 1024 entries.
+        g.bench_with_input(
+            BenchmarkId::new("tagless_1k", threads),
+            &threads,
+            |b, &t| b.iter(|| run_tagless(t, 1024)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tagged_1k", threads),
+            &threads,
+            |b, &t| b.iter(|| run_tagged(t, 1024)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("lazy_tagless_1k", threads),
+            &threads,
+            |b, &t| b.iter(|| run_lazy(t, 1024)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

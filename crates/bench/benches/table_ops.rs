@@ -1,0 +1,87 @@
+//! Ablation: per-operation cost of the two table organizations.
+//!
+//! The paper's §5 claim under test: tags and chaining "need not actually"
+//! cost much — the common case (0/1 records per bucket) is an extra
+//! predictable branch. This bench quantifies acquire+release latency for
+//! sequential and concurrent variants at a realistic load factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tm_ownership::concurrent::{ConcurrentTable, Held};
+use tm_ownership::{
+    Access, ConcurrentTaggedTable, ConcurrentTaglessTable, OwnershipTable, TableConfig,
+    TaggedTable, TaglessTable,
+};
+
+const N: usize = 16_384;
+const FOOTPRINT: usize = 213; // (1 + alpha) * W at the paper's operating point
+
+fn blocks(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..FOOTPRINT).map(|_| rng.gen()).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let blocks = blocks(42);
+    let mut g = c.benchmark_group("table_ops");
+
+    g.bench_function("seq_tagless_txn", |b| {
+        let mut t = TaglessTable::new(TableConfig::new(N));
+        b.iter(|| {
+            for (i, &blk) in blocks.iter().enumerate() {
+                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let _ = t.acquire(0, blk, access);
+            }
+            t.release_all(0);
+        })
+    });
+
+    g.bench_function("seq_tagged_txn", |b| {
+        let mut t = TaggedTable::new(TableConfig::new(N));
+        b.iter(|| {
+            for (i, &blk) in blocks.iter().enumerate() {
+                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let _ = t.acquire(0, blk, access);
+            }
+            t.release_all(0);
+        })
+    });
+
+    g.bench_function("conc_tagless_txn", |b| {
+        let t = ConcurrentTaglessTable::new(TableConfig::new(N));
+        b.iter(|| {
+            let mut held: Vec<(u64, Held)> = Vec::with_capacity(blocks.len());
+            for (i, &blk) in blocks.iter().enumerate() {
+                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                if t.acquire(0, blk, access, Held::None).is_ok() {
+                    held.push((t.grant_key(blk), Held::None.after(access)));
+                }
+            }
+            for (k, h) in held {
+                t.release(0, k, h);
+            }
+        })
+    });
+
+    g.bench_function("conc_tagged_txn", |b| {
+        let t = ConcurrentTaggedTable::new(TableConfig::new(N));
+        b.iter(|| {
+            let mut held: Vec<(u64, Held)> = Vec::with_capacity(blocks.len());
+            for (i, &blk) in blocks.iter().enumerate() {
+                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                if t.acquire(0, blk, access, Held::None).is_ok() {
+                    held.push((t.grant_key(blk), Held::None.after(access)));
+                }
+            }
+            for (k, h) in held {
+                t.release(0, k, h);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

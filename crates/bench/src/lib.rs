@@ -1,0 +1,41 @@
+//! Criterion benchmark harness for the *Birthday Paradox* reproduction.
+//!
+//! One bench target per paper figure (`fig2_traced_alias` … `fig6_concurrency`,
+//! `sizing_model`) measuring the cost of regenerating a representative data
+//! point of that figure, plus two ablation suites the paper's §5 argues
+//! qualitatively:
+//!
+//! * `table_ops` — per-acquire latency of tagless vs tagged tables (the
+//!   metadata overhead tagless tables are chosen to avoid);
+//! * `stm_throughput` — end-to-end transactions/second on the real STM under
+//!   both organizations, on disjoint-data workloads where every tagless
+//!   abort is a false conflict.
+//!
+//! Shared workload builders live here so benches and tests agree on setup.
+
+use tm_traces::filter::{remove_true_conflicts, to_block_stream, BlockAccess};
+use tm_traces::jbb::{generate, JbbParams};
+
+/// Build filtered jbb block streams of a given per-thread length (shared by
+/// the fig2 bench and integration tests).
+pub fn jbb_streams(accesses_per_thread: usize) -> Vec<Vec<BlockAccess>> {
+    let params = JbbParams {
+        accesses_per_thread,
+        ..Default::default()
+    };
+    let traces = generate(&params);
+    let raw: Vec<_> = traces.iter().map(|t| to_block_stream(t, 6)).collect();
+    remove_true_conflicts(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_builder_produces_four_disjoint_streams() {
+        let s = jbb_streams(5_000);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|x| !x.is_empty()));
+    }
+}

@@ -1,0 +1,283 @@
+//! A set-associative, LRU-replacement data-cache model.
+//!
+//! The paper's Figure 3 configuration is a 32 KB, 4-way set-associative
+//! cache with 64-byte lines — [`CacheConfig::paper_l1`] — "representative of
+//! L1 data caches of contemporary microprocessor implementations".
+
+/// Geometry of a set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line/block size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's configuration: 32 KB, 4-way, 64-byte blocks (128 sets,
+    /// 512 blocks).
+    pub const fn paper_l1() -> Self {
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            block_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.block_bytes)
+    }
+
+    /// Total block frames.
+    pub fn num_blocks(&self) -> usize {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// log2 of the block size.
+    pub fn block_shift(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    fn validate(&self) {
+        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(self.ways >= 1, "need at least one way");
+        assert!(
+            self.size_bytes.is_multiple_of(self.ways * self.block_bytes),
+            "size must be a whole number of sets"
+        );
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "set count must be a power of two for mask indexing"
+        );
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_l1()
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was already resident.
+    Hit,
+    /// The block was installed; `evicted` is the block that lost its frame,
+    /// if the set was full.
+    Miss {
+        /// Evicted block address, if any.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessResult {
+    /// `true` for [`AccessResult::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// The evicted block, if this was a miss that displaced one.
+    pub fn evicted(&self) -> Option<u64> {
+        match self {
+            AccessResult::Miss { evicted } => *evicted,
+            AccessResult::Hit => None,
+        }
+    }
+}
+
+/// The cache proper. Operates on *block addresses* (byte address right-
+/// shifted by [`CacheConfig::block_shift`]); callers convert once.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per-set resident blocks, most recently used last.
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// An empty cache of the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let n = cfg.num_sets();
+        Self {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); n],
+            set_mask: n as u64 - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Set index for a block.
+    #[inline]
+    pub fn set_of(&self, block: u64) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    /// Access `block`, updating LRU state and installing on miss.
+    pub fn access(&mut self, block: u64) -> AccessResult {
+        let set = self.set_of(block);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|&b| b == block) {
+            // Move to MRU position.
+            let b = lines.remove(pos);
+            lines.push(b);
+            self.hits += 1;
+            return AccessResult::Hit;
+        }
+        self.misses += 1;
+        let evicted = if lines.len() == self.cfg.ways {
+            Some(lines.remove(0))
+        } else {
+            None
+        };
+        lines.push(block);
+        AccessResult::Miss { evicted }
+    }
+
+    /// Install `block` without counting an access (used when a victim buffer
+    /// promotes a block back); returns any evicted block.
+    pub fn install(&mut self, block: u64) -> Option<u64> {
+        let set = self.set_of(block);
+        let lines = &mut self.sets[set];
+        debug_assert!(!lines.contains(&block), "installing resident block");
+        let evicted = if lines.len() == self.cfg.ways {
+            Some(lines.remove(0))
+        } else {
+            None
+        };
+        lines.push(block);
+        evicted
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.sets[self.set_of(block)].contains(&block)
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of frames occupied, in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.resident_blocks() as f64 / self.cfg.num_blocks() as f64
+    }
+
+    /// (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Empty the cache and reset counters.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            block_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let c = CacheConfig::paper_l1();
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.num_blocks(), 512);
+        assert_eq!(c.block_shift(), 6);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert_eq!(c.access(5), AccessResult::Miss { evicted: None });
+        assert_eq!(c.access(5), AccessResult::Hit);
+        assert_eq!(c.counters(), (1, 1));
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.access(0);
+        c.access(4);
+        // Touch 0 so 4 becomes LRU.
+        c.access(0);
+        let r = c.access(8);
+        assert_eq!(r.evicted(), Some(4));
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(1); // set 1
+        c.access(2); // set 2
+        c.access(3); // set 3
+        assert_eq!(c.resident_blocks(), 4);
+        assert_eq!(c.utilization(), 0.5);
+        // Filling set 0 doesn't disturb others.
+        c.access(4);
+        assert!(c.access(8).evicted().is_some());
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn install_does_not_count_access() {
+        let mut c = tiny();
+        c.install(7);
+        assert_eq!(c.counters(), (0, 0));
+        assert!(c.contains(7));
+        assert_eq!(c.access(7), AccessResult::Hit);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = tiny();
+        c.access(1);
+        c.clear();
+        assert_eq!(c.resident_blocks(), 0);
+        assert_eq!(c.counters(), (0, 0));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        Cache::new(CacheConfig {
+            size_bytes: 576, // 3 sets of 2x64
+            ways: 3,
+            block_bytes: 64,
+        });
+    }
+}

@@ -1,0 +1,41 @@
+//! L1 data-cache simulation for the hybrid-TM overflow study (paper §2.3,
+//! Figure 3).
+//!
+//! A hybrid TM executes transactions in hardware while they fit in the
+//! processor's cache and falls back to an STM when they overflow. The size
+//! of transactions *at that transition* determines how big the STM's
+//! ownership table must be — the input to the paper's §3 back-of-envelope
+//! sizing. This crate provides:
+//!
+//! * [`Cache`]/[`CacheConfig`] — a set-associative LRU cache
+//!   ([`CacheConfig::paper_l1`] is the paper's 32 KB / 4-way / 64 B config);
+//! * [`VictimBuffer`] — the small fully-associative buffer whose 1-entry
+//!   variant the paper shows buys a 16 % footprint increase;
+//! * [`overflow`] — trace replay that finds the overflow point and reports
+//!   the transaction footprint and dynamic instruction count
+//!   ([`overflow::run_to_overflow`], [`overflow::segment_into_transactions`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tm_cache_sim::{CacheConfig, overflow::run_to_overflow};
+//! use tm_traces::spec::profile_by_name;
+//!
+//! let trace = profile_by_name("mcf").unwrap().generate(100_000, 1);
+//! let r = run_to_overflow(&trace, CacheConfig::paper_l1(), 0);
+//! assert!(r.overflowed);
+//! // Overflow happens long before the 512-block cache is full.
+//! assert!(r.footprint_blocks < 512);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod cache;
+pub mod overflow;
+mod victim;
+
+pub use cache::{AccessResult, Cache, CacheConfig};
+pub use overflow::{run_to_overflow, segment_into_transactions, OverflowResult};
+pub use victim::VictimBuffer;

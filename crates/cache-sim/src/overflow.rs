@@ -1,0 +1,281 @@
+//! Transaction-overflow analysis (the paper's Figure 3 experiment).
+//!
+//! A hardware TM tracks a transaction's read and write sets in the L1 data
+//! cache, so the transaction overflows to software the first time a block it
+//! has touched leaves the cache hierarchy's transactional tracking — i.e.
+//! when an eviction cannot be absorbed by the (optional) victim buffer. This
+//! module replays a trace, treating every access as transactional from a
+//! cold cache, and reports the footprint and dynamic instruction count at
+//! the overflow point.
+
+use std::collections::HashSet;
+
+use tm_traces::Trace;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::victim::VictimBuffer;
+
+/// Result of running one trace to its overflow point.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OverflowResult {
+    /// Distinct blocks touched when overflow occurred (the HTM's maximum
+    /// transaction footprint).
+    pub footprint_blocks: usize,
+    /// Of those, blocks only ever read.
+    pub read_only_blocks: usize,
+    /// Of those, blocks written at least once.
+    pub written_blocks: usize,
+    /// Dynamic instructions executed up to and including the overflowing
+    /// access.
+    pub dynamic_instructions: u64,
+    /// Memory accesses executed.
+    pub accesses: u64,
+    /// `false` if the trace ended before any overflow (result then reflects
+    /// the whole trace).
+    pub overflowed: bool,
+}
+
+impl OverflowResult {
+    /// Footprint as a fraction of the cache's block frames (the paper
+    /// reports overflow at ≈ 36 % utilization, ≈ 42 % with a victim buffer).
+    pub fn utilization(&self, cfg: &CacheConfig) -> f64 {
+        self.footprint_blocks as f64 / cfg.num_blocks() as f64
+    }
+
+    /// Written-to-total footprint fraction (the paper reports ≈ 1/3).
+    pub fn written_fraction(&self) -> f64 {
+        if self.footprint_blocks == 0 {
+            0.0
+        } else {
+            self.written_blocks as f64 / self.footprint_blocks as f64
+        }
+    }
+}
+
+/// Replay `trace` against a cold cache of geometry `cfg` with a
+/// `victim_entries`-block victim buffer, stopping at the first overflow.
+///
+/// Overflow is the first event where a block the transaction has touched is
+/// discarded: a cache eviction when `victim_entries == 0`, or a spill out of
+/// the victim buffer otherwise. A miss that finds its block in the victim
+/// buffer promotes it back into the cache (the displaced line drops into the
+/// buffer's freed slot).
+pub fn run_to_overflow(trace: &Trace, cfg: CacheConfig, victim_entries: usize) -> OverflowResult {
+    let mut cache = Cache::new(cfg);
+    let mut vb = VictimBuffer::new(victim_entries);
+    let shift = cfg.block_shift();
+
+    let mut read_blocks: HashSet<u64> = HashSet::new();
+    let mut written_blocks: HashSet<u64> = HashSet::new();
+    let mut instructions = 0u64;
+    let mut accesses = 0u64;
+    let mut overflowed = false;
+
+    for a in &trace.accesses {
+        let block = a.block(shift);
+        instructions += a.instructions();
+        accesses += 1;
+        if a.is_write {
+            written_blocks.insert(block);
+        } else {
+            read_blocks.insert(block);
+        }
+
+        let result = cache.access(block);
+        if result.is_hit() {
+            continue;
+        }
+        // On a miss the block was installed; reclaim it from the victim
+        // buffer if it was parked there (freeing a slot for the new victim).
+        vb.take(block);
+        if let Some(victim) = result.evicted() {
+            if let Some(_spilled) = vb.insert(victim) {
+                // A transactionally-touched block left the hierarchy:
+                // the HTM can no longer track it. Overflow.
+                overflowed = true;
+                break;
+            }
+        }
+    }
+
+    let footprint = read_blocks.union(&written_blocks).count();
+    let written = written_blocks.len();
+    OverflowResult {
+        footprint_blocks: footprint,
+        read_only_blocks: footprint - written,
+        written_blocks: written,
+        dynamic_instructions: instructions,
+        accesses,
+        overflowed,
+    }
+}
+
+/// Run the trace repeatedly from successive offsets, yielding one
+/// [`OverflowResult`] per *transaction attempt*: each replay begins cold at
+/// the access where the previous overflow happened, matching the paper's
+/// extraction of many synthetic transactions from one long trace.
+pub fn segment_into_transactions(
+    trace: &Trace,
+    cfg: CacheConfig,
+    victim_entries: usize,
+    max_segments: usize,
+) -> Vec<OverflowResult> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < trace.accesses.len() && out.len() < max_segments {
+        let sub = Trace {
+            name: trace.name.clone(),
+            accesses: trace.accesses[start..].to_vec(),
+        };
+        let r = run_to_overflow(&sub, cfg, victim_entries);
+        let consumed = r.accesses.max(1) as usize;
+        let ended = !r.overflowed;
+        out.push(r);
+        start += consumed;
+        if ended {
+            break;
+        }
+    }
+    out
+}
+
+/// Arithmetic mean of a slice of results (the per-benchmark aggregation of
+/// Figure 3).
+pub fn mean_result(results: &[OverflowResult]) -> OverflowResult {
+    if results.is_empty() {
+        return OverflowResult::default();
+    }
+    let n = results.len() as f64;
+    let mean = |f: &dyn Fn(&OverflowResult) -> f64| -> f64 {
+        results.iter().map(f).sum::<f64>() / n
+    };
+    OverflowResult {
+        footprint_blocks: mean(&|r| r.footprint_blocks as f64).round() as usize,
+        read_only_blocks: mean(&|r| r.read_only_blocks as f64).round() as usize,
+        written_blocks: mean(&|r| r.written_blocks as f64).round() as usize,
+        dynamic_instructions: mean(&|r| r.dynamic_instructions as f64).round() as u64,
+        accesses: mean(&|r| r.accesses as f64).round() as u64,
+        overflowed: results.iter().all(|r| r.overflowed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_traces::MemAccess;
+
+    fn tiny_cfg() -> CacheConfig {
+        // 4 sets x 2 ways: overflows quickly and predictably.
+        CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            block_bytes: 64,
+        }
+    }
+
+    fn trace_of_blocks(blocks: &[u64], writes: &[bool]) -> Trace {
+        let mut t = Trace::new("t");
+        for (&b, &w) in blocks.iter().zip(writes) {
+            t.accesses.push(MemAccess {
+                addr: b * 64,
+                is_write: w,
+                gap: 0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn no_overflow_when_working_set_fits() {
+        let t = trace_of_blocks(&[0, 1, 2, 3, 0, 1, 2, 3], &[false; 8]);
+        let r = run_to_overflow(&t, tiny_cfg(), 0);
+        assert!(!r.overflowed);
+        assert_eq!(r.footprint_blocks, 4);
+        assert_eq!(r.accesses, 8);
+    }
+
+    #[test]
+    fn overflow_on_set_conflict_without_vb() {
+        // Blocks 0, 4, 8 all map to set 0 of the 4-set cache: the third one
+        // evicts block 0 → overflow (no victim buffer).
+        let t = trace_of_blocks(&[0, 4, 8], &[true, false, false]);
+        let r = run_to_overflow(&t, tiny_cfg(), 0);
+        assert!(r.overflowed);
+        assert_eq!(r.accesses, 3);
+        assert_eq!(r.footprint_blocks, 3);
+        assert_eq!(r.written_blocks, 1);
+        assert_eq!(r.read_only_blocks, 2);
+        assert!((r.written_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_victim_buffer_extends_transaction() {
+        // Same conflict pattern: the VB absorbs the first victim; the fourth
+        // conflicting block spills it → overflow one step later.
+        let t = trace_of_blocks(&[0, 4, 8, 12], &[false; 4]);
+        let r0 = run_to_overflow(&t, tiny_cfg(), 0);
+        let r1 = run_to_overflow(&t, tiny_cfg(), 1);
+        assert!(r0.overflowed && r1.overflowed);
+        assert_eq!(r0.accesses, 3);
+        assert_eq!(r1.accesses, 4);
+        assert!(r1.footprint_blocks > r0.footprint_blocks);
+    }
+
+    #[test]
+    fn victim_buffer_hit_promotes_back() {
+        // 0, 4, 8 → 0 evicted into VB; touching 0 again promotes it (4 is
+        // evicted into the freed slot) — no overflow yet.
+        let t = trace_of_blocks(&[0, 4, 8, 0], &[false; 4]);
+        let r = run_to_overflow(&t, tiny_cfg(), 1);
+        assert!(!r.overflowed);
+        assert_eq!(r.accesses, 4);
+    }
+
+    #[test]
+    fn utilization_against_paper_cache() {
+        let cfg = CacheConfig::paper_l1();
+        let r = OverflowResult {
+            footprint_blocks: 185,
+            ..Default::default()
+        };
+        assert!((r.utilization(&cfg) - 0.361).abs() < 1e-3);
+    }
+
+    #[test]
+    fn segmentation_yields_multiple_transactions() {
+        // A long random-ish pattern over many conflicting blocks overflows
+        // repeatedly.
+        let blocks: Vec<u64> = (0..200).map(|i| (i * 4) % 64).collect();
+        let t = trace_of_blocks(&blocks, &vec![false; blocks.len()]);
+        let segs = segment_into_transactions(&t, tiny_cfg(), 0, 10);
+        assert!(segs.len() > 1);
+        let total: u64 = segs.iter().map(|r| r.accesses).sum();
+        assert!(total <= 200);
+    }
+
+    #[test]
+    fn mean_result_averages() {
+        let a = OverflowResult {
+            footprint_blocks: 100,
+            read_only_blocks: 60,
+            written_blocks: 40,
+            dynamic_instructions: 1000,
+            accesses: 300,
+            overflowed: true,
+        };
+        let b = OverflowResult {
+            footprint_blocks: 200,
+            read_only_blocks: 140,
+            written_blocks: 60,
+            dynamic_instructions: 3000,
+            accesses: 700,
+            overflowed: true,
+        };
+        let m = mean_result(&[a, b]);
+        assert_eq!(m.footprint_blocks, 150);
+        assert_eq!(m.written_blocks, 50);
+        assert_eq!(m.dynamic_instructions, 2000);
+        assert!(m.overflowed);
+        assert_eq!(mean_result(&[]), OverflowResult::default());
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-based property tests: the set-associative cache must behave
+//! exactly like a naive per-set LRU reference implementation, and overflow
+//! analysis must be monotone in the victim-buffer size.
+
+use proptest::prelude::*;
+use tm_cache_sim::{overflow::run_to_overflow, AccessResult, Cache, CacheConfig};
+use tm_traces::{MemAccess, Trace};
+
+/// Naive reference: per-set vector ordered by recency.
+#[derive(Default)]
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    fn access(&mut self, block: u64) -> (bool, Option<u64>) {
+        let set = (block as usize) % self.sets.len();
+        let v = &mut self.sets[set];
+        if let Some(p) = v.iter().position(|&b| b == block) {
+            let b = v.remove(p);
+            v.push(b);
+            (true, None)
+        } else {
+            let evicted = (v.len() == self.ways).then(|| v.remove(0));
+            v.push(block);
+            (false, evicted)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(blocks in proptest::collection::vec(0u64..256, 0..600)) {
+        let cfg = CacheConfig { size_bytes: 2048, ways: 4, block_bytes: 64 }; // 8 sets
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg.num_sets(), cfg.ways);
+        for &b in &blocks {
+            let got = cache.access(b);
+            let (hit, evicted) = reference.access(b);
+            match got {
+                AccessResult::Hit => prop_assert!(hit, "block {b}: cache hit, reference miss"),
+                AccessResult::Miss { evicted: e } => {
+                    prop_assert!(!hit, "block {b}: cache miss, reference hit");
+                    prop_assert_eq!(e, evicted, "eviction mismatch at block {}", b);
+                }
+            }
+        }
+        prop_assert_eq!(
+            cache.resident_blocks(),
+            reference.sets.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn overflow_monotone_in_victim_buffer(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 50..400)
+    ) {
+        let trace = Trace {
+            name: "prop".into(),
+            accesses: addrs.iter().map(|&a| MemAccess::load(a * 8)).collect(),
+        };
+        let cfg = CacheConfig { size_bytes: 2048, ways: 2, block_bytes: 64 };
+        let mut prev_accesses = 0;
+        for vb in 0..3usize {
+            let r = run_to_overflow(&trace, cfg, vb);
+            // A bigger buffer can only let the transaction run longer.
+            prop_assert!(r.accesses >= prev_accesses, "vb={vb} shortened the run");
+            prev_accesses = r.accesses;
+            // Basic accounting invariants.
+            prop_assert_eq!(r.read_only_blocks + r.written_blocks, r.footprint_blocks);
+            prop_assert!(r.accesses as usize <= trace.accesses.len());
+        }
+    }
+
+    #[test]
+    fn footprint_never_exceeds_distinct_blocks(
+        addrs in proptest::collection::vec(0u64..4096, 1..300)
+    ) {
+        let trace = Trace {
+            name: "prop".into(),
+            accesses: addrs.iter().map(|&a| MemAccess::store(a * 64)).collect(),
+        };
+        let cfg = CacheConfig::paper_l1();
+        let r = run_to_overflow(&trace, cfg, 1);
+        use std::collections::HashSet;
+        let distinct: HashSet<u64> = addrs.iter().map(|&a| (a * 64) >> 6).collect();
+        prop_assert!(r.footprint_blocks <= distinct.len());
+        prop_assert_eq!(r.read_only_blocks, 0); // all stores
+    }
+}

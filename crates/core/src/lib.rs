@@ -1,0 +1,69 @@
+//! A word-based software transactional memory with pluggable ownership
+//! tables.
+//!
+//! This crate is the executable substrate of Zilles & Rajwar's *Transactional
+//! Memory and the Birthday Paradox* (SPAA 2007): a real, multi-threaded STM
+//! whose conflict detection runs through either of the two ownership-table
+//! organizations the paper compares —
+//!
+//! * [`tagless_stm`] — the **tagless** table (paper Figure 1) most published
+//!   word-based STMs use. Cheap per-access metadata, but transactions
+//!   touching *different* data abort each other whenever their blocks alias
+//!   in the table: the **false conflicts** whose birthday-paradox scaling is
+//!   the paper's subject.
+//! * [`tagged_stm`] — the **tagged, chained** table (paper Figure 7) the
+//!   paper advocates: records carry address tags, so only genuine data
+//!   conflicts abort anyone.
+//!
+//! Design: eager ownership acquisition at first read/write, buffered writes
+//! published at commit, abort-and-retry with randomized exponential backoff
+//! (optionally bounded stalling, [`ContentionPolicy::Stall`]), and optional
+//! **strong isolation** ([`Stm::strong_read`]/[`Stm::strong_write`]) where
+//! even non-transactional accesses consult the table (paper §6).
+//!
+//! A second, independent engine — [`lazy::LazyStm`] — implements the
+//! **invisible-reader, commit-time-locking** protocol (TL2-style) over the
+//! versioned tagless table of `tm_ownership::versioned`, demonstrating that
+//! the paper's false-conflict law is a property of the *table organization*,
+//! not of any one STM protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_stm::tagged_stm;
+//!
+//! let stm = tagged_stm(1024, 4096); // 1024-word heap, 4096-entry table
+//! stm.heap().store(0, 100);         // account A
+//! stm.heap().store(512 * 8, 50);    // account B (word 512)
+//!
+//! // Transfer 30 from A to B, atomically.
+//! stm.run(0, |txn| {
+//!     let a = txn.read(0)?;
+//!     let b = txn.read(512 * 8)?;
+//!     txn.write(0, a - 30)?;
+//!     txn.write(512 * 8, b + 30)?;
+//!     Ok(())
+//! });
+//! assert_eq!(stm.heap().load(0), 70);
+//! assert_eq!(stm.heap().load(512 * 8), 80);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod contention;
+mod heap;
+pub mod lazy;
+mod stats;
+mod stm;
+
+pub use contention::{Backoff, ContentionPolicy};
+pub use heap::{Heap, WORD_BYTES};
+pub use lazy::{LazyStats, LazyStm, LazyTxn};
+pub use stats::{StmStats, StmStatsSnapshot};
+pub use stm::{tagged_stm, tagless_stm, Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
+
+// Re-export the table types users need to build custom configurations.
+pub use tm_ownership::concurrent::{ConcurrentTable, Held};
+pub use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, TableConfig};

@@ -1,0 +1,110 @@
+//! Whole-STM statistics: commits, aborts, retry behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by all transactions of one [`crate::Stm`].
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    stall_retries: AtomicU64,
+    strong_reads: AtomicU64,
+    strong_writes: AtomicU64,
+    strong_stalls: AtomicU64,
+}
+
+/// A point-in-time copy of [`StmStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StmStatsSnapshot {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transaction aborts (each is followed by a retry or by giving up).
+    pub aborts: u64,
+    /// Individual acquire re-attempts performed under the stall policy.
+    pub stall_retries: u64,
+    /// Non-transactional reads performed under strong isolation.
+    pub strong_reads: u64,
+    /// Non-transactional writes performed under strong isolation.
+    pub strong_writes: u64,
+    /// Times a strong-isolation access had to wait for a transaction.
+    pub strong_stalls: u64,
+}
+
+impl StmStatsSnapshot {
+    /// Aborts per commit — the cost the paper's false conflicts impose.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+}
+
+impl StmStats {
+    pub(crate) fn on_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_stall_retry(&self) {
+        self.stall_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_strong(&self, write: bool) {
+        if write {
+            self.strong_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.strong_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn on_strong_stall(&self) {
+        self.strong_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            stall_retries: self.stall_retries.load(Ordering::Relaxed),
+            strong_reads: self.strong_reads.load(Ordering::Relaxed),
+            strong_writes: self.strong_writes.load(Ordering::Relaxed),
+            strong_stalls: self.strong_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StmStats::default();
+        s.on_commit();
+        s.on_commit();
+        s.on_abort();
+        s.on_stall_retry();
+        s.on_strong(true);
+        s.on_strong(false);
+        s.on_strong_stall();
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.stall_retries, 1);
+        assert_eq!(snap.strong_writes, 1);
+        assert_eq!(snap.strong_reads, 1);
+        assert_eq!(snap.strong_stalls, 1);
+        assert_eq!(snap.abort_ratio(), 0.5);
+    }
+
+    #[test]
+    fn abort_ratio_without_commits() {
+        assert_eq!(StmStatsSnapshot::default().abort_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,658 @@
+//! The STM engine: transactions, speculative buffering, commit and abort.
+//!
+//! This is an **eager-acquire, lazy-update** word-based STM in the mold of
+//! the systems the paper surveys: ownership of the cache block underlying a
+//! word is acquired at first encounter (read or write) in the ownership
+//! table; writes are buffered privately until commit; a conflicting acquire
+//! aborts (or stalls, per [`ContentionPolicy`]) and the transaction retries
+//! with randomized exponential backoff. Eager acquisition plus abort-on-
+//! conflict means no deadlock is possible.
+//!
+//! The engine is generic over [`ConcurrentTable`], which is the entire
+//! point: running the same workload over a [`ConcurrentTaglessTable`] and a
+//! [`ConcurrentTaggedTable`] exposes exactly the false-conflict cost the
+//! paper analyses, on real threads rather than in Monte-Carlo form.
+
+use std::collections::HashMap;
+
+use tm_ownership::concurrent::{ConcurrentTable, GrantKey, Held};
+use tm_ownership::{Access, AcquireOutcome, ThreadId};
+use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
+
+use crate::contention::{Backoff, ContentionPolicy};
+use crate::heap::Heap;
+use crate::stats::{StmStats, StmStatsSnapshot};
+
+/// Marker error: the current transaction attempt must be abandoned.
+///
+/// Returned by [`Txn::read`]/[`Txn::write`] on conflict; user code
+/// propagates it with `?` and [`Stm::run`] retries the whole closure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted")
+    }
+}
+
+impl std::error::Error for Aborted {}
+
+/// The retry budget of [`Stm::try_run`] was exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryLimitExceeded {
+    /// Attempts made (equals the configured budget).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for RetryLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction failed {} attempts", self.attempts)
+    }
+}
+
+impl std::error::Error for RetryLimitExceeded {}
+
+/// STM-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StmConfig {
+    /// Conflict reaction (see [`ContentionPolicy`]).
+    pub contention: ContentionPolicy,
+}
+
+/// A software transactional memory over a shared [`Heap`], generic in the
+/// ownership-table organization `T`.
+#[derive(Debug)]
+pub struct Stm<T: ConcurrentTable> {
+    heap: Heap,
+    table: T,
+    config: StmConfig,
+    stats: StmStats,
+}
+
+/// Convenience constructor: an STM backed by a **tagless** table (paper
+/// Figure 1) of `table_entries` entries over a `heap_words`-word heap.
+pub fn tagless_stm(heap_words: usize, table_entries: usize) -> Stm<ConcurrentTaglessTable> {
+    Stm::new(
+        heap_words,
+        ConcurrentTaglessTable::new(TableConfig::new(table_entries)),
+        StmConfig::default(),
+    )
+}
+
+/// Convenience constructor: an STM backed by a **tagged** chained table
+/// (paper Figure 7) of `table_entries` entries over a `heap_words`-word heap.
+pub fn tagged_stm(heap_words: usize, table_entries: usize) -> Stm<ConcurrentTaggedTable> {
+    Stm::new(
+        heap_words,
+        ConcurrentTaggedTable::new(TableConfig::new(table_entries)),
+        StmConfig::default(),
+    )
+}
+
+impl<T: ConcurrentTable> Stm<T> {
+    /// Build an STM from a heap size, a table, and a configuration.
+    pub fn new(heap_words: usize, table: T, config: StmConfig) -> Self {
+        Self {
+            heap: Heap::new(heap_words),
+            table,
+            config,
+            stats: StmStats::default(),
+        }
+    }
+
+    /// The shared heap (for initialization and post-run inspection).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The ownership table (for stats inspection).
+    pub fn table(&self) -> &T {
+        &self.table
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Commit/abort counters so far.
+    pub fn stats(&self) -> StmStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Run `body` as a transaction for thread `me`, retrying on abort until
+    /// it commits. Returns the closure's result.
+    ///
+    /// `me` must be unique among concurrently executing threads (it is the
+    /// identity recorded in the ownership table).
+    pub fn run<R>(
+        &self,
+        me: ThreadId,
+        mut body: impl FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
+    ) -> R {
+        match self.run_with_budget(me, u32::MAX, &mut body) {
+            Ok(r) => r,
+            Err(_) => unreachable!("u32::MAX attempts cannot be exhausted in practice"),
+        }
+    }
+
+    /// Like [`Stm::run`] but giving up after `max_attempts` aborts.
+    pub fn try_run<R>(
+        &self,
+        me: ThreadId,
+        max_attempts: u32,
+        mut body: impl FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        self.run_with_budget(me, max_attempts, &mut body)
+    }
+
+    fn run_with_budget<R>(
+        &self,
+        me: ThreadId,
+        max_attempts: u32,
+        body: &mut dyn FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let mut backoff = Backoff::new(me as u64);
+        let mut attempts = 0u32;
+        loop {
+            let mut txn = Txn::new(self, me);
+            match body(&mut txn) {
+                Ok(r) => {
+                    txn.commit();
+                    self.stats.on_commit();
+                    return Ok(r);
+                }
+                Err(Aborted) => {
+                    txn.rollback();
+                    self.stats.on_abort();
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Strong-isolation non-transactional read (paper §6): consult the
+    /// ownership table so the read cannot observe a transaction's
+    /// speculative state, spinning while a writer holds the block.
+    pub fn strong_read(&self, me: ThreadId, addr: u64) -> u64 {
+        self.stats.on_strong(false);
+        loop {
+            match self.table.acquire(me, block_of(&self.table, addr), Access::Read, Held::None) {
+                AcquireOutcome::Granted => {
+                    let v = self.heap.load(addr);
+                    self.table
+                        .release(me, self.table.grant_key(block_of(&self.table, addr)), Held::Read);
+                    return v;
+                }
+                AcquireOutcome::AlreadyHeld => {
+                    // Only possible if the caller misuses a transaction's id;
+                    // read without a release obligation.
+                    return self.heap.load(addr);
+                }
+                AcquireOutcome::Conflict(_) => {
+                    self.stats.on_strong_stall();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Strong-isolation non-transactional write (paper §6); spins while any
+    /// transaction holds the block.
+    pub fn strong_write(&self, me: ThreadId, addr: u64, value: u64) {
+        self.stats.on_strong(true);
+        loop {
+            match self.table.acquire(me, block_of(&self.table, addr), Access::Write, Held::None) {
+                AcquireOutcome::Granted => {
+                    self.heap.store(addr, value);
+                    self.table
+                        .release(me, self.table.grant_key(block_of(&self.table, addr)), Held::Write);
+                    return;
+                }
+                AcquireOutcome::AlreadyHeld => {
+                    self.heap.store(addr, value);
+                    return;
+                }
+                AcquireOutcome::Conflict(_) => {
+                    self.stats.on_strong_stall();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn block_of<T: ConcurrentTable>(table: &T, addr: u64) -> u64 {
+    table.config().mapper().block_of(addr)
+}
+
+/// An in-flight transaction: the per-thread log (grant key → held level) and
+/// the speculative write buffer the paper's §2.1 describes.
+#[derive(Debug)]
+pub struct Txn<'s, T: ConcurrentTable> {
+    stm: &'s Stm<T>,
+    id: ThreadId,
+    log: HashMap<GrantKey, Held>,
+    wbuf: HashMap<u64, u64>,
+    finished: bool,
+    reads: u64,
+    writes: u64,
+}
+
+impl<'s, T: ConcurrentTable> Txn<'s, T> {
+    fn new(stm: &'s Stm<T>, id: ThreadId) -> Self {
+        Self {
+            stm,
+            id,
+            log: HashMap::new(),
+            wbuf: HashMap::new(),
+            finished: false,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// This transaction's thread id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Reads performed so far (word granularity, including buffered hits).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes performed so far (word granularity).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Distinct ownership grants currently held.
+    pub fn grant_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Transactional read of the word at `addr`.
+    pub fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+        self.reads += 1;
+        if let Some(&v) = self.wbuf.get(&addr) {
+            return Ok(v);
+        }
+        self.acquire(addr, Access::Read)?;
+        Ok(self.stm.heap.load(addr))
+    }
+
+    /// Transactional write of `value` to the word at `addr` (buffered until
+    /// commit).
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
+        self.writes += 1;
+        self.acquire(addr, Access::Write)?;
+        self.wbuf.insert(addr, value);
+        Ok(())
+    }
+
+    /// Read-modify-write helper.
+    pub fn update(&mut self, addr: u64, f: impl FnOnce(u64) -> u64) -> Result<u64, Aborted> {
+        let v = f(self.read(addr)?);
+        self.write(addr, v)?;
+        Ok(v)
+    }
+
+    /// Voluntarily abort (e.g. a precondition failed and the caller wants a
+    /// clean retry). Equivalent to returning `Err(Aborted)` from the body.
+    pub fn retry<R>(&self) -> Result<R, Aborted> {
+        Err(Aborted)
+    }
+
+    fn acquire(&mut self, addr: u64, access: Access) -> Result<(), Aborted> {
+        let block = block_of(&self.stm.table, addr);
+        let key = self.stm.table.grant_key(block);
+        let held = self.log.get(&key).copied().unwrap_or(Held::None);
+        let budget = self.stm.config.contention.max_spins();
+        let mut spins = 0u32;
+        loop {
+            match self.stm.table.acquire(self.id, block, access, held) {
+                AcquireOutcome::Granted => {
+                    self.log.insert(key, held.after(access));
+                    return Ok(());
+                }
+                AcquireOutcome::AlreadyHeld => return Ok(()),
+                AcquireOutcome::Conflict(_) => {
+                    if spins >= budget {
+                        return Err(Aborted);
+                    }
+                    spins += 1;
+                    self.stm.stats.on_stall_retry();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    fn commit(mut self) {
+        // Publish buffered writes, then release ownership. The table's
+        // Release/Acquire transitions order the (relaxed) heap stores before
+        // any subsequent reader's loads.
+        for (&addr, &value) in &self.wbuf {
+            self.stm.heap.store(addr, value);
+        }
+        self.release_grants();
+        self.finished = true;
+    }
+
+    fn rollback(mut self) {
+        // Speculative writes never reached the heap; just return grants.
+        self.wbuf.clear();
+        self.release_grants();
+        self.finished = true;
+    }
+
+    fn release_grants(&mut self) {
+        for (&key, &held) in &self.log {
+            self.stm.table.release(self.id, key, held);
+        }
+        self.log.clear();
+    }
+}
+
+impl<T: ConcurrentTable> Drop for Txn<'_, T> {
+    fn drop(&mut self) {
+        // A panic inside the body (or an early return path we didn't see)
+        // must not leak ownership grants.
+        if !self.finished {
+            self.release_grants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_commit() {
+        let stm = tagged_stm(64, 256);
+        stm.heap().store(0, 5);
+        let r = stm.run(0, |txn| {
+            let v = txn.read(0)?;
+            txn.write(8, v + 1)?;
+            Ok(v)
+        });
+        assert_eq!(r, 5);
+        assert_eq!(stm.heap().load(8), 6);
+        assert_eq!(stm.stats().commits, 1);
+        assert_eq!(stm.stats().aborts, 0);
+    }
+
+    #[test]
+    fn writes_are_buffered_until_commit() {
+        let stm = tagged_stm(64, 256);
+        stm.run(0, |txn| {
+            txn.write(0, 99)?;
+            // The heap must not see it yet.
+            assert_eq!(stm.heap().load(0), 0);
+            // But the transaction reads its own write.
+            assert_eq!(txn.read(0)?, 99);
+            Ok(())
+        });
+        assert_eq!(stm.heap().load(0), 99);
+    }
+
+    #[test]
+    fn voluntary_retry_counts_as_abort() {
+        let stm = tagless_stm(64, 256);
+        let mut first = true;
+        let r = stm.run(0, |txn| {
+            if first {
+                first = false;
+                return txn.retry();
+            }
+            txn.write(0, 7)?;
+            Ok(42)
+        });
+        assert_eq!(r, 42);
+        let s = stm.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(stm.heap().load(0), 7);
+    }
+
+    #[test]
+    fn aborted_writes_discarded() {
+        let stm = tagged_stm(64, 256);
+        let mut first = true;
+        stm.run(0, |txn| {
+            txn.write(0, 1000)?;
+            if first {
+                first = false;
+                return Err(Aborted);
+            }
+            Ok(())
+        });
+        // Final attempt wrote 1000 and committed; but between attempts the
+        // heap must have stayed 0 — verified implicitly by the buffered test
+        // above. Here: exactly one committed value.
+        assert_eq!(stm.heap().load(0), 1000);
+    }
+
+    #[test]
+    fn try_run_exhausts_budget() {
+        let stm = tagged_stm(64, 256);
+        let r: Result<(), _> = stm.try_run(0, 3, |txn| txn.retry());
+        assert_eq!(r, Err(RetryLimitExceeded { attempts: 3 }));
+        assert_eq!(stm.stats().aborts, 3);
+        // The table must be clean afterwards.
+        assert_eq!(stm.table().stats_snapshot().grants,
+                   stm.table().stats_snapshot().releases);
+    }
+
+    #[test]
+    fn update_helper() {
+        let stm = tagged_stm(64, 256);
+        stm.heap().store(16, 10);
+        let v = stm.run(0, |txn| txn.update(16, |x| x * 3));
+        assert_eq!(v, 30);
+        assert_eq!(stm.heap().load(16), 30);
+    }
+
+    #[test]
+    fn grants_released_on_commit_and_abort() {
+        let stm = tagless_stm(1024, 256);
+        stm.run(0, |txn| {
+            for i in 0..10 {
+                txn.write(i * 8, i)?;
+            }
+            assert!(txn.grant_count() > 0);
+            Ok(())
+        });
+        let t = stm.table().stats_snapshot();
+        assert_eq!(t.grants, t.releases);
+    }
+
+    #[test]
+    fn txn_drop_without_finish_releases() {
+        // Simulate a panicking body: construct a Txn, acquire, drop it.
+        let stm = tagged_stm(64, 256);
+        {
+            let mut txn = Txn::new(&stm, 0);
+            txn.write(0, 1).unwrap();
+            // dropped here without commit/rollback
+        }
+        let t = stm.table().stats_snapshot();
+        assert_eq!(t.grants, t.releases, "drop must release grants");
+    }
+
+    #[test]
+    fn concurrent_counter_tagged_is_exact() {
+        let stm = std::sync::Arc::new(tagged_stm(64, 1024));
+        let threads = 4;
+        let increments = 500;
+        crossbeam::scope(|s| {
+            for id in 0..threads {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..increments {
+                        stm.run(id, |txn| txn.update(0, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), (threads as u64) * increments);
+        assert_eq!(stm.stats().commits, (threads as u64) * increments);
+    }
+
+    #[test]
+    fn concurrent_counter_tagless_is_exact() {
+        let stm = std::sync::Arc::new(tagless_stm(64, 1024));
+        let threads = 4;
+        let increments = 500;
+        crossbeam::scope(|s| {
+            for id in 0..threads {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..increments {
+                        stm.run(id, |txn| txn.update(0, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), (threads as u64) * increments);
+    }
+
+    #[test]
+    fn disjoint_data_conflicts_only_under_tagless() {
+        // Deterministic false-conflict demonstration: two threads touch
+        // *different* blocks (0 and 2) that alias in a 2-entry mask-hashed
+        // table. While thread 0 holds its grant, thread 1's attempt must
+        // abort under tagless and succeed under tagged.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use tm_ownership::HashKind;
+
+        fn scenario<T: ConcurrentTable>(table: T) -> (bool, u64, u64) {
+            let stm = Stm::new(256, table, StmConfig::default());
+            let holding = AtomicBool::new(false);
+            let proceed = AtomicBool::new(false);
+            let mut peer_failed = false;
+            crossbeam::scope(|s| {
+                let (stm, holding, proceed) = (&stm, &holding, &proceed);
+                s.spawn(move |_| {
+                    stm.run(0, |t| {
+                        t.write(0, 1)?; // block 0 → entry 0
+                        holding.store(true, Ordering::Release);
+                        while !proceed.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        Ok(())
+                    });
+                });
+                while !holding.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // Different data, same entry: block 2 (addr 128) → entry 0.
+                let r = stm.try_run(1, 1, |t| t.write(128, 2));
+                peer_failed = r.is_err();
+                proceed.store(true, Ordering::Release);
+            })
+            .unwrap();
+            (peer_failed, stm.heap().load(0), stm.heap().load(128))
+        }
+
+        let cfg = TableConfig::new(2).with_hash(HashKind::Mask);
+        let (tagless_failed, a, b) =
+            scenario(ConcurrentTaglessTable::new(cfg.clone()));
+        assert!(tagless_failed, "tagless must report the false conflict");
+        assert_eq!(a, 1);
+        assert_eq!(b, 0, "aborted write must not reach the heap");
+
+        let (tagged_failed, a, b) = scenario(ConcurrentTaggedTable::new(cfg));
+        assert!(!tagged_failed, "tagged must not conflict on distinct blocks");
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn stall_policy_reduces_aborts_on_short_conflicts() {
+        let config = StmConfig {
+            contention: ContentionPolicy::Stall { max_spins: 200 },
+        };
+        let stm = std::sync::Arc::new(Stm::new(
+            64,
+            ConcurrentTaggedTable::new(TableConfig::new(256)),
+            config,
+        ));
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..200 {
+                        stm.run(id, |t| t.update(0, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), 800);
+        let s = stm.stats();
+        // The policy must have spun at least sometimes under this contention.
+        assert!(s.stall_retries > 0 || s.aborts == 0);
+    }
+
+    #[test]
+    fn strong_isolation_read_write() {
+        let stm = tagged_stm(64, 256);
+        stm.strong_write(9, 0, 77);
+        assert_eq!(stm.strong_read(9, 0), 77);
+        let s = stm.stats();
+        assert_eq!(s.strong_reads, 1);
+        assert_eq!(s.strong_writes, 1);
+        // No grants leaked.
+        let t = stm.table().stats_snapshot();
+        assert_eq!(t.grants, t.releases);
+    }
+
+    #[test]
+    fn strong_isolation_concurrent_with_transactions() {
+        let stm = std::sync::Arc::new(tagged_stm(64, 1024));
+        let rounds = 400u64;
+        crossbeam::scope(|s| {
+            let stm1 = &stm;
+            s.spawn(move |_| {
+                for _ in 0..rounds {
+                    stm1.run(0, |t| {
+                        let v = t.read(0)?;
+                        t.write(0, v + 1)?;
+                        t.write(8, v + 1)?; // keep the pair equal
+                        Ok(())
+                    });
+                }
+            });
+            let stm2 = &stm;
+            s.spawn(move |_| {
+                for _ in 0..rounds {
+                    // Strong reads may interleave between transactions but
+                    // must never see a half-applied transaction: we read the
+                    // pair under one strong read each; since both words are
+                    // in block 0, the read-acquire excludes the writer.
+                    let a = stm2.strong_read(1, 0);
+                    let b = stm2.strong_read(1, 8);
+                    // b is sampled after a: the counter may have advanced,
+                    // but b can never exceed a by more than the writer's
+                    // progress… the strong invariant we can check cheaply is
+                    // monotonicity.
+                    assert!(b + rounds >= a);
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), rounds);
+    }
+}

@@ -1,0 +1,93 @@
+//! The classic birthday paradox, to which the paper traces the tagless
+//! table's failure mode: "two addresses are likely to map to the same
+//! ownership table entry long before the table is full."
+
+use crate::exact::any_collision_probability;
+
+/// Probability that among `people` independently uniform birthdays over
+/// `days` days, at least two coincide.
+pub fn shared_birthday_probability(people: u64, days: u64) -> f64 {
+    any_collision_probability(people, days)
+}
+
+/// The smallest group size whose shared-birthday probability reaches
+/// `threshold` (for `days` possible birthdays). Returns `None` for
+/// thresholds outside `(0, 1]`.
+pub fn smallest_group_for(threshold: f64, days: u64) -> Option<u64> {
+    if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
+        return None;
+    }
+    if threshold == 1.0 {
+        // Pigeonhole: certainty requires days + 1 people. Handle exactly,
+        // since the floating-point product underflows to an effective 1.0
+        // probability long before that.
+        return Some(days + 1);
+    }
+    let mut survive = 1.0_f64;
+    for i in 0..=days {
+        // After adding person i+1, collision prob is 1 − survive·(1 − i/days)…
+        // iterate incrementally to avoid re-computing the product.
+        survive *= 1.0 - i as f64 / days as f64;
+        if 1.0 - survive >= threshold {
+            return Some(i + 1);
+        }
+    }
+    Some(days + 1) // pigeonhole: days+1 people always collide
+}
+
+/// Rule-of-thumb group size for a 50 % collision chance:
+/// `≈ 1.1774 √days` (from `√(2 ln 2 · days)`).
+pub fn rule_of_thumb_50(days: u64) -> f64 {
+    (2.0 * std::f64::consts::LN_2 * days as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_people() {
+        // The canonical result the paper cites.
+        assert_eq!(smallest_group_for(0.5, 365), Some(23));
+    }
+
+    #[test]
+    fn probability_at_23_matches_known_value() {
+        let p = shared_birthday_probability(23, 365);
+        assert!((p - 0.5073).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn pigeonhole() {
+        assert_eq!(shared_birthday_probability(366, 365), 1.0);
+        assert_eq!(smallest_group_for(1.0, 365), Some(366));
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        assert_eq!(smallest_group_for(0.0, 365), None);
+        assert_eq!(smallest_group_for(1.5, 365), None);
+        assert_eq!(smallest_group_for(-0.1, 365), None);
+    }
+
+    #[test]
+    fn rule_of_thumb_close_to_exact() {
+        for &days in &[365u64, 1000, 4096, 65_536] {
+            let exact = smallest_group_for(0.5, days).unwrap() as f64;
+            let approx = rule_of_thumb_50(days);
+            assert!(
+                (exact - approx).abs() / exact < 0.05,
+                "days={days}: exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn ownership_table_scale_example() {
+        // A 4096-entry table "collides" with ~76 random blocks — long before
+        // it is full, the paper's central intuition.
+        let g = smallest_group_for(0.5, 4096).unwrap();
+        assert!(g < 100, "got {g}");
+        assert!(g > 50, "got {g}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Product-form (non-linearized) variants of the lockstep model.
+//!
+//! The paper's footnote 2 admits that summing per-step hazards (Eqs. 3/7)
+//! is an approximation to the product of survival probabilities, accurate
+//! only "for the region of interest" (low conflict rates). This module keeps
+//! the product: the probability that *no* step conflicts is
+//!
+//! `P(survive) = Π_{w=1..W} (1 − δ(w))`, `P(conflict) = 1 − P(survive)`,
+//!
+//! with the per-step hazard `δ(w)` taken from the same Eq. 7 summand
+//! (clamped into `[0, 1]`, since the linearized hazard can exceed 1 for
+//! small tables). The result is always a probability and tracks simulation
+//! measurably better once conflict rates exceed ~50 % — quantified by the
+//! `model_accuracy` study in `tm-repro`.
+
+#[cfg(test)]
+use crate::lockstep;
+
+/// Product-form conflict probability for `C = 2` (un-linearized Eq. 3).
+pub fn conflict_probability_c2(w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    conflict_probability(2, w_footprint, alpha, n)
+}
+
+/// Product-form conflict probability for `C` lockstep transactions
+/// (un-linearized Eq. 7).
+pub fn conflict_probability(c: u32, w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    let (cf, nf) = (c as f64, n as f64);
+    let mut survive = 1.0_f64;
+    for w in 1..=w_footprint {
+        let hazard = (cf * (cf - 1.0) * ((1.0 + 2.0 * alpha) * w as f64 - alpha)
+            - cf / 2.0 * (cf - 1.0))
+            / nf;
+        survive *= 1.0 - hazard.clamp(0.0, 1.0);
+    }
+    1.0 - survive
+}
+
+/// Fully combinatorial birthday-style bound: the probability that throwing
+/// `balls` balls uniformly into `bins` bins produces at least one collision,
+/// `1 − Π_{i=0..balls−1} (1 − i/bins)`.
+///
+/// This treats *every* block of *every* transaction as a ball and any
+/// co-location as a conflict — an upper bound on the model, since read-read
+/// sharing is actually benign. Useful as the "pure birthday paradox" anchor
+/// the paper's title refers to.
+pub fn any_collision_probability(balls: u64, bins: u64) -> f64 {
+    if balls > bins {
+        return 1.0;
+    }
+    let mut survive = 1.0_f64;
+    for i in 0..balls {
+        survive *= 1.0 - i as f64 / bins as f64;
+        if survive <= 0.0 {
+            return 1.0;
+        }
+    }
+    1.0 - survive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_linearized_in_low_conflict_regime() {
+        // With a huge table the hazards are tiny and Π(1−δ) ≈ 1 − Σδ.
+        let n = 1 << 24;
+        for &c in &[2u32, 4, 8] {
+            for &w in &[5u32, 10, 20] {
+                let lin = lockstep::conflict_likelihood(c, w, 2.0, n);
+                let prod = conflict_probability(c, w, 2.0, n);
+                // The linearization error is second order: Σδ − (1 − Π(1−δ))
+                // ≈ (Σδ)²/2, so the two agree to within lin² here.
+                assert!(
+                    (lin - prod).abs() < lin * lin + 1e-9,
+                    "c={c} w={w}: lin={lin} prod={prod}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_form_stays_probability() {
+        for &n in &[16u64, 64, 512] {
+            for &w in &[10u32, 50, 200] {
+                let p = conflict_probability(8, w, 2.0, n);
+                assert!((0.0..=1.0).contains(&p), "n={n} w={w}: p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_below_linearized() {
+        // 1 − Π(1−δ) ≤ Σδ always (union bound).
+        for &n in &[256u64, 1024, 8192] {
+            for &w in &[5u32, 20, 50] {
+                let lin = lockstep::conflict_likelihood(4, w, 2.0, n);
+                let prod = conflict_probability(4, w, 2.0, n);
+                assert!(prod <= lin + 1e-12, "n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn c2_helper_matches_general() {
+        let a = conflict_probability_c2(30, 2.0, 4096);
+        let b = conflict_probability(2, 30, 2.0, 4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_collision_monotone_and_bounded() {
+        let mut last = 0.0;
+        for balls in 0..100 {
+            let p = any_collision_probability(balls, 365);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last);
+            last = p;
+        }
+        assert_eq!(any_collision_probability(366, 365), 1.0);
+        assert_eq!(any_collision_probability(0, 365), 0.0);
+        assert_eq!(any_collision_probability(1, 365), 0.0);
+    }
+
+    #[test]
+    fn birthday_paradox_23() {
+        // The title's claim: 23 people suffice for > 50 %.
+        assert!(any_collision_probability(23, 365) > 0.5);
+        assert!(any_collision_probability(22, 365) < 0.5);
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's analytical model of false conflicts in tagless ownership
+//! tables (Zilles & Rajwar, *Transactional Memory and the Birthday Paradox*,
+//! SPAA 2007, Section 3).
+//!
+//! The model considers `C` transactions progressing in lock step, each
+//! writing `W` cache blocks with `α` fresh reads preceding every write, all
+//! blocks mapping uniformly at random into an `N`-entry tagless ownership
+//! table. Its headline closed forms are:
+//!
+//! * **Eq. 4** (`C = 2`): `P(conflict) ≈ (1 + 2α) · W² / N`
+//! * **Eq. 8** (general): `P(conflict) ≈ C(C−1)(1 + 2α) · W² / (2N)`
+//!
+//! i.e. conflict likelihood grows **quadratically** in both footprint and
+//! concurrency but falls only **linearly** in table size — the same
+//! mathematics behind the birthday paradox ([`birthday`]).
+//!
+//! Modules:
+//!
+//! * [`lockstep`] — the paper's linearized sum-of-probabilities model
+//!   (Equations 2–4 and 6–8), term by term.
+//! * [`exact`] — the product-form refinement the paper's footnote 2 waves
+//!   at: multiply per-step survival probabilities instead of summing
+//!   hazards. Agrees with [`lockstep`] in the low-conflict regime and stays
+//!   a probability (≤ 1) outside it.
+//! * [`birthday`] — the classic birthday-paradox functions, used both as a
+//!   sanity anchor (23 people → > 50 %) and in documentation.
+//! * [`sizing`] — inverse solvers: how big a table for a target commit
+//!   probability, how large a footprint a table sustains, etc. Reproduces
+//!   the paper's back-of-envelope numbers (§3.1–3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use tm_model::{ModelParams, sizing};
+//!
+//! // The paper's hybrid-TM operating point: W = 71 written blocks, α = 2.
+//! let p = ModelParams::new(2, 71, 2.0, 65_536);
+//! assert!(p.conflict_likelihood() > 0.3); // false conflicts are already common
+//!
+//! // §3.1: >50 000 entries needed for a 50 % commit probability at C = 2 ...
+//! let n50 = sizing::table_entries_for_commit_prob(0.50, 2, 71, 2.0);
+//! assert!(n50 > 50_000);
+//! // ... and >14 million entries at C = 8 for 95 %.
+//! let n95 = sizing::table_entries_for_commit_prob(0.95, 8, 71, 2.0);
+//! assert!(n95 > 14_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod birthday;
+pub mod exact;
+pub mod lockstep;
+pub mod sizing;
+
+/// Parameter bundle for the lockstep model: `C` concurrent transactions,
+/// `W` written blocks each, `α` reads per write, `N` table entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Number of concurrently executing transactions (the paper's `C` ≥ 2).
+    pub concurrency: u32,
+    /// Cache blocks written per transaction (the paper's `W` ≥ 1).
+    pub write_footprint: u32,
+    /// Fresh cache-block reads per write (the paper's `α` ≥ 0; the paper's
+    /// empirical estimate from the overflow study is α ≈ 2).
+    pub alpha: f64,
+    /// Ownership-table entries (the paper's `N` ≥ 1).
+    pub table_entries: u64,
+}
+
+impl ModelParams {
+    /// Bundle parameters. Panics on degenerate values so experiments fail
+    /// loudly rather than producing silent nonsense.
+    pub fn new(concurrency: u32, write_footprint: u32, alpha: f64, table_entries: u64) -> Self {
+        assert!(concurrency >= 2, "the model needs at least two transactions");
+        assert!(write_footprint >= 1, "write footprint must be positive");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
+        assert!(table_entries >= 1, "table must have at least one entry");
+        Self {
+            concurrency,
+            write_footprint,
+            alpha,
+            table_entries,
+        }
+    }
+
+    /// Total footprint per transaction, `R + W = (1 + α)W`, in blocks.
+    pub fn total_footprint(&self) -> f64 {
+        (1.0 + self.alpha) * self.write_footprint as f64
+    }
+
+    /// The linearized conflict likelihood (Eq. 8; Eq. 4 when `C = 2`).
+    /// May exceed 1 outside the model's intended low-conflict regime.
+    pub fn conflict_likelihood(&self) -> f64 {
+        lockstep::conflict_likelihood(
+            self.concurrency,
+            self.write_footprint,
+            self.alpha,
+            self.table_entries,
+        )
+    }
+
+    /// `1 − conflict_likelihood()`, clamped to `[0, 1]`.
+    pub fn commit_probability(&self) -> f64 {
+        (1.0 - self.conflict_likelihood()).clamp(0.0, 1.0)
+    }
+
+    /// The product-form conflict probability (always in `[0, 1]`).
+    pub fn conflict_probability_exact(&self) -> f64 {
+        exact::conflict_probability(
+            self.concurrency,
+            self.write_footprint,
+            self.alpha,
+            self.table_entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_accessors() {
+        let p = ModelParams::new(2, 10, 2.0, 1024);
+        assert_eq!(p.total_footprint(), 30.0);
+        assert!(p.conflict_likelihood() > 0.0);
+        assert!(p.commit_probability() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_c1() {
+        ModelParams::new(1, 10, 2.0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_w0() {
+        ModelParams::new(2, 0, 2.0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_negative_alpha() {
+        ModelParams::new(2, 10, -1.0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry")]
+    fn rejects_empty_table() {
+        ModelParams::new(2, 10, 2.0, 0);
+    }
+
+    #[test]
+    fn commit_probability_clamps() {
+        // Tiny table, huge footprint: linearized likelihood blows past 1.
+        let p = ModelParams::new(8, 100, 2.0, 16);
+        assert!(p.conflict_likelihood() > 1.0);
+        assert_eq!(p.commit_probability(), 0.0);
+        // The exact form stays a probability.
+        assert!(p.conflict_probability_exact() <= 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's linearized lockstep model, equation by equation (§3.1–3.2).
+//!
+//! Setup (paper's simplifying assumptions 1–6): no true conflicts; uniform
+//! hashing; a constant `α` fresh reads before each write; `C` transactions in
+//! lock step with equal footprints at every instant; negligible
+//! intra-transaction aliasing (so `R + W` approximates the footprint); and
+//! independence of the individual aliasing events, which turns a product of
+//! survival probabilities into a sum of hazards (footnote 2 — see
+//! [`crate::exact`] for the un-linearized version).
+
+/// Eq. 2 — the incremental conflict likelihood when one of **two**
+/// transactions reads `α` fresh blocks then writes one fresh block, given the
+/// other transaction's current write footprint is `w_b` (and its read
+/// footprint is `α·w_b`):
+///
+/// `Δ = (α(w_b − 1) + (α + 1) w_b) / N = ((1 + 2α) w_b − α) / N`
+///
+/// The `−1` reflects that the reads precede the peer's corresponding write.
+pub fn delta_conflict_c2(w_b: u32, alpha: f64, n: u64) -> f64 {
+    ((1.0 + 2.0 * alpha) * w_b as f64 - alpha) / n as f64
+}
+
+/// Eq. 3 — likelihood of any conflict by the time both (C = 2) lockstep
+/// transactions have written `w_footprint` blocks, as the explicit sum
+/// `Σ_{w=1..W} ((2 + 4α)w − 2α − 1) / N`: both directions of Eq. 2, minus
+/// `1/N` to avoid double-counting the `w`-th write pair.
+pub fn conflict_likelihood_c2_sum(w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    (1..=w_footprint)
+        .map(|w| ((2.0 + 4.0 * alpha) * w as f64 - 2.0 * alpha - 1.0) / n as f64)
+        .sum()
+}
+
+/// Eq. 4 — the closed form of Eq. 3: `(1 + 2α) W² / N`.
+///
+/// The quadratic dependence on footprint and the merely-linear relief from
+/// table size are the paper's first result.
+pub fn conflict_likelihood_c2(w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    (1.0 + 2.0 * alpha) * (w_footprint as f64).powi(2) / n as f64
+}
+
+/// Eq. 6 — the incremental conflict likelihood for one transaction's
+/// `α`-reads-plus-one-write step against the `C − 1` other lockstep
+/// transactions: `(C − 1)((1 + 2α)w − α) / N`.
+pub fn delta_conflict(c: u32, w: u32, alpha: f64, n: u64) -> f64 {
+    (c as f64 - 1.0) * ((1.0 + 2.0 * alpha) * w as f64 - alpha) / n as f64
+}
+
+/// Eq. 7 — likelihood of at least one conflict among `C` lockstep
+/// transactions of write footprint `W`, as the explicit sum
+/// `Σ_{w=1..W} (C(C−1)((1 + 2α)w − α) − (C/2)(C−1)) / N`
+/// (all `C` per-step hazards, compensated for pairwise double-counting).
+pub fn conflict_likelihood_sum(c: u32, w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    let (cf, nf) = (c as f64, n as f64);
+    (1..=w_footprint)
+        .map(|w| {
+            (cf * (cf - 1.0) * ((1.0 + 2.0 * alpha) * w as f64 - alpha)
+                - cf / 2.0 * (cf - 1.0))
+                / nf
+        })
+        .sum()
+}
+
+/// Eq. 8 — the closed form of Eq. 7: `C(C−1)(1 + 2α) W² / (2N)`.
+///
+/// Quadratic (asymptotically) in concurrency via the `C(C−1)` term — the
+/// paper's second result — and reducing to Eq. 4 at `C = 2`.
+pub fn conflict_likelihood(c: u32, w_footprint: u32, alpha: f64, n: u64) -> f64 {
+    let cf = c as f64;
+    cf * (cf - 1.0) * (1.0 + 2.0 * alpha) * (w_footprint as f64).powi(2) / (2.0 * n as f64)
+}
+
+/// The expected number of table entries occupied when `C` lockstep
+/// transactions each hold a footprint of `f` blocks (used by the paper's §4
+/// discussion of closed-system occupancy: on average half the concurrency
+/// times the per-transaction footprint when starts are staggered uniformly).
+pub fn expected_occupancy_staggered(c: u32, footprint_blocks: f64) -> f64 {
+    c as f64 * footprint_blocks / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn eq3_sum_equals_eq4_closed_form() {
+        // The paper reduces the sum to exactly (1 + 2α)W²/N; verify the
+        // algebra numerically across a parameter sweep.
+        for &alpha in &[0.0, 0.5, 1.0, 2.0, 3.5] {
+            for &w in &[1u32, 2, 5, 10, 40, 80] {
+                for &n in &[512u64, 4096, 65_536] {
+                    let sum = conflict_likelihood_c2_sum(w, alpha, n);
+                    let closed = conflict_likelihood_c2(w, alpha, n);
+                    assert!(
+                        (sum - closed).abs() < 1e-9,
+                        "alpha={alpha} w={w} n={n}: {sum} vs {closed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq7_sum_equals_eq8_closed_form() {
+        for &c in &[2u32, 3, 4, 8] {
+            for &alpha in &[0.0, 1.0, 2.0] {
+                for &w in &[1u32, 5, 20, 50] {
+                    let n = 16_384;
+                    let sum = conflict_likelihood_sum(c, w, alpha, n);
+                    let closed = conflict_likelihood(c, w, alpha, n);
+                    assert!(
+                        (sum - closed).abs() < 1e-9,
+                        "c={c} alpha={alpha} w={w}: {sum} vs {closed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq8_reduces_to_eq4_at_c2() {
+        for &w in &[5u32, 10, 20, 40, 80] {
+            let a = conflict_likelihood(2, w, 2.0, 4096);
+            let b = conflict_likelihood_c2(w, 2.0, 4096);
+            assert!((a - b).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn quadratic_in_footprint() {
+        let base = conflict_likelihood_c2(10, 2.0, 1 << 20);
+        let quad = conflict_likelihood_c2(20, 2.0, 1 << 20);
+        assert!((quad / base - 4.0).abs() < EPS, "doubling W must 4x the rate");
+    }
+
+    #[test]
+    fn linear_in_inverse_table_size() {
+        let small = conflict_likelihood_c2(10, 2.0, 1024);
+        let large = conflict_likelihood_c2(10, 2.0, 4096);
+        assert!((small / large - 4.0).abs() < EPS, "4x table must 1/4 the rate");
+    }
+
+    #[test]
+    fn c_c_minus_1_signature() {
+        // The paper highlights the factor-6 jump from C=2 to C=4:
+        // C(C−1) goes 2 → 12.
+        let c2 = conflict_likelihood(2, 10, 2.0, 65_536);
+        let c4 = conflict_likelihood(4, 10, 2.0, 65_536);
+        assert!((c4 / c2 - 6.0).abs() < EPS);
+        // And 2 → 8 is a factor of 28.
+        let c8 = conflict_likelihood(8, 10, 2.0, 65_536);
+        assert!((c8 / c2 - 28.0).abs() < EPS);
+    }
+
+    #[test]
+    fn delta_terms_are_nonnegative_in_range() {
+        // For w ≥ 1 and α ≤ (1+2α)·1, each increment is nonnegative.
+        for w in 1..100 {
+            assert!(delta_conflict_c2(w, 2.0, 4096) >= 0.0);
+            assert!(delta_conflict(4, w, 2.0, 4096) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn delta_c2_matches_paper_form() {
+        // ((1+2α)w − α)/N with α=2, w=3, N=1000 → (15 − 2)/1000.
+        assert!((delta_conflict_c2(3, 2.0, 1000) - 0.013).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_back_of_envelope_eq4() {
+        // §3.1: W = 71, α = 2 ⇒ conflict likelihood (1+4)·71²/N; at
+        // N = 50 410 the likelihood is exactly 0.5.
+        let l = conflict_likelihood_c2(71, 2.0, 50_410);
+        assert!((l - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn expected_occupancy_half_c_times_footprint() {
+        assert_eq!(expected_occupancy_staggered(4, 30.0), 60.0);
+    }
+}

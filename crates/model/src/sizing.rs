@@ -1,0 +1,156 @@
+//! Inverse solvers over the lockstep model: the paper's back-of-envelope
+//! design questions (§3.1–3.2).
+//!
+//! The paper plugs its empirical hybrid-TM operating point (`W = 71`
+//! written blocks, `α = 2`) into Eq. 4/8 and asks how big an ownership table
+//! must be: **> 50 000** entries for 50 % commit probability at `C = 2`,
+//! **> half a million** for 95 %, and **> 14 million** at `C = 8` — the
+//! numbers that make tagless tables "not a robust approach".
+
+#[cfg(test)]
+use crate::lockstep::conflict_likelihood;
+
+/// Minimum table entries `N` such that the linearized commit probability
+/// `1 − C(C−1)(1+2α)W²/(2N)` reaches `commit_prob`.
+///
+/// # Panics
+/// Panics if `commit_prob` is not within `[0, 1)` or parameters are
+/// degenerate (`c < 2`, `w == 0`).
+pub fn table_entries_for_commit_prob(commit_prob: f64, c: u32, w: u32, alpha: f64) -> u64 {
+    assert!(
+        (0.0..1.0).contains(&commit_prob),
+        "commit probability must be in [0, 1)"
+    );
+    assert!(c >= 2 && w >= 1, "need c >= 2 and w >= 1");
+    let cf = c as f64;
+    let numerator = cf * (cf - 1.0) * (1.0 + 2.0 * alpha) * (w as f64).powi(2) / 2.0;
+    (numerator / (1.0 - commit_prob)).ceil() as u64
+}
+
+/// Largest write footprint `W` a table of `n` entries sustains at the given
+/// commit probability and concurrency: `W = √(2N(1 − p) / (C(C−1)(1+2α)))`.
+pub fn max_write_footprint(commit_prob: f64, c: u32, n: u64, alpha: f64) -> u32 {
+    assert!(
+        (0.0..1.0).contains(&commit_prob),
+        "commit probability must be in [0, 1)"
+    );
+    assert!(c >= 2, "need c >= 2");
+    let cf = c as f64;
+    let w2 = 2.0 * n as f64 * (1.0 - commit_prob) / (cf * (cf - 1.0) * (1.0 + 2.0 * alpha));
+    w2.sqrt().floor() as u32
+}
+
+/// Largest concurrency `C` a table of `n` entries sustains for footprint `w`
+/// at the given commit probability: solve `C(C−1) ≤ K` where
+/// `K = 2N(1 − p) / ((1+2α)W²)`, i.e. `C = ⌊(1 + √(1 + 4K)) / 2⌋`.
+///
+/// Returns at least 1 (a single transaction never self-conflicts in the
+/// model). A result of 1 is the paper's "concurrency of 1 for overflowed
+/// transactions" conclusion.
+pub fn max_concurrency(commit_prob: f64, w: u32, n: u64, alpha: f64) -> u32 {
+    assert!(
+        (0.0..1.0).contains(&commit_prob),
+        "commit probability must be in [0, 1)"
+    );
+    assert!(w >= 1, "need w >= 1");
+    let k = 2.0 * n as f64 * (1.0 - commit_prob) / ((1.0 + 2.0 * alpha) * (w as f64).powi(2));
+    let c = ((1.0 + (1.0 + 4.0 * k).sqrt()) / 2.0).floor() as u32;
+    c.max(1)
+}
+
+/// How the table must scale to *hold the conflict rate constant*: growing
+/// footprint by `footprint_factor` and concurrency by `concurrency_factor`
+/// requires the table to grow by roughly
+/// `footprint_factor² × concurrency_factor²` (the paper's scaling law;
+/// exact in the asymptotic `C(C−1) ≈ C²` regime).
+pub fn required_table_scaling(footprint_factor: f64, concurrency_factor: f64) -> f64 {
+    footprint_factor.powi(2) * concurrency_factor.powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's empirical hybrid-TM operating point (§2.3): a transaction
+    /// overflowing a 32 KB L1 has written ~71 blocks with α ≈ 2.
+    const PAPER_W: u32 = 71;
+    const PAPER_ALPHA: f64 = 2.0;
+
+    #[test]
+    fn paper_50_percent_needs_over_50k() {
+        let n = table_entries_for_commit_prob(0.50, 2, PAPER_W, PAPER_ALPHA);
+        assert!(n > 50_000, "got {n}");
+        assert!(n < 51_000, "got {n}"); // exact: 50 410
+    }
+
+    #[test]
+    fn paper_95_percent_needs_over_half_million() {
+        let n = table_entries_for_commit_prob(0.95, 2, PAPER_W, PAPER_ALPHA);
+        assert!(n > 500_000, "got {n}");
+        assert!(n < 510_000, "got {n}"); // exact: 504 100
+    }
+
+    #[test]
+    fn paper_c8_95_percent_needs_over_14_million() {
+        let n = table_entries_for_commit_prob(0.95, 8, PAPER_W, PAPER_ALPHA);
+        assert!(n > 14_000_000, "got {n}");
+        assert!(n < 14_200_000, "got {n}"); // exact: 14 114 800
+    }
+
+    #[test]
+    fn solver_is_consistent_with_forward_model() {
+        for &(p, c) in &[(0.5, 2u32), (0.9, 4), (0.95, 8)] {
+            let n = table_entries_for_commit_prob(p, c, PAPER_W, PAPER_ALPHA);
+            let l = conflict_likelihood(c, PAPER_W, PAPER_ALPHA, n);
+            assert!(l <= 1.0 - p + 1e-9, "p={p} c={c}: likelihood {l}");
+            // One entry fewer must violate the target.
+            let l_under = conflict_likelihood(c, PAPER_W, PAPER_ALPHA, n - 1);
+            assert!(l_under > 1.0 - p - 1e-9, "p={p} c={c}");
+        }
+    }
+
+    #[test]
+    fn footprint_solver_round_trips() {
+        let n = 1 << 16;
+        let w = max_write_footprint(0.9, 2, n, 2.0);
+        assert!(conflict_likelihood(2, w, 2.0, n) <= 0.1 + 1e-9);
+        assert!(conflict_likelihood(2, w + 1, 2.0, n) > 0.1 - 1e-2);
+    }
+
+    #[test]
+    fn concurrency_solver_round_trips() {
+        let n = 1 << 20;
+        let c = max_concurrency(0.9, 20, n, 2.0);
+        assert!(c >= 2);
+        assert!(conflict_likelihood(c, 20, 2.0, n) <= 0.1 + 1e-9);
+        assert!(conflict_likelihood(c + 1, 20, 2.0, n) > 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn overflowed_transactions_serialize_on_small_tables() {
+        // The paper's conclusion: a modest table and a large (overflowed)
+        // transaction leave room for only one transaction at a time.
+        let c = max_concurrency(0.5, 200, 4096, 2.0);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn scaling_law() {
+        // Double footprint and double concurrency → 16x table.
+        assert_eq!(required_table_scaling(2.0, 2.0), 16.0);
+        // The Fig. 4(b) clusters: doubling C alone → ~4x table.
+        assert_eq!(required_table_scaling(1.0, 2.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit probability")]
+    fn rejects_p_of_one() {
+        table_entries_for_commit_prob(1.0, 2, 10, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c >= 2")]
+    fn rejects_single_transaction() {
+        table_entries_for_commit_prob(0.5, 1, 10, 2.0);
+    }
+}

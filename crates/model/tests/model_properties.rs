@@ -1,0 +1,141 @@
+//! Property tests over the analytical model: algebraic identities,
+//! monotonicity, and solver round-trips across the whole parameter space.
+
+use proptest::prelude::*;
+use tm_model::{birthday, exact, lockstep, sizing, ModelParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The paper's reduction of Eq. 7 to Eq. 8 holds for every parameter.
+    #[test]
+    fn sum_equals_closed_form(
+        c in 2u32..16,
+        w in 1u32..200,
+        alpha in 0.0f64..8.0,
+        n_log2 in 4u32..26,
+    ) {
+        let n = 1u64 << n_log2;
+        let sum = lockstep::conflict_likelihood_sum(c, w, alpha, n);
+        let closed = lockstep::conflict_likelihood(c, w, alpha, n);
+        prop_assert!((sum - closed).abs() < 1e-6 * closed.abs().max(1.0),
+            "sum {sum} vs closed {closed}");
+    }
+
+    /// Monotonicity: more concurrency, bigger footprints, or smaller tables
+    /// never decrease the conflict likelihood.
+    #[test]
+    fn monotone_in_all_arguments(
+        c in 2u32..12,
+        w in 1u32..100,
+        alpha in 0.0f64..4.0,
+        n_log2 in 6u32..24,
+    ) {
+        let n = 1u64 << n_log2;
+        let base = lockstep::conflict_likelihood(c, w, alpha, n);
+        prop_assert!(lockstep::conflict_likelihood(c + 1, w, alpha, n) >= base);
+        prop_assert!(lockstep::conflict_likelihood(c, w + 1, alpha, n) >= base);
+        prop_assert!(lockstep::conflict_likelihood(c, w, alpha, n / 2) >= base);
+        prop_assert!(lockstep::conflict_likelihood(c, w, alpha + 0.5, n) >= base);
+    }
+
+    /// The product form is a probability, below the linearized sum, and
+    /// within second-order error of it.
+    #[test]
+    fn product_form_bounds(
+        c in 2u32..12,
+        w in 1u32..120,
+        alpha in 0.0f64..4.0,
+        n_log2 in 6u32..24,
+    ) {
+        let n = 1u64 << n_log2;
+        let lin = lockstep::conflict_likelihood(c, w, alpha, n);
+        let prod = exact::conflict_probability(c, w, alpha, n);
+        prop_assert!((0.0..=1.0).contains(&prod));
+        prop_assert!(prod <= lin + 1e-12);
+        if lin < 0.3 {
+            prop_assert!((lin - prod).abs() <= lin * lin + 1e-9);
+        }
+    }
+
+    /// Sizing solver round-trip: the returned table meets the target and is
+    /// minimal.
+    #[test]
+    fn sizing_solver_round_trip(
+        p in 0.01f64..0.99,
+        c in 2u32..10,
+        w in 1u32..150,
+        alpha in 0.0f64..4.0,
+    ) {
+        let n = sizing::table_entries_for_commit_prob(p, c, w, alpha);
+        prop_assert!(lockstep::conflict_likelihood(c, w, alpha, n) <= (1.0 - p) + 1e-9);
+        if n > 1 {
+            prop_assert!(
+                lockstep::conflict_likelihood(c, w, alpha, n - 1) > (1.0 - p) - 1e-9
+            );
+        }
+    }
+
+    /// Footprint solver round-trip.
+    #[test]
+    fn footprint_solver_round_trip(
+        p in 0.01f64..0.99,
+        c in 2u32..10,
+        n_log2 in 10u32..26,
+    ) {
+        let n = 1u64 << n_log2;
+        let w = sizing::max_write_footprint(p, c, n, 2.0);
+        if w >= 1 {
+            prop_assert!(lockstep::conflict_likelihood(c, w, 2.0, n) <= (1.0 - p) + 1e-9);
+            prop_assert!(lockstep::conflict_likelihood(c, w + 1, 2.0, n) > (1.0 - p) - 1e-2);
+        }
+    }
+
+    /// Concurrency solver round-trip.
+    #[test]
+    fn concurrency_solver_round_trip(
+        p in 0.01f64..0.99,
+        w in 1u32..100,
+        n_log2 in 10u32..26,
+    ) {
+        let n = 1u64 << n_log2;
+        let c = sizing::max_concurrency(p, w, n, 2.0);
+        prop_assert!(c >= 1);
+        if c >= 2 {
+            prop_assert!(lockstep::conflict_likelihood(c, w, 2.0, n) <= (1.0 - p) + 1e-9);
+        }
+        prop_assert!(
+            lockstep::conflict_likelihood(c.max(2) + 1, w, 2.0, n) > (1.0 - p) - 1e-9
+                || c >= 2
+        );
+    }
+
+    /// Birthday probability is monotone in people and bounded; the smallest
+    /// group solver inverts it.
+    #[test]
+    fn birthday_inversion(days in 2u64..100_000, threshold in 0.01f64..0.99) {
+        let g = birthday::smallest_group_for(threshold, days).unwrap();
+        prop_assert!(birthday::shared_birthday_probability(g, days) >= threshold);
+        if g > 1 {
+            prop_assert!(birthday::shared_birthday_probability(g - 1, days) < threshold);
+        }
+    }
+
+    /// ModelParams helpers agree with the raw functions.
+    #[test]
+    fn params_wrapper_consistent(
+        c in 2u32..10,
+        w in 1u32..100,
+        n_log2 in 8u32..24,
+    ) {
+        let n = 1u64 << n_log2;
+        let p = ModelParams::new(c, w, 2.0, n);
+        prop_assert_eq!(p.conflict_likelihood(), lockstep::conflict_likelihood(c, w, 2.0, n));
+        prop_assert_eq!(
+            p.conflict_probability_exact(),
+            exact::conflict_probability(c, w, 2.0, n)
+        );
+        let commit = p.commit_probability();
+        prop_assert!((0.0..=1.0).contains(&commit));
+    }
+}

@@ -1,0 +1,462 @@
+//! Lock-free concurrent tagless ownership table.
+//!
+//! Each entry is a single `AtomicU64` packing the Figure 1 fields:
+//!
+//! ```text
+//! bits 0..2   mode      (0 = Free, 1 = Read, 2 = Write)
+//! bits 2..34  payload   (owner ThreadId for Write, sharer count for Read)
+//! ```
+//!
+//! Acquire and release are CAS loops over that word — the "low metadata
+//! overhead" that makes the tagless design attractive and that the paper
+//! shows comes at the cost of false conflicts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
+use crate::stats::TableStats;
+
+use super::{ConcurrentTable, GrantKey, Held};
+
+const MODE_MASK: u64 = 0b11;
+const MODE_FREE: u64 = 0;
+const MODE_READ: u64 = 1;
+const MODE_WRITE: u64 = 2;
+const PAYLOAD_SHIFT: u32 = 2;
+
+#[inline]
+fn pack(mode: u64, payload: u32) -> u64 {
+    mode | ((payload as u64) << PAYLOAD_SHIFT)
+}
+
+#[inline]
+fn mode_of(word: u64) -> u64 {
+    word & MODE_MASK
+}
+
+#[inline]
+fn payload_of(word: u64) -> u32 {
+    (word >> PAYLOAD_SHIFT) as u32
+}
+
+/// Relaxed counters; snapshots are advisory, not linearizable.
+#[derive(Debug, Default)]
+struct Counters {
+    read_acquires: AtomicU64,
+    write_acquires: AtomicU64,
+    grants: AtomicU64,
+    already_held: AtomicU64,
+    upgrades: AtomicU64,
+    read_after_write: AtomicU64,
+    write_after_read: AtomicU64,
+    write_after_write: AtomicU64,
+    releases: AtomicU64,
+}
+
+impl Counters {
+    fn on_conflict(&self, kind: ConflictKind) {
+        let c = match kind {
+            ConflictKind::ReadAfterWrite => &self.read_after_write,
+            ConflictKind::WriteAfterRead => &self.write_after_read,
+            ConflictKind::WriteAfterWrite => &self.write_after_write,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TableStats {
+        TableStats {
+            read_acquires: self.read_acquires.load(Ordering::Relaxed),
+            write_acquires: self.write_acquires.load(Ordering::Relaxed),
+            grants: self.grants.load(Ordering::Relaxed),
+            already_held: self.already_held.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            read_after_write: self.read_after_write.load(Ordering::Relaxed),
+            write_after_read: self.write_after_read.load(Ordering::Relaxed),
+            write_after_write: self.write_after_write.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            // Classification needs the out-of-band oracle; the concurrent
+            // table reports all conflicts unclassified.
+            unclassified_conflicts: self.read_after_write.load(Ordering::Relaxed)
+                + self.write_after_read.load(Ordering::Relaxed)
+                + self.write_after_write.load(Ordering::Relaxed),
+            ..TableStats::default()
+        }
+    }
+}
+
+/// A thread-safe tagless ownership table (see the
+/// module docs and [`super::ConcurrentTable`]).
+#[derive(Debug)]
+pub struct ConcurrentTaglessTable {
+    cfg: TableConfig,
+    entries: Vec<AtomicU64>,
+    counters: Counters,
+}
+
+impl ConcurrentTaglessTable {
+    /// Build a table from `cfg` (classification flags are ignored: the
+    /// concurrent table has no oracle).
+    pub fn new(cfg: TableConfig) -> Self {
+        let n = cfg.num_entries();
+        let mut entries = Vec::with_capacity(n);
+        entries.resize_with(n, || AtomicU64::new(pack(MODE_FREE, 0)));
+        Self {
+            cfg,
+            entries,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Convenience constructor: `N` entries, paper-default geometry.
+    pub fn with_entries(n: usize) -> Self {
+        Self::new(TableConfig::new(n))
+    }
+
+    /// Decoded mode of entry `e` (diagnostic; racy by nature).
+    pub fn mode_of(&self, e: EntryIndex) -> Mode {
+        match mode_of(self.entries[e].load(Ordering::Acquire)) {
+            MODE_READ => Mode::Read,
+            MODE_WRITE => Mode::Write,
+            _ => Mode::Free,
+        }
+    }
+
+    /// Decoded sharer count (diagnostic; racy by nature).
+    pub fn sharers_of(&self, e: EntryIndex) -> u32 {
+        let w = self.entries[e].load(Ordering::Acquire);
+        if mode_of(w) == MODE_READ {
+            payload_of(w)
+        } else {
+            0
+        }
+    }
+
+    /// Decoded write owner (diagnostic; racy by nature).
+    pub fn owner_of(&self, e: EntryIndex) -> Option<ThreadId> {
+        let w = self.entries[e].load(Ordering::Acquire);
+        (mode_of(w) == MODE_WRITE).then(|| payload_of(w))
+    }
+
+    fn try_read(&self, e: EntryIndex) -> AcquireOutcome {
+        let cell = &self.entries[e];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            let next = match mode_of(cur) {
+                MODE_FREE => pack(MODE_READ, 1),
+                MODE_READ => pack(MODE_READ, payload_of(cur) + 1),
+                _ => {
+                    let kind = ConflictKind::ReadAfterWrite;
+                    self.counters.on_conflict(kind);
+                    return AcquireOutcome::Conflict(Conflict {
+                        kind,
+                        with: Some(payload_of(cur)),
+                        known_false: false,
+                    });
+                }
+            };
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.counters.grants.fetch_add(1, Ordering::Relaxed);
+                    return AcquireOutcome::Granted;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn try_write(&self, txn: ThreadId, e: EntryIndex) -> AcquireOutcome {
+        let cell = &self.entries[e];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            match mode_of(cur) {
+                MODE_FREE => {
+                    match cell.compare_exchange_weak(
+                        cur,
+                        pack(MODE_WRITE, txn),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            self.counters.grants.fetch_add(1, Ordering::Relaxed);
+                            return AcquireOutcome::Granted;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+                MODE_READ => {
+                    let kind = ConflictKind::WriteAfterRead;
+                    self.counters.on_conflict(kind);
+                    return AcquireOutcome::Conflict(Conflict {
+                        kind,
+                        with: None,
+                        known_false: false,
+                    });
+                }
+                _ => {
+                    let kind = ConflictKind::WriteAfterWrite;
+                    self.counters.on_conflict(kind);
+                    return AcquireOutcome::Conflict(Conflict {
+                        kind,
+                        with: Some(payload_of(cur)),
+                        known_false: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Caller must hold a read unit on `e`. Succeeds only if it is the sole
+    /// reader (Read with sharers == 1 ⇒ that reader is the caller).
+    fn try_upgrade(&self, txn: ThreadId, e: EntryIndex) -> AcquireOutcome {
+        let cell = &self.entries[e];
+        match cell.compare_exchange(
+            pack(MODE_READ, 1),
+            pack(MODE_WRITE, txn),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.counters.upgrades.fetch_add(1, Ordering::Relaxed);
+                self.counters.grants.fetch_add(1, Ordering::Relaxed);
+                AcquireOutcome::Granted
+            }
+            Err(now) => {
+                debug_assert_eq!(
+                    mode_of(now),
+                    MODE_READ,
+                    "caller holds a read unit, so the entry must be in Read mode"
+                );
+                let kind = ConflictKind::WriteAfterRead;
+                self.counters.on_conflict(kind);
+                AcquireOutcome::Conflict(Conflict {
+                    kind,
+                    with: None,
+                    known_false: false,
+                })
+            }
+        }
+    }
+
+    fn release_read(&self, e: EntryIndex) {
+        let cell = &self.entries[e];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            debug_assert_eq!(mode_of(cur), MODE_READ, "release_read on non-Read entry");
+            let sharers = payload_of(cur);
+            let next = if sharers <= 1 {
+                pack(MODE_FREE, 0)
+            } else {
+                pack(MODE_READ, sharers - 1)
+            };
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release_write(&self, txn: ThreadId, e: EntryIndex) {
+        debug_assert_eq!(self.owner_of(e), Some(txn), "release_write by non-owner");
+        let _ = txn;
+        self.entries[e].store(pack(MODE_FREE, 0), Ordering::Release);
+        self.counters.releases.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ConcurrentTable for ConcurrentTaglessTable {
+    fn num_entries(&self) -> usize {
+        self.cfg.num_entries()
+    }
+
+    fn grant_key(&self, block: BlockAddr) -> GrantKey {
+        self.cfg.entry_of(block) as GrantKey
+    }
+
+    fn acquire(
+        &self,
+        txn: ThreadId,
+        block: BlockAddr,
+        access: Access,
+        held: Held,
+    ) -> AcquireOutcome {
+        let counter = if access.is_write() {
+            &self.counters.write_acquires
+        } else {
+            &self.counters.read_acquires
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+
+        let e = self.cfg.entry_of(block);
+        match (access, held) {
+            (Access::Read, Held::Read | Held::Write) | (Access::Write, Held::Write) => {
+                self.counters.already_held.fetch_add(1, Ordering::Relaxed);
+                AcquireOutcome::AlreadyHeld
+            }
+            (Access::Read, Held::None) => self.try_read(e),
+            (Access::Write, Held::None) => self.try_write(txn, e),
+            (Access::Write, Held::Read) => self.try_upgrade(txn, e),
+        }
+    }
+
+    fn release(&self, txn: ThreadId, key: GrantKey, held: Held) {
+        let e = key as EntryIndex;
+        match held {
+            Held::None => {}
+            Held::Read => self.release_read(e),
+            Held::Write => self.release_write(txn, e),
+        }
+    }
+
+    fn stats_snapshot(&self) -> TableStats {
+        self.counters.snapshot()
+    }
+
+    fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashKind;
+
+    fn table(n: usize) -> ConcurrentTaglessTable {
+        ConcurrentTaglessTable::new(TableConfig::new(n).with_hash(HashKind::Mask))
+    }
+
+    #[test]
+    fn read_sharing_and_counts() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(1, 3, Access::Read, Held::None).is_ok());
+        assert_eq!(t.sharers_of(3), 2);
+        t.release(0, 3, Held::Read);
+        assert_eq!(t.sharers_of(3), 1);
+        t.release(1, 3, Held::Read);
+        assert_eq!(t.mode_of(3), Mode::Free);
+    }
+
+    #[test]
+    fn write_exclusivity_and_false_conflict_on_alias() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Write, Held::None).is_ok());
+        // Block 19 aliases with block 3 in a 16-entry mask table: the
+        // concurrent tagless table conflicts even though the blocks differ.
+        let c = t
+            .acquire(1, 19, Access::Write, Held::None)
+            .conflict()
+            .unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterWrite);
+        assert_eq!(c.with, Some(0));
+    }
+
+    #[test]
+    fn already_held_paths() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Write, Held::None).is_ok());
+        assert_eq!(
+            t.acquire(0, 3, Access::Read, Held::Write),
+            AcquireOutcome::AlreadyHeld
+        );
+        assert_eq!(
+            t.acquire(0, 3, Access::Write, Held::Write),
+            AcquireOutcome::AlreadyHeld
+        );
+    }
+
+    #[test]
+    fn upgrade_sole_reader() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(0, 3, Access::Write, Held::Read).is_ok());
+        assert_eq!(t.owner_of(3), Some(0));
+        let s = t.stats_snapshot();
+        assert_eq!(s.upgrades, 1);
+    }
+
+    #[test]
+    fn upgrade_fails_with_other_readers() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(1, 3, Access::Read, Held::None).is_ok());
+        let c = t
+            .acquire(0, 3, Access::Write, Held::Read)
+            .conflict()
+            .unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterRead);
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let t = table(16);
+        t.acquire(0, 1, Access::Read, Held::None);
+        t.acquire(0, 2, Access::Write, Held::None);
+        t.acquire(1, 2, Access::Write, Held::None); // WW conflict (same block)
+        t.acquire(1, 18, Access::Write, Held::None); // WW conflict (alias of 2)
+        let s = t.stats_snapshot();
+        assert_eq!(s.read_acquires, 1);
+        assert_eq!(s.write_acquires, 3);
+        assert_eq!(s.grants, 2);
+        assert_eq!(s.write_after_write, 2);
+        assert_eq!(s.unclassified_conflicts, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_stress() {
+        let t = std::sync::Arc::new(table(1024));
+        let threads = 8;
+        crossbeam::scope(|s| {
+            for id in 0..threads {
+                let t = &t;
+                s.spawn(move |_| {
+                    for round in 0..200u64 {
+                        let block = round % 64;
+                        if t
+                            .acquire(id, block, Access::Read, Held::None)
+                            .is_ok()
+                        {
+                            t.release(id, t.grant_key(block), Held::Read);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // All grants returned: every entry must be Free again.
+        for e in 0..1024 {
+            assert_eq!(t.mode_of(e), Mode::Free, "entry {e} leaked");
+        }
+        let s = t.stats_snapshot();
+        assert_eq!(s.grants, s.releases);
+    }
+
+    #[test]
+    fn concurrent_writers_mutual_exclusion() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let t = std::sync::Arc::new(table(64));
+        let in_cs: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let (t, in_cs) = (&t, &in_cs);
+                s.spawn(move |_| {
+                    for round in 0..500u64 {
+                        let block = round % 64;
+                        let key = t.grant_key(block);
+                        if t.acquire(id, block, Access::Write, Held::None).is_ok() {
+                            let prev = in_cs[key as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "two writers inside entry {key}");
+                            in_cs[key as usize].fetch_sub(1, Ordering::SeqCst);
+                            t.release(id, key, Held::Write);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-transaction footprint bookkeeping.
+//!
+//! The paper's model is parameterized by a transaction's read footprint `R`
+//! and write footprint `W` in *distinct cache blocks*. [`TxnFootprint`]
+//! tracks those sets in first-access order, providing the `R`, `W`, and
+//! `R + W` measurements the experiments sweep, and a `release_into` helper
+//! that returns a transaction's grants to a table at commit/abort.
+
+use std::collections::HashSet;
+
+use crate::entry::{Access, ThreadId};
+use crate::hashing::BlockAddr;
+use crate::OwnershipTable;
+
+/// Ordered record of the distinct cache blocks a transaction has read and
+/// written.
+///
+/// A block that is both read and written counts once in each set (the paper's
+/// simulators write fresh blocks, so the distinction only matters for real
+/// traces, where read-then-write of the same block is common).
+#[derive(Clone, Debug, Default)]
+pub struct TxnFootprint {
+    id: ThreadId,
+    reads: Vec<BlockAddr>,
+    writes: Vec<BlockAddr>,
+    seen_reads: HashSet<BlockAddr>,
+    seen_writes: HashSet<BlockAddr>,
+}
+
+impl TxnFootprint {
+    /// An empty footprint for transaction `id`.
+    pub fn new(id: ThreadId) -> Self {
+        Self {
+            id,
+            ..Self::default()
+        }
+    }
+
+    /// The owning transaction id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Record an access; returns `true` if the block is new to that set.
+    pub fn record(&mut self, block: BlockAddr, access: Access) -> bool {
+        match access {
+            Access::Read => self.seen_reads.insert(block) && {
+                self.reads.push(block);
+                true
+            },
+            Access::Write => self.seen_writes.insert(block) && {
+                self.writes.push(block);
+                true
+            },
+        }
+    }
+
+    /// Distinct blocks read (the paper's `R`).
+    pub fn reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Distinct blocks written (the paper's `W`).
+    pub fn writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Total footprint `R + W` in block-accesses. Blocks both read and
+    /// written are counted in both terms, matching the model's accounting
+    /// (a written block occupies a Write entry; its earlier read occupied a
+    /// Read grant that was upgraded).
+    pub fn total(&self) -> usize {
+        self.reads() + self.writes()
+    }
+
+    /// Distinct blocks touched at all (union of the two sets).
+    pub fn unique_blocks(&self) -> usize {
+        let mut u = self.seen_reads.clone();
+        u.extend(&self.seen_writes);
+        u.len()
+    }
+
+    /// Whether the block was read (possibly also written).
+    pub fn has_read(&self, block: BlockAddr) -> bool {
+        self.seen_reads.contains(&block)
+    }
+
+    /// Whether the block was written.
+    pub fn has_written(&self, block: BlockAddr) -> bool {
+        self.seen_writes.contains(&block)
+    }
+
+    /// Blocks read, in first-access order.
+    pub fn read_blocks(&self) -> &[BlockAddr] {
+        &self.reads
+    }
+
+    /// Blocks written, in first-access order.
+    pub fn write_blocks(&self) -> &[BlockAddr] {
+        &self.writes
+    }
+
+    /// Return all grants to `table` (commit or abort) and clear the
+    /// footprint for reuse.
+    pub fn release_into<T: OwnershipTable + ?Sized>(&mut self, table: &mut T) {
+        table.release_all(self.id);
+        self.clear();
+    }
+
+    /// Forget all recorded accesses, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.seen_reads.clear();
+        self.seen_writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::{HashKind, TableConfig};
+    use crate::tagless::TaglessTable;
+    use crate::OwnershipTable;
+
+    #[test]
+    fn records_distinct_blocks_once() {
+        let mut f = TxnFootprint::new(1);
+        assert!(f.record(10, Access::Read));
+        assert!(!f.record(10, Access::Read));
+        assert!(f.record(10, Access::Write));
+        assert!(f.record(11, Access::Write));
+        assert_eq!(f.reads(), 1);
+        assert_eq!(f.writes(), 2);
+        assert_eq!(f.total(), 3);
+        assert_eq!(f.unique_blocks(), 2);
+        assert!(f.has_read(10));
+        assert!(f.has_written(11));
+        assert!(!f.has_written(12));
+        assert_eq!(f.read_blocks(), &[10]);
+        assert_eq!(f.write_blocks(), &[10, 11]);
+    }
+
+    #[test]
+    fn release_into_clears_and_frees() {
+        let mut t = TaglessTable::new(TableConfig::new(64).with_hash(HashKind::Mask));
+        let mut f = TxnFootprint::new(0);
+        for b in 0..5u64 {
+            t.acquire(0, b, Access::Write);
+            f.record(b, Access::Write);
+        }
+        assert_eq!(t.occupancy(), 5);
+        f.release_into(&mut t);
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.id(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Statistics counters the paper's experiments measure: conflict rates and
+//! classification, intra-transaction aliasing, table occupancy, and (for the
+//! tagged organization) chain-length behaviour.
+
+use crate::entry::ConflictKind;
+
+/// Counters accumulated by an ownership table.
+///
+/// Everything is plain `u64` arithmetic — the sequential tables are used in
+/// Monte-Carlo inner loops where atomic counters would dominate the profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Read-permission acquire attempts.
+    pub read_acquires: u64,
+    /// Write-permission acquire attempts.
+    pub write_acquires: u64,
+    /// Acquires that granted a new unit of permission.
+    pub grants: u64,
+    /// Acquires satisfied by permission the transaction already held.
+    pub already_held: u64,
+    /// Successful read-to-write upgrades.
+    pub upgrades: u64,
+    /// Conflicts reported, by kind.
+    pub read_after_write: u64,
+    /// Write-after-read conflicts.
+    pub write_after_read: u64,
+    /// Write-after-write conflicts.
+    pub write_after_write: u64,
+    /// Conflicts proven to be aliases between distinct blocks (requires
+    /// conflict classification; tagless only — tagged tables cannot produce
+    /// these by construction).
+    pub false_conflicts: u64,
+    /// Conflicts proven to involve the same block.
+    pub true_conflicts: u64,
+    /// Conflicts the table could not classify (classification disabled).
+    pub unclassified_conflicts: u64,
+    /// Times a transaction touched a *new distinct block* that mapped to an
+    /// entry the same transaction already held (the paper §4 measures this
+    /// "aliasing within a transaction" to validate a model assumption).
+    pub intra_txn_aliases: u64,
+    /// Entry releases performed.
+    pub releases: u64,
+    /// High-water mark of simultaneously-held entries.
+    pub occupancy_highwater: u64,
+    /// Tagged only: records inserted into a chain that already held at least
+    /// one record for a *different* block (i.e. genuine aliasing the tagged
+    /// organization absorbs instead of reporting).
+    pub chain_inserts: u64,
+    /// Tagged only: longest chain (records in one bucket) ever observed.
+    pub max_chain_len: u64,
+    /// Tagged only: histogram of bucket record-counts observed at acquire
+    /// time. `chain_hist[k]` counts acquires that found `k` records already
+    /// present (saturating at the last slot).
+    pub chain_hist: [u64; CHAIN_HIST_SLOTS],
+}
+
+/// Number of slots in [`TableStats::chain_hist`]; the last slot aggregates
+/// everything at or beyond that length.
+pub const CHAIN_HIST_SLOTS: usize = 9;
+
+impl TableStats {
+    /// Record an acquire attempt of the given kind.
+    #[inline]
+    pub(crate) fn on_acquire(&mut self, is_write: bool) {
+        if is_write {
+            self.write_acquires += 1;
+        } else {
+            self.read_acquires += 1;
+        }
+    }
+
+    /// Record a conflict outcome and its (optional) classification.
+    #[inline]
+    pub(crate) fn on_conflict(&mut self, kind: ConflictKind, known_false: Option<bool>) {
+        match kind {
+            ConflictKind::ReadAfterWrite => self.read_after_write += 1,
+            ConflictKind::WriteAfterRead => self.write_after_read += 1,
+            ConflictKind::WriteAfterWrite => self.write_after_write += 1,
+        }
+        match known_false {
+            Some(true) => self.false_conflicts += 1,
+            Some(false) => self.true_conflicts += 1,
+            None => self.unclassified_conflicts += 1,
+        }
+    }
+
+    /// Record a bucket population observed at acquire time (tagged).
+    #[inline]
+    pub(crate) fn on_chain_observed(&mut self, records_present: usize) {
+        let slot = records_present.min(CHAIN_HIST_SLOTS - 1);
+        self.chain_hist[slot] += 1;
+    }
+
+    /// Update the occupancy high-water mark.
+    #[inline]
+    pub(crate) fn on_occupancy(&mut self, occupancy: usize) {
+        self.occupancy_highwater = self.occupancy_highwater.max(occupancy as u64);
+    }
+
+    /// Total acquire attempts.
+    pub fn total_acquires(&self) -> u64 {
+        self.read_acquires + self.write_acquires
+    }
+
+    /// Total conflicts of all kinds.
+    pub fn total_conflicts(&self) -> u64 {
+        self.read_after_write + self.write_after_read + self.write_after_write
+    }
+
+    /// Conflicts per acquire, in [0, 1]; `None` when nothing was acquired.
+    pub fn conflict_rate(&self) -> Option<f64> {
+        let n = self.total_acquires();
+        (n > 0).then(|| self.total_conflicts() as f64 / n as f64)
+    }
+
+    /// Fraction of classified conflicts that were false (alias-induced).
+    pub fn false_fraction(&self) -> Option<f64> {
+        let n = self.false_conflicts + self.true_conflicts;
+        (n > 0).then(|| self.false_conflicts as f64 / n as f64)
+    }
+
+    /// Mean number of records already present when acquiring into a tagged
+    /// bucket — the expected chain traversal cost (paper §5 argues this is
+    /// ≈0 for sensible sizings).
+    pub fn mean_chain_len(&self) -> Option<f64> {
+        let total: u64 = self.chain_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let weighted: u64 = self
+            .chain_hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        Some(weighted as f64 / total as f64)
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_rate_and_totals() {
+        let mut s = TableStats::default();
+        assert_eq!(s.conflict_rate(), None);
+        s.on_acquire(false);
+        s.on_acquire(true);
+        s.on_acquire(true);
+        s.on_conflict(ConflictKind::WriteAfterWrite, Some(true));
+        assert_eq!(s.total_acquires(), 3);
+        assert_eq!(s.total_conflicts(), 1);
+        assert!((s.conflict_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.false_conflicts, 1);
+        assert_eq!(s.false_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn conflict_kind_buckets() {
+        let mut s = TableStats::default();
+        s.on_conflict(ConflictKind::ReadAfterWrite, None);
+        s.on_conflict(ConflictKind::WriteAfterRead, Some(false));
+        s.on_conflict(ConflictKind::WriteAfterWrite, None);
+        assert_eq!(s.read_after_write, 1);
+        assert_eq!(s.write_after_read, 1);
+        assert_eq!(s.write_after_write, 1);
+        assert_eq!(s.unclassified_conflicts, 2);
+        assert_eq!(s.true_conflicts, 1);
+        assert_eq!(s.false_fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn chain_histogram_and_mean() {
+        let mut s = TableStats::default();
+        assert_eq!(s.mean_chain_len(), None);
+        s.on_chain_observed(0);
+        s.on_chain_observed(0);
+        s.on_chain_observed(2);
+        assert_eq!(s.chain_hist[0], 2);
+        assert_eq!(s.chain_hist[2], 1);
+        assert!((s.mean_chain_len().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Saturation at the last slot.
+        s.on_chain_observed(100);
+        assert_eq!(s.chain_hist[CHAIN_HIST_SLOTS - 1], 1);
+    }
+
+    #[test]
+    fn occupancy_highwater_is_monotone() {
+        let mut s = TableStats::default();
+        s.on_occupancy(5);
+        s.on_occupancy(3);
+        assert_eq!(s.occupancy_highwater, 5);
+        s.on_occupancy(9);
+        assert_eq!(s.occupancy_highwater, 9);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = TableStats::default();
+        s.on_acquire(true);
+        s.on_conflict(ConflictKind::WriteAfterWrite, None);
+        s.reset();
+        assert_eq!(s, TableStats::default());
+    }
+}

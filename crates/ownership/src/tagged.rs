@@ -1,0 +1,570 @@
+//! The tagged, chained ownership table (paper Figure 7).
+//!
+//! Each first-level entry is either empty, a single inline ownership record,
+//! or a pointer to a chain of records. Every record stores the tag of the
+//! block it describes, so two distinct blocks that hash to the same entry
+//! coexist in the chain instead of colliding: **tagged tables produce no
+//! false conflicts**. The paper argues (§5) that with a sensible sizing the
+//! overwhelming majority of entries hold 0 or 1 records, so the chain
+//! indirection is rarely traversed; [`crate::stats::TableStats::chain_hist`]
+//! lets experiments confirm that.
+
+use std::collections::HashMap;
+
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
+use crate::stats::TableStats;
+use crate::OwnershipTable;
+
+/// Who holds a record and how (Figure 7's mode/owner/#sharers columns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RecordState {
+    /// Shared by the listed readers (at least one).
+    Readers(Vec<ThreadId>),
+    /// Exclusively owned by one writer.
+    Writer(ThreadId),
+}
+
+/// One ownership record: a tagged (block, state) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnershipRecord {
+    block: BlockAddr,
+    state: RecordState,
+}
+
+impl OwnershipRecord {
+    /// The cache block this record describes (the full tag; a space-optimized
+    /// implementation would store only the bits not implied by the index —
+    /// see [`TableConfig::tag_bits`]).
+    pub fn block(&self) -> BlockAddr {
+        self.block
+    }
+
+    /// The record's current mode.
+    pub fn mode(&self) -> Mode {
+        match self.state {
+            RecordState::Readers(_) => Mode::Read,
+            RecordState::Writer(_) => Mode::Write,
+        }
+    }
+
+    /// The writing owner, if in write mode.
+    pub fn owner(&self) -> Option<ThreadId> {
+        match self.state {
+            RecordState::Writer(t) => Some(t),
+            RecordState::Readers(_) => None,
+        }
+    }
+
+    /// Number of sharers (readers), zero in write mode.
+    pub fn sharers(&self) -> usize {
+        match &self.state {
+            RecordState::Readers(v) => v.len(),
+            RecordState::Writer(_) => 0,
+        }
+    }
+}
+
+/// A first-level table entry: empty, one inline record, or a chain.
+///
+/// Mirrors Figure 7: the common cases (0 or 1 records) need no indirection;
+/// only aliased entries pay for a chain allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Bucket {
+    /// No record.
+    #[default]
+    Empty,
+    /// Exactly one record, stored inline.
+    Inline(OwnershipRecord),
+    /// Two or more records, chained.
+    Chain(Vec<OwnershipRecord>),
+}
+
+impl Bucket {
+    /// Number of records present.
+    pub fn len(&self) -> usize {
+        match self {
+            Bucket::Empty => 0,
+            Bucket::Inline(_) => 1,
+            Bucket::Chain(v) => v.len(),
+        }
+    }
+
+    /// `true` when no record is present.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Bucket::Empty)
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<&OwnershipRecord> {
+        match self {
+            Bucket::Empty => None,
+            Bucket::Inline(r) => (r.block == block).then_some(r),
+            Bucket::Chain(v) => v.iter().find(|r| r.block == block),
+        }
+    }
+
+    fn find_mut(&mut self, block: BlockAddr) -> Option<&mut OwnershipRecord> {
+        match self {
+            Bucket::Empty => None,
+            Bucket::Inline(r) => (r.block == block).then_some(r),
+            Bucket::Chain(v) => v.iter_mut().find(|r| r.block == block),
+        }
+    }
+
+    /// Insert a record, promoting Inline to Chain on demand.
+    fn insert(&mut self, rec: OwnershipRecord) {
+        match std::mem::take(self) {
+            Bucket::Empty => *self = Bucket::Inline(rec),
+            Bucket::Inline(first) => *self = Bucket::Chain(vec![first, rec]),
+            Bucket::Chain(mut v) => {
+                v.push(rec);
+                *self = Bucket::Chain(v);
+            }
+        }
+    }
+
+    /// Remove the record for `block`, demoting Chain to Inline/Empty.
+    fn remove(&mut self, block: BlockAddr) -> Option<OwnershipRecord> {
+        match std::mem::take(self) {
+            Bucket::Empty => None,
+            Bucket::Inline(r) => {
+                if r.block == block {
+                    Some(r)
+                } else {
+                    *self = Bucket::Inline(r);
+                    None
+                }
+            }
+            Bucket::Chain(mut v) => {
+                let pos = v.iter().position(|r| r.block == block);
+                let removed = pos.map(|p| v.swap_remove(p));
+                *self = match v.len() {
+                    0 => Bucket::Empty,
+                    1 => Bucket::Inline(v.pop().expect("len checked")),
+                    _ => Bucket::Chain(v),
+                };
+                removed
+            }
+        }
+    }
+}
+
+/// A sequential tagged ownership table with chaining.
+///
+/// See the module documentation and [`crate::OwnershipTable`].
+#[derive(Clone, Debug)]
+pub struct TaggedTable {
+    cfg: TableConfig,
+    buckets: Vec<Bucket>,
+    /// Per-thread map of held blocks → access level, standing in for the
+    /// per-thread transaction log (enables O(footprint) `release_all`).
+    holds: Vec<HashMap<BlockAddr, Access>>,
+    occupancy: usize,
+    records: usize,
+    stats: TableStats,
+}
+
+impl TaggedTable {
+    /// Build a table from `cfg`. Conflict classification flags are ignored:
+    /// a tagged table always knows its conflicts are genuine.
+    pub fn new(cfg: TableConfig) -> Self {
+        let n = cfg.num_entries();
+        Self {
+            cfg,
+            buckets: vec![Bucket::Empty; n],
+            holds: Vec::new(),
+            occupancy: 0,
+            records: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Convenience constructor: `N` entries, paper-default geometry.
+    pub fn with_entries(n: usize) -> Self {
+        Self::new(TableConfig::new(n))
+    }
+
+    /// Total ownership records currently stored (across all chains).
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// The record describing `block`, if any (for tests and diagnostics).
+    pub fn record_of(&self, block: BlockAddr) -> Option<&OwnershipRecord> {
+        self.buckets[self.cfg.entry_of(block)].find(block)
+    }
+
+    /// Bucket at entry `e` (for tests and diagnostics).
+    pub fn bucket(&self, e: EntryIndex) -> &Bucket {
+        &self.buckets[e]
+    }
+
+    /// Whether `txn` currently holds any record.
+    pub fn is_active(&self, txn: ThreadId) -> bool {
+        self.holds
+            .get(txn as usize)
+            .is_some_and(|h| !h.is_empty())
+    }
+
+    fn hold_mut(&mut self, txn: ThreadId) -> &mut HashMap<BlockAddr, Access> {
+        let i = txn as usize;
+        if i >= self.holds.len() {
+            self.holds.resize_with(i + 1, HashMap::new);
+        }
+        &mut self.holds[i]
+    }
+
+    fn grant(&mut self, txn: ThreadId, block: BlockAddr, access: Access) -> AcquireOutcome {
+        self.hold_mut(txn).insert(block, access);
+        self.stats.grants += 1;
+        self.stats.on_occupancy(self.occupancy);
+        AcquireOutcome::Granted
+    }
+
+    fn conflict(&mut self, kind: ConflictKind, with: Option<ThreadId>) -> AcquireOutcome {
+        // Tagged conflicts are always genuine: the record matched the block.
+        self.stats.on_conflict(kind, Some(false));
+        AcquireOutcome::Conflict(Conflict {
+            kind,
+            with,
+            known_false: false,
+        })
+    }
+
+    fn insert_record(&mut self, e: EntryIndex, rec: OwnershipRecord) {
+        let present = self.buckets[e].len();
+        if present == 0 {
+            self.occupancy += 1;
+        } else {
+            self.stats.chain_inserts += 1;
+        }
+        self.buckets[e].insert(rec);
+        self.records += 1;
+        self.stats.max_chain_len = self.stats.max_chain_len.max(self.buckets[e].len() as u64);
+    }
+
+    fn remove_record(&mut self, e: EntryIndex, block: BlockAddr) {
+        if self.buckets[e].remove(block).is_some() {
+            self.records -= 1;
+            if self.buckets[e].is_empty() {
+                self.occupancy -= 1;
+            }
+        }
+    }
+
+    fn acquire_read(&mut self, txn: ThreadId, block: BlockAddr) -> AcquireOutcome {
+        let e = self.cfg.entry_of(block);
+        self.stats.on_chain_observed(self.buckets[e].len());
+        match self.buckets[e].find_mut(block) {
+            None => {
+                self.insert_record(
+                    e,
+                    OwnershipRecord {
+                        block,
+                        state: RecordState::Readers(vec![txn]),
+                    },
+                );
+                self.grant(txn, block, Access::Read)
+            }
+            Some(rec) => match &mut rec.state {
+                RecordState::Writer(o) if *o == txn => {
+                    self.stats.already_held += 1;
+                    AcquireOutcome::AlreadyHeld
+                }
+                RecordState::Writer(o) => {
+                    let o = *o;
+                    self.conflict(ConflictKind::ReadAfterWrite, Some(o))
+                }
+                RecordState::Readers(v) => {
+                    if v.contains(&txn) {
+                        self.stats.already_held += 1;
+                        AcquireOutcome::AlreadyHeld
+                    } else {
+                        v.push(txn);
+                        self.grant(txn, block, Access::Read)
+                    }
+                }
+            },
+        }
+    }
+
+    fn acquire_write(&mut self, txn: ThreadId, block: BlockAddr) -> AcquireOutcome {
+        let e = self.cfg.entry_of(block);
+        self.stats.on_chain_observed(self.buckets[e].len());
+        match self.buckets[e].find_mut(block) {
+            None => {
+                self.insert_record(
+                    e,
+                    OwnershipRecord {
+                        block,
+                        state: RecordState::Writer(txn),
+                    },
+                );
+                self.grant(txn, block, Access::Write)
+            }
+            Some(rec) => match &mut rec.state {
+                RecordState::Writer(o) if *o == txn => {
+                    self.stats.already_held += 1;
+                    AcquireOutcome::AlreadyHeld
+                }
+                RecordState::Writer(o) => {
+                    let o = *o;
+                    self.conflict(ConflictKind::WriteAfterWrite, Some(o))
+                }
+                RecordState::Readers(v) => {
+                    if v.len() == 1 && v[0] == txn {
+                        rec.state = RecordState::Writer(txn);
+                        self.stats.upgrades += 1;
+                        self.grant(txn, block, Access::Write)
+                    } else {
+                        self.conflict(ConflictKind::WriteAfterRead, None)
+                    }
+                }
+            },
+        }
+    }
+
+    fn release_block(&mut self, txn: ThreadId, block: BlockAddr) {
+        let i = txn as usize;
+        let Some(hold) = self.holds.get_mut(i) else {
+            return;
+        };
+        if hold.remove(&block).is_none() {
+            return;
+        }
+        self.stats.releases += 1;
+        let e = self.cfg.entry_of(block);
+        let mut drop_record = false;
+        if let Some(rec) = self.buckets[e].find_mut(block) {
+            match &mut rec.state {
+                RecordState::Writer(o) => {
+                    debug_assert_eq!(*o, txn);
+                    drop_record = true;
+                }
+                RecordState::Readers(v) => {
+                    v.retain(|&t| t != txn);
+                    drop_record = v.is_empty();
+                }
+            }
+        } else {
+            debug_assert!(false, "hold bookkeeping out of sync with buckets");
+        }
+        if drop_record {
+            self.remove_record(e, block);
+        }
+    }
+
+    /// Release every record `txn` holds (transaction commit or abort).
+    pub fn release_all(&mut self, txn: ThreadId) {
+        let i = txn as usize;
+        if i >= self.holds.len() {
+            return;
+        }
+        let blocks: Vec<BlockAddr> = self.holds[i].keys().copied().collect();
+        for b in blocks {
+            self.release_block(txn, b);
+        }
+    }
+}
+
+impl OwnershipTable for TaggedTable {
+    fn num_entries(&self) -> usize {
+        self.cfg.num_entries()
+    }
+
+    fn acquire(&mut self, txn: ThreadId, block: BlockAddr, access: Access) -> AcquireOutcome {
+        self.stats.on_acquire(access.is_write());
+        match access {
+            Access::Read => self.acquire_read(txn, block),
+            Access::Write => self.acquire_write(txn, block),
+        }
+    }
+
+    fn release(&mut self, txn: ThreadId, block: BlockAddr, _access: Access) {
+        self.release_block(txn, block);
+    }
+
+    fn release_all(&mut self, txn: ThreadId) {
+        TaggedTable::release_all(self, txn);
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn clear(&mut self) {
+        self.buckets.fill(Bucket::Empty);
+        for h in &mut self.holds {
+            h.clear();
+        }
+        self.occupancy = 0;
+        self.records = 0;
+    }
+
+    fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashKind;
+
+    fn cfg(n: usize) -> TableConfig {
+        TableConfig::new(n).with_hash(HashKind::Mask)
+    }
+
+    #[test]
+    fn aliasing_blocks_do_not_conflict() {
+        // Blocks 3, 19, 35 all map to entry 3 of a 16-entry table.
+        let mut t = TaggedTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(1, 19, Access::Write), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(2, 35, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.bucket(3).len(), 3);
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.record_count(), 3);
+        assert_eq!(t.stats().total_conflicts(), 0);
+        assert_eq!(t.stats().chain_inserts, 2);
+        assert_eq!(t.stats().max_chain_len, 3);
+    }
+
+    #[test]
+    fn same_block_write_write_conflicts() {
+        let mut t = TaggedTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        let c = t.acquire(1, 3, Access::Write).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterWrite);
+        assert_eq!(c.with, Some(0));
+        assert!(!c.known_false);
+        assert_eq!(t.stats().true_conflicts, 1);
+        assert_eq!(t.stats().false_conflicts, 0);
+    }
+
+    #[test]
+    fn read_sharing_and_upgrade() {
+        let mut t = TaggedTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(1, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.record_of(3).unwrap().sharers(), 2);
+        // Shared: no upgrade.
+        let c = t.acquire(0, 3, Access::Write).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterRead);
+        // After the other reader leaves, the sole reader upgrades.
+        t.release(1, 3, Access::Read);
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        assert_eq!(t.record_of(3).unwrap().owner(), Some(0));
+        assert_eq!(t.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn already_held_semantics() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write);
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::AlreadyHeld);
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::AlreadyHeld);
+        t.acquire(1, 5, Access::Read);
+        assert_eq!(t.acquire(1, 5, Access::Read), AcquireOutcome::AlreadyHeld);
+    }
+
+    #[test]
+    fn distinct_blocks_same_entry_are_independent_grants() {
+        let mut t = TaggedTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        // Unlike tagless, the same transaction's aliasing block needs (and
+        // gets) its own record.
+        assert_eq!(t.acquire(0, 19, Access::Write), AcquireOutcome::Granted);
+        assert_eq!(t.record_count(), 2);
+    }
+
+    #[test]
+    fn release_all_and_chain_demotion() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write);
+        t.acquire(1, 19, Access::Write);
+        t.acquire(0, 35, Access::Read);
+        assert_eq!(t.bucket(3).len(), 3);
+        t.release_all(0);
+        assert_eq!(t.bucket(3).len(), 1);
+        assert!(matches!(t.bucket(3), Bucket::Inline(_)));
+        assert_eq!(t.record_of(19).unwrap().owner(), Some(1));
+        t.release_all(1);
+        assert!(t.bucket(3).is_empty());
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.record_count(), 0);
+    }
+
+    #[test]
+    fn reader_release_keeps_record_until_empty() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.acquire(0, 3, Access::Read);
+        t.acquire(1, 3, Access::Read);
+        t.release(0, 3, Access::Read);
+        assert_eq!(t.record_of(3).unwrap().sharers(), 1);
+        t.release(1, 3, Access::Read);
+        assert!(t.record_of(3).is_none());
+    }
+
+    #[test]
+    fn chain_histogram_records_observations() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write); // saw 0 records
+        t.acquire(1, 19, Access::Write); // saw 1
+        t.acquire(2, 35, Access::Write); // saw 2
+        assert_eq!(t.stats().chain_hist[0], 1);
+        assert_eq!(t.stats().chain_hist[1], 1);
+        assert_eq!(t.stats().chain_hist[2], 1);
+        let mean = t.stats().mean_chain_len().unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_inline_to_chain_round_trip() {
+        let mut b = Bucket::Empty;
+        assert!(b.is_empty());
+        b.insert(OwnershipRecord {
+            block: 1,
+            state: RecordState::Writer(0),
+        });
+        assert!(matches!(b, Bucket::Inline(_)));
+        b.insert(OwnershipRecord {
+            block: 2,
+            state: RecordState::Writer(1),
+        });
+        assert!(matches!(b, Bucket::Chain(_)));
+        assert!(b.remove(1).is_some());
+        assert!(matches!(b, Bucket::Inline(_)));
+        assert!(b.remove(99).is_none());
+        assert!(b.remove(2).is_some());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write);
+        t.acquire(1, 19, Access::Read);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.record_count(), 0);
+        assert!(!t.is_active(0));
+        assert_eq!(t.acquire(2, 3, Access::Write), AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut t = TaggedTable::new(cfg(16));
+        t.release(9, 3, Access::Read);
+        t.release_all(9);
+        assert_eq!(t.occupancy(), 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! The tagless ownership table (paper Figure 1).
+//!
+//! Each entry stores only a mode and either the writing owner or a count of
+//! readers. The address is *not* stored, so an entry speaks for every block
+//! that hashes to it: when transactions touching distinct blocks collide in
+//! an entry and at least one holds (or wants) write permission, the table
+//! must conservatively report a conflict — a **false conflict**.
+//!
+//! Because the entry cannot name its readers, a real STM relies on each
+//! transaction's private log to know which entries it already holds. This
+//! implementation internalizes that log (per-thread held-entry bitsets) so
+//! `acquire` is idempotent and read-to-write upgrades are sound, exactly as
+//! the combination of table + per-thread log behaves in the published STMs
+//! the paper surveys.
+
+use std::collections::HashSet;
+
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
+use crate::stats::TableStats;
+use crate::util::BitSet;
+use crate::OwnershipTable;
+
+/// One packed table slot: a mode plus owner (Write) or sharer count (Read).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Free,
+    Read { sharers: u32 },
+    Write { owner: ThreadId },
+}
+
+impl Slot {
+    fn mode(self) -> Mode {
+        match self {
+            Slot::Free => Mode::Free,
+            Slot::Read { .. } => Mode::Read,
+            Slot::Write { .. } => Mode::Write,
+        }
+    }
+}
+
+/// Per-thread view of what the thread currently holds, standing in for the
+/// per-thread transaction log of a real STM.
+#[derive(Clone, Debug, Default)]
+struct Hold {
+    read_entries: BitSet,
+    write_entries: BitSet,
+    /// Distinct blocks this transaction has been granted (or folded into an
+    /// already-held entry); used to detect intra-transaction aliasing.
+    blocks: HashSet<BlockAddr>,
+}
+
+impl Hold {
+    fn holds_any(&self) -> bool {
+        !self.read_entries.is_empty() || !self.write_entries.is_empty()
+    }
+}
+
+/// A sequential tagless ownership table.
+///
+/// See the module documentation and [`crate::OwnershipTable`].
+#[derive(Clone, Debug)]
+pub struct TaglessTable {
+    cfg: TableConfig,
+    slots: Vec<Slot>,
+    holds: Vec<Hold>,
+    /// When conflict classification is enabled: for every entry, the
+    /// `(thread, block, is_write)` grants currently folded into it. This is
+    /// the out-of-band oracle a tagless table cannot afford in production but
+    /// the paper's simulators need to *count* false conflicts.
+    oracle: Option<Vec<Vec<(ThreadId, BlockAddr, bool)>>>,
+    occupancy: usize,
+    stats: TableStats,
+}
+
+impl TaglessTable {
+    /// Build a table from `cfg`.
+    pub fn new(cfg: TableConfig) -> Self {
+        let n = cfg.num_entries();
+        let oracle = cfg.classify_conflicts().then(|| vec![Vec::new(); n]);
+        Self {
+            cfg,
+            slots: vec![Slot::Free; n],
+            holds: Vec::new(),
+            oracle,
+            occupancy: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Convenience constructor: `N` entries, paper-default geometry.
+    pub fn with_entries(n: usize) -> Self {
+        Self::new(TableConfig::new(n))
+    }
+
+    /// The mode of entry `e` (for tests and diagnostics).
+    pub fn mode_of(&self, e: EntryIndex) -> Mode {
+        self.slots[e].mode()
+    }
+
+    /// Sharer count of entry `e` (0 unless the entry is in Read mode).
+    pub fn sharers_of(&self, e: EntryIndex) -> u32 {
+        match self.slots[e] {
+            Slot::Read { sharers } => sharers,
+            _ => 0,
+        }
+    }
+
+    /// Writing owner of entry `e`, if it is in Write mode.
+    pub fn owner_of(&self, e: EntryIndex) -> Option<ThreadId> {
+        match self.slots[e] {
+            Slot::Write { owner } => Some(owner),
+            _ => None,
+        }
+    }
+
+    /// Whether `txn` currently holds any entry.
+    pub fn is_active(&self, txn: ThreadId) -> bool {
+        self.holds
+            .get(txn as usize)
+            .is_some_and(|h| h.holds_any())
+    }
+
+    fn hold_mut(&mut self, txn: ThreadId) -> &mut Hold {
+        let i = txn as usize;
+        if i >= self.holds.len() {
+            self.holds.resize_with(i + 1, Hold::default);
+        }
+        &mut self.holds[i]
+    }
+
+    /// Record a block as part of `txn`'s footprint, counting an
+    /// intra-transaction alias when the entry was already held but the block
+    /// is new (the paper §4 validates that this stays below ~3 %).
+    fn note_block(&mut self, txn: ThreadId, block: BlockAddr, entry_already_held: bool) {
+        let hold = self.hold_mut(txn);
+        let new_block = hold.blocks.insert(block);
+        if new_block && entry_already_held {
+            self.stats.intra_txn_aliases += 1;
+        }
+    }
+
+    fn oracle_push(&mut self, e: EntryIndex, txn: ThreadId, block: BlockAddr, is_write: bool) {
+        if let Some(o) = self.oracle.as_mut() {
+            o[e].push((txn, block, is_write));
+        }
+    }
+
+    /// Classify a prospective conflict: `Some(false)` (true conflict) when a
+    /// *different* thread holds the *same* block in a way incompatible with
+    /// `access`; `Some(true)` (false conflict) otherwise; `None` when
+    /// classification is disabled.
+    fn classify(
+        &self,
+        e: EntryIndex,
+        txn: ThreadId,
+        block: BlockAddr,
+        access: Access,
+    ) -> Option<bool> {
+        let o = self.oracle.as_ref()?;
+        let genuine = o[e]
+            .iter()
+            .any(|&(t, b, w)| t != txn && b == block && (w || access.is_write()));
+        Some(!genuine)
+    }
+
+    fn release_entry(&mut self, txn: ThreadId, e: EntryIndex) {
+        let held_write = self.holds[txn as usize].write_entries.remove(e);
+        let held_read = self.holds[txn as usize].read_entries.remove(e);
+        if !held_read && !held_write {
+            return;
+        }
+        self.stats.releases += 1;
+        match self.slots[e] {
+            Slot::Write { owner } if held_write => {
+                debug_assert_eq!(owner, txn, "write entry owned by someone else");
+                self.slots[e] = Slot::Free;
+                self.occupancy -= 1;
+            }
+            Slot::Read { sharers } if held_read => {
+                if sharers <= 1 {
+                    self.slots[e] = Slot::Free;
+                    self.occupancy -= 1;
+                } else {
+                    self.slots[e] = Slot::Read {
+                        sharers: sharers - 1,
+                    };
+                }
+            }
+            _ => debug_assert!(false, "hold bookkeeping out of sync with slot state"),
+        }
+        if let Some(o) = self.oracle.as_mut() {
+            o[e].retain(|&(t, _, _)| t != txn);
+        }
+    }
+
+    fn acquire_read(&mut self, txn: ThreadId, block: BlockAddr) -> AcquireOutcome {
+        let e = self.cfg.entry_of(block);
+        let hold = self.hold_mut(txn);
+        if hold.write_entries.contains(e) || hold.read_entries.contains(e) {
+            self.note_block(txn, block, true);
+            self.oracle_push(e, txn, block, false);
+            self.stats.already_held += 1;
+            return AcquireOutcome::AlreadyHeld;
+        }
+        match self.slots[e] {
+            Slot::Free => {
+                self.slots[e] = Slot::Read { sharers: 1 };
+                self.hold_mut(txn).read_entries.insert(e);
+                self.occupancy += 1;
+                self.grant(e, txn, block, false)
+            }
+            Slot::Read { sharers } => {
+                self.slots[e] = Slot::Read {
+                    sharers: sharers + 1,
+                };
+                self.hold_mut(txn).read_entries.insert(e);
+                self.grant(e, txn, block, false)
+            }
+            Slot::Write { owner } => {
+                debug_assert_ne!(owner, txn, "own write entry handled above");
+                self.conflict(e, txn, block, Access::Read, ConflictKind::ReadAfterWrite, Some(owner))
+            }
+        }
+    }
+
+    fn acquire_write(&mut self, txn: ThreadId, block: BlockAddr) -> AcquireOutcome {
+        let e = self.cfg.entry_of(block);
+        let hold = self.hold_mut(txn);
+        if hold.write_entries.contains(e) {
+            self.note_block(txn, block, true);
+            self.oracle_push(e, txn, block, true);
+            self.stats.already_held += 1;
+            return AcquireOutcome::AlreadyHeld;
+        }
+        let i_read_it = hold.read_entries.contains(e);
+        match self.slots[e] {
+            Slot::Free => {
+                debug_assert!(!i_read_it, "read hold on a Free slot");
+                self.slots[e] = Slot::Write { owner: txn };
+                self.hold_mut(txn).write_entries.insert(e);
+                self.occupancy += 1;
+                self.grant(e, txn, block, true)
+            }
+            Slot::Read { sharers } => {
+                if i_read_it && sharers == 1 {
+                    // Sole reader: upgrade in place.
+                    self.slots[e] = Slot::Write { owner: txn };
+                    let hold = self.hold_mut(txn);
+                    hold.read_entries.remove(e);
+                    hold.write_entries.insert(e);
+                    self.stats.upgrades += 1;
+                    // The grant below records (txn, block, write) in the
+                    // oracle; earlier read records of *other* blocks at this
+                    // entry stay reads — the upgrade grants entry-level write
+                    // permission, but only `block` was actually written, and
+                    // classification must reflect the data, not the entry.
+                    self.grant(e, txn, block, true)
+                } else {
+                    self.conflict(e, txn, block, Access::Write, ConflictKind::WriteAfterRead, None)
+                }
+            }
+            Slot::Write { owner } => {
+                self.conflict(e, txn, block, Access::Write, ConflictKind::WriteAfterWrite, Some(owner))
+            }
+        }
+    }
+
+    fn grant(
+        &mut self,
+        e: EntryIndex,
+        txn: ThreadId,
+        block: BlockAddr,
+        is_write: bool,
+    ) -> AcquireOutcome {
+        self.note_block(txn, block, false);
+        self.oracle_push(e, txn, block, is_write);
+        self.stats.grants += 1;
+        self.stats.on_occupancy(self.occupancy);
+        AcquireOutcome::Granted
+    }
+
+    fn conflict(
+        &mut self,
+        e: EntryIndex,
+        txn: ThreadId,
+        block: BlockAddr,
+        access: Access,
+        kind: ConflictKind,
+        with: Option<ThreadId>,
+    ) -> AcquireOutcome {
+        let classification = self.classify(e, txn, block, access);
+        self.stats.on_conflict(kind, classification);
+        AcquireOutcome::Conflict(Conflict {
+            kind,
+            with,
+            known_false: classification.unwrap_or(false),
+        })
+    }
+
+    /// Release every entry `txn` holds (transaction commit or abort).
+    pub fn release_all(&mut self, txn: ThreadId) {
+        let i = txn as usize;
+        if i >= self.holds.len() {
+            return;
+        }
+        let entries: Vec<EntryIndex> = self.holds[i]
+            .read_entries
+            .iter()
+            .chain(self.holds[i].write_entries.iter())
+            .collect();
+        for e in entries {
+            self.release_entry(txn, e);
+        }
+        self.holds[i].blocks.clear();
+    }
+}
+
+impl OwnershipTable for TaglessTable {
+    fn num_entries(&self) -> usize {
+        self.cfg.num_entries()
+    }
+
+    fn acquire(&mut self, txn: ThreadId, block: BlockAddr, access: Access) -> AcquireOutcome {
+        self.stats.on_acquire(access.is_write());
+        match access {
+            Access::Read => self.acquire_read(txn, block),
+            Access::Write => self.acquire_write(txn, block),
+        }
+    }
+
+    fn release(&mut self, txn: ThreadId, block: BlockAddr, _access: Access) {
+        let e = self.cfg.entry_of(block);
+        self.release_entry(txn, e);
+    }
+
+    fn release_all(&mut self, txn: ThreadId) {
+        TaglessTable::release_all(self, txn);
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(Slot::Free);
+        for h in &mut self.holds {
+            h.read_entries.clear();
+            h.write_entries.clear();
+            h.blocks.clear();
+        }
+        if let Some(o) = self.oracle.as_mut() {
+            for v in o.iter_mut() {
+                v.clear();
+            }
+        }
+        self.occupancy = 0;
+    }
+
+    fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashKind;
+
+    fn cfg(n: usize) -> TableConfig {
+        TableConfig::new(n).with_hash(HashKind::Mask)
+    }
+
+    #[test]
+    fn read_read_shares() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(1, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.sharers_of(3), 2);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn write_excludes_write() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        let c = t.acquire(1, 3, Access::Write).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterWrite);
+        assert_eq!(c.with, Some(0));
+    }
+
+    #[test]
+    fn write_excludes_read_and_vice_versa() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 5, Access::Write), AcquireOutcome::Granted);
+        let c = t.acquire(1, 5, Access::Read).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::ReadAfterWrite);
+
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 5, Access::Read), AcquireOutcome::Granted);
+        let c = t.acquire(1, 5, Access::Write).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterRead);
+    }
+
+    #[test]
+    fn false_conflict_on_aliasing_blocks() {
+        // Blocks 3 and 19 alias in a 16-entry mask-hashed table.
+        let mut t = TaglessTable::new(cfg(16).with_conflict_classification(true));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        let c = t.acquire(1, 19, Access::Write).conflict().unwrap();
+        assert!(c.known_false, "distinct blocks must classify as false");
+        assert_eq!(t.stats().false_conflicts, 1);
+
+        // Same block: a true conflict.
+        let c = t.acquire(2, 3, Access::Write).conflict().unwrap();
+        assert!(!c.known_false);
+        assert_eq!(t.stats().true_conflicts, 1);
+    }
+
+    #[test]
+    fn own_entry_is_already_held() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        // Same block again.
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::AlreadyHeld);
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::AlreadyHeld);
+        // Different block, same entry: tagless grants it for free (and counts
+        // an intra-transaction alias).
+        assert_eq!(t.acquire(0, 19, Access::Write), AcquireOutcome::AlreadyHeld);
+        assert_eq!(t.stats().intra_txn_aliases, 1);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn sole_reader_upgrades() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
+        assert_eq!(t.owner_of(3), Some(0));
+        assert_eq!(t.stats().upgrades, 1);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn shared_reader_cannot_upgrade() {
+        let mut t = TaglessTable::new(cfg(16));
+        assert_eq!(t.acquire(0, 3, Access::Read), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(1, 3, Access::Read), AcquireOutcome::Granted);
+        let c = t.acquire(0, 3, Access::Write).conflict().unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterRead);
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut t = TaglessTable::new(cfg(64));
+        for b in 0..10u64 {
+            assert!(t.acquire(0, b, Access::Write).is_ok());
+        }
+        for b in 20..25u64 {
+            assert!(t.acquire(0, b, Access::Read).is_ok());
+        }
+        assert_eq!(t.occupancy(), 15);
+        assert!(t.is_active(0));
+        t.release_all(0);
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.is_active(0));
+        for e in 0..64 {
+            assert_eq!(t.mode_of(e), Mode::Free);
+        }
+    }
+
+    #[test]
+    fn read_release_decrements_sharers() {
+        let mut t = TaglessTable::new(cfg(16));
+        t.acquire(0, 3, Access::Read);
+        t.acquire(1, 3, Access::Read);
+        t.release_all(0);
+        assert_eq!(t.sharers_of(3), 1);
+        assert_eq!(t.occupancy(), 1);
+        t.release_all(1);
+        assert_eq!(t.mode_of(3), Mode::Free);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn per_block_release() {
+        let mut t = TaglessTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write);
+        t.release(0, 3, Access::Write);
+        assert_eq!(t.mode_of(3), Mode::Free);
+        // Releasing again is a no-op.
+        t.release(0, 3, Access::Write);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut t = TaglessTable::new(cfg(16));
+        t.acquire(0, 3, Access::Write);
+        t.acquire(1, 3, Access::Write); // conflict
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.stats().total_conflicts(), 1);
+        // After clear, the slot is reusable.
+        assert_eq!(t.acquire(1, 3, Access::Write), AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn release_all_unknown_thread_is_noop() {
+        let mut t = TaglessTable::new(cfg(16));
+        t.release_all(42);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_highwater_tracks() {
+        let mut t = TaglessTable::new(cfg(64));
+        for b in 0..7u64 {
+            t.acquire(0, b, Access::Read);
+        }
+        t.release_all(0);
+        assert_eq!(t.stats().occupancy_highwater, 7);
+    }
+
+    #[test]
+    fn multiplicative_hash_variant_works() {
+        let mut t = TaglessTable::new(
+            TableConfig::new(16).with_hash(HashKind::Multiplicative),
+        );
+        assert_eq!(t.acquire(0, 100, Access::Write), AcquireOutcome::Granted);
+        let e = t.entry_of(100);
+        assert_eq!(t.owner_of(e), Some(0));
+    }
+}

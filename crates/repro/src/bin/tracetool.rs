@@ -1,0 +1,106 @@
+//! Trace utility: generate, inspect, and verify the workspace's binary
+//! trace files (`tm-traces::io` format).
+//!
+//! ```text
+//! tracetool gen-spec <benchmark> <accesses> <seed> <out.trace>
+//! tracetool gen-jbb  <thread> <accesses> <seed> <out.trace>
+//! tracetool info     <file.trace> [block_bytes]
+//! tracetool overflow <file.trace> [victim_entries]
+//! ```
+
+use tm_cache_sim::{run_to_overflow, CacheConfig};
+use tm_traces::jbb::{generate_thread, JbbParams};
+use tm_traces::spec::profile_by_name;
+use tm_traces::{io, Trace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tracetool gen-spec <benchmark> <accesses> <seed> <out.trace>\n  \
+         tracetool gen-jbb <thread 0-3> <accesses> <seed> <out.trace>\n  \
+         tracetool info <file.trace> [block_bytes=64]\n  \
+         tracetool overflow <file.trace> [victim_entries=0]"
+    );
+    std::process::exit(2);
+}
+
+fn arg(args: &[String], i: usize) -> &str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| usage())
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: cannot parse {what}: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn info(trace: &Trace, block_bytes: usize) {
+    let shift = block_bytes.trailing_zeros();
+    let s = trace.stats(shift);
+    println!("name:                 {}", trace.name);
+    println!("accesses:             {}", s.accesses);
+    println!("  loads:              {}", s.loads);
+    println!("  stores:             {}", s.stores);
+    println!("dynamic instructions: {}", s.dynamic_instructions);
+    println!("unique {block_bytes}B blocks:    {}", s.unique_blocks);
+    println!("  read-only:          {}", s.read_only_blocks);
+    println!("  written:            {}", s.written_blocks);
+    if let Some(r) = s.read_to_write_block_ratio() {
+        println!("  read-only : written = {r:.2} (paper's alpha)");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match arg(&args, 0) {
+        "gen-spec" => {
+            let profile = profile_by_name(arg(&args, 1)).unwrap_or_else(|| {
+                eprintln!("error: unknown benchmark {} (try: bzip2, mcf, gcc, ...)", arg(&args, 1));
+                std::process::exit(2);
+            });
+            let accesses: usize = parse(arg(&args, 2), "accesses");
+            let seed: u64 = parse(arg(&args, 3), "seed");
+            let out = std::path::Path::new(arg(&args, 4));
+            let trace = profile.generate(accesses, seed);
+            io::write_file(&trace, out).expect("write trace");
+            println!("wrote {} ({} accesses)", out.display(), trace.len());
+        }
+        "gen-jbb" => {
+            let thread: usize = parse(arg(&args, 1), "thread");
+            let accesses: usize = parse(arg(&args, 2), "accesses");
+            let seed: u64 = parse(arg(&args, 3), "seed");
+            let out = std::path::Path::new(arg(&args, 4));
+            let params = JbbParams {
+                accesses_per_thread: accesses,
+                seed,
+                ..Default::default()
+            };
+            let trace = generate_thread(&params, thread);
+            io::write_file(&trace, out).expect("write trace");
+            println!("wrote {} ({} accesses)", out.display(), trace.len());
+        }
+        "info" => {
+            let trace = io::read_file(std::path::Path::new(arg(&args, 1))).expect("read trace");
+            let block_bytes: usize = args
+                .get(2)
+                .map(|s| parse(s, "block_bytes"))
+                .unwrap_or(64);
+            info(&trace, block_bytes);
+        }
+        "overflow" => {
+            let trace = io::read_file(std::path::Path::new(arg(&args, 1))).expect("read trace");
+            let vb: usize = args.get(2).map(|s| parse(s, "victim_entries")).unwrap_or(0);
+            let cfg = CacheConfig::paper_l1();
+            let r = run_to_overflow(&trace, cfg, vb);
+            println!("cache: 32KB 4-way 64B, victim buffer {vb} entries");
+            println!("overflowed:           {}", r.overflowed);
+            println!("footprint blocks:     {}", r.footprint_blocks);
+            println!("  read-only:          {}", r.read_only_blocks);
+            println!("  written:            {}", r.written_blocks);
+            println!("utilization:          {:.1}%", 100.0 * r.utilization(&cfg));
+            println!("accesses to overflow: {}", r.accesses);
+            println!("dynamic instructions: {}", r.dynamic_instructions);
+        }
+        _ => usage(),
+    }
+}

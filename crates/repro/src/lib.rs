@@ -1,0 +1,211 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each `tm-repro` binary regenerates one of the paper's figures or inline
+//! tables (see `DESIGN.md`'s experiment index): it prints an aligned text
+//! table to stdout and writes the same series as CSV under `results/`.
+//! Binaries accept `--fast` (smaller sample counts for smoke runs) and
+//! `--results-dir <path>`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Command-line options shared by all repro binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Reduce sample counts for a quick smoke run.
+    pub fast: bool,
+    /// Directory for CSV output.
+    pub results_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            results_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Options {
+    /// Parse from `std::env::args` (panics with usage text on bad input).
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fast" => opts.fast = true,
+                "--results-dir" => {
+                    let dir = args.next().unwrap_or_else(|| usage("missing directory"));
+                    opts.results_dir = PathBuf::from(dir);
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Pick between the full and fast variants of a sample count.
+    pub fn scaled(&self, full: usize, fast: usize) -> usize {
+        if self.fast {
+            fast
+        } else {
+            full
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <binary> [--fast] [--results-dir <path>]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// A simple aligned text table that can also serialize itself as CSV.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies every cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// CSV serialization (simple quoting: cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            debug_assert!(row.iter().all(|c| !c.contains(',')));
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Write CSV into `dir/name.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a probability as a percentage with two decimals.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}", p * 100.0)
+}
+
+/// Format a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        assert!(t.is_empty());
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["10".into(), "20".into()]);
+        assert_eq!(t.len(), 2);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains(" a  bb"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,bb\n1,2\n10,20\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn csv_file_written() {
+        let dir = std::env::temp_dir().join("tm_repro_test");
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into()]);
+        let p = t.write_csv(&dir, "unit").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a\n1\n");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn scaled_options() {
+        let mut o = Options::default();
+        assert_eq!(o.scaled(1000, 10), 1000);
+        o.fast = true;
+        assert_eq!(o.scaled(1000, 10), 10);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.12345), "12.35");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

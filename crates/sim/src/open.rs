@@ -1,0 +1,249 @@
+//! Open-system lockstep simulation (paper §4, Figure 4).
+//!
+//! `C` transactions begin at the same time and grow in lock step: blocks are
+//! added round-robin, each transaction repeating the pattern of `α` fresh
+//! reads followed by one fresh write, every block mapping to a uniformly
+//! random ownership-table entry. A run ends at the first conflict or when
+//! all transactions have written `W` blocks; repeating the experiment gives
+//! the conflict *likelihood* the analytical model predicts.
+//!
+//! Unlike the model, the simulation does **not** assume intra-transaction
+//! aliasing away — it measures it ([`OpenSystemResult::intra_alias_rate`]),
+//! which is how the paper validates that assumption (§4: "below 3 % as long
+//! as the conflict rate is below 50 %").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tm_ownership::{Access, HashKind, OwnershipTable, TableConfig, TaglessTable};
+
+/// Parameters of one open-system data point.
+#[derive(Clone, Debug)]
+pub struct OpenSystemParams {
+    /// Concurrent transactions `C` (≥ 2).
+    pub concurrency: u32,
+    /// Writes per transaction `W` (≥ 1).
+    pub write_footprint: u32,
+    /// Fresh reads before each write (the paper's `α`, typically 2).
+    pub alpha: u32,
+    /// Ownership-table entries `N` (power of two).
+    pub table_entries: usize,
+    /// Independent runs per data point (the paper uses 1000).
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OpenSystemParams {
+    fn default() -> Self {
+        Self {
+            concurrency: 2,
+            write_footprint: 10,
+            alpha: 2,
+            table_entries: 1024,
+            runs: 1000,
+            seed: 0x0b5e,
+        }
+    }
+}
+
+/// Aggregated outcome of the runs at one data point.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpenSystemResult {
+    /// Fraction of runs that saw at least one conflict.
+    pub conflict_rate: f64,
+    /// Runs executed.
+    pub runs: usize,
+    /// Runs that conflicted.
+    pub conflicted_runs: usize,
+    /// Fraction of block additions that aliased *within* their own
+    /// transaction (folded into an already-held entry).
+    pub intra_alias_rate: f64,
+}
+
+/// Execute the open-system experiment for one parameter point.
+pub fn run_open_system(params: &OpenSystemParams) -> OpenSystemResult {
+    assert!(params.concurrency >= 2, "need at least two transactions");
+    assert!(params.write_footprint >= 1, "need a positive write footprint");
+    assert!(params.runs >= 1, "need at least one run");
+
+    let cfg = TableConfig::new(params.table_entries).with_hash(HashKind::Multiplicative);
+    let mut table = TaglessTable::new(cfg);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut conflicted_runs = 0usize;
+    let mut additions = 0u64;
+    let mut intra_aliases_before = 0u64;
+
+    for _ in 0..params.runs {
+        if run_once(&mut table, &mut rng, params, &mut additions) {
+            conflicted_runs += 1;
+        }
+        // Reclaim everything for the next run (stats persist).
+        for t in 0..params.concurrency {
+            table.release_all(t);
+        }
+        debug_assert_eq!(table.occupancy(), 0);
+        let _ = &mut intra_aliases_before;
+    }
+
+    let intra = table.stats().intra_txn_aliases;
+    OpenSystemResult {
+        conflict_rate: conflicted_runs as f64 / params.runs as f64,
+        runs: params.runs,
+        conflicted_runs,
+        intra_alias_rate: if additions == 0 {
+            0.0
+        } else {
+            intra as f64 / additions as f64
+        },
+    }
+}
+
+/// One lockstep run; returns whether any conflict occurred.
+fn run_once(
+    table: &mut TaglessTable,
+    rng: &mut StdRng,
+    params: &OpenSystemParams,
+    additions: &mut u64,
+) -> bool {
+    let c = params.concurrency;
+    let per_txn_blocks = (params.alpha as u64 + 1) * params.write_footprint as u64;
+    // Blocks are added round-robin across transactions, one per turn,
+    // following the [read^α write]* pattern.
+    for step in 0..per_txn_blocks {
+        let access = if (step % (params.alpha as u64 + 1)) < params.alpha as u64 {
+            Access::Read
+        } else {
+            Access::Write
+        };
+        for txn in 0..c {
+            let block: u64 = rng.gen();
+            *additions += 1;
+            if !table.acquire(txn, block, access).is_ok() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Convenience: conflict rates for a sweep over write footprints, reusing
+/// one RNG stream (the Figure 4(a) x-axis).
+pub fn sweep_write_footprint(
+    base: &OpenSystemParams,
+    footprints: &[u32],
+) -> Vec<(u32, OpenSystemResult)> {
+    footprints
+        .iter()
+        .map(|&w| {
+            let p = OpenSystemParams {
+                write_footprint: w,
+                seed: base.seed ^ (w as u64) << 32,
+                ..base.clone()
+            };
+            (w, run_open_system(&p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::lockstep::conflict_likelihood;
+
+    fn point(c: u32, w: u32, n: usize, runs: usize) -> OpenSystemResult {
+        run_open_system(&OpenSystemParams {
+            concurrency: c,
+            write_footprint: w,
+            alpha: 2,
+            table_entries: n,
+            runs,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn matches_model_in_low_conflict_regime() {
+        // Model: 2·1·5·8²/(2·4096) = 0.078. 4000 runs ⇒ σ ≈ 0.004.
+        let r = point(2, 8, 4096, 4000);
+        let predicted = conflict_likelihood(2, 8, 2.0, 4096);
+        assert!(
+            (r.conflict_rate - predicted).abs() < 0.02,
+            "sim {} vs model {predicted}",
+            r.conflict_rate
+        );
+    }
+
+    #[test]
+    fn quadratic_in_footprint() {
+        // Paper Fig. 4(a): doubling W roughly quadruples the rate.
+        let r1 = point(2, 8, 16_384, 4000);
+        let r2 = point(2, 16, 16_384, 4000);
+        let ratio = r2.conflict_rate / r1.conflict_rate;
+        assert!((3.0..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn factor_six_from_c2_to_c4() {
+        // The paper's signature C(C−1) effect: 2→4 concurrency ⇒ ×6.
+        let r2 = point(2, 8, 65_536, 6000);
+        let r4 = point(4, 8, 65_536, 6000);
+        let ratio = r4.conflict_rate / r2.conflict_rate;
+        assert!((4.0..8.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn inverse_in_table_size() {
+        // Paper Fig. 4(a) inset: 48 % → 27 % → 14 % → 7.7 % per table
+        // doubling at W = 8 — i.e. roughly halving.
+        let small = point(2, 8, 512, 4000);
+        let large = point(2, 8, 1024, 4000);
+        let ratio = small.conflict_rate / large.conflict_rate;
+        assert!((1.5..2.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_fig4a_absolute_anchor() {
+        // Paper text: at W = 8, N = 512 → 48 % conflict rate.
+        let r = point(2, 8, 512, 4000);
+        assert!(
+            (0.42..0.54).contains(&r.conflict_rate),
+            "rate {}",
+            r.conflict_rate
+        );
+    }
+
+    #[test]
+    fn intra_alias_rate_small_in_modest_regime() {
+        // §4: intra-transaction aliasing < 3 % while conflicts < 50 %.
+        let r = point(2, 20, 16_384, 1000);
+        assert!(r.conflict_rate < 0.5);
+        assert!(r.intra_alias_rate < 0.03, "intra {}", r.intra_alias_rate);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = point(2, 10, 2048, 500);
+        let b = point(2, 10, 2048, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_runs_each_point() {
+        let base = OpenSystemParams {
+            runs: 100,
+            ..Default::default()
+        };
+        let pts = sweep_write_footprint(&base, &[4, 8]);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, 4);
+        assert!(pts[1].1.conflict_rate >= pts[0].1.conflict_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "two transactions")]
+    fn rejects_c1() {
+        point(1, 8, 512, 10);
+    }
+}

@@ -1,0 +1,98 @@
+//! Parallel sweep execution.
+//!
+//! Every experiment in this workspace is a grid of *independent* data
+//! points (each with its own RNG seed), so the natural parallelism is
+//! one-point-per-task. [`parallel_sweep`] fans the points out over scoped
+//! worker threads (crossbeam) with an atomic ticket queue, then reassembles
+//! results in input order — determinism is unaffected by scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// Spawns up to `available_parallelism` worker threads (capped by the item
+/// count). A panic in `f` propagates out of the scope.
+pub fn parallel_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, f, items) = (&next, &f, items);
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("collector alive");
+            });
+        }
+        drop(tx);
+    })
+    .expect("worker thread panicked");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx.try_iter() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every ticket produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_sweep(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_sweep(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_sweep(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn heavier_work_matches_sequential() {
+        let items: Vec<u64> = (0..64).collect();
+        let work = |&x: &u64| -> u64 {
+            let mut acc = x;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let par = parallel_sweep(&items, work);
+        let seq: Vec<u64> = items.iter().map(work).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,95 @@
+//! A transactional counter: one word, block-aligned so it owns its
+//! ownership-table entry under locality-preserving hashes.
+
+use tm_ownership::ThreadId;
+use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+
+use crate::region::Region;
+
+/// A shared counter living at a fixed heap address.
+#[derive(Clone, Copy, Debug)]
+pub struct TCounter {
+    addr: u64,
+}
+
+impl TCounter {
+    /// Allocate a counter in `region` (block-aligned, initial value 0).
+    pub fn create(region: &mut Region) -> Self {
+        Self {
+            addr: region.alloc_words_block_aligned(1),
+        }
+    }
+
+    /// The heap address (for diagnostics).
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Add `delta` inside an enclosing transaction; returns the new value.
+    pub fn add<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        delta: u64,
+    ) -> Result<u64, Aborted> {
+        txn.update(self.addr, |v| v.wrapping_add(delta))
+    }
+
+    /// Read inside an enclosing transaction.
+    pub fn read<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+        txn.read(self.addr)
+    }
+
+    /// Auto-committing increment.
+    pub fn add_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, delta: u64) -> u64 {
+        stm.run(me, |txn| self.add(txn, delta))
+    }
+
+    /// Auto-committing read.
+    pub fn get<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+        stm.run(me, |txn| self.read(txn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_stm::tagged_stm;
+
+    #[test]
+    fn add_and_get() {
+        let stm = tagged_stm(1024, 256);
+        let mut r = Region::new(0, 8192);
+        let c = TCounter::create(&mut r);
+        assert_eq!(c.get(&stm, 0), 0);
+        assert_eq!(c.add_now(&stm, 0, 5), 5);
+        assert_eq!(c.add_now(&stm, 0, 2), 7);
+        assert_eq!(c.get(&stm, 0), 7);
+    }
+
+    #[test]
+    fn counters_are_block_isolated() {
+        let mut r = Region::new(0, 8192);
+        let a = TCounter::create(&mut r);
+        let b = TCounter::create(&mut r);
+        assert_ne!(a.addr() / 64, b.addr() / 64, "distinct cache blocks");
+    }
+
+    #[test]
+    fn concurrent_increments_exact() {
+        let stm = std::sync::Arc::new(tagged_stm(1024, 256));
+        let mut r = Region::new(0, 8192);
+        let c = TCounter::create(&mut r);
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..500 {
+                        c.add_now(stm, id, 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.get(&stm, 0), 2000);
+    }
+}

@@ -1,0 +1,51 @@
+//! Transactional data structures over the word-based STM.
+//!
+//! The paper's motivation for transactional memory is that atomic blocks
+//! compose where locks do not; this crate is the workspace's demonstration
+//! that the `tm-stm` public API supports real composable structures. Every
+//! structure is laid out in the STM's raw word [`Heap`](tm_stm::Heap) via a
+//! [`Region`] allocator, is parametric in the ownership-table organization,
+//! and exposes *transaction-composable* methods (taking `&mut Txn`) next to
+//! the auto-committing convenience wrappers.
+//!
+//! Because these structures run on the same ownership tables the paper
+//! analyses, they double as workloads: point the constructors at a small
+//! tagless table and watch disjoint operations abort each other; point them
+//! at a tagged table and only genuine collisions remain.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_stm::tagged_stm;
+//! use tm_structs::{Region, TCounter, TStack};
+//!
+//! let stm = tagged_stm(4096, 1024);
+//! let mut region = Region::new(0, 4096);
+//! let counter = TCounter::create(&mut region);
+//! let stack = TStack::create(&mut region, 64);
+//!
+//! // Compose: push and count in one atomic step.
+//! stm.run(0, |txn| {
+//!     stack.push(txn, &stm, 42)?;
+//!     counter.add(txn, 1)?;
+//!     Ok(())
+//! });
+//! assert_eq!(counter.get(&stm, 0), 1);
+//! assert_eq!(stack.pop_now(&stm, 0), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod map;
+mod queue;
+mod region;
+mod stack;
+
+pub use counter::TCounter;
+pub use map::TMap;
+pub use queue::TQueue;
+pub use region::Region;
+pub use stack::TStack;

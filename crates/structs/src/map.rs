@@ -1,0 +1,320 @@
+//! A fixed-capacity transactional hash map with open addressing.
+//!
+//! Layout: `2 × capacity` words — `capacity` key slots followed by
+//! `capacity` value slots. Key 0 is reserved as the empty marker (callers
+//! store keys ≥ 1; a thin shift at the API boundary handles 0 if needed).
+//! Linear probing; deletions use backward-shift to keep probe chains intact
+//! (no tombstones, so lookups stay O(cluster) forever).
+//!
+//! Every operation is a single transaction (or composes into a caller's),
+//! so concurrent inserts to the *same cluster* serialize through ownership
+//! of the probed blocks — a realistic picture of what word-granular STM
+//! metadata costs for pointerless structures.
+
+use tm_ownership::ThreadId;
+use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+
+use crate::region::Region;
+
+const EMPTY: u64 = 0;
+
+/// A fixed-capacity open-addressing hash map in the STM heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TMap {
+    keys_base: u64,
+    vals_base: u64,
+    capacity: u64,
+}
+
+impl TMap {
+    /// Allocate a map with `capacity` slots (power of two) in `region`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not a power of two.
+    pub fn create(region: &mut Region, capacity: u64) -> Self {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        let keys_base = region.alloc_words_block_aligned(capacity);
+        let vals_base = region.alloc_words_block_aligned(capacity);
+        Self {
+            keys_base,
+            vals_base,
+            capacity,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> u64 {
+        // Fibonacci hashing, as elsewhere in the workspace.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.capacity.trailing_zeros()))
+            % self.capacity
+    }
+
+    #[inline]
+    fn key_addr(&self, slot: u64) -> u64 {
+        self.keys_base + slot * 8
+    }
+
+    #[inline]
+    fn val_addr(&self, slot: u64) -> u64 {
+        self.vals_base + slot * 8
+    }
+
+    /// Insert or update inside a transaction; returns the previous value,
+    /// or `Err(Aborted)` never for capacity — a full map returns `Ok(None)`
+    /// *without inserting* and `inserted = false` via [`TMap::try_insert`].
+    pub fn insert<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, Aborted> {
+        self.try_insert(txn, key, value).map(|(prev, inserted)| {
+            assert!(inserted, "TMap full: size the capacity for the workload");
+            prev
+        })
+    }
+
+    /// Insert or update; `(previous value, whether stored)`. A full map
+    /// (probe wrapped all the way around) stores nothing.
+    pub fn try_insert<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        key: u64,
+        value: u64,
+    ) -> Result<(Option<u64>, bool), Aborted> {
+        assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
+        let start = self.slot_of(key);
+        for i in 0..self.capacity {
+            let slot = (start + i) % self.capacity;
+            let k = txn.read(self.key_addr(slot))?;
+            if k == key {
+                let prev = txn.read(self.val_addr(slot))?;
+                txn.write(self.val_addr(slot), value)?;
+                return Ok((Some(prev), true));
+            }
+            if k == EMPTY {
+                txn.write(self.key_addr(slot), key)?;
+                txn.write(self.val_addr(slot), value)?;
+                return Ok((None, true));
+            }
+        }
+        Ok((None, false))
+    }
+
+    /// Look up inside a transaction.
+    pub fn get<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        key: u64,
+    ) -> Result<Option<u64>, Aborted> {
+        assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
+        let start = self.slot_of(key);
+        for i in 0..self.capacity {
+            let slot = (start + i) % self.capacity;
+            let k = txn.read(self.key_addr(slot))?;
+            if k == key {
+                return Ok(Some(txn.read(self.val_addr(slot))?));
+            }
+            if k == EMPTY {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove inside a transaction; returns the removed value. Uses
+    /// backward-shift deletion to preserve probe invariants.
+    pub fn remove<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        key: u64,
+    ) -> Result<Option<u64>, Aborted> {
+        assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
+        let start = self.slot_of(key);
+        let mut slot = None;
+        for i in 0..self.capacity {
+            let s = (start + i) % self.capacity;
+            let k = txn.read(self.key_addr(s))?;
+            if k == key {
+                slot = Some(s);
+                break;
+            }
+            if k == EMPTY {
+                return Ok(None);
+            }
+        }
+        let Some(mut hole) = slot else {
+            return Ok(None);
+        };
+        let removed = txn.read(self.val_addr(hole))?;
+        // Backward-shift: walk the cluster, pulling back entries whose home
+        // slot is at or before the hole.
+        let mut probe = (hole + 1) % self.capacity;
+        loop {
+            let k = txn.read(self.key_addr(probe))?;
+            if k == EMPTY {
+                break;
+            }
+            let home = self.slot_of(k);
+            // `probe` can be moved into `hole` iff hole is in the cyclic
+            // interval [home, probe).
+            let between = if home <= probe {
+                home <= hole && hole < probe
+            } else {
+                home <= hole || hole < probe
+            };
+            if between {
+                let v = txn.read(self.val_addr(probe))?;
+                txn.write(self.key_addr(hole), k)?;
+                txn.write(self.val_addr(hole), v)?;
+                hole = probe;
+            }
+            probe = (probe + 1) % self.capacity;
+        }
+        txn.write(self.key_addr(hole), EMPTY)?;
+        txn.write(self.val_addr(hole), 0)?;
+        Ok(Some(removed))
+    }
+
+    /// Auto-committing insert.
+    pub fn insert_now<T: ConcurrentTable>(
+        &self,
+        stm: &Stm<T>,
+        me: ThreadId,
+        key: u64,
+        value: u64,
+    ) -> Option<u64> {
+        stm.run(me, |txn| self.insert(txn, key, value))
+    }
+
+    /// Auto-committing lookup.
+    pub fn get_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, key: u64) -> Option<u64> {
+        stm.run(me, |txn| self.get(txn, key))
+    }
+
+    /// Auto-committing removal.
+    pub fn remove_now<T: ConcurrentTable>(
+        &self,
+        stm: &Stm<T>,
+        me: ThreadId,
+        key: u64,
+    ) -> Option<u64> {
+        stm.run(me, |txn| self.remove(txn, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_stm::tagged_stm;
+
+    fn setup(cap: u64) -> (tm_stm::Stm<tm_stm::ConcurrentTaggedTable>, TMap) {
+        let stm = tagged_stm(1 << 15, 4096);
+        let mut r = Region::new(0, 1 << 17);
+        let m = TMap::create(&mut r, cap);
+        (stm, m)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let (stm, m) = setup(64);
+        assert_eq!(m.insert_now(&stm, 0, 7, 70), None);
+        assert_eq!(m.get_now(&stm, 0, 7), Some(70));
+        assert_eq!(m.insert_now(&stm, 0, 7, 71), Some(70));
+        assert_eq!(m.get_now(&stm, 0, 7), Some(71));
+        assert_eq!(m.remove_now(&stm, 0, 7), Some(71));
+        assert_eq!(m.get_now(&stm, 0, 7), None);
+        assert_eq!(m.remove_now(&stm, 0, 7), None);
+    }
+
+    #[test]
+    fn survives_heavy_collision_chains() {
+        // Insert more keys than any one cluster can avoid overlapping.
+        let (stm, m) = setup(64);
+        for k in 1..=48u64 {
+            assert_eq!(m.insert_now(&stm, 0, k, k * 10), None);
+        }
+        for k in 1..=48u64 {
+            assert_eq!(m.get_now(&stm, 0, k), Some(k * 10), "key {k}");
+        }
+        // Remove every third key, then verify the rest still resolve
+        // (backward-shift must not break probe chains).
+        for k in (3..=48u64).step_by(3) {
+            assert_eq!(m.remove_now(&stm, 0, k), Some(k * 10));
+        }
+        for k in 1..=48u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k * 10) };
+            assert_eq!(m.get_now(&stm, 0, k), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn try_insert_reports_full() {
+        let (stm, m) = setup(4);
+        stm.run(0, |txn| {
+            for k in 1..=4u64 {
+                assert_eq!(m.try_insert(txn, k, k)?, (None, true));
+            }
+            assert_eq!(m.try_insert(txn, 99, 1)?, (None, false));
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn key_zero_rejected() {
+        let (stm, m) = setup(8);
+        m.insert_now(&stm, 0, 0, 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_key_ranges() {
+        let stm = std::sync::Arc::new(tagged_stm(1 << 15, 4096));
+        let mut r = Region::new(0, 1 << 17);
+        let m = TMap::create(&mut r, 1024);
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for i in 0..100u64 {
+                        let k = 1 + (id as u64) * 1000 + i;
+                        m.insert_now(stm, id, k, k ^ 0xABCD);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for id in 0..4u64 {
+            for i in 0..100u64 {
+                let k = 1 + id * 1000 + i;
+                assert_eq!(m.get_now(&stm, 0, k), Some(k ^ 0xABCD));
+            }
+        }
+    }
+
+    #[test]
+    fn model_based_random_ops_match_std_hashmap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        let (stm, m) = setup(256);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            let key = rng.gen_range(1..100u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let v = rng.gen::<u32>() as u64;
+                    assert_eq!(m.insert_now(&stm, 0, key, v), reference.insert(key, v));
+                }
+                1 => assert_eq!(m.get_now(&stm, 0, key), reference.get(&key).copied()),
+                _ => assert_eq!(m.remove_now(&stm, 0, key), reference.remove(&key)),
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A bounded transactional FIFO ring: `[head, tail, slot0 … slotN-1]`.
+//!
+//! `head`/`tail` are monotonically increasing counters; the occupied range
+//! is `[head, tail)` and slots are indexed modulo the capacity.
+
+use tm_ownership::ThreadId;
+use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+
+use crate::region::Region;
+
+/// A fixed-capacity FIFO queue of words in the STM heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TQueue {
+    base: u64,
+    capacity: u64,
+}
+
+impl TQueue {
+    /// Allocate a queue of `capacity` elements in `region`.
+    pub fn create(region: &mut Region, capacity: u64) -> Self {
+        assert!(capacity >= 1, "need capacity");
+        let base = region.alloc_words_block_aligned(capacity + 2);
+        Self { base, capacity }
+    }
+
+    /// Maximum elements.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn head_addr(&self) -> u64 {
+        self.base
+    }
+
+    fn tail_addr(&self) -> u64 {
+        self.base + 8
+    }
+
+    fn slot_addr(&self, logical: u64) -> u64 {
+        self.base + 16 + (logical % self.capacity) * 8
+    }
+
+    /// Elements currently queued, inside a transaction.
+    pub fn len<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+        let head = txn.read(self.head_addr())?;
+        let tail = txn.read(self.tail_addr())?;
+        Ok(tail - head)
+    }
+
+    /// Enqueue inside a transaction; returns `false` when full.
+    pub fn enqueue<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        value: u64,
+    ) -> Result<bool, Aborted> {
+        let head = txn.read(self.head_addr())?;
+        let tail = txn.read(self.tail_addr())?;
+        if tail - head == self.capacity {
+            return Ok(false);
+        }
+        txn.write(self.slot_addr(tail), value)?;
+        txn.write(self.tail_addr(), tail + 1)?;
+        Ok(true)
+    }
+
+    /// Dequeue inside a transaction; `None` when empty.
+    pub fn dequeue<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+    ) -> Result<Option<u64>, Aborted> {
+        let head = txn.read(self.head_addr())?;
+        let tail = txn.read(self.tail_addr())?;
+        if head == tail {
+            return Ok(None);
+        }
+        let v = txn.read(self.slot_addr(head))?;
+        txn.write(self.head_addr(), head + 1)?;
+        Ok(Some(v))
+    }
+
+    /// Auto-committing enqueue.
+    pub fn enqueue_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, value: u64) -> bool {
+        stm.run(me, |txn| self.enqueue(txn, value))
+    }
+
+    /// Auto-committing dequeue.
+    pub fn dequeue_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
+        stm.run(me, |txn| self.dequeue(txn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_stm::tagged_stm;
+
+    fn setup(cap: u64) -> (tm_stm::Stm<tm_stm::ConcurrentTaggedTable>, TQueue) {
+        let stm = tagged_stm(1 << 14, 1024);
+        let mut r = Region::new(0, 1 << 16);
+        let q = TQueue::create(&mut r, cap);
+        (stm, q)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (stm, q) = setup(8);
+        for i in 1..=5 {
+            assert!(q.enqueue_now(&stm, 0, i));
+        }
+        for i in 1..=5 {
+            assert_eq!(q.dequeue_now(&stm, 0), Some(i));
+        }
+        assert_eq!(q.dequeue_now(&stm, 0), None);
+    }
+
+    #[test]
+    fn wraps_around_ring() {
+        let (stm, q) = setup(4);
+        for round in 0..10u64 {
+            assert!(q.enqueue_now(&stm, 0, round * 2));
+            assert!(q.enqueue_now(&stm, 0, round * 2 + 1));
+            assert_eq!(q.dequeue_now(&stm, 0), Some(round * 2));
+            assert_eq!(q.dequeue_now(&stm, 0), Some(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (stm, q) = setup(2);
+        assert!(q.enqueue_now(&stm, 0, 1));
+        assert!(q.enqueue_now(&stm, 0, 2));
+        assert!(!q.enqueue_now(&stm, 0, 3));
+        assert_eq!(q.dequeue_now(&stm, 0), Some(1));
+        assert!(q.enqueue_now(&stm, 0, 3));
+    }
+
+    #[test]
+    fn producer_consumer_delivers_everything_in_order_per_producer() {
+        let stm = std::sync::Arc::new(tagged_stm(1 << 14, 4096));
+        let mut r = Region::new(0, 1 << 16);
+        let q = TQueue::create(&mut r, 1024);
+        let n = 400u64;
+        let received = std::sync::Mutex::new(Vec::new());
+        crossbeam::scope(|sc| {
+            // Two producers with tagged value spaces.
+            for id in 0..2u32 {
+                let stm = &stm;
+                sc.spawn(move |_| {
+                    for i in 0..n {
+                        let v = ((id as u64) << 32) | i;
+                        while !q.enqueue_now(stm, id, v) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // One consumer.
+            let (stm, received) = (&stm, &received);
+            sc.spawn(move |_| {
+                let mut got = 0;
+                while got < 2 * n {
+                    if let Some(v) = q.dequeue_now(stm, 2) {
+                        received.lock().unwrap().push(v);
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        })
+        .unwrap();
+        let received = received.into_inner().unwrap();
+        assert_eq!(received.len(), (2 * n) as usize);
+        // Per-producer FIFO: sequence numbers of each producer appear in order.
+        for id in 0..2u64 {
+            let seq: Vec<u64> = received
+                .iter()
+                .filter(|&&v| v >> 32 == id)
+                .map(|&v| v & 0xFFFF_FFFF)
+                .collect();
+            assert_eq!(seq.len(), n as usize);
+            assert!(seq.windows(2).all(|w| w[0] < w[1]), "producer {id} reordered");
+        }
+    }
+}

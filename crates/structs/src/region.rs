@@ -1,0 +1,105 @@
+//! Static word-granular layout allocation inside the STM heap.
+//!
+//! Structures are *created* before concurrent execution begins (the usual
+//! STM idiom: layout is static, contents are transactional), so the region
+//! allocator is a plain bump allocator over word addresses with alignment
+//! to cache-block boundaries on request.
+
+use tm_stm::WORD_BYTES;
+
+/// A bump allocator over a byte-address range of the STM heap.
+#[derive(Clone, Debug)]
+pub struct Region {
+    next: u64,
+    end: u64,
+}
+
+impl Region {
+    /// A region spanning `[start_addr, start_addr + len_bytes)`. Addresses
+    /// must be word-aligned.
+    ///
+    /// # Panics
+    /// Panics on unaligned bounds.
+    pub fn new(start_addr: u64, len_bytes: u64) -> Self {
+        assert!(
+            start_addr.is_multiple_of(WORD_BYTES) && len_bytes.is_multiple_of(WORD_BYTES),
+            "region bounds must be word-aligned"
+        );
+        Self {
+            next: start_addr,
+            end: start_addr + len_bytes,
+        }
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+
+    /// Allocate `words` contiguous words; returns the base byte address.
+    ///
+    /// # Panics
+    /// Panics when the region is exhausted (layout is static: running out
+    /// is a programming error, not a recoverable condition).
+    pub fn alloc_words(&mut self, words: u64) -> u64 {
+        let bytes = words * WORD_BYTES;
+        assert!(
+            self.next + bytes <= self.end,
+            "region exhausted: need {bytes} bytes, have {}",
+            self.remaining()
+        );
+        let base = self.next;
+        self.next += bytes;
+        base
+    }
+
+    /// Allocate `words` words starting at the next 64-byte block boundary
+    /// (structures that want block-exclusive fields use this to avoid
+    /// sharing ownership-table entries with neighbours under mask hashing).
+    pub fn alloc_words_block_aligned(&mut self, words: u64) -> u64 {
+        let misalign = self.next % 64;
+        if misalign != 0 {
+            let pad = (64 - misalign) / WORD_BYTES;
+            self.alloc_words(pad);
+        }
+        self.alloc_words(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation() {
+        let mut r = Region::new(0, 1024);
+        assert_eq!(r.alloc_words(4), 0);
+        assert_eq!(r.alloc_words(1), 32);
+        assert_eq!(r.remaining(), 1024 - 40);
+    }
+
+    #[test]
+    fn block_alignment_pads() {
+        let mut r = Region::new(0, 4096);
+        r.alloc_words(1); // next = 8
+        let a = r.alloc_words_block_aligned(2);
+        assert_eq!(a % 64, 0);
+        assert_eq!(a, 64);
+        // Already aligned: no padding.
+        let mut r2 = Region::new(128, 4096);
+        assert_eq!(r2.alloc_words_block_aligned(1), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut r = Region::new(0, 16);
+        r.alloc_words(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_bounds_rejected() {
+        Region::new(3, 64);
+    }
+}

@@ -1,0 +1,150 @@
+//! A bounded transactional stack: `[top, slot0, slot1, …]`.
+
+use tm_ownership::ThreadId;
+use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+
+use crate::region::Region;
+
+/// A fixed-capacity LIFO stack of words in the STM heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TStack {
+    base: u64,
+    capacity: u64,
+}
+
+impl TStack {
+    /// Allocate a stack of `capacity` elements in `region`.
+    pub fn create(region: &mut Region, capacity: u64) -> Self {
+        assert!(capacity >= 1, "need capacity");
+        let base = region.alloc_words_block_aligned(capacity + 1);
+        Self { base, capacity }
+    }
+
+    /// Maximum elements.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn top_addr(&self) -> u64 {
+        self.base
+    }
+
+    fn slot_addr(&self, i: u64) -> u64 {
+        self.base + (1 + i) * 8
+    }
+
+    /// Current length, inside a transaction.
+    pub fn len<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+        txn.read(self.top_addr())
+    }
+
+    /// Push inside a transaction; returns `false` when full.
+    pub fn push<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+        _stm: &Stm<T>,
+        value: u64,
+    ) -> Result<bool, Aborted> {
+        let top = txn.read(self.top_addr())?;
+        if top == self.capacity {
+            return Ok(false);
+        }
+        txn.write(self.slot_addr(top), value)?;
+        txn.write(self.top_addr(), top + 1)?;
+        Ok(true)
+    }
+
+    /// Pop inside a transaction; `None` when empty.
+    pub fn pop<T: ConcurrentTable>(
+        &self,
+        txn: &mut Txn<'_, T>,
+    ) -> Result<Option<u64>, Aborted> {
+        let top = txn.read(self.top_addr())?;
+        if top == 0 {
+            return Ok(None);
+        }
+        let v = txn.read(self.slot_addr(top - 1))?;
+        txn.write(self.top_addr(), top - 1)?;
+        Ok(Some(v))
+    }
+
+    /// Auto-committing push.
+    pub fn push_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, value: u64) -> bool {
+        stm.run(me, |txn| self.push(txn, stm, value))
+    }
+
+    /// Auto-committing pop.
+    pub fn pop_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
+        stm.run(me, |txn| self.pop(txn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_stm::tagged_stm;
+
+    fn setup() -> (tm_stm::Stm<tm_stm::ConcurrentTaggedTable>, TStack) {
+        let stm = tagged_stm(4096, 1024);
+        let mut r = Region::new(0, 1 << 15);
+        let s = TStack::create(&mut r, 16);
+        (stm, s)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let (stm, s) = setup();
+        assert!(s.push_now(&stm, 0, 1));
+        assert!(s.push_now(&stm, 0, 2));
+        assert!(s.push_now(&stm, 0, 3));
+        assert_eq!(s.pop_now(&stm, 0), Some(3));
+        assert_eq!(s.pop_now(&stm, 0), Some(2));
+        assert_eq!(s.pop_now(&stm, 0), Some(1));
+        assert_eq!(s.pop_now(&stm, 0), None);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let (stm, s) = setup();
+        for i in 0..16 {
+            assert!(s.push_now(&stm, 0, i));
+        }
+        assert!(!s.push_now(&stm, 0, 99), "17th push must report full");
+        assert_eq!(s.pop_now(&stm, 0), Some(15));
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        let stm = std::sync::Arc::new(tagged_stm(1 << 14, 4096));
+        let mut r = Region::new(0, 1 << 16);
+        let s = TStack::create(&mut r, 4096);
+        // Pre-fill with 1000 tokens of value 1.
+        for _ in 0..1000 {
+            assert!(s.push_now(&stm, 0, 1));
+        }
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let popped = AtomicU64::new(0);
+        crossbeam::scope(|sc| {
+            for id in 0..4u32 {
+                let (stm, popped) = (&stm, &popped);
+                sc.spawn(move |_| {
+                    for round in 0..500 {
+                        if round % 2 == 0 {
+                            if s.pop_now(stm, id).is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            s.push_now(stm, id, 1);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Conservation: initial + pushes - pops == final length.
+        let final_len = stm.run(0, |txn| s.len(txn));
+        let pushes = 4 * 250;
+        let pops = popped.load(Ordering::Relaxed);
+        assert_eq!(1000 + pushes - pops, final_len);
+    }
+}

@@ -1,0 +1,205 @@
+//! Memory-access trace events and per-trace summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// One memory access in a trace.
+///
+/// `gap` records the number of non-memory dynamic instructions executed
+/// since the previous access (the access itself counts as one more), so a
+/// trace carries enough information to reconstruct dynamic instruction
+/// counts — needed for the paper's Figure 3(b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+    /// Non-memory instructions preceding this access.
+    pub gap: u16,
+}
+
+impl MemAccess {
+    /// A load at `addr` with no preceding non-memory instructions.
+    pub fn load(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: false,
+            gap: 0,
+        }
+    }
+
+    /// A store at `addr` with no preceding non-memory instructions.
+    pub fn store(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: true,
+            gap: 0,
+        }
+    }
+
+    /// The cache block containing this access, for `block_shift` =
+    /// log2(block size).
+    #[inline]
+    pub fn block(&self, block_shift: u32) -> u64 {
+        self.addr >> block_shift
+    }
+
+    /// Dynamic instructions this access accounts for (its gap plus itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+/// A named sequence of memory accesses from one thread of execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable provenance (e.g. `"jbb.warehouse3"` or `"mcf.ckpt1"`).
+    pub name: String,
+    /// The accesses, in program order.
+    pub accesses: Vec<MemAccess>,
+}
+
+impl Trace {
+    /// An empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` when the trace holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total dynamic instructions represented (gaps plus the accesses).
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.accesses.iter().map(MemAccess::instructions).sum()
+    }
+
+    /// Summary statistics at a given cache-block granularity.
+    pub fn stats(&self, block_shift: u32) -> TraceStats {
+        use std::collections::HashSet;
+        let mut read_blocks = HashSet::new();
+        let mut written_blocks = HashSet::new();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for a in &self.accesses {
+            let b = a.block(block_shift);
+            if a.is_write {
+                stores += 1;
+                written_blocks.insert(b);
+            } else {
+                loads += 1;
+                read_blocks.insert(b);
+            }
+        }
+        let read_only_blocks = read_blocks.difference(&written_blocks).count();
+        TraceStats {
+            accesses: self.len() as u64,
+            loads,
+            stores,
+            unique_blocks: read_blocks.union(&written_blocks).count(),
+            read_only_blocks,
+            written_blocks: written_blocks.len(),
+            dynamic_instructions: self.dynamic_instructions(),
+        }
+    }
+}
+
+/// Aggregate statistics of a [`Trace`] at a fixed block granularity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Load count.
+    pub loads: u64,
+    /// Store count.
+    pub stores: u64,
+    /// Distinct blocks touched at all.
+    pub unique_blocks: usize,
+    /// Distinct blocks only ever read.
+    pub read_only_blocks: usize,
+    /// Distinct blocks written at least once.
+    pub written_blocks: usize,
+    /// Total dynamic instructions.
+    pub dynamic_instructions: u64,
+}
+
+impl TraceStats {
+    /// Read-only-to-written block ratio (the paper's ≈2:1 observation), or
+    /// `None` when nothing was written.
+    pub fn read_to_write_block_ratio(&self) -> Option<f64> {
+        (self.written_blocks > 0)
+            .then(|| self.read_only_blocks as f64 / self.written_blocks as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_block_and_instructions() {
+        let a = MemAccess {
+            addr: 0x1234,
+            is_write: true,
+            gap: 3,
+        };
+        assert_eq!(a.block(6), 0x1234 >> 6);
+        assert_eq!(a.instructions(), 4);
+        assert_eq!(MemAccess::load(8).instructions(), 1);
+        assert!(!MemAccess::load(8).is_write);
+        assert!(MemAccess::store(8).is_write);
+    }
+
+    #[test]
+    fn trace_stats_counts_blocks_once() {
+        let mut t = Trace::new("t");
+        t.accesses.push(MemAccess::load(0x000)); // block 0
+        t.accesses.push(MemAccess::load(0x020)); // block 0 (64B blocks)
+        t.accesses.push(MemAccess::store(0x040)); // block 1
+        t.accesses.push(MemAccess::load(0x080)); // block 2
+        t.accesses.push(MemAccess {
+            addr: 0x0C0,
+            is_write: false,
+            gap: 9,
+        }); // block 3
+        let s = t.stats(6);
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.loads, 4);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.unique_blocks, 4);
+        assert_eq!(s.read_only_blocks, 3);
+        assert_eq!(s.written_blocks, 1);
+        assert_eq!(s.dynamic_instructions, 5 + 9);
+        assert_eq!(s.read_to_write_block_ratio(), Some(3.0));
+    }
+
+    #[test]
+    fn block_read_and_written_counts_as_written() {
+        let mut t = Trace::new("t");
+        t.accesses.push(MemAccess::load(0x000));
+        t.accesses.push(MemAccess::store(0x000));
+        let s = t.stats(6);
+        assert_eq!(s.unique_blocks, 1);
+        assert_eq!(s.read_only_blocks, 0);
+        assert_eq!(s.written_blocks, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e");
+        assert!(t.is_empty());
+        let s = t.stats(6);
+        assert_eq!(s.unique_blocks, 0);
+        assert_eq!(s.read_to_write_block_ratio(), None);
+    }
+}

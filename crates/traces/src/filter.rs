@@ -1,0 +1,195 @@
+//! True-conflict filtering (paper §2.2).
+//!
+//! The Figure 2 experiment populates an ownership table with `C` concurrent
+//! address streams and measures *alias-induced* conflicts only: "As we
+//! consume these traces, we remove any true conflicts so we can focus on the
+//! aliasing-induced conflicts found in real address streams." This module
+//! implements that filter: consuming the streams round-robin, the first
+//! stream to touch a cache block claims it, and every other stream's
+//! accesses to the same block are dropped. The resulting streams are
+//! block-disjoint, matching the model's assumption that transactions cover
+//! disjoint data.
+
+use crate::event::Trace;
+
+/// One block-granular access in a filtered stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockAccess {
+    /// Cache-block address (byte address >> block shift).
+    pub block: u64,
+    /// Whether the access (first access to this block in its run) wrote.
+    pub is_write: bool,
+}
+
+/// Convert a trace into a block-granular access stream: consecutive accesses
+/// to the same block are collapsed into one [`BlockAccess`] whose `is_write`
+/// is the OR of the collapsed accesses (a block that is written at all needs
+/// write ownership).
+pub fn to_block_stream(trace: &Trace, block_shift: u32) -> Vec<BlockAccess> {
+    let mut out: Vec<BlockAccess> = Vec::new();
+    for a in &trace.accesses {
+        let block = a.block(block_shift);
+        match out.last_mut() {
+            Some(last) if last.block == block => last.is_write |= a.is_write,
+            _ => out.push(BlockAccess {
+                block,
+                is_write: a.is_write,
+            }),
+        }
+    }
+    out
+}
+
+/// Remove true conflicts across per-thread block streams.
+///
+/// Streams are consumed round-robin (stream 0 first). The first stream to
+/// reference a block becomes its owner; other streams' accesses to that
+/// block are dropped. Within a stream, repeated accesses to an owned block
+/// are kept (they are that stream's own locality, not a conflict).
+///
+/// Returns the filtered streams (same order) — guaranteed pairwise
+/// block-disjoint.
+pub fn remove_true_conflicts(streams: &[Vec<BlockAccess>]) -> Vec<Vec<BlockAccess>> {
+    use std::collections::HashMap;
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    let mut out: Vec<Vec<BlockAccess>> = streams.iter().map(|s| Vec::with_capacity(s.len())).collect();
+    let mut idx = vec![0usize; streams.len()];
+    let mut remaining: usize = streams.iter().map(Vec::len).sum();
+
+    while remaining > 0 {
+        for (s, stream) in streams.iter().enumerate() {
+            if idx[s] >= stream.len() {
+                continue;
+            }
+            let a = stream[idx[s]];
+            idx[s] += 1;
+            remaining -= 1;
+            match owner.entry(a.block) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() == s {
+                        out[s].push(a);
+                    } // else: true sharing — drop.
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                    out[s].push(a);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Count distinct blocks shared by at least two of the input streams — the
+/// amount of true sharing the filter removes (diagnostic for experiments).
+pub fn shared_block_count(streams: &[Vec<BlockAccess>]) -> usize {
+    use std::collections::HashMap;
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for (s, stream) in streams.iter().enumerate() {
+        for a in stream {
+            match seen.entry(a.block) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if *e.get() != s {
+                        *e.get_mut() = usize::MAX; // mark shared
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+            }
+        }
+    }
+    seen.values().filter(|&&v| v == usize::MAX).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemAccess;
+
+    fn ba(block: u64, w: bool) -> BlockAccess {
+        BlockAccess { block, is_write: w }
+    }
+
+    #[test]
+    fn block_stream_collapses_runs() {
+        let mut t = Trace::new("t");
+        // Two accesses in block 0, then block 1 with a write, back to block 0.
+        t.accesses.push(MemAccess::load(0x00));
+        t.accesses.push(MemAccess::load(0x08));
+        t.accesses.push(MemAccess::load(0x40));
+        t.accesses.push(MemAccess::store(0x48));
+        t.accesses.push(MemAccess::load(0x00));
+        let s = to_block_stream(&t, 6);
+        assert_eq!(s, vec![ba(0, false), ba(1, true), ba(0, false)]);
+    }
+
+    #[test]
+    fn filter_gives_disjoint_streams() {
+        let s0 = vec![ba(1, true), ba(2, false), ba(3, true)];
+        let s1 = vec![ba(2, true), ba(4, false), ba(1, false)];
+        let out = remove_true_conflicts(&[s0, s1]);
+        // Round-robin: in round 1, stream 0 claims block 1 and stream 1
+        // claims block 2; stream 0's later access to block 2 and stream 1's
+        // later access to block 1 are true sharing and get dropped.
+        assert_eq!(out[0], vec![ba(1, true), ba(3, true)]);
+        assert_eq!(out[1], vec![ba(2, true), ba(4, false)]);
+        use std::collections::HashSet;
+        let b0: HashSet<u64> = out[0].iter().map(|a| a.block).collect();
+        let b1: HashSet<u64> = out[1].iter().map(|a| a.block).collect();
+        assert!(b0.is_disjoint(&b1));
+    }
+
+    #[test]
+    fn own_repeats_are_kept() {
+        let s0 = vec![ba(1, false), ba(1, true), ba(1, false)];
+        let out = remove_true_conflicts(std::slice::from_ref(&s0));
+        assert_eq!(out[0], s0);
+    }
+
+    #[test]
+    fn round_robin_interleaving_claims() {
+        // Both streams touch block 9; stream 0 gets it because it moves first
+        // in the same round.
+        let s0 = vec![ba(9, false)];
+        let s1 = vec![ba(9, true)];
+        let out = remove_true_conflicts(&[s0, s1]);
+        assert_eq!(out[0].len(), 1);
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn uneven_lengths_handled() {
+        let s0 = vec![ba(1, true)];
+        let s1 = vec![ba(2, true), ba(3, true), ba(4, true)];
+        let out = remove_true_conflicts(&[s0, s1]);
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].len(), 3);
+    }
+
+    #[test]
+    fn shared_count_diagnostic() {
+        let s0 = vec![ba(1, true), ba(2, false)];
+        let s1 = vec![ba(2, true), ba(3, false)];
+        let s2 = vec![ba(3, true), ba(1, false)];
+        assert_eq!(shared_block_count(&[s0, s1, s2]), 3);
+        assert_eq!(shared_block_count(&[vec![ba(5, true)]]), 0);
+    }
+
+    #[test]
+    fn jbb_traces_mostly_private() {
+        // End-to-end: warehouse traces should lose only a small fraction of
+        // accesses to the filter (the shared region is a few percent).
+        let params = crate::jbb::JbbParams {
+            accesses_per_thread: 20_000,
+            ..Default::default()
+        };
+        let traces = crate::jbb::generate(&params);
+        let streams: Vec<_> = traces.iter().map(|t| to_block_stream(t, 6)).collect();
+        let filtered = remove_true_conflicts(&streams);
+        let before: usize = streams.iter().map(Vec::len).sum();
+        let after: usize = filtered.iter().map(Vec::len).sum();
+        let kept = after as f64 / before as f64;
+        assert!(kept > 0.85, "kept only {kept}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Compact binary trace (de)serialization.
+//!
+//! Traces can be large (hundreds of thousands of accesses), so the on-disk
+//! format is a fixed-width binary record stream rather than a textual
+//! format: an 8-byte magic/version header, the name, a count, then
+//! 11 bytes per access (`u64` address, `u16` gap, `u8` flags). The
+//! [`serde`] derives on [`crate::Trace`] remain available for users
+//! who bring their own format crate; this codec is what the workspace's own
+//! tools use.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::event::{MemAccess, Trace};
+
+/// Magic bytes + format version.
+const MAGIC: &[u8; 8] = b"TMTRACE1";
+const FLAG_WRITE: u8 = 0b1;
+
+/// Errors from [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input shorter than its own headers/records claim.
+    Truncated,
+    /// Bad magic or unsupported version.
+    BadMagic,
+    /// The embedded name is not valid UTF-8.
+    BadName,
+    /// An access record carries undefined flag bits.
+    BadFlags(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "trace data truncated"),
+            CodecError::BadMagic => write!(f, "bad magic/version header"),
+            CodecError::BadName => write!(f, "trace name is not UTF-8"),
+            CodecError::BadFlags(b) => write!(f, "undefined flag bits {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialize a trace to its binary representation.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 4 + trace.name.len() + 8 + trace.len() * 11);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(trace.name.len() as u32);
+    buf.put_slice(trace.name.as_bytes());
+    buf.put_u64_le(trace.len() as u64);
+    for a in &trace.accesses {
+        buf.put_u64_le(a.addr);
+        buf.put_u16_le(a.gap);
+        buf.put_u8(if a.is_write { FLAG_WRITE } else { 0 });
+    }
+    buf.freeze()
+}
+
+/// Deserialize a trace previously produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<Trace, CodecError> {
+    if data.remaining() < 8 + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let name_len = data.get_u32_le() as usize;
+    if data.remaining() < name_len {
+        return Err(CodecError::Truncated);
+    }
+    let name = std::str::from_utf8(&data[..name_len])
+        .map_err(|_| CodecError::BadName)?
+        .to_owned();
+    data.advance(name_len);
+    if data.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let count = data.get_u64_le() as usize;
+    if data.remaining() < count.checked_mul(11).ok_or(CodecError::Truncated)? {
+        return Err(CodecError::Truncated);
+    }
+    let mut accesses = Vec::with_capacity(count);
+    for _ in 0..count {
+        let addr = data.get_u64_le();
+        let gap = data.get_u16_le();
+        let flags = data.get_u8();
+        if flags & !FLAG_WRITE != 0 {
+            return Err(CodecError::BadFlags(flags));
+        }
+        accesses.push(MemAccess {
+            addr,
+            gap,
+            is_write: flags & FLAG_WRITE != 0,
+        });
+    }
+    Ok(Trace { name, accesses })
+}
+
+/// Write a trace to a file.
+pub fn write_file(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Read a trace from a file.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample.trace");
+        t.accesses.push(MemAccess {
+            addr: 0xDEAD_BEEF_0123,
+            is_write: true,
+            gap: 7,
+        });
+        t.accesses.push(MemAccess::load(0));
+        t.accesses.push(MemAccess {
+            addr: u64::MAX,
+            is_write: false,
+            gap: u16::MAX,
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let enc = encode(&t);
+        assert_eq!(decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new("");
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = encode(&sample()).to_vec();
+        enc[0] = b'X';
+        assert_eq!(decode(&enc), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let enc = encode(&sample()).to_vec();
+        for cut in 0..enc.len() {
+            let r = decode(&enc[..cut]);
+            assert!(r.is_err(), "cut at {cut} decoded to {r:?}");
+        }
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        let mut enc = encode(&sample()).to_vec();
+        let last_flag = enc.len() - 1;
+        enc[last_flag] = 0b100;
+        assert_eq!(decode(&enc), Err(CodecError::BadFlags(0b100)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tm_traces_io_test.bin");
+        let t = sample();
+        write_file(&t, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_trace_round_trips() {
+        let tr = crate::spec::profile_by_name("gzip")
+            .unwrap()
+            .generate(5_000, 42);
+        assert_eq!(decode(&encode(&tr)).unwrap(), tr);
+    }
+}

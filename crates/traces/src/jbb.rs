@@ -1,0 +1,344 @@
+//! Synthetic SPECjbb2005-like multithreaded address traces.
+//!
+//! The paper's Figure 2 experiment consumes "address traces from a
+//! 4-processor (4-warehouse) execution of the SPECJBB2005 multithreaded
+//! benchmark". Those traces are not redistributable, so this module
+//! synthesizes streams with the same structural properties the experiment
+//! depends on:
+//!
+//! * **per-warehouse working sets** — each thread mostly touches its own
+//!   heap region (warehouse), so cross-thread *true* sharing is rare and the
+//!   paper's true-conflict filtering ([`crate::filter`]) removes little;
+//! * **object-structured locality** — accesses cluster into objects with a
+//!   Zipf popularity skew and sequential runs inside an object, producing
+//!   the consecutive-address runs the paper's §4 calls out as the main
+//!   deviation from the model's uniform-hashing assumption;
+//! * **a small hot shared region** — globals/locks touched by every thread.
+//!
+//! The generator is deterministic for a given [`JbbParams::seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{MemAccess, Trace};
+use crate::sampler::{geometric, Zipf};
+
+/// Address-space layout constants (arbitrary but disjoint; chosen so region
+/// membership is recognizable in hex dumps).
+const SHARED_BASE: u64 = 0x1000_0000;
+const STACK_BASE: u64 = 0x7FFF_0000_0000;
+const HEAP_BASE: u64 = 0x4000_0000;
+const HEAP_STRIDE_PER_THREAD: u64 = 0x1000_0000;
+const STACK_STRIDE_PER_THREAD: u64 = 0x10_0000;
+const WORD: u64 = 8;
+
+/// Parameters of the warehouse workload generator.
+#[derive(Clone, Debug)]
+pub struct JbbParams {
+    /// Concurrent warehouse threads (the paper uses 4).
+    pub threads: usize,
+    /// Objects in each thread's private warehouse.
+    pub objects_per_thread: usize,
+    /// Size of every object in bytes.
+    pub object_bytes: u64,
+    /// Objects in the shared (global) region.
+    pub shared_objects: usize,
+    /// Probability an object pick lands in the shared region.
+    pub shared_frac: f64,
+    /// Probability an access goes to the thread stack instead of an object.
+    pub stack_frac: f64,
+    /// Zipf exponent of object popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Probability a run continues to the next word inside the object.
+    pub run_continue_p: f64,
+    /// Probability an access is a store.
+    pub write_frac: f64,
+    /// Mean non-memory instructions between accesses.
+    pub mean_gap: f64,
+    /// Accesses generated per thread.
+    pub accesses_per_thread: usize,
+    /// RNG seed (thread `t` derives its own stream from this).
+    pub seed: u64,
+}
+
+impl Default for JbbParams {
+    /// A 4-warehouse configuration tuned to the paper's experiment scale:
+    /// enough accesses per thread to extract many 80-write samples.
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            objects_per_thread: 4096,
+            object_bytes: 256,
+            shared_objects: 128,
+            shared_frac: 0.04,
+            stack_frac: 0.15,
+            zipf_s: 0.8,
+            run_continue_p: 0.72,
+            write_frac: 0.34,
+            mean_gap: 2.4,
+            accesses_per_thread: 200_000,
+            seed: 0x5bb_2005,
+        }
+    }
+}
+
+impl JbbParams {
+    /// Validate parameters, panicking with a descriptive message on
+    /// nonsense (probabilities outside [0, 1], zero-sized regions, …).
+    fn validate(&self) {
+        assert!(self.threads >= 1, "need at least one thread");
+        assert!(self.objects_per_thread >= 1, "need private objects");
+        assert!(self.shared_objects >= 1, "need shared objects");
+        assert!(self.object_bytes >= WORD, "objects must hold a word");
+        for (name, p) in [
+            ("shared_frac", self.shared_frac),
+            ("stack_frac", self.stack_frac),
+            ("run_continue_p", self.run_continue_p),
+            ("write_frac", self.write_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        assert!(
+            self.shared_frac + self.stack_frac <= 1.0,
+            "region fractions exceed 1"
+        );
+        assert!(self.mean_gap >= 0.0, "mean_gap must be nonnegative");
+    }
+
+    /// Base address of thread `t`'s warehouse heap.
+    ///
+    /// Real allocators place each thread's arena at an irregular offset;
+    /// perfectly stride-aligned bases would make block `k` of every
+    /// warehouse alias *systematically* under locality-preserving hashes,
+    /// which no real trace exhibits. A block-aligned golden-ratio jitter
+    /// (bounded well below the inter-thread stride) models that.
+    pub fn heap_base(&self, t: usize) -> u64 {
+        let jitter = (t as u64).wrapping_mul(0x9E37_79B1) % (HEAP_STRIDE_PER_THREAD / 2);
+        HEAP_BASE + t as u64 * HEAP_STRIDE_PER_THREAD + (jitter & !63)
+    }
+
+    /// Base address of thread `t`'s stack region.
+    pub fn stack_base(&self, t: usize) -> u64 {
+        STACK_BASE + t as u64 * STACK_STRIDE_PER_THREAD
+    }
+}
+
+/// The region an access targets, with its object geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Region {
+    Shared,
+    Stack,
+    Heap,
+}
+
+/// Generate the per-thread traces of one warehouse run.
+pub fn generate(params: &JbbParams) -> Vec<Trace> {
+    params.validate();
+    (0..params.threads)
+        .map(|t| generate_thread(params, t))
+        .collect()
+}
+
+/// Generate the trace of warehouse thread `t` only.
+pub fn generate_thread(params: &JbbParams, t: usize) -> Trace {
+    params.validate();
+    assert!(t < params.threads, "thread index out of range");
+    // Derive a per-thread seed; splitmix-style mixing keeps streams
+    // decorrelated even for adjacent seeds.
+    let mixed = params
+        .seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+    let mut rng = StdRng::seed_from_u64(mixed);
+
+    let private_zipf = Zipf::new(params.objects_per_thread, params.zipf_s);
+    let shared_zipf = Zipf::new(params.shared_objects, params.zipf_s);
+    // Each warehouse has its own hot objects: map popularity *rank* to an
+    // object index through a per-thread affine permutation (odd multiplier,
+    // so it is a bijection on the power-of-two-sized object array — and on
+    // any size, applied modulo). Without this, every warehouse would share
+    // one rank→offset layout and hot objects would alias *identically*
+    // across threads under any linear hash.
+    let nobj = params.objects_per_thread as u64;
+    let perm_mul = (mixed | 1)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_mul(2)
+        % nobj
+        + 1;
+    let perm_add = mixed.wrapping_mul(0x9E37_79B9) % nobj;
+    let permute = move |rank: u64| -> u64 { (rank.wrapping_mul(perm_mul) + perm_add) % nobj };
+    let words_per_object = (params.object_bytes / WORD).max(1);
+    let gap_p = 1.0 / (params.mean_gap + 1.0);
+
+    let mut trace = Trace::new(format!("jbb.warehouse{t}"));
+    trace.accesses.reserve(params.accesses_per_thread);
+
+    // Current sequential run state: next address and region. The store
+    // decision is per *run* (bursty store traffic), so the block-level
+    // written fraction tracks `write_frac` — which is what sets the paper's
+    // α (read-only to written block ratio) at the ownership-table level.
+    let mut run_addr: Option<(u64, Region)> = None;
+    let mut run_is_write = false;
+
+    while trace.accesses.len() < params.accesses_per_thread {
+        let (addr, region) = match run_addr {
+            Some((addr, region)) if rng.gen_bool(params.run_continue_p) => (addr, region),
+            _ => {
+                run_is_write = rng.gen_bool(params.write_frac);
+                // Start a new run: pick a region, an object, and an offset.
+                let r: f64 = rng.gen_range(0.0..1.0);
+                if r < params.stack_frac {
+                    // Stacks are shallow: stay within 4 KiB, word-aligned.
+                    let off = rng.gen_range(0..512u64) * WORD;
+                    (params.stack_base(t) + off, Region::Stack)
+                } else if r < params.stack_frac + params.shared_frac {
+                    let obj = shared_zipf.sample(&mut rng) as u64;
+                    let off = rng.gen_range(0..words_per_object) * WORD;
+                    (SHARED_BASE + obj * params.object_bytes + off, Region::Shared)
+                } else {
+                    let obj = permute(private_zipf.sample(&mut rng) as u64);
+                    let off = rng.gen_range(0..words_per_object) * WORD;
+                    (
+                        params.heap_base(t) + obj * params.object_bytes + off,
+                        Region::Heap,
+                    )
+                }
+            }
+        };
+
+        let gap = (geometric(&mut rng, gap_p) - 1).min(u16::MAX as u64) as u16;
+        trace.accesses.push(MemAccess {
+            addr,
+            is_write: run_is_write,
+            gap,
+        });
+        run_addr = Some((addr + WORD, region));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> JbbParams {
+        JbbParams {
+            accesses_per_thread: 5_000,
+            ..JbbParams::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let traces = generate(&small());
+        assert_eq!(traces.len(), 4);
+        for (t, tr) in traces.iter().enumerate() {
+            assert_eq!(tr.len(), 5_000);
+            assert_eq!(tr.name, format!("jbb.warehouse{t}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a, b);
+        let c = generate(&JbbParams {
+            seed: 999,
+            ..small()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn threads_have_decorrelated_streams() {
+        let traces = generate(&small());
+        assert_ne!(traces[0].accesses, traces[1].accesses);
+    }
+
+    #[test]
+    fn private_heaps_are_disjoint_across_threads() {
+        let p = small();
+        let traces = generate(&p);
+        use std::collections::HashSet;
+        let heap_only = |tr: &Trace, t: usize| -> HashSet<u64> {
+            tr.accesses
+                .iter()
+                .map(|a| a.addr)
+                .filter(|&a| a >= p.heap_base(t) && a < p.heap_base(t + 1))
+                .collect()
+        };
+        let h0 = heap_only(&traces[0], 0);
+        let h1 = heap_only(&traces[1], 1);
+        assert!(!h0.is_empty() && !h1.is_empty());
+        assert!(h0.is_disjoint(&h1));
+    }
+
+    #[test]
+    fn shared_region_is_actually_shared() {
+        let p = small();
+        let traces = generate(&p);
+        use std::collections::HashSet;
+        let shared = |tr: &Trace| -> HashSet<u64> {
+            tr.accesses
+                .iter()
+                .map(|a| a.addr >> 6)
+                .filter(|&b| (b << 6) >= SHARED_BASE && (b << 6) < SHARED_BASE + 0x100_0000)
+                .collect()
+        };
+        let s0 = shared(&traces[0]);
+        let s1 = shared(&traces[1]);
+        assert!(
+            s0.intersection(&s1).next().is_some(),
+            "warehouses should touch common shared blocks"
+        );
+    }
+
+    #[test]
+    fn write_fraction_matches_parameter() {
+        let p = small();
+        let tr = generate_thread(&p, 0);
+        let stores = tr.accesses.iter().filter(|a| a.is_write).count();
+        let frac = stores as f64 / tr.len() as f64;
+        assert!((frac - p.write_frac).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn sequential_runs_present() {
+        let tr = generate_thread(&small(), 0);
+        let consecutive = tr
+            .accesses
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].addr + WORD)
+            .count();
+        let frac = consecutive as f64 / (tr.len() - 1) as f64;
+        // run_continue_p = 0.72 ⇒ a substantial fraction of consecutive pairs.
+        assert!(frac > 0.5, "frac={frac}");
+        assert!(frac < 0.9, "frac={frac}");
+    }
+
+    #[test]
+    fn mean_gap_calibrated() {
+        let p = small();
+        let tr = generate_thread(&p, 0);
+        let mean_gap =
+            tr.accesses.iter().map(|a| a.gap as f64).sum::<f64>() / tr.len() as f64;
+        assert!((mean_gap - p.mean_gap).abs() < 0.2, "mean_gap={mean_gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "region fractions")]
+    fn rejects_overfull_fractions() {
+        let p = JbbParams {
+            shared_frac: 0.7,
+            stack_frac: 0.7,
+            ..JbbParams::default()
+        };
+        generate(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_thread_index() {
+        generate_thread(&small(), 99);
+    }
+}

@@ -1,0 +1,134 @@
+//! Distribution samplers shared by the trace generators.
+//!
+//! Only `rand`'s uniform primitives are assumed; geometric and Zipf-like
+//! sampling are implemented here so the generators stay dependency-light and
+//! deterministic under a seeded [`rand::rngs::StdRng`].
+
+use rand::Rng;
+
+/// Sample a geometric random variable with success probability `p`,
+/// returning the number of trials until (and including) the first success —
+/// support `{1, 2, …}`, mean `1/p`.
+///
+/// Uses inversion, so one uniform draw per sample.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// A Zipf(`s`) sampler over `{0, …, n−1}` using a precomputed CDF.
+///
+/// Rank 0 is the most popular item. `s = 0` degenerates to uniform;
+/// `s ≈ 1` gives the classic heavy skew seen in object-access popularity.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler covers no items (never: `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw an item rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_close_to_inverse_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &p in &[0.1f64, 0.25, 0.5, 0.9] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| geometric(&mut rng, p)).sum();
+            let mean = sum as f64 / n as f64;
+            let expect = 1.0 / p;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "p={p}: mean={mean} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_min_is_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| geometric(&mut rng, 0.9) >= 1));
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let z = Zipf::new(10, 0.0);
+        let mut hist = [0u32; 10];
+        for _ in 0..20_000 {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        for &h in &hist {
+            let frac = h as f64 / 20_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let z = Zipf::new(100, 1.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        let mut hist = [0u32; 100];
+        for _ in 0..50_000 {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        assert!(hist[0] > hist[10]);
+        assert!(hist[10] > hist[90]);
+        // Rank 0 should take roughly 1/H(100) ≈ 19 % of the mass.
+        let frac0 = hist[0] as f64 / 50_000.0;
+        assert!((frac0 - 0.192).abs() < 0.03, "frac0={frac0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the binary trace codec and the stream filter.
+
+use proptest::prelude::*;
+use tm_traces::filter::{remove_true_conflicts, shared_block_count, to_block_stream, BlockAccess};
+use tm_traces::io::{decode, encode};
+use tm_traces::{MemAccess, Trace};
+
+fn arb_access() -> impl Strategy<Value = MemAccess> {
+    (any::<u64>(), any::<bool>(), any::<u16>()).prop_map(|(addr, is_write, gap)| MemAccess {
+        addr,
+        is_write,
+        gap,
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    ("[a-z0-9._-]{0,24}", proptest::collection::vec(arb_access(), 0..300)).prop_map(
+        |(name, accesses)| Trace { name, accesses },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_round_trips(trace in arb_trace()) {
+        let enc = encode(&trace);
+        prop_assert_eq!(decode(&enc).unwrap(), trace);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(trace in arb_trace()) {
+        let enc = encode(&trace).to_vec();
+        // Check a sample of cut points (checking all is O(n²) on big traces).
+        for cut in [0usize, 4, 8, 11, enc.len().saturating_sub(1)] {
+            if cut < enc.len() {
+                prop_assert!(decode(&enc[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_streams_are_pairwise_disjoint(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0u64..64, any::<bool>()), 0..80),
+            1..5
+        )
+    ) {
+        let input: Vec<Vec<BlockAccess>> = streams
+            .iter()
+            .map(|s| s.iter().map(|&(block, is_write)| BlockAccess { block, is_write }).collect())
+            .collect();
+        let out = remove_true_conflicts(&input);
+        prop_assert_eq!(out.len(), input.len());
+        // Disjointness across every pair.
+        use std::collections::HashSet;
+        let sets: Vec<HashSet<u64>> = out
+            .iter()
+            .map(|s| s.iter().map(|a| a.block).collect())
+            .collect();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                prop_assert!(sets[i].is_disjoint(&sets[j]), "streams {i} and {j} share blocks");
+            }
+        }
+        // The filter never invents accesses.
+        let before: usize = input.iter().map(Vec::len).sum();
+        let after: usize = out.iter().map(Vec::len).sum();
+        prop_assert!(after <= before);
+        // And the filtered result has zero shared blocks by its own metric.
+        prop_assert_eq!(shared_block_count(&out), 0);
+    }
+
+    #[test]
+    fn block_stream_preserves_block_sequence(trace in arb_trace()) {
+        let s = to_block_stream(&trace, 6);
+        // Collapsed stream must have no two consecutive equal blocks.
+        for w in s.windows(2) {
+            prop_assert_ne!(w[0].block, w[1].block);
+        }
+        // And every block in the stream appears in the trace.
+        use std::collections::HashSet;
+        let blocks: HashSet<u64> = trace.accesses.iter().map(|a| a.addr >> 6).collect();
+        prop_assert!(s.iter().all(|a| blocks.contains(&a.block)));
+    }
+}

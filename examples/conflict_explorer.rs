@@ -1,0 +1,52 @@
+//! Side-by-side exploration of the analytical model (Eq. 8), its exact
+//! product form, and the open-system Monte-Carlo simulator — the paper's
+//! §4 validation as an interactive table.
+//!
+//! Run with: `cargo run --release --example conflict_explorer`
+
+use tm_birthday::model::{exact, lockstep};
+use tm_birthday::sim::open::{run_open_system, OpenSystemParams};
+use tm_birthday::sim::runner::parallel_sweep;
+
+fn main() {
+    let alpha = 2u32;
+    let n = 4096usize;
+    let runs = 2_000;
+
+    println!("conflict probability, N = {n}, alpha = {alpha}, {runs} runs per point\n");
+    println!("  C   W    model(Eq.8)   exact(prod)   simulation");
+    println!("  ---------------------------------------------");
+
+    let grid: Vec<(u32, u32)> = [2u32, 4, 8]
+        .iter()
+        .flat_map(|&c| [5u32, 10, 20, 40].iter().map(move |&w| (c, w)))
+        .collect();
+    let sims = parallel_sweep(&grid, |&(c, w)| {
+        run_open_system(&OpenSystemParams {
+            concurrency: c,
+            write_footprint: w,
+            alpha,
+            table_entries: n,
+            runs,
+            seed: 0xE8709E5 ^ ((c as u64) << 32) ^ w as u64,
+        })
+        .conflict_rate
+    });
+
+    for (&(c, w), &sim) in grid.iter().zip(&sims) {
+        let model = lockstep::conflict_likelihood(c, w, alpha as f64, n as u64);
+        let prod = exact::conflict_probability(c, w, alpha as f64, n as u64);
+        println!(
+            "  {c}  {w:>3}   {:>10.1}%   {:>10.1}%   {:>9.1}%",
+            100.0 * model.min(1.0),
+            100.0 * prod,
+            100.0 * sim
+        );
+    }
+
+    println!(
+        "\nReading guide: the three columns agree in the low-conflict regime;\n\
+         past ~50% the linearized model saturates while the product form\n\
+         keeps tracking the simulation (paper footnote 2)."
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: concurrent bank transfers over the word-based STM, showing
+//! the paper's point in miniature — the same program, run over a tagless
+//! and a tagged ownership table, pays very different abort bills.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tm_birthday::stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm};
+
+const ACCOUNTS: u64 = 64;
+const INITIAL: u64 = 1_000;
+const TRANSFERS_PER_THREAD: usize = 2_000;
+const THREADS: u32 = 4;
+
+/// Word address of account `i` — one account per cache block, so accounts
+/// never *truly* conflict unless two threads touch the same account.
+fn account_addr(i: u64) -> u64 {
+    i * 64
+}
+
+fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
+    for i in 0..ACCOUNTS {
+        stm.heap().store(account_addr(i), INITIAL);
+    }
+
+    crossbeam::scope(|s| {
+        for id in 0..THREADS {
+            s.spawn(move |_| {
+                // A simple deterministic mixing sequence per thread.
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1);
+                // Each thread transfers only within its own quarter of the
+                // accounts: threads never touch the same account, so every
+                // cross-thread conflict below is a *false* one.
+                let per = ACCOUNTS / THREADS as u64;
+                let base = id as u64 * per;
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = base + (x >> 33) % per;
+                    let to = base + (x >> 13) % per;
+                    if from == to {
+                        continue;
+                    }
+                    stm.run(id, |txn| {
+                        let a = txn.read(account_addr(from))?;
+                        let b = txn.read(account_addr(to))?;
+                        // Simulate fee computation etc. — real transactions
+                        // do work while holding ownership, which is what
+                        // creates the window for conflicts.
+                        for _ in 0..2_000 {
+                            std::hint::spin_loop();
+                        }
+                        let amount = a.min(10);
+                        txn.write(account_addr(from), a - amount)?;
+                        txn.write(account_addr(to), b + amount)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Money is conserved: the defining invariant of atomicity.
+    let total: u64 = (0..ACCOUNTS).map(|i| stm.heap().load(account_addr(i))).sum();
+    assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money leaked!");
+
+    let s = stm.stats();
+    let t = stm.table().stats_snapshot();
+    println!(
+        "{label:>8}: {} commits, {} aborts (ratio {:.3}), {} table conflicts",
+        s.commits,
+        s.aborts,
+        s.abort_ratio(),
+        t.total_conflicts(),
+    );
+}
+
+fn main() {
+    println!(
+        "Transferring money between {ACCOUNTS} accounts with {THREADS} threads \
+         ({TRANSFERS_PER_THREAD} transfers each)\n"
+    );
+
+    // A deliberately small table (32 entries for 64 accounts: pigeonhole)
+    // makes aliasing visible, as in the paper's Figure 2 regime.
+    let heap_words = (ACCOUNTS as usize) * 8;
+    run_bank("tagless", &tagless_stm(heap_words, 32));
+    run_bank("tagged", &tagged_stm(heap_words, 32));
+
+    println!(
+        "\nBoth runs preserve the invariant; the tagless table simply pays\n\
+         extra aborts for conflicts between *different* accounts that alias\n\
+         in the ownership table — the paper's false conflicts."
+    );
+}

@@ -1,0 +1,82 @@
+//! A composed pipeline on transactional data structures: producers enqueue
+//! jobs, workers dequeue a job, update a results map, and bump a progress
+//! counter — **all three structures touched in one atomic transaction**,
+//! the composability that motivates TM (paper §1).
+//!
+//! Run with: `cargo run --release --example work_queue_pipeline`
+
+use tm_birthday::stm::{tagged_stm, ConcurrentTable, Stm};
+use tm_birthday::structs::{Region, TCounter, TMap, TQueue};
+
+const JOBS_PER_PRODUCER: u64 = 400;
+const PRODUCERS: u32 = 2;
+const WORKERS: u32 = 2;
+
+fn pipeline<T: ConcurrentTable>(stm: &Stm<T>) -> (u64, u64) {
+    let mut region = Region::new(0, 1 << 17);
+    let queue = TQueue::create(&mut region, 256);
+    let results = TMap::create(&mut region, 4096);
+    let done = TCounter::create(&mut region);
+
+    crossbeam::scope(|s| {
+        for p in 0..PRODUCERS {
+            s.spawn(move |_| {
+                for i in 0..JOBS_PER_PRODUCER {
+                    let job = 1 + (p as u64) * JOBS_PER_PRODUCER + i;
+                    while !queue.enqueue_now(stm, p, job) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for w in 0..WORKERS {
+            let id = PRODUCERS + w;
+            s.spawn(move |_| {
+                let target = (PRODUCERS as u64) * JOBS_PER_PRODUCER;
+                loop {
+                    // One atomic step: take a job, record its result, count it.
+                    let finished = stm.run(id, |txn| {
+                        match queue.dequeue(txn)? {
+                            Some(job) => {
+                                results.insert(txn, job, job * job)?;
+                                let n = done.add(txn, 1)?;
+                                Ok(n >= target)
+                            }
+                            None => Ok(done.read(txn)? >= target),
+                        }
+                    });
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Verify every job's result landed exactly once.
+    let total = (PRODUCERS as u64) * JOBS_PER_PRODUCER;
+    for job in 1..=total {
+        assert_eq!(
+            results.get_now(stm, 0, job),
+            Some(job * job),
+            "job {job} lost or corrupted"
+        );
+    }
+    (done.get(stm, 0), stm.stats().aborts)
+}
+
+fn main() {
+    let stm = tagged_stm(1 << 15, 4096);
+    let (done, aborts) = pipeline(&stm);
+    println!(
+        "pipeline complete: {done} jobs through queue -> map -> counter atomically; \
+         {aborts} aborts (all genuine queue/counter contention)"
+    );
+    println!(
+        "every conflict here is *true* contention on the queue ends and the counter —\n\
+         swap in a small tagless table to add false conflicts between the map's\n\
+         disjoint slots and watch the abort count climb."
+    );
+}

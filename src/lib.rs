@@ -1,0 +1,25 @@
+//! Facade crate for the *Transactional Memory and the Birthday Paradox*
+//! reproduction (Zilles & Rajwar, SPAA 2007).
+//!
+//! Re-exports the workspace crates under stable module names so examples,
+//! integration tests, and downstream users have a single dependency:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ownership`] | `tm-ownership` | Tagless and tagged ownership tables |
+//! | [`stm`] | `tm-stm` | Word-based software transactional memory |
+//! | [`traces`] | `tm-traces` | Synthetic address-trace generators |
+//! | [`cache_sim`] | `tm-cache-sim` | L1 cache model for HTM overflow |
+//! | [`model`] | `tm-model` | Analytical conflict-likelihood model |
+//! | [`sim`] | `tm-sim` | Monte-Carlo simulators |
+//! | [`structs`] | `tm-structs` | Transactional data structures |
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the experiment map.
+
+pub use tm_cache_sim as cache_sim;
+pub use tm_model as model;
+pub use tm_ownership as ownership;
+pub use tm_sim as sim;
+pub use tm_stm as stm;
+pub use tm_structs as structs;
+pub use tm_traces as traces;

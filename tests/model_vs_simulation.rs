@@ -1,0 +1,138 @@
+//! Cross-crate validation: the analytical model (tm-model), the Monte-Carlo
+//! simulators (tm-sim), and the trace generators (tm-traces) must agree on
+//! the paper's headline relationships.
+
+use tm_birthday::model::{exact, lockstep};
+use tm_birthday::sim::closed::{run_closed_system, ClosedSystemParams};
+use tm_birthday::sim::open::{run_open_system, OpenSystemParams};
+use tm_birthday::sim::runner::parallel_sweep;
+
+fn open_point(c: u32, w: u32, n: usize, runs: usize) -> f64 {
+    run_open_system(&OpenSystemParams {
+        concurrency: c,
+        write_footprint: w,
+        alpha: 2,
+        table_entries: n,
+        runs,
+        seed: 0x1e57 ^ ((c as u64) << 32) ^ ((n as u64) << 8) ^ w as u64,
+    })
+    .conflict_rate
+}
+
+#[test]
+fn model_tracks_simulation_across_grid() {
+    // Sweep the low-to-moderate conflict regime; Eq. 8 must predict the
+    // simulation within Monte-Carlo noise plus linearization error.
+    let grid: Vec<(u32, u32, usize)> = vec![
+        (2, 5, 4096),
+        (2, 10, 4096),
+        (2, 20, 16_384),
+        (3, 10, 16_384),
+        (4, 10, 16_384),
+        (4, 20, 65_536),
+        (8, 10, 65_536),
+    ];
+    let sims = parallel_sweep(&grid, |&(c, w, n)| open_point(c, w, n, 3_000));
+    for (&(c, w, n), &sim) in grid.iter().zip(&sims) {
+        let model = lockstep::conflict_likelihood(c, w, 2.0, n as u64);
+        let tol = 0.02 + model * model; // 3σ-ish noise + linearization
+        assert!(
+            (sim - model).abs() < tol,
+            "c={c} w={w} n={n}: sim {sim:.4} vs model {model:.4}"
+        );
+    }
+}
+
+#[test]
+fn exact_form_tracks_simulation_in_high_conflict_regime() {
+    // Where the linearized model saturates (>100%), the product form keeps
+    // matching the simulation.
+    let sim = open_point(4, 25, 4096, 3_000);
+    let lin = lockstep::conflict_likelihood(4, 25, 2.0, 4096);
+    let prod = exact::conflict_probability(4, 25, 2.0, 4096);
+    assert!(lin > 1.0, "chosen point must saturate the linear model");
+    assert!(
+        (sim - prod).abs() < 0.05,
+        "sim {sim:.4} vs product-form {prod:.4}"
+    );
+}
+
+#[test]
+fn closed_system_quadratic_footprint_slope() {
+    // Fig. 5(a): conflicts ∝ W² in the calm regime. Compare W=5 and W=15
+    // at C=2 with a big table: expect ratio ≈ 9 (tolerate closed-system
+    // staggering noise).
+    let conf = |w: u32| {
+        run_closed_system(&ClosedSystemParams {
+            threads: 2,
+            write_footprint: w,
+            alpha: 2,
+            table_entries: 32_768,
+            target_commits: 650,
+            reaction: Default::default(),
+            seed: 99,
+        })
+        .conflicts as f64
+    };
+    let (lo, hi) = (conf(5), conf(15));
+    let ratio = hi / lo.max(1.0);
+    assert!(
+        (4.0..20.0).contains(&ratio),
+        "W tripling should ~9x conflicts, got {lo} -> {hi} (x{ratio:.1})"
+    );
+}
+
+#[test]
+fn closed_system_inverse_table_slope() {
+    // Fig. 5(b): conflicts ∝ 1/N.
+    let conf = |n: usize| {
+        run_closed_system(&ClosedSystemParams {
+            threads: 4,
+            write_footprint: 10,
+            alpha: 2,
+            table_entries: n,
+            target_commits: 650,
+            reaction: Default::default(),
+            seed: 77,
+        })
+        .conflicts as f64
+    };
+    let (small, big) = (conf(2048), conf(8192));
+    let ratio = small / big.max(1.0);
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "4x table should ~4x fewer conflicts, got {small} vs {big}"
+    );
+}
+
+#[test]
+fn occupancy_expectation_matches_model_helper() {
+    let r = run_closed_system(&ClosedSystemParams {
+        threads: 4,
+        write_footprint: 8,
+        alpha: 2,
+        table_entries: 1 << 21,
+        target_commits: 650,
+            reaction: Default::default(),
+        seed: 5,
+    });
+    let expected = lockstep::expected_occupancy_staggered(4, 24.0);
+    assert!(
+        (r.mean_occupancy - expected).abs() / expected < 0.2,
+        "occupancy {} vs model {expected}",
+        r.mean_occupancy
+    );
+}
+
+#[test]
+fn paper_figure4a_anchor_points() {
+    // The inset series the paper quotes at W = 8: 48% → 27% → 14% → 7.7%.
+    let anchors = [(512usize, 0.48), (1024, 0.27), (2048, 0.14), (4096, 0.077)];
+    let sims = parallel_sweep(&anchors, |&(n, _)| open_point(2, 8, n, 4_000));
+    for (&(n, paper), &sim) in anchors.iter().zip(&sims) {
+        assert!(
+            (sim - paper).abs() < 0.06,
+            "N={n}: sim {sim:.3} vs paper {paper}"
+        );
+    }
+}

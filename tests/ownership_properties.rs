@@ -1,0 +1,189 @@
+//! Property-based tests over the ownership tables: for arbitrary operation
+//! sequences, structural invariants must hold and the two organizations
+//! must relate as the paper claims (tagged conflicts are exactly the
+//! same-block conflicts; tagless adds alias-induced ones).
+
+use proptest::prelude::*;
+
+use tm_birthday::ownership::{
+    Access, AcquireOutcome, HashKind, OwnershipTable, TableConfig, TaggedTable, TaglessTable,
+};
+
+/// A scripted operation against a table.
+#[derive(Clone, Debug)]
+enum Op {
+    Acquire { txn: u32, block: u64, write: bool },
+    ReleaseAll { txn: u32 },
+}
+
+fn op_strategy(threads: u32, blocks: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..threads, 0..blocks, any::<bool>()).prop_map(|(txn, block, write)| Op::Acquire {
+            txn,
+            block,
+            write
+        }),
+        1 => (0..threads).prop_map(|txn| Op::ReleaseAll { txn }),
+    ]
+}
+
+fn run_script<T: OwnershipTable>(table: &mut T, ops: &[Op]) -> Vec<Option<AcquireOutcome>> {
+    ops.iter()
+        .map(|op| match *op {
+            Op::Acquire { txn, block, write } => {
+                let access = if write { Access::Write } else { Access::Read };
+                Some(table.acquire(txn, block, access))
+            }
+            Op::ReleaseAll { txn } => {
+                table.release_all(txn);
+                None
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After releasing every transaction, both tables must be empty and
+    /// grants must equal releases... (grants ≥ releases during the run).
+    #[test]
+    fn tables_drain_to_empty(ops in proptest::collection::vec(op_strategy(4, 64), 0..200)) {
+        let cfg = TableConfig::new(16).with_hash(HashKind::Mask);
+        let mut tagless = TaglessTable::new(cfg.clone());
+        let mut tagged = TaggedTable::new(cfg);
+        run_script(&mut tagless, &ops);
+        run_script(&mut tagged, &ops);
+        for t in 0..4 {
+            tagless.release_all(t);
+            tagged.release_all(t);
+        }
+        prop_assert_eq!(tagless.occupancy(), 0);
+        prop_assert_eq!(tagged.occupancy(), 0);
+        prop_assert_eq!(tagged.record_count(), 0);
+    }
+
+    /// The tagged table never reports a conflict unless another transaction
+    /// genuinely holds the *same block* incompatibly: we verify against a
+    /// naive per-block reference model.
+    #[test]
+    fn tagged_conflicts_are_exactly_true_conflicts(
+        ops in proptest::collection::vec(op_strategy(3, 32), 0..200)
+    ) {
+        use std::collections::HashMap;
+        #[derive(Default, Clone)]
+        struct RefBlock { writer: Option<u32>, readers: Vec<u32> }
+
+        let cfg = TableConfig::new(8).with_hash(HashKind::Mask);
+        let mut tagged = TaggedTable::new(cfg);
+        let mut reference: HashMap<u64, RefBlock> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Acquire { txn, block, write } => {
+                    let access = if write { Access::Write } else { Access::Read };
+                    let got = tagged.acquire(txn, block, access);
+                    let r = reference.entry(block).or_default();
+                    let expect_conflict = if write {
+                        (r.writer.is_some() && r.writer != Some(txn))
+                            || r.readers.iter().any(|&t| t != txn)
+                            || (r.readers.contains(&txn) && r.readers.len() > 1)
+                    } else {
+                        r.writer.is_some() && r.writer != Some(txn)
+                    };
+                    prop_assert_eq!(
+                        matches!(got, AcquireOutcome::Conflict(_)),
+                        expect_conflict,
+                        "block {} txn {} write {}: table said {:?}",
+                        block, txn, write, got
+                    );
+                    if got.is_ok() {
+                        if write {
+                            r.writer = Some(txn);
+                            r.readers.retain(|&t| t != txn);
+                        } else if r.writer != Some(txn) && !r.readers.contains(&txn) {
+                            r.readers.push(txn);
+                        }
+                    }
+                }
+                Op::ReleaseAll { txn } => {
+                    tagged.release_all(txn);
+                    for r in reference.values_mut() {
+                        if r.writer == Some(txn) {
+                            r.writer = None;
+                        }
+                        r.readers.retain(|&t| t != txn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// With classification enabled, every tagless conflict between distinct
+    /// blocks is classified false and every same-block incompatibility that
+    /// conflicts is classified true.
+    #[test]
+    fn tagless_classification_is_sound(
+        ops in proptest::collection::vec(op_strategy(3, 24), 0..150)
+    ) {
+        let cfg = TableConfig::new(8)
+            .with_hash(HashKind::Mask)
+            .with_conflict_classification(true);
+        let mut table = TaglessTable::new(cfg);
+        // Track which (txn, block) grants are live, mirroring the oracle.
+        use std::collections::HashSet;
+        let mut live: HashSet<(u32, u64, bool)> = HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Acquire { txn, block, write } => {
+                    let access = if write { Access::Write } else { Access::Read };
+                    let got = table.acquire(txn, block, access);
+                    if let AcquireOutcome::Conflict(c) = got {
+                        let genuine = live.iter().any(|&(t, b, w)| {
+                            t != txn && b == block && (w || write)
+                        });
+                        prop_assert_eq!(
+                            c.known_false,
+                            !genuine,
+                            "block {} txn {}: {:?}",
+                            block, txn, c
+                        );
+                    } else {
+                        // Both Granted and AlreadyHeld extend the
+                        // transaction's recorded footprint (the table's
+                        // oracle does the same).
+                        live.insert((txn, block, write));
+                    }
+                }
+                Op::ReleaseAll { txn } => {
+                    table.release_all(txn);
+                    live.retain(|&(t, _, _)| t != txn);
+                }
+            }
+        }
+    }
+
+    /// The tagless table's occupancy never exceeds min(entries, grants) and
+    /// statistics remain arithmetically consistent.
+    #[test]
+    fn stats_consistency(ops in proptest::collection::vec(op_strategy(4, 128), 0..300)) {
+        let cfg = TableConfig::new(32).with_hash(HashKind::Multiplicative);
+        let mut table = TaglessTable::new(cfg);
+        for op in &ops {
+            match *op {
+                Op::Acquire { txn, block, write } => {
+                    let access = if write { Access::Write } else { Access::Read };
+                    let _ = table.acquire(txn, block, access);
+                    prop_assert!(table.occupancy() <= 32);
+                }
+                Op::ReleaseAll { txn } => table.release_all(txn),
+            }
+            let s = table.stats();
+            prop_assert_eq!(
+                s.total_acquires(),
+                s.grants + s.already_held + s.total_conflicts()
+            );
+            prop_assert!(s.occupancy_highwater <= 32);
+        }
+    }
+}

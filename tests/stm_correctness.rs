@@ -1,0 +1,205 @@
+//! Cross-crate STM correctness under concurrency: atomicity invariants must
+//! hold over both ownership-table organizations, with either contention
+//! policy, under panics, and under strong isolation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_birthday::ownership::TableConfig;
+use tm_birthday::stm::{
+    tagged_stm, tagless_stm, ConcurrentTable, ContentionPolicy, Stm, StmConfig,
+};
+
+const THREADS: u32 = 4;
+
+/// Multi-word invariant workload: each transaction moves value between two
+/// random cells of a shared array; the array total must never change.
+fn conservation<T: ConcurrentTable>(stm: &Stm<T>, cells: u64, iters: u64) {
+    for i in 0..cells {
+        stm.heap().store(i * 8, 100);
+    }
+    crossbeam::scope(|s| {
+        for id in 0..THREADS {
+            s.spawn(move |_| {
+                let mut x = (id as u64 + 1) * 0x9E37_79B9;
+                for _ in 0..iters {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                    let a = (x >> 32) % cells;
+                    let b = (x >> 12) % cells;
+                    if a == b {
+                        continue;
+                    }
+                    stm.run(id, |txn| {
+                        let va = txn.read(a * 8)?;
+                        let vb = txn.read(b * 8)?;
+                        let amt = va.min(7);
+                        txn.write(a * 8, va - amt)?;
+                        txn.write(b * 8, vb + amt)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    })
+    .unwrap();
+    let total: u64 = (0..cells).map(|i| stm.heap().load(i * 8)).sum();
+    assert_eq!(total, cells * 100, "value not conserved");
+}
+
+#[test]
+fn conservation_tagged() {
+    conservation(&tagged_stm(4096, 1024), 128, 1_500);
+}
+
+#[test]
+fn conservation_tagless() {
+    conservation(&tagless_stm(4096, 1024), 128, 1_500);
+}
+
+#[test]
+fn conservation_tagless_tiny_table() {
+    // Heavy false-conflict pressure: a 16-entry table. Correctness must be
+    // unaffected; only throughput suffers.
+    let stm = Stm::new(
+        4096,
+        tm_birthday::ownership::ConcurrentTaglessTable::new(TableConfig::new(16)),
+        StmConfig::default(),
+    );
+    conservation(&stm, 64, 400);
+}
+
+#[test]
+fn conservation_under_stall_policy() {
+    let stm = Stm::new(
+        4096,
+        tm_birthday::ownership::ConcurrentTaggedTable::new(TableConfig::new(512)),
+        StmConfig {
+            contention: ContentionPolicy::Stall { max_spins: 64 },
+        },
+    );
+    conservation(&stm, 128, 1_000);
+}
+
+#[test]
+fn panicking_transaction_releases_grants() {
+    let stm = tagged_stm(256, 256);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.run(0, |txn| {
+            txn.write(0, 1)?;
+            panic!("user code exploded");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(result.is_err());
+    // The grant must have been returned by Txn's Drop: a fresh transaction
+    // (different thread id) can immediately take the same block.
+    let r = stm.try_run(1, 1, |txn| txn.write(0, 2));
+    assert!(r.is_ok(), "grant leaked after panic");
+    assert_eq!(stm.heap().load(0), 2);
+}
+
+#[test]
+fn read_snapshot_is_consistent_pairwise() {
+    // Writers keep (word0, word1) equal inside one transaction; readers
+    // must never observe them unequal. Words 0 and 64 live in different
+    // blocks so the pair needs genuine two-grant atomicity.
+    let stm = std::sync::Arc::new(tagged_stm(256, 1024));
+    let violations = AtomicU64::new(0);
+    crossbeam::scope(|s| {
+        let (stm, violations) = (&stm, &violations);
+        for wid in 0..2u32 {
+            s.spawn(move |_| {
+                for i in 0..2_000u64 {
+                    stm.run(wid, |txn| {
+                        txn.write(0, i)?;
+                        txn.write(64, i)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+        for rid in 2..4u32 {
+            s.spawn(move |_| {
+                for _ in 0..2_000 {
+                    let (a, b) = stm.run(rid, |txn| Ok((txn.read(0)?, txn.read(64)?)));
+                    if a != b {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(violations.load(Ordering::Relaxed), 0, "torn reads observed");
+}
+
+#[test]
+fn strong_isolation_excludes_writers() {
+    // A non-transactional reader using strong reads must never see the two
+    // words of one block out of sync (both words share block 0, and the
+    // strong read of the pair is performed under one acquire by reading
+    // both words before release — emulated here by a tiny transaction on
+    // the reader side for the pair, and raw strong reads for single words).
+    let stm = std::sync::Arc::new(tagless_stm(256, 512));
+    crossbeam::scope(|s| {
+        let stm1 = &stm;
+        s.spawn(move |_| {
+            for i in 0..3_000u64 {
+                stm1.run(0, |txn| {
+                    txn.write(0, i)?;
+                    txn.write(8, i)?;
+                    Ok(())
+                });
+            }
+        });
+        let stm2 = &stm;
+        s.spawn(move |_| {
+            for _ in 0..3_000 {
+                let v = stm2.strong_read(1, 0);
+                let w = stm2.strong_read(1, 8);
+                // Monotone non-decreasing writer ⇒ w >= v - 0 always when
+                // sampled after v? The writer bumps both words together, so
+                // w (read later) can only be >= the transaction that
+                // produced v.
+                assert!(w >= v, "strong read went backwards: {v} then {w}");
+            }
+        });
+    })
+    .unwrap();
+    let s = stm.stats();
+    assert_eq!(s.strong_reads, 6_000);
+}
+
+#[test]
+fn try_run_budget_respected_under_persistent_conflict() {
+    // Thread 0 camps on a block inside a long transaction; thread 1's
+    // budgeted attempts must all fail, then succeed after release.
+    use std::sync::atomic::AtomicBool;
+    let stm = std::sync::Arc::new(tagged_stm(256, 256));
+    let holding = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    crossbeam::scope(|s| {
+        let (stm, holding, done) = (&stm, &holding, &done);
+        s.spawn(move |_| {
+            stm.run(0, |txn| {
+                txn.write(0, 42)?;
+                holding.store(true, Ordering::Release);
+                while !done.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                Ok(())
+            });
+        });
+        while !holding.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        let r = stm.try_run(1, 3, |txn| txn.write(0, 7));
+        assert!(r.is_err());
+        assert_eq!(stm.stats().aborts, 3);
+        done.store(true, Ordering::Release);
+    })
+    .unwrap();
+    // After the camper commits, the block is writable again.
+    assert!(stm.try_run(1, 5, |txn| txn.write(0, 7)).is_ok());
+    assert_eq!(stm.heap().load(0), 7);
+}
