@@ -1,0 +1,232 @@
+//! Sharded epoch guards: the read side of the active/standby pattern.
+//!
+//! Every table operation enters the gate through a per-shard pair of
+//! monotonic counters (`ingress` bumped on entry, `egress` on exit), so the
+//! hot path costs two shard-local atomic increments and one flag load — no
+//! shared lock word for readers to fight over. The resize controller
+//! [`EpochGate::seal`]s the gate, which turns new entrants away and then
+//! waits until every in-flight operation has drained (all ingress/egress
+//! pairs balance), exactly the "writer awaits the standby table being free
+//! of read guards" discipline of the `active_standby` crate this design is
+//! modeled on. While sealed, the sealer may mutate and swap the standby
+//! table; [`EpochGate::open`] releases the spinners.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Number of counter shards; a power of two so the hint masks cheaply.
+const SHARDS: usize = 32;
+
+/// One cache-line-padded ingress/egress counter pair.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard {
+    ingress: AtomicU64,
+    egress: AtomicU64,
+}
+
+/// The gate (see module docs).
+#[derive(Debug)]
+pub struct EpochGate {
+    shards: Vec<Shard>,
+    sealed: AtomicBool,
+}
+
+impl Default for EpochGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII token proving the holder is inside the gate; the paired egress
+/// increment happens on drop.
+#[derive(Debug)]
+pub struct EpochGuard<'g> {
+    egress: &'g AtomicU64,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        self.egress.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl EpochGate {
+    /// A new, open gate.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enter the gate; blocks (spinning) while the gate is sealed.
+    ///
+    /// `hint` selects the counter shard — pass something thread-stable
+    /// (the transaction's thread id) so concurrent entrants spread out.
+    pub fn enter(&self, hint: usize) -> EpochGuard<'_> {
+        let shard = &self.shards[hint & (SHARDS - 1)];
+        loop {
+            shard.ingress.fetch_add(1, Ordering::SeqCst);
+            if !self.sealed.load(Ordering::SeqCst) {
+                return EpochGuard {
+                    egress: &shard.egress,
+                };
+            }
+            // A seal raced in: retract and wait for the swap to finish.
+            shard.egress.fetch_add(1, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while self.sealed.load(Ordering::SeqCst) {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Seal the gate and wait until every in-flight guard has been dropped.
+    ///
+    /// On return the caller has exclusive access to whatever the gate
+    /// protects, until [`EpochGate::open`]. Callers must not hold an
+    /// [`EpochGuard`] of this gate (self-deadlock).
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+        let mut spins = 0u32;
+        loop {
+            // Egress before ingress: if the sums then match, every entry
+            // observed had already exited when we read egress — no guard
+            // can still be live (ingress only grows).
+            let egress: u64 = self
+                .shards
+                .iter()
+                .map(|s| s.egress.load(Ordering::SeqCst))
+                .sum();
+            let ingress: u64 = self
+                .shards
+                .iter()
+                .map(|s| s.ingress.load(Ordering::SeqCst))
+                .sum();
+            if ingress == egress {
+                return;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Re-open a sealed gate, releasing any waiting entrants.
+    pub fn open(&self) {
+        self.sealed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the gate is currently sealed (diagnostic).
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn enter_exit_balances() {
+        let gate = EpochGate::new();
+        {
+            let _a = gate.enter(0);
+            let _b = gate.enter(1);
+        }
+        // Both guards dropped: seal must return immediately.
+        gate.seal();
+        gate.open();
+    }
+
+    #[test]
+    fn seal_waits_for_inflight_guard() {
+        let gate = EpochGate::new();
+        let inside = AtomicU32::new(0);
+        crossbeam::scope(|s| {
+            let (gate, inside) = (&gate, &inside);
+            s.spawn(move |_| {
+                let _g = gate.enter(3);
+                inside.store(1, Ordering::SeqCst);
+                while inside.load(Ordering::SeqCst) != 2 {
+                    std::hint::spin_loop();
+                }
+                // guard drops here
+            });
+            while inside.load(Ordering::SeqCst) != 1 {
+                std::hint::spin_loop();
+            }
+            let sealer = s.spawn(move |_| {
+                gate.seal();
+                // Only reachable once the holder exited.
+                assert_eq!(inside.load(Ordering::SeqCst), 2);
+                gate.open();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            inside.store(2, Ordering::SeqCst);
+            sealer.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn entrants_wait_out_a_seal() {
+        let gate = EpochGate::new();
+        let passed = AtomicU32::new(0);
+        gate.seal();
+        crossbeam::scope(|s| {
+            let (gate, passed) = (&gate, &passed);
+            for i in 0..4 {
+                s.spawn(move |_| {
+                    let _g = gate.enter(i);
+                    passed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(
+                passed.load(Ordering::SeqCst),
+                0,
+                "sealed gate admitted an entrant"
+            );
+            gate.open();
+        })
+        .unwrap();
+        assert_eq!(passed.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn stress_seal_open_cycles() {
+        let gate = EpochGate::new();
+        let ops = AtomicU32::new(0);
+        crossbeam::scope(|s| {
+            let (gate, ops) = (&gate, &ops);
+            for t in 0..4usize {
+                s.spawn(move |_| {
+                    for _ in 0..2000 {
+                        let _g = gate.enter(t);
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(move |_| {
+                for _ in 0..50 {
+                    gate.seal();
+                    gate.open();
+                    std::thread::yield_now();
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(ops.load(Ordering::Relaxed), 8000);
+        gate.seal(); // everything drained
+    }
+}

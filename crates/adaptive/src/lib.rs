@@ -1,0 +1,137 @@
+//! Feedback-controlled, online-resizable ownership tables.
+//!
+//! Zilles & Rajwar's central result (*Transactional Memory and the Birthday
+//! Paradox*, SPAA 2007) is that a fixed-size tagless ownership table
+//! suffers birthday-paradox false conflicts growing **quadratically** with
+//! transaction footprint and concurrency — so a production word-based STM
+//! must size its table to the workload it is actually running. This crate
+//! turns that diagnosis into a cure:
+//!
+//! * [`ResizableTable`] wraps any [`ConcurrentTable`] in an active/standby
+//!   pair behind sharded [`epoch`] guards: a resize builds a standby table
+//!   of the new geometry, waits out in-flight operations, replays every
+//!   live grant, and swaps — transactions keep running and their logs stay
+//!   valid (grant keys are block addresses, immune to rehashing).
+//! * [`ResizePolicy`] inverts the paper's Eq. 8 (via [`tm_model::sizing`])
+//!   against observed footprint/concurrency, with headroom and hysteresis.
+//! * [`AdaptiveController`] closes the loop from a running [`Stm`]'s
+//!   statistics stream, one [`tick`](AdaptiveController::tick) per control
+//!   epoch.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_adaptive::{adaptive_stm, ControlReport, ResizePolicy};
+//!
+//! // 64k-word heap, deliberately under-sized 256-entry tagless table,
+//! // 4 expected worker threads.
+//! let (stm, mut controller) = adaptive_stm(1 << 16, 256, ResizePolicy::default(), 4);
+//!
+//! // Run a footprint-heavy workload...
+//! for t in 0..200u64 {
+//!     stm.run(0, |txn| {
+//!         for w in 0..16 {
+//!             txn.write(((t * 16 + w) % 2048) * 64, w)?;
+//!         }
+//!         Ok(())
+//!     });
+//! }
+//!
+//! // ...and let one control epoch fix the table.
+//! match controller.tick(&stm) {
+//!     ControlReport::Resized { report, .. } => {
+//!         assert!(report.to_entries > 256);
+//!         assert_eq!(stm.table().live_entries(), report.to_entries);
+//!     }
+//!     other => panic!("expected a resize, got {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod epoch;
+pub mod policy;
+pub mod resizable;
+
+pub use controller::{AdaptiveController, ControlReport};
+pub use epoch::{EpochGate, EpochGuard};
+pub use policy::{Decision, Observation, ResizePolicy};
+pub use resizable::{ResizableTable, ResizeError, ResizeReport, ResizeStats};
+
+use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
+use tm_stm::{Stm, StmConfig};
+
+/// An STM over an adaptively-sized **tagless** table, plus the controller
+/// that keeps the table sized to the workload.
+///
+/// Starts at `initial_entries` (power of two) with the paper-default
+/// geometry; call [`AdaptiveController::tick`] periodically (timer thread,
+/// batch boundary, metrics scrape) to let the sizing model react.
+pub fn adaptive_stm(
+    heap_words: usize,
+    initial_entries: usize,
+    policy: ResizePolicy,
+    concurrency: u32,
+) -> (
+    Stm<ResizableTable<ConcurrentTaglessTable>>,
+    AdaptiveController,
+) {
+    let table = ResizableTable::with_factory(
+        TableConfig::new(initial_entries),
+        ConcurrentTaglessTable::new,
+    );
+    (
+        Stm::new(heap_words, table, StmConfig::default()),
+        AdaptiveController::new(policy, concurrency),
+    )
+}
+
+/// Like [`adaptive_stm`] but over a **tagged** table: conflicts are always
+/// genuine, so resizing here manages chain lengths (lookup cost) rather
+/// than false conflicts.
+pub fn adaptive_tagged_stm(
+    heap_words: usize,
+    initial_entries: usize,
+    policy: ResizePolicy,
+    concurrency: u32,
+) -> (
+    Stm<ResizableTable<ConcurrentTaggedTable>>,
+    AdaptiveController,
+) {
+    let table = ResizableTable::with_factory(
+        TableConfig::new(initial_entries),
+        ConcurrentTaggedTable::new,
+    );
+    (
+        Stm::new(heap_words, table, StmConfig::default()),
+        AdaptiveController::new(policy, concurrency),
+    )
+}
+
+/// Convenience: a bare resizable tagless table (no STM), for direct use or
+/// simulation.
+pub fn resizable_tagless(cfg: TableConfig) -> ResizableTable<ConcurrentTaglessTable> {
+    ResizableTable::with_factory(cfg, ConcurrentTaglessTable::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_ownership::concurrent::ConcurrentTable;
+
+    #[test]
+    fn constructors_wire_up() {
+        let (stm, ctl) = adaptive_stm(1024, 256, ResizePolicy::default(), 2);
+        assert_eq!(stm.table().live_entries(), 256);
+        assert_eq!(ctl.epochs(), 0);
+
+        let (stm, _ctl) = adaptive_tagged_stm(1024, 128, ResizePolicy::default(), 2);
+        assert_eq!(stm.table().live_entries(), 128);
+
+        let t = resizable_tagless(TableConfig::new(64));
+        assert_eq!(ConcurrentTable::num_entries(&t), 64);
+    }
+}

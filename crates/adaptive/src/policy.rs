@@ -1,0 +1,238 @@
+//! Sizing policy: turns workload observations into table-size decisions
+//! through the paper's analytical model.
+//!
+//! The paper's §3.1–3.2 back-of-envelope is exactly a sizing rule: given
+//! concurrency `C`, write footprint `W`, and read/write ratio `α`, Eq. 8
+//! says a tagless table needs `N ≳ C(C−1)(1+2α)W²/(2(1−p))` entries to keep
+//! the false-conflict probability under `1−p`. [`ResizePolicy`] inverts
+//! that (via [`tm_model::sizing`]) against *live* observations, with
+//! headroom and hysteresis so the controller neither thrashes nor chases
+//! noise.
+
+use tm_model::sizing;
+
+/// One observation window of a running STM.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// Concurrently running transactions (the model's `C`).
+    pub concurrency: u32,
+    /// Mean distinct blocks written per committed transaction (`W`).
+    pub write_footprint: f64,
+    /// Mean fresh-read blocks per written block (`α`).
+    pub alpha: f64,
+    /// Committed transactions in the window (confidence weight).
+    pub commits: u64,
+}
+
+/// What the policy wants done.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Current size is adequate (or evidence insufficient).
+    Keep,
+    /// Swap to a table of this many entries (power of two).
+    Resize(usize),
+}
+
+/// Feedback-control parameters for online table sizing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResizePolicy {
+    /// Highest acceptable per-transaction false-conflict probability
+    /// (the model's `1 − p`); the paper's Table §3.1 examples use 0.50 and
+    /// 0.05.
+    pub target_conflict_prob: f64,
+    /// Multiplier on the model's minimum size before rounding up to a
+    /// power of two, absorbing observation noise and bursts.
+    pub headroom: f64,
+    /// Never shrink below this many entries.
+    pub min_entries: usize,
+    /// Never grow beyond this many entries.
+    pub max_entries: usize,
+    /// Shrink only when the required size is at least this factor below
+    /// the current size (hysteresis against oscillation).
+    pub shrink_hysteresis: f64,
+    /// Ignore windows with fewer committed transactions than this.
+    pub min_commits: u64,
+}
+
+impl Default for ResizePolicy {
+    fn default() -> Self {
+        Self {
+            target_conflict_prob: 0.05,
+            headroom: 2.0,
+            min_entries: 1 << 8,
+            max_entries: 1 << 26,
+            shrink_hysteresis: 8.0,
+            min_commits: 64,
+        }
+    }
+}
+
+impl ResizePolicy {
+    /// The table size (power of two, clamped to the policy bounds) the
+    /// model demands for `obs`.
+    ///
+    /// The bounds themselves are normalized to powers of two (`min` up,
+    /// `max` down) so the result is always a legal [`tm_ownership::TableConfig`]
+    /// size even when the caller set round-number bounds.
+    pub fn required_entries(&self, obs: &Observation) -> usize {
+        // The model needs C ≥ 2 and W ≥ 1; below that any table works.
+        let c = obs.concurrency.max(2);
+        let w = obs.write_footprint.round().max(1.0) as u32;
+        let alpha = obs.alpha.max(0.0);
+        let n = sizing::table_entries_for_commit_prob(1.0 - self.target_conflict_prob, c, w, alpha);
+        // Cap below the overflow point of next_power_of_two (a table this
+        // size is unbuildable anyway); likewise round huge bounds without
+        // wrapping.
+        let padded = ((n as f64 * self.headroom).ceil() as u64).min(1 << 62);
+        let min = prev_power_of_two(self.min_entries.max(1).saturating_mul(2) - 1);
+        let max_pow2 = prev_power_of_two(self.max_entries.max(1)).max(min);
+        (padded.next_power_of_two() as usize).clamp(min, max_pow2)
+    }
+
+    /// Decide what to do given `obs` and the current table size.
+    pub fn decide(&self, obs: &Observation, current_entries: usize) -> Decision {
+        if obs.commits < self.min_commits {
+            return Decision::Keep;
+        }
+        let required = self.required_entries(obs);
+        let grow = required > current_entries;
+        // Shrinking needs the hysteresis margin so noise cannot oscillate
+        // the table.
+        let shrink = current_entries > required
+            && (required as f64) * self.shrink_hysteresis <= current_entries as f64;
+        if grow || shrink {
+            Decision::Resize(required)
+        } else {
+            Decision::Keep
+        }
+    }
+}
+
+/// Largest power of two ≤ `n` (`n ≥ 1`); overflow-free even at
+/// `usize::MAX`.
+fn prev_power_of_two(n: usize) -> usize {
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(c: u32, w: f64, alpha: f64, commits: u64) -> Observation {
+        Observation {
+            concurrency: c,
+            write_footprint: w,
+            alpha,
+            commits,
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_demands_big_tables() {
+        // §3.1: W = 71, α = 2 at C = 2 needs > 50k entries for p = 0.5.
+        let policy = ResizePolicy {
+            target_conflict_prob: 0.5,
+            headroom: 1.0,
+            ..Default::default()
+        };
+        let n = policy.required_entries(&obs(2, 71.0, 2.0, 1000));
+        assert!(n >= 50_410, "got {n}");
+        assert!(n.is_power_of_two());
+    }
+
+    #[test]
+    fn growth_triggered_when_under_sized() {
+        let policy = ResizePolicy::default();
+        let o = obs(8, 40.0, 2.0, 1000);
+        match policy.decide(&o, 1 << 10) {
+            Decision::Resize(n) => assert!(n > 1 << 10),
+            d => panic!("expected growth, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_when_adequate() {
+        let policy = ResizePolicy::default();
+        let o = obs(2, 4.0, 1.0, 1000);
+        // A large-but-not-excessive table: within hysteresis band.
+        let required = policy.required_entries(&o);
+        assert_eq!(policy.decide(&o, required), Decision::Keep);
+        assert_eq!(policy.decide(&o, required * 4), Decision::Keep);
+    }
+
+    #[test]
+    fn shrink_needs_hysteresis_margin() {
+        let policy = ResizePolicy::default();
+        let o = obs(2, 4.0, 1.0, 1000);
+        let required = policy.required_entries(&o);
+        let oversized = required * 16; // ≥ 8x hysteresis
+        assert_eq!(policy.decide(&o, oversized), Decision::Resize(required));
+    }
+
+    #[test]
+    fn thin_evidence_is_ignored() {
+        let policy = ResizePolicy::default();
+        let o = obs(16, 100.0, 4.0, 3);
+        assert_eq!(policy.decide(&o, 256), Decision::Keep);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let policy = ResizePolicy {
+            max_entries: 1 << 12,
+            ..Default::default()
+        };
+        let n = policy.required_entries(&obs(32, 500.0, 4.0, 1000));
+        assert_eq!(n, 1 << 12);
+        let tiny = policy.required_entries(&obs(2, 1.0, 0.0, 1000));
+        assert_eq!(tiny, policy.min_entries);
+    }
+
+    #[test]
+    fn non_power_of_two_bounds_still_yield_legal_sizes() {
+        let policy = ResizePolicy {
+            min_entries: 300,
+            max_entries: 100_000,
+            ..Default::default()
+        };
+        // Demand far beyond max: must round DOWN to a legal power of two.
+        let big = policy.required_entries(&obs(32, 500.0, 4.0, 1000));
+        assert_eq!(big, 65_536);
+        // Demand below min: must round min UP to a legal power of two.
+        let small = policy.required_entries(&obs(2, 1.0, 0.0, 1000));
+        assert_eq!(small, 512);
+        // Shrink decisions must also emit legal sizes only.
+        match policy.decide(&obs(2, 1.0, 0.0, 1000), 65_536) {
+            Decision::Resize(n) => assert!(n.is_power_of_two()),
+            d => panic!("expected shrink, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_observations_do_not_panic() {
+        let policy = ResizePolicy::default();
+        // C < 2 and W < 1 are clamped, not rejected.
+        let n = policy.required_entries(&obs(0, 0.2, 0.0, 1000));
+        assert!(n >= policy.min_entries);
+    }
+
+    #[test]
+    fn extreme_bounds_do_not_overflow() {
+        // "Uncapped" policies must not wrap next_power_of_two to zero.
+        let policy = ResizePolicy {
+            max_entries: usize::MAX,
+            ..Default::default()
+        };
+        let n = policy.required_entries(&obs(32, 500.0, 4.0, 1000));
+        assert!(n.is_power_of_two());
+        assert!(n > policy.min_entries, "max bound collapsed to min: {n}");
+        let tiny = ResizePolicy {
+            min_entries: usize::MAX,
+            max_entries: usize::MAX,
+            ..Default::default()
+        };
+        assert!(tiny
+            .required_entries(&obs(2, 1.0, 0.0, 1000))
+            .is_power_of_two());
+    }
+}

@@ -1,0 +1,127 @@
+//! Costs of the `tm-adaptive` subsystem: per-operation wrapper overhead,
+//! live-migration latency as a function of held grants, and end-to-end STM
+//! throughput while a controller resizes underneath the workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tm_adaptive::{resizable_tagless, ResizePolicy};
+use tm_ownership::concurrent::{ConcurrentTable, Held};
+use tm_ownership::{Access, ConcurrentTaglessTable, HashKind, TableConfig};
+
+fn acquire_release_cycle(table: &impl ConcurrentTable, blocks: &[u64]) {
+    for &b in blocks {
+        if table.acquire(0, b, Access::Write, Held::None).is_ok() {
+            table.release(0, table.grant_key(b), Held::Write);
+        }
+    }
+}
+
+/// Raw tagless CAS path vs the journaled resizable wrapper, same workload.
+fn bench_wrapper_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_wrapper_overhead");
+    g.sample_size(20);
+    let blocks: Vec<u64> = {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..1024).map(|_| rng.gen::<u64>() >> 1).collect()
+    };
+
+    let raw = ConcurrentTaglessTable::new(TableConfig::new(1 << 14));
+    g.bench_function("raw_tagless_1k_ops", |b| {
+        b.iter(|| acquire_release_cycle(&raw, &blocks))
+    });
+
+    let wrapped = resizable_tagless(TableConfig::new(1 << 14));
+    g.bench_function("resizable_tagless_1k_ops", |b| {
+        b.iter(|| acquire_release_cycle(&wrapped, &blocks))
+    });
+    g.finish();
+}
+
+/// Swap latency vs number of live grants to migrate.
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_migration");
+    g.sample_size(10);
+    for &grants in &[100usize, 1_000, 10_000] {
+        let table =
+            resizable_tagless(TableConfig::new(1 << 16).with_hash(HashKind::Multiplicative));
+        let mut rng = StdRng::seed_from_u64(grants as u64);
+        let mut held = 0usize;
+        while held < grants {
+            let block = rng.gen::<u64>() >> 1;
+            // Spread across many transactions like a live system would.
+            if table
+                .acquire((held % 64) as u32, block, Access::Write, Held::None)
+                .is_ok()
+            {
+                held += 1;
+            }
+        }
+        let mut big = false;
+        g.bench_with_input(
+            BenchmarkId::new("swap_with_grants", grants),
+            &grants,
+            |b, _| {
+                b.iter(|| {
+                    // Bounce between two geometries; every iteration is one
+                    // full seal → replay → swap cycle.
+                    big = !big;
+                    let n = if big { 1 << 17 } else { 1 << 16 };
+                    table.resize_to(n).unwrap();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Full STM throughput with a controller resizing mid-run, against the
+/// same workload on a static table of the starting size.
+fn bench_stm_adaptive_vs_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_stm_throughput");
+    g.sample_size(10);
+    const TXNS: u64 = 300;
+    const W: u64 = 16;
+
+    g.bench_function("static_512", |b| {
+        b.iter(|| {
+            let stm = tm_stm::tagless_stm(1 << 16, 512);
+            for t in 0..TXNS {
+                stm.run(0, |txn| {
+                    for w in 0..W {
+                        txn.write(((t * W + w) * 97 % 8000) * 64, w)?;
+                    }
+                    Ok(())
+                });
+            }
+        })
+    });
+
+    g.bench_function("adaptive_from_512", |b| {
+        b.iter(|| {
+            let (stm, mut ctl) =
+                tm_adaptive::adaptive_stm(1 << 16, 512, ResizePolicy::default(), 2);
+            for t in 0..TXNS {
+                stm.run(0, |txn| {
+                    for w in 0..W {
+                        txn.write(((t * W + w) * 97 % 8000) * 64, w)?;
+                    }
+                    Ok(())
+                });
+                if t % 100 == 99 {
+                    let _ = ctl.tick(&stm);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wrapper_overhead,
+    bench_migration,
+    bench_stm_adaptive_vs_static
+);
+criterion_main!(benches);

@@ -90,11 +90,9 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, &t| b.iter(|| run_tagless(t, 1024)),
         );
-        g.bench_with_input(
-            BenchmarkId::new("tagged_1k", threads),
-            &threads,
-            |b, &t| b.iter(|| run_tagged(t, 1024)),
-        );
+        g.bench_with_input(BenchmarkId::new("tagged_1k", threads), &threads, |b, &t| {
+            b.iter(|| run_tagged(t, 1024))
+        });
         g.bench_with_input(
             BenchmarkId::new("lazy_tagless_1k", threads),
             &threads,

@@ -30,7 +30,11 @@ fn bench(c: &mut Criterion) {
         let mut t = TaglessTable::new(TableConfig::new(N));
         b.iter(|| {
             for (i, &blk) in blocks.iter().enumerate() {
-                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let access = if i % 3 == 2 {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 let _ = t.acquire(0, blk, access);
             }
             t.release_all(0);
@@ -41,7 +45,11 @@ fn bench(c: &mut Criterion) {
         let mut t = TaggedTable::new(TableConfig::new(N));
         b.iter(|| {
             for (i, &blk) in blocks.iter().enumerate() {
-                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let access = if i % 3 == 2 {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 let _ = t.acquire(0, blk, access);
             }
             t.release_all(0);
@@ -53,7 +61,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut held: Vec<(u64, Held)> = Vec::with_capacity(blocks.len());
             for (i, &blk) in blocks.iter().enumerate() {
-                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let access = if i % 3 == 2 {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 if t.acquire(0, blk, access, Held::None).is_ok() {
                     held.push((t.grant_key(blk), Held::None.after(access)));
                 }
@@ -69,7 +81,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut held: Vec<(u64, Held)> = Vec::with_capacity(blocks.len());
             for (i, &blk) in blocks.iter().enumerate() {
-                let access = if i % 3 == 2 { Access::Write } else { Access::Read };
+                let access = if i % 3 == 2 {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 if t.acquire(0, blk, access, Held::None).is_ok() {
                     held.push((t.grant_key(blk), Held::None.after(access)));
                 }

@@ -42,7 +42,10 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(self.ways >= 1, "need at least one way");
         assert!(
             self.size_bytes.is_multiple_of(self.ways * self.block_bytes),

@@ -146,9 +146,8 @@ pub fn mean_result(results: &[OverflowResult]) -> OverflowResult {
         return OverflowResult::default();
     }
     let n = results.len() as f64;
-    let mean = |f: &dyn Fn(&OverflowResult) -> f64| -> f64 {
-        results.iter().map(f).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&OverflowResult) -> f64| -> f64 { results.iter().map(f).sum::<f64>() / n };
     OverflowResult {
         footprint_blocks: mean(&|r| r.footprint_blocks as f64).round() as usize,
         read_only_blocks: mean(&|r| r.read_only_blocks as f64).round() as usize,

@@ -9,8 +9,7 @@
 //! each other).
 
 /// Policy choices for reacting to a conflict.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ContentionPolicy {
     /// Abort immediately and retry the whole transaction after randomized
     /// exponential backoff.
@@ -23,7 +22,6 @@ pub enum ContentionPolicy {
         max_spins: u32,
     },
 }
-
 
 impl ContentionPolicy {
     /// Acquire re-attempts allowed before aborting (0 for suicide).

@@ -423,10 +423,7 @@ mod tests {
         // 2-entry table, mask hash: blocks 0 and 2 share entry 0. A reader
         // of block 0 must be invalidated by a commit to block 2 even though
         // the data is disjoint — the false conflict, lazy edition.
-        let stm = LazyStm::with_config(
-            256,
-            TableConfig::new(2).with_hash(HashKind::Mask),
-        );
+        let stm = LazyStm::with_config(256, TableConfig::new(2).with_hash(HashKind::Mask));
         let mut attempt = 0;
         let r = stm.try_run(0, 2, |txn| {
             attempt += 1;

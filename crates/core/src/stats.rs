@@ -11,6 +11,8 @@ pub struct StmStats {
     strong_reads: AtomicU64,
     strong_writes: AtomicU64,
     strong_stalls: AtomicU64,
+    committed_write_blocks: AtomicU64,
+    committed_grant_blocks: AtomicU64,
 }
 
 /// A point-in-time copy of [`StmStats`].
@@ -28,6 +30,16 @@ pub struct StmStatsSnapshot {
     pub strong_writes: u64,
     /// Times a strong-isolation access had to wait for a transaction.
     pub strong_stalls: u64,
+    /// Sum over committed transactions of distinct cache blocks *written*
+    /// (the observed counterpart of the model's `W`).
+    pub committed_write_blocks: u64,
+    /// Sum over committed transactions of distinct ownership grants held
+    /// at commit — `(1+α)·W` in the model for **block-keyed** tables
+    /// (tagged, resizable). For a plain tagless table grants are keyed by
+    /// *entry index*, so aliasing blocks coalesce and this undercounts the
+    /// block footprint; the adaptive controller only consumes it through
+    /// block-keyed `ResizableTable`s, where it is exact.
+    pub committed_grant_blocks: u64,
 }
 
 impl StmStatsSnapshot {
@@ -37,6 +49,49 @@ impl StmStatsSnapshot {
             0.0
         } else {
             self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean distinct written blocks per committed transaction (observed `W`).
+    pub fn mean_write_footprint(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.committed_write_blocks as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean fresh-read blocks per written block (observed `α`), derived
+    /// from the grant and write footprints. Exact for block-keyed tables;
+    /// biased low under an entry-keyed tagless table (see
+    /// [`StmStatsSnapshot::committed_grant_blocks`]).
+    pub fn mean_alpha(&self) -> f64 {
+        if self.committed_write_blocks == 0 {
+            0.0
+        } else {
+            let reads = self
+                .committed_grant_blocks
+                .saturating_sub(self.committed_write_blocks);
+            reads as f64 / self.committed_write_blocks as f64
+        }
+    }
+
+    /// The window of activity between `earlier` and `self` (all counters
+    /// are monotone, so a field-wise saturating difference).
+    pub fn since(&self, earlier: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            stall_retries: self.stall_retries.saturating_sub(earlier.stall_retries),
+            strong_reads: self.strong_reads.saturating_sub(earlier.strong_reads),
+            strong_writes: self.strong_writes.saturating_sub(earlier.strong_writes),
+            strong_stalls: self.strong_stalls.saturating_sub(earlier.strong_stalls),
+            committed_write_blocks: self
+                .committed_write_blocks
+                .saturating_sub(earlier.committed_write_blocks),
+            committed_grant_blocks: self
+                .committed_grant_blocks
+                .saturating_sub(earlier.committed_grant_blocks),
         }
     }
 }
@@ -66,6 +121,13 @@ impl StmStats {
         self.strong_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_commit_footprint(&self, write_blocks: u64, grant_blocks: u64) {
+        self.committed_write_blocks
+            .fetch_add(write_blocks, Ordering::Relaxed);
+        self.committed_grant_blocks
+            .fetch_add(grant_blocks, Ordering::Relaxed);
+    }
+
     /// Copy the counters.
     pub fn snapshot(&self) -> StmStatsSnapshot {
         StmStatsSnapshot {
@@ -75,6 +137,8 @@ impl StmStats {
             strong_reads: self.strong_reads.load(Ordering::Relaxed),
             strong_writes: self.strong_writes.load(Ordering::Relaxed),
             strong_stalls: self.strong_stalls.load(Ordering::Relaxed),
+            committed_write_blocks: self.committed_write_blocks.load(Ordering::Relaxed),
+            committed_grant_blocks: self.committed_grant_blocks.load(Ordering::Relaxed),
         }
     }
 }

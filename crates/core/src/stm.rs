@@ -13,7 +13,7 @@
 //! [`ConcurrentTaggedTable`] exposes exactly the false-conflict cost the
 //! paper analyses, on real threads rather than in Monte-Carlo form.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use tm_ownership::concurrent::{ConcurrentTable, GrantKey, Held};
 use tm_ownership::{Access, AcquireOutcome, ThreadId};
@@ -183,11 +183,17 @@ impl<T: ConcurrentTable> Stm<T> {
     pub fn strong_read(&self, me: ThreadId, addr: u64) -> u64 {
         self.stats.on_strong(false);
         loop {
-            match self.table.acquire(me, block_of(&self.table, addr), Access::Read, Held::None) {
+            match self
+                .table
+                .acquire(me, block_of(&self.table, addr), Access::Read, Held::None)
+            {
                 AcquireOutcome::Granted => {
                     let v = self.heap.load(addr);
-                    self.table
-                        .release(me, self.table.grant_key(block_of(&self.table, addr)), Held::Read);
+                    self.table.release(
+                        me,
+                        self.table.grant_key(block_of(&self.table, addr)),
+                        Held::Read,
+                    );
                     return v;
                 }
                 AcquireOutcome::AlreadyHeld => {
@@ -208,11 +214,17 @@ impl<T: ConcurrentTable> Stm<T> {
     pub fn strong_write(&self, me: ThreadId, addr: u64, value: u64) {
         self.stats.on_strong(true);
         loop {
-            match self.table.acquire(me, block_of(&self.table, addr), Access::Write, Held::None) {
+            match self
+                .table
+                .acquire(me, block_of(&self.table, addr), Access::Write, Held::None)
+            {
                 AcquireOutcome::Granted => {
                     self.heap.store(addr, value);
-                    self.table
-                        .release(me, self.table.grant_key(block_of(&self.table, addr)), Held::Write);
+                    self.table.release(
+                        me,
+                        self.table.grant_key(block_of(&self.table, addr)),
+                        Held::Write,
+                    );
                     return;
                 }
                 AcquireOutcome::AlreadyHeld => {
@@ -241,6 +253,7 @@ pub struct Txn<'s, T: ConcurrentTable> {
     id: ThreadId,
     log: HashMap<GrantKey, Held>,
     wbuf: HashMap<u64, u64>,
+    write_blocks: HashSet<u64>,
     finished: bool,
     reads: u64,
     writes: u64,
@@ -253,6 +266,7 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
             id,
             log: HashMap::new(),
             wbuf: HashMap::new(),
+            write_blocks: HashSet::new(),
             finished: false,
             reads: 0,
             writes: 0,
@@ -294,6 +308,7 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
     pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
         self.acquire(addr, Access::Write)?;
+        self.write_blocks.insert(block_of(&self.stm.table, addr));
         self.wbuf.insert(addr, value);
         Ok(())
     }
@@ -337,6 +352,13 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
     }
 
     fn commit(mut self) {
+        // Footprint observation for adaptive sizing: distinct written
+        // blocks (the model's W, tracked incrementally in `write`) and
+        // total grants held ((1+α)·W).
+        self.stm
+            .stats
+            .on_commit_footprint(self.write_blocks.len() as u64, self.log.len() as u64);
+
         // Publish buffered writes, then release ownership. The table's
         // Release/Acquire transitions order the (relaxed) heap stores before
         // any subsequent reader's loads.
@@ -449,8 +471,10 @@ mod tests {
         assert_eq!(r, Err(RetryLimitExceeded { attempts: 3 }));
         assert_eq!(stm.stats().aborts, 3);
         // The table must be clean afterwards.
-        assert_eq!(stm.table().stats_snapshot().grants,
-                   stm.table().stats_snapshot().releases);
+        assert_eq!(
+            stm.table().stats_snapshot().grants,
+            stm.table().stats_snapshot().releases
+        );
     }
 
     #[test]
@@ -567,14 +591,16 @@ mod tests {
         }
 
         let cfg = TableConfig::new(2).with_hash(HashKind::Mask);
-        let (tagless_failed, a, b) =
-            scenario(ConcurrentTaglessTable::new(cfg.clone()));
+        let (tagless_failed, a, b) = scenario(ConcurrentTaglessTable::new(cfg.clone()));
         assert!(tagless_failed, "tagless must report the false conflict");
         assert_eq!(a, 1);
         assert_eq!(b, 0, "aborted write must not reach the heap");
 
         let (tagged_failed, a, b) = scenario(ConcurrentTaggedTable::new(cfg));
-        assert!(!tagged_failed, "tagged must not conflict on distinct blocks");
+        assert!(
+            !tagged_failed,
+            "tagged must not conflict on distinct blocks"
+        );
         assert_eq!(a, 1);
         assert_eq!(b, 2);
     }

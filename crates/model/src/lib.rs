@@ -73,7 +73,10 @@ impl ModelParams {
     /// Bundle parameters. Panics on degenerate values so experiments fail
     /// loudly rather than producing silent nonsense.
     pub fn new(concurrency: u32, write_footprint: u32, alpha: f64, table_entries: u64) -> Self {
-        assert!(concurrency >= 2, "the model needs at least two transactions");
+        assert!(
+            concurrency >= 2,
+            "the model needs at least two transactions"
+        );
         assert!(write_footprint >= 1, "write footprint must be positive");
         assert!(
             alpha >= 0.0 && alpha.is_finite(),

@@ -53,8 +53,7 @@ pub fn conflict_likelihood_sum(c: u32, w_footprint: u32, alpha: f64, n: u64) -> 
     let (cf, nf) = (c as f64, n as f64);
     (1..=w_footprint)
         .map(|w| {
-            (cf * (cf - 1.0) * ((1.0 + 2.0 * alpha) * w as f64 - alpha)
-                - cf / 2.0 * (cf - 1.0))
+            (cf * (cf - 1.0) * ((1.0 + 2.0 * alpha) * w as f64 - alpha) - cf / 2.0 * (cf - 1.0))
                 / nf
         })
         .sum()
@@ -131,14 +130,20 @@ mod tests {
     fn quadratic_in_footprint() {
         let base = conflict_likelihood_c2(10, 2.0, 1 << 20);
         let quad = conflict_likelihood_c2(20, 2.0, 1 << 20);
-        assert!((quad / base - 4.0).abs() < EPS, "doubling W must 4x the rate");
+        assert!(
+            (quad / base - 4.0).abs() < EPS,
+            "doubling W must 4x the rate"
+        );
     }
 
     #[test]
     fn linear_in_inverse_table_size() {
         let small = conflict_likelihood_c2(10, 2.0, 1024);
         let large = conflict_likelihood_c2(10, 2.0, 4096);
-        assert!((small / large - 4.0).abs() < EPS, "4x table must 1/4 the rate");
+        assert!(
+            (small / large - 4.0).abs() < EPS,
+            "4x table must 1/4 the rate"
+        );
     }
 
     #[test]

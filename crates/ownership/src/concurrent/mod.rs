@@ -32,7 +32,7 @@ mod tagless;
 pub use tagged::ConcurrentTaggedTable;
 pub use tagless::ConcurrentTaglessTable;
 
-use crate::entry::{Access, AcquireOutcome, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Mode, ThreadId};
 use crate::hashing::{BlockAddr, TableConfig};
 use crate::stats::TableStats;
 
@@ -66,6 +66,25 @@ impl Held {
 /// block aliasing there); for a tagged table it is the **block address**.
 pub type GrantKey = u64;
 
+/// A point-in-time view of one live grant, yielded by
+/// [`ConcurrentTable::for_each_grant`].
+///
+/// Under concurrent traffic the snapshot is advisory (grants come and go
+/// while iterating); at a quiesced table it is exact. Used by migration
+/// tooling, diagnostics, and integrity tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantSnapshot {
+    /// The key the grant was issued under (entry index or block address).
+    pub key: GrantKey,
+    /// Read or Write (never [`Mode::Free`]).
+    pub mode: Mode,
+    /// The writing transaction, when `mode` is [`Mode::Write`] and the
+    /// organization records it.
+    pub owner: Option<ThreadId>,
+    /// Number of read units outstanding, when `mode` is [`Mode::Read`].
+    pub sharers: u32,
+}
+
 /// Interface the STM uses, generic over the table organization under test.
 pub trait ConcurrentTable: Send + Sync {
     /// Number of first-level entries (the paper's `N`).
@@ -95,6 +114,20 @@ pub trait ConcurrentTable: Send + Sync {
 
     /// The configuration the table was built with.
     fn config(&self) -> &TableConfig;
+
+    /// Visit every live grant (see [`GrantSnapshot`] for the racy-snapshot
+    /// caveat). The basis of grant migration and leak checks.
+    ///
+    /// The callback runs while internal locks are held: it must **not**
+    /// call back into this table (acquire/release/resize), or it will
+    /// deadlock. Collect into a `Vec` first if you need to mutate.
+    fn for_each_grant(&self, f: &mut dyn FnMut(GrantSnapshot));
+
+    /// Forcibly drop every live grant, returning how many grant units were
+    /// discarded. **Maintenance only** (table reset between experiment
+    /// phases, teardown after a failed run): concurrent holders' later
+    /// releases become undefined bookkeeping, so quiesce first.
+    fn drain_grants(&self) -> u64;
 }
 
 #[cfg(test)]

@@ -10,11 +10,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, TableConfig};
 use crate::stats::TableStats;
 
-use super::{ConcurrentTable, GrantKey, Held};
+use super::{ConcurrentTable, GrantKey, GrantSnapshot, Held};
 
 /// Who holds a record and how.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -279,6 +279,40 @@ impl ConcurrentTable for ConcurrentTaggedTable {
     fn config(&self) -> &TableConfig {
         &self.cfg
     }
+
+    fn for_each_grant(&self, f: &mut dyn FnMut(GrantSnapshot)) {
+        for bucket in &self.buckets {
+            for rec in bucket.lock().iter() {
+                match &rec.state {
+                    RecState::Readers(v) => f(GrantSnapshot {
+                        key: rec.block,
+                        mode: Mode::Read,
+                        owner: None,
+                        sharers: v.len() as u32,
+                    }),
+                    RecState::Writer(o) => f(GrantSnapshot {
+                        key: rec.block,
+                        mode: Mode::Write,
+                        owner: Some(*o),
+                        sharers: 0,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn drain_grants(&self) -> u64 {
+        let mut dropped = 0u64;
+        for bucket in &self.buckets {
+            for rec in bucket.lock().drain(..) {
+                dropped += match rec.state {
+                    RecState::Readers(v) => v.len() as u64,
+                    RecState::Writer(_) => 1,
+                };
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +367,37 @@ mod tests {
     fn grant_key_is_block() {
         let t = table(16);
         assert_eq!(t.grant_key(12345), 12345);
+    }
+
+    #[test]
+    fn grant_snapshots_and_drain() {
+        let t = table(16);
+        assert!(t.acquire(0, 3, Access::Write, Held::None).is_ok());
+        assert!(t.acquire(1, 19, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(2, 19, Access::Read, Held::None).is_ok());
+        let mut grants = Vec::new();
+        t.for_each_grant(&mut |g| grants.push(g));
+        grants.sort_by_key(|g| g.key);
+        assert_eq!(
+            grants,
+            vec![
+                GrantSnapshot {
+                    key: 3,
+                    mode: Mode::Write,
+                    owner: Some(0),
+                    sharers: 0
+                },
+                GrantSnapshot {
+                    key: 19,
+                    mode: Mode::Read,
+                    owner: None,
+                    sharers: 2
+                },
+            ]
+        );
+        assert_eq!(t.drain_grants(), 3);
+        assert!(!t.has_record(3));
+        assert!(!t.has_record(19));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadI
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
 use crate::stats::TableStats;
 
-use super::{ConcurrentTable, GrantKey, Held};
+use super::{ConcurrentTable, GrantKey, GrantSnapshot, Held};
 
 const MODE_MASK: u64 = 0b11;
 const MODE_FREE: u64 = 0;
@@ -318,6 +318,40 @@ impl ConcurrentTable for ConcurrentTaglessTable {
     fn config(&self) -> &TableConfig {
         &self.cfg
     }
+
+    fn for_each_grant(&self, f: &mut dyn FnMut(GrantSnapshot)) {
+        for (e, cell) in self.entries.iter().enumerate() {
+            let word = cell.load(Ordering::Acquire);
+            match mode_of(word) {
+                MODE_READ => f(GrantSnapshot {
+                    key: e as GrantKey,
+                    mode: Mode::Read,
+                    owner: None,
+                    sharers: payload_of(word),
+                }),
+                MODE_WRITE => f(GrantSnapshot {
+                    key: e as GrantKey,
+                    mode: Mode::Write,
+                    owner: Some(payload_of(word)),
+                    sharers: 0,
+                }),
+                _ => {}
+            }
+        }
+    }
+
+    fn drain_grants(&self) -> u64 {
+        let mut dropped = 0u64;
+        for cell in &self.entries {
+            let word = cell.swap(pack(MODE_FREE, 0), Ordering::AcqRel);
+            dropped += match mode_of(word) {
+                MODE_READ => payload_of(word) as u64,
+                MODE_WRITE => 1,
+                _ => 0,
+            };
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +441,41 @@ mod tests {
     }
 
     #[test]
+    fn grant_snapshots_and_drain() {
+        let t = table(16);
+        assert!(t.acquire(0, 1, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(1, 1, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(2, 5, Access::Write, Held::None).is_ok());
+        let mut grants = Vec::new();
+        t.for_each_grant(&mut |g| grants.push(g));
+        grants.sort_by_key(|g| g.key);
+        assert_eq!(
+            grants,
+            vec![
+                GrantSnapshot {
+                    key: 1,
+                    mode: Mode::Read,
+                    owner: None,
+                    sharers: 2
+                },
+                GrantSnapshot {
+                    key: 5,
+                    mode: Mode::Write,
+                    owner: Some(2),
+                    sharers: 0
+                },
+            ]
+        );
+        // Two read units + one write unit.
+        assert_eq!(t.drain_grants(), 3);
+        assert_eq!(t.mode_of(1), Mode::Free);
+        assert_eq!(t.mode_of(5), Mode::Free);
+        let mut any = false;
+        t.for_each_grant(&mut |_| any = true);
+        assert!(!any);
+    }
+
+    #[test]
     fn concurrent_readers_stress() {
         let t = std::sync::Arc::new(table(1024));
         let threads = 8;
@@ -416,10 +485,7 @@ mod tests {
                 s.spawn(move |_| {
                     for round in 0..200u64 {
                         let block = round % 64;
-                        if t
-                            .acquire(id, block, Access::Read, Held::None)
-                            .is_ok()
-                        {
+                        if t.acquire(id, block, Access::Read, Held::None).is_ok() {
                             t.release(id, t.grant_key(block), Held::Read);
                         }
                     }

@@ -44,14 +44,18 @@ impl TxnFootprint {
     /// Record an access; returns `true` if the block is new to that set.
     pub fn record(&mut self, block: BlockAddr, access: Access) -> bool {
         match access {
-            Access::Read => self.seen_reads.insert(block) && {
-                self.reads.push(block);
-                true
-            },
-            Access::Write => self.seen_writes.insert(block) && {
-                self.writes.push(block);
-                true
-            },
+            Access::Read => {
+                self.seen_reads.insert(block) && {
+                    self.reads.push(block);
+                    true
+                }
+            }
+            Access::Write => {
+                self.seen_writes.insert(block) && {
+                    self.writes.push(block);
+                    true
+                }
+            }
         }
     }
 

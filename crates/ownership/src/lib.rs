@@ -61,7 +61,7 @@ mod tagless;
 pub(crate) mod util;
 pub mod versioned;
 
-pub use concurrent::{ConcurrentTaggedTable, ConcurrentTaglessTable};
+pub use concurrent::{ConcurrentTaggedTable, ConcurrentTaglessTable, GrantSnapshot};
 pub use entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
 pub use footprint::TxnFootprint;
 pub use hashing::{BlockAddr, BlockMapper, EntryIndex, HashKind, TableConfig};

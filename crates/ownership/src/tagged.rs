@@ -201,9 +201,7 @@ impl TaggedTable {
 
     /// Whether `txn` currently holds any record.
     pub fn is_active(&self, txn: ThreadId) -> bool {
-        self.holds
-            .get(txn as usize)
-            .is_some_and(|h| !h.is_empty())
+        self.holds.get(txn as usize).is_some_and(|h| !h.is_empty())
     }
 
     fn hold_mut(&mut self, txn: ThreadId) -> &mut HashMap<BlockAddr, Access> {

@@ -116,9 +116,7 @@ impl TaglessTable {
 
     /// Whether `txn` currently holds any entry.
     pub fn is_active(&self, txn: ThreadId) -> bool {
-        self.holds
-            .get(txn as usize)
-            .is_some_and(|h| h.holds_any())
+        self.holds.get(txn as usize).is_some_and(|h| h.holds_any())
     }
 
     fn hold_mut(&mut self, txn: ThreadId) -> &mut Hold {
@@ -219,7 +217,14 @@ impl TaglessTable {
             }
             Slot::Write { owner } => {
                 debug_assert_ne!(owner, txn, "own write entry handled above");
-                self.conflict(e, txn, block, Access::Read, ConflictKind::ReadAfterWrite, Some(owner))
+                self.conflict(
+                    e,
+                    txn,
+                    block,
+                    Access::Read,
+                    ConflictKind::ReadAfterWrite,
+                    Some(owner),
+                )
             }
         }
     }
@@ -257,12 +262,24 @@ impl TaglessTable {
                     // classification must reflect the data, not the entry.
                     self.grant(e, txn, block, true)
                 } else {
-                    self.conflict(e, txn, block, Access::Write, ConflictKind::WriteAfterRead, None)
+                    self.conflict(
+                        e,
+                        txn,
+                        block,
+                        Access::Write,
+                        ConflictKind::WriteAfterRead,
+                        None,
+                    )
                 }
             }
-            Slot::Write { owner } => {
-                self.conflict(e, txn, block, Access::Write, ConflictKind::WriteAfterWrite, Some(owner))
-            }
+            Slot::Write { owner } => self.conflict(
+                e,
+                txn,
+                block,
+                Access::Write,
+                ConflictKind::WriteAfterWrite,
+                Some(owner),
+            ),
         }
     }
 
@@ -532,9 +549,7 @@ mod tests {
 
     #[test]
     fn multiplicative_hash_variant_works() {
-        let mut t = TaglessTable::new(
-            TableConfig::new(16).with_hash(HashKind::Multiplicative),
-        );
+        let mut t = TaglessTable::new(TableConfig::new(16).with_hash(HashKind::Multiplicative));
         assert_eq!(t.acquire(0, 100, Access::Write), AcquireOutcome::Granted);
         let e = t.entry_of(100);
         assert_eq!(t.owner_of(e), Some(0));

@@ -195,10 +195,7 @@ impl VersionedTable {
             locks: self.counters.locks.load(Ordering::Relaxed),
             lock_conflicts: self.counters.lock_conflicts.load(Ordering::Relaxed),
             validations: self.counters.validations.load(Ordering::Relaxed),
-            validation_failures: self
-                .counters
-                .validation_failures
-                .load(Ordering::Relaxed),
+            validation_failures: self.counters.validation_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -217,7 +214,13 @@ mod tests {
         let t = table(16);
         let e = t.entry_of(3);
         let s = t.sample(e);
-        assert_eq!(s, Stamp { version: 0, locked: false });
+        assert_eq!(
+            s,
+            Stamp {
+                version: 0,
+                locked: false
+            }
+        );
 
         assert!(t.try_lock(e, 0));
         assert!(t.sample(e).locked);
@@ -226,7 +229,13 @@ mod tests {
 
         t.unlock_bump(e, 7);
         let s = t.sample(e);
-        assert_eq!(s, Stamp { version: 7, locked: false });
+        assert_eq!(
+            s,
+            Stamp {
+                version: 7,
+                locked: false
+            }
+        );
     }
 
     #[test]

@@ -29,7 +29,17 @@ fn main() {
 
     let mut fig3a = Table::new(
         "Figure 3(a): mean footprint at overflow (blocks; 512-frame cache)",
-        &["bench", "writes", "reads", "total", "util%", "writes_vb", "reads_vb", "total_vb", "util_vb%"],
+        &[
+            "bench",
+            "writes",
+            "reads",
+            "total",
+            "util%",
+            "writes_vb",
+            "reads_vb",
+            "total_vb",
+            "util_vb%",
+        ],
     );
     let mut fig3b = Table::new(
         "Figure 3(b): mean dynamic instructions at overflow (thousands)",
@@ -47,7 +57,11 @@ fn main() {
             .collect();
         let base = overflow::mean_result(&mine.iter().map(|r| r.0.clone()).collect::<Vec<_>>());
         let vb = overflow::mean_result(&mine.iter().map(|r| r.1.clone()).collect::<Vec<_>>());
-        assert!(base.overflowed, "{}: trace too short to overflow", profile.name);
+        assert!(
+            base.overflowed,
+            "{}: trace too short to overflow",
+            profile.name
+        );
 
         let cells = [
             base.written_blocks as f64,

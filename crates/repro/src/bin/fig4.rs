@@ -38,15 +38,28 @@ fn main() {
 
     let mut fig4a = Table::new(
         "Figure 4(a): conflict likelihood (%), C = 2 — simulation vs Eq. 4 model",
-        &["W", "sim N=512", "model", "sim N=1024", "model", "sim N=2048", "model", "sim N=4096", "model"],
+        &[
+            "W",
+            "sim N=512",
+            "model",
+            "sim N=1024",
+            "model",
+            "sim N=2048",
+            "model",
+            "sim N=4096",
+            "model",
+        ],
     );
     for (wi, &w) in footprints.iter().enumerate() {
         let mut cells = vec![w.to_string()];
         for (ni, &n) in sizes.iter().enumerate() {
             cells.push(pct(sim[ni * footprints.len() + wi]));
-            cells.push(pct(
-                lockstep::conflict_likelihood_c2(w, ALPHA as f64, n as u64).min(1.0),
-            ));
+            cells.push(pct(lockstep::conflict_likelihood_c2(
+                w,
+                ALPHA as f64,
+                n as u64,
+            )
+            .min(1.0)));
         }
         fig4a.row(&cells);
     }
@@ -81,12 +94,7 @@ fn main() {
     });
 
     let headers: Vec<String> = std::iter::once("W".to_string())
-        .chain(
-            clusters
-                .iter()
-                .flatten()
-                .map(|&(c, n)| format!("{c}-{n}")),
-        )
+        .chain(clusters.iter().flatten().map(|&(c, n)| format!("{c}-{n}")))
         .collect();
     let mut fig4b = Table::new(
         "Figure 4(b): conflict likelihood (%) — <concurrency, table size> clusters",

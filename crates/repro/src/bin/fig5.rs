@@ -18,7 +18,7 @@ fn point(threads: u32, w: u32, n: usize, commits: u64) -> u64 {
         alpha: ALPHA,
         table_entries: n,
         target_commits: commits,
-            reaction: Default::default(),
+        reaction: Default::default(),
         seed: 0xF165 ^ ((threads as u64) << 40) ^ ((n as u64) << 8) ^ w as u64,
     })
     .conflicts
@@ -89,7 +89,10 @@ fn main() {
     eprintln!("wrote {}", p.display());
 
     // Headline check: log-log slope of conflicts vs W for the calm 2-16k line.
-    let line = pairs.iter().position(|&(c, n)| c == 2 && n == 16_384).unwrap();
+    let line = pairs
+        .iter()
+        .position(|&(c, n)| c == 2 && n == 16_384)
+        .unwrap();
     let lo = res[line * footprints.len()] as f64; // W = 5
     let hi = res[line * footprints.len() + footprints.len() - 1] as f64; // W = 20
     let slope = (hi.max(1.0) / lo.max(1.0)).log2() / (20f64 / 5f64).log2();

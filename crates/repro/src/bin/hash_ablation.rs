@@ -48,11 +48,7 @@ fn main() {
         &["W", "multiplicative", "mask (locality-preserving)"],
     );
     for (wi, &w) in footprints.iter().enumerate() {
-        t.row(&[
-            w.to_string(),
-            pct(res[wi]),
-            pct(res[footprints.len() + wi]),
-        ]);
+        t.row(&[w.to_string(), pct(res[wi]), pct(res[footprints.len() + wi])]);
     }
     t.print();
     let p = t.write_csv(&opts.results_dir, "hash_ablation").unwrap();

@@ -60,7 +60,8 @@ fn main() {
         ]);
     }
     t3.print();
-    t3.write_csv(&opts.results_dir, "sizing_concurrency").unwrap();
+    t3.write_csv(&opts.results_dir, "sizing_concurrency")
+        .unwrap();
     println!(
         "paper check: modest tables give overflowed transactions max concurrency {} (paper conclusion: 1)\n",
         sizing::max_concurrency(0.5, 200, 4096, PAPER_ALPHA)

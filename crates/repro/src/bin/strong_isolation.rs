@@ -32,7 +32,14 @@ fn main() {
     let mut t = Table::new(
         "Strong isolation (paper §6): tagless pressure from non-transactional threads \
          (C = 4 transactions, W = 10, alpha = 2)",
-        &["N", "bystanders", "txn_conflicts", "bystander_aborts", "bystander_stalls", "commits"],
+        &[
+            "N",
+            "bystanders",
+            "txn_conflicts",
+            "bystander_aborts",
+            "bystander_stalls",
+            "commits",
+        ],
     );
     for (&(n, b), r) in grid.iter().zip(&res) {
         t.row(&[
@@ -49,8 +56,14 @@ fn main() {
     eprintln!("wrote {}", p.display());
 
     // Headline: compare zero vs many bystanders at the middle table size.
-    let base = &res[grid.iter().position(|&(n, b)| n == 16_384 && b == 0).unwrap()];
-    let heavy = &res[grid.iter().position(|&(n, b)| n == 16_384 && b == 16).unwrap()];
+    let base = &res[grid
+        .iter()
+        .position(|&(n, b)| n == 16_384 && b == 0)
+        .unwrap()];
+    let heavy = &res[grid
+        .iter()
+        .position(|&(n, b)| n == 16_384 && b == 16)
+        .unwrap()];
     println!(
         "paper check: at N=16k, 16 strong-isolation bystanders add {} false aborts and cost {} commits \
          (paper §6: strong isolation makes tagless tables 'even more untenable')",

@@ -8,9 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tm_ownership::stats::CHAIN_HIST_SLOTS;
-use tm_ownership::{
-    Access, OwnershipTable, TableConfig, TaggedTable, TaglessTable,
-};
+use tm_ownership::{Access, OwnershipTable, TableConfig, TaggedTable, TaglessTable};
 use tm_repro::{f3, pct, Options, Table};
 
 fn main() {
@@ -21,7 +19,14 @@ fn main() {
     // --- Chain-length distribution vs load factor -------------------------
     let mut t = Table::new(
         "Tagged table: chain behaviour vs load factor (N = 4096 entries)",
-        &["load", "records", "mean_chain", "max_chain", "buckets>1 %", "tagless false conflicts"],
+        &[
+            "load",
+            "records",
+            "mean_chain",
+            "max_chain",
+            "buckets>1 %",
+            "tagless false conflicts",
+        ],
     );
     for &load in &[0.05f64, 0.1, 0.25, 0.5, 1.0] {
         let records = (load * n as f64) as usize;

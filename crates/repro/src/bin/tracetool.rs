@@ -55,7 +55,10 @@ fn main() {
     match arg(&args, 0) {
         "gen-spec" => {
             let profile = profile_by_name(arg(&args, 1)).unwrap_or_else(|| {
-                eprintln!("error: unknown benchmark {} (try: bzip2, mcf, gcc, ...)", arg(&args, 1));
+                eprintln!(
+                    "error: unknown benchmark {} (try: bzip2, mcf, gcc, ...)",
+                    arg(&args, 1)
+                );
                 std::process::exit(2);
             });
             let accesses: usize = parse(arg(&args, 2), "accesses");
@@ -81,10 +84,7 @@ fn main() {
         }
         "info" => {
             let trace = io::read_file(std::path::Path::new(arg(&args, 1))).expect("read trace");
-            let block_bytes: usize = args
-                .get(2)
-                .map(|s| parse(s, "block_bytes"))
-                .unwrap_or(64);
+            let block_bytes: usize = args.get(2).map(|s| parse(s, "block_bytes")).unwrap_or(64);
             info(&trace, block_bytes);
         }
         "overflow" => {

@@ -215,7 +215,11 @@ fn run_ticks<T: OwnershipTable>(
             } else {
                 stm_live += 1;
                 let (block, is_write) = txn.blocks[s.pos];
-                let access = if is_write { Access::Write } else { Access::Read };
+                let access = if is_write {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 if table.acquire(t as u32, block, access).is_ok() {
                     s.pos += 1;
                     if s.pos >= txn.blocks.len() {
@@ -263,7 +267,10 @@ mod tests {
     fn mix_contains_both_modes() {
         let r = run(Organization::Tagged, 16_384);
         assert!(r.htm_commits > 0, "expected some HTM transactions: {r:?}");
-        assert!(r.stm_commits > 0, "expected some overflowed transactions: {r:?}");
+        assert!(
+            r.stm_commits > 0,
+            "expected some overflowed transactions: {r:?}"
+        );
         let f = r.htm_fraction();
         assert!((0.05..0.95).contains(&f), "degenerate HTM fraction {f}");
     }
@@ -305,6 +312,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(run(Organization::Tagless, 8192), run(Organization::Tagless, 8192));
+        assert_eq!(
+            run(Organization::Tagless, 8192),
+            run(Organization::Tagless, 8192)
+        );
     }
 }

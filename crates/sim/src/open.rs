@@ -64,7 +64,10 @@ pub struct OpenSystemResult {
 /// Execute the open-system experiment for one parameter point.
 pub fn run_open_system(params: &OpenSystemParams) -> OpenSystemResult {
     assert!(params.concurrency >= 2, "need at least two transactions");
-    assert!(params.write_footprint >= 1, "need a positive write footprint");
+    assert!(
+        params.write_footprint >= 1,
+        "need a positive write footprint"
+    );
     assert!(params.runs >= 1, "need at least one run");
 
     let cfg = TableConfig::new(params.table_entries).with_hash(HashKind::Multiplicative);

@@ -78,7 +78,10 @@ pub struct StrongIsolationResult {
 /// block space (high bit set), so *every* bystander interaction through the
 /// table is a false conflict.
 pub fn run_strong_isolation(params: &StrongIsolationParams) -> StrongIsolationResult {
-    assert!(params.threads >= 1, "need at least one transactional thread");
+    assert!(
+        params.threads >= 1,
+        "need at least one transactional thread"
+    );
     assert!(
         (0.0..=1.0).contains(&params.bystander_write_frac),
         "write fraction must be a probability"
@@ -167,11 +170,7 @@ pub fn run_strong_isolation(params: &StrongIsolationParams) -> StrongIsolationRe
 }
 
 /// Resolve the transactional owner to abort, if identifiable and in range.
-fn holder_of(
-    _table: &TaglessTable,
-    txn_threads: u32,
-    with: Option<u32>,
-) -> Option<u32> {
+fn holder_of(_table: &TaglessTable, txn_threads: u32, with: Option<u32>) -> Option<u32> {
     with.filter(|&t| t < txn_threads)
 }
 
@@ -223,8 +222,8 @@ mod tests {
     fn bigger_tables_relieve_pressure_only_linearly() {
         let small = point(8, 4096);
         let big = point(8, 16_384);
-        let ratio = small.bystander_induced_aborts as f64
-            / big.bystander_induced_aborts.max(1) as f64;
+        let ratio =
+            small.bystander_induced_aborts as f64 / big.bystander_induced_aborts.max(1) as f64;
         assert!((2.0..9.0).contains(&ratio), "x4 table gave ratio {ratio}");
     }
 

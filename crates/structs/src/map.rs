@@ -32,7 +32,10 @@ impl TMap {
     /// # Panics
     /// Panics if `capacity` is not a power of two.
     pub fn create(region: &mut Region, capacity: u64) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         let keys_base = region.alloc_words_block_aligned(capacity);
         let vals_base = region.alloc_words_block_aligned(capacity);
         Self {

@@ -179,7 +179,10 @@ mod tests {
                 .map(|&v| v & 0xFFFF_FFFF)
                 .collect();
             assert_eq!(seq.len(), n as usize);
-            assert!(seq.windows(2).all(|w| w[0] < w[1]), "producer {id} reordered");
+            assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "producer {id} reordered"
+            );
         }
     }
 }

@@ -55,10 +55,7 @@ impl TStack {
     }
 
     /// Pop inside a transaction; `None` when empty.
-    pub fn pop<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-    ) -> Result<Option<u64>, Aborted> {
+    pub fn pop<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<Option<u64>, Aborted> {
         let top = txn.read(self.top_addr())?;
         if top == 0 {
             return Ok(None);

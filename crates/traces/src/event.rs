@@ -137,8 +137,7 @@ impl TraceStats {
     /// Read-only-to-written block ratio (the paper's ≈2:1 observation), or
     /// `None` when nothing was written.
     pub fn read_to_write_block_ratio(&self) -> Option<f64> {
-        (self.written_blocks > 0)
-            .then(|| self.read_only_blocks as f64 / self.written_blocks as f64)
+        (self.written_blocks > 0).then(|| self.read_only_blocks as f64 / self.written_blocks as f64)
     }
 }
 

@@ -52,7 +52,10 @@ pub fn to_block_stream(trace: &Trace, block_shift: u32) -> Vec<BlockAccess> {
 pub fn remove_true_conflicts(streams: &[Vec<BlockAccess>]) -> Vec<Vec<BlockAccess>> {
     use std::collections::HashMap;
     let mut owner: HashMap<u64, usize> = HashMap::new();
-    let mut out: Vec<Vec<BlockAccess>> = streams.iter().map(|s| Vec::with_capacity(s.len())).collect();
+    let mut out: Vec<Vec<BlockAccess>> = streams
+        .iter()
+        .map(|s| Vec::with_capacity(s.len()))
+        .collect();
     let mut idx = vec![0usize; streams.len()];
     let mut remaining: usize = streams.iter().map(Vec::len).sum();
 

@@ -96,7 +96,10 @@ impl JbbParams {
             ("run_continue_p", self.run_continue_p),
             ("write_frac", self.write_frac),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
         }
         assert!(
             self.shared_frac + self.stack_frac <= 1.0,
@@ -193,7 +196,10 @@ pub fn generate_thread(params: &JbbParams, t: usize) -> Trace {
                 } else if r < params.stack_frac + params.shared_frac {
                     let obj = shared_zipf.sample(&mut rng) as u64;
                     let off = rng.gen_range(0..words_per_object) * WORD;
-                    (SHARED_BASE + obj * params.object_bytes + off, Region::Shared)
+                    (
+                        SHARED_BASE + obj * params.object_bytes + off,
+                        Region::Shared,
+                    )
                 } else {
                     let obj = permute(private_zipf.sample(&mut rng) as u64);
                     let off = rng.gen_range(0..words_per_object) * WORD;
@@ -320,8 +326,7 @@ mod tests {
     fn mean_gap_calibrated() {
         let p = small();
         let tr = generate_thread(&p, 0);
-        let mean_gap =
-            tr.accesses.iter().map(|a| a.gap as f64).sum::<f64>() / tr.len() as f64;
+        let mean_gap = tr.accesses.iter().map(|a| a.gap as f64).sum::<f64>() / tr.len() as f64;
         assert!((mean_gap - p.mean_gap).abs() < 0.2, "mean_gap={mean_gap}");
     }
 

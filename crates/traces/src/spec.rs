@@ -61,30 +61,150 @@ pub fn spec2000_profiles() -> [SpecProfile; 12] {
     [
         // Streaming compressor: very long sequential runs over big buffers
         // spread evenly across cache sets, so overflow comes late.
-        SpecProfile { name: "bzip2",   heap_blocks: 65_536, hot_blocks: 320, hot_frac: 0.74, seq_run_p: 0.990, write_frac: 0.30, stack_frac: 0.10, stack_blocks: 24, mean_gap: 7.0 },
+        SpecProfile {
+            name: "bzip2",
+            heap_blocks: 65_536,
+            hot_blocks: 320,
+            hot_frac: 0.74,
+            seq_run_p: 0.990,
+            write_frac: 0.30,
+            stack_frac: 0.10,
+            stack_blocks: 24,
+            mean_gap: 7.0,
+        },
         // Chess: deep recursion, hot tables, high reuse.
-        SpecProfile { name: "crafty",  heap_blocks: 8_192,  hot_blocks: 384, hot_frac: 0.92, seq_run_p: 0.60, write_frac: 0.22, stack_frac: 0.26, stack_blocks: 40, mean_gap: 8.0 },
+        SpecProfile {
+            name: "crafty",
+            heap_blocks: 8_192,
+            hot_blocks: 384,
+            hot_frac: 0.92,
+            seq_run_p: 0.60,
+            write_frac: 0.22,
+            stack_frac: 0.26,
+            stack_blocks: 40,
+            mean_gap: 8.0,
+        },
         // Ray tracer: small working set, heavy stack, compute-dense.
-        SpecProfile { name: "eon",     heap_blocks: 4_096,  hot_blocks: 224, hot_frac: 0.94, seq_run_p: 0.65, write_frac: 0.33, stack_frac: 0.30, stack_blocks: 48, mean_gap: 9.0 },
+        SpecProfile {
+            name: "eon",
+            heap_blocks: 4_096,
+            hot_blocks: 224,
+            hot_frac: 0.94,
+            seq_run_p: 0.65,
+            write_frac: 0.33,
+            stack_frac: 0.30,
+            stack_blocks: 48,
+            mean_gap: 9.0,
+        },
         // Group theory interpreter: large lists, long vector sweeps.
-        SpecProfile { name: "gap",     heap_blocks: 32_768, hot_blocks: 384, hot_frac: 0.88, seq_run_p: 0.960, write_frac: 0.26, stack_frac: 0.14, stack_blocks: 28, mean_gap: 6.5 },
+        SpecProfile {
+            name: "gap",
+            heap_blocks: 32_768,
+            hot_blocks: 384,
+            hot_frac: 0.88,
+            seq_run_p: 0.960,
+            write_frac: 0.26,
+            stack_frac: 0.14,
+            stack_blocks: 28,
+            mean_gap: 6.5,
+        },
         // Compiler: big irregular working set, modest reuse.
-        SpecProfile { name: "gcc",     heap_blocks: 49_152, hot_blocks: 640, hot_frac: 0.90, seq_run_p: 0.70, write_frac: 0.30, stack_frac: 0.18, stack_blocks: 44, mean_gap: 7.5 },
+        SpecProfile {
+            name: "gcc",
+            heap_blocks: 49_152,
+            hot_blocks: 640,
+            hot_frac: 0.90,
+            seq_run_p: 0.70,
+            write_frac: 0.30,
+            stack_frac: 0.18,
+            stack_blocks: 44,
+            mean_gap: 7.5,
+        },
         // Streaming compressor, smaller buffers than bzip2.
-        SpecProfile { name: "gzip",    heap_blocks: 32_768, hot_blocks: 288, hot_frac: 0.76, seq_run_p: 0.980, write_frac: 0.26, stack_frac: 0.10, stack_blocks: 20, mean_gap: 6.5 },
+        SpecProfile {
+            name: "gzip",
+            heap_blocks: 32_768,
+            hot_blocks: 288,
+            hot_frac: 0.76,
+            seq_run_p: 0.980,
+            write_frac: 0.26,
+            stack_frac: 0.10,
+            stack_blocks: 20,
+            mean_gap: 6.5,
+        },
         // Pointer-chasing network optimizer: the classic cache killer —
         // scattered singleton accesses trip set conflicts early.
-        SpecProfile { name: "mcf",     heap_blocks: 131_072, hot_blocks: 192, hot_frac: 0.82, seq_run_p: 0.35, write_frac: 0.24, stack_frac: 0.08, stack_blocks: 16, mean_gap: 4.5 },
+        SpecProfile {
+            name: "mcf",
+            heap_blocks: 131_072,
+            hot_blocks: 192,
+            hot_frac: 0.82,
+            seq_run_p: 0.35,
+            write_frac: 0.24,
+            stack_frac: 0.08,
+            stack_blocks: 16,
+            mean_gap: 4.5,
+        },
         // Link-grammar parser: dictionary lookups, mixed locality.
-        SpecProfile { name: "parser",  heap_blocks: 24_576, hot_blocks: 448, hot_frac: 0.90, seq_run_p: 0.60, write_frac: 0.26, stack_frac: 0.16, stack_blocks: 32, mean_gap: 7.0 },
+        SpecProfile {
+            name: "parser",
+            heap_blocks: 24_576,
+            hot_blocks: 448,
+            hot_frac: 0.90,
+            seq_run_p: 0.60,
+            write_frac: 0.26,
+            stack_frac: 0.16,
+            stack_blocks: 32,
+            mean_gap: 7.0,
+        },
         // Perl interpreter: hash-heavy, writeier than most.
-        SpecProfile { name: "perlbmk", heap_blocks: 16_384, hot_blocks: 512, hot_frac: 0.91, seq_run_p: 0.55, write_frac: 0.35, stack_frac: 0.20, stack_blocks: 40, mean_gap: 7.5 },
+        SpecProfile {
+            name: "perlbmk",
+            heap_blocks: 16_384,
+            hot_blocks: 512,
+            hot_frac: 0.91,
+            seq_run_p: 0.55,
+            write_frac: 0.35,
+            stack_frac: 0.20,
+            stack_blocks: 40,
+            mean_gap: 7.5,
+        },
         // Place-and-route: graph walks over medium sets.
-        SpecProfile { name: "twolf",   heap_blocks: 12_288, hot_blocks: 384, hot_frac: 0.92, seq_run_p: 0.50, write_frac: 0.26, stack_frac: 0.14, stack_blocks: 28, mean_gap: 6.5 },
+        SpecProfile {
+            name: "twolf",
+            heap_blocks: 12_288,
+            hot_blocks: 384,
+            hot_frac: 0.92,
+            seq_run_p: 0.50,
+            write_frac: 0.26,
+            stack_frac: 0.14,
+            stack_blocks: 28,
+            mean_gap: 6.5,
+        },
         // OO database: object traversal with bursts of stores.
-        SpecProfile { name: "vortex",  heap_blocks: 40_960, hot_blocks: 512, hot_frac: 0.89, seq_run_p: 0.80, write_frac: 0.35, stack_frac: 0.18, stack_blocks: 36, mean_gap: 7.0 },
+        SpecProfile {
+            name: "vortex",
+            heap_blocks: 40_960,
+            hot_blocks: 512,
+            hot_frac: 0.89,
+            seq_run_p: 0.80,
+            write_frac: 0.35,
+            stack_frac: 0.18,
+            stack_blocks: 36,
+            mean_gap: 7.0,
+        },
         // FPGA place-and-route: graph walks, small-ish set.
-        SpecProfile { name: "vpr",     heap_blocks: 10_240, hot_blocks: 320, hot_frac: 0.91, seq_run_p: 0.55, write_frac: 0.26, stack_frac: 0.16, stack_blocks: 32, mean_gap: 6.5 },
+        SpecProfile {
+            name: "vpr",
+            heap_blocks: 10_240,
+            hot_blocks: 320,
+            hot_frac: 0.91,
+            seq_run_p: 0.55,
+            write_frac: 0.26,
+            stack_frac: 0.16,
+            stack_blocks: 32,
+            mean_gap: 6.5,
+        },
     ]
 }
 
@@ -115,9 +235,7 @@ impl SpecProfile {
     /// "randomly selected checkpoints").
     pub fn generate(&self, accesses: usize, seed: u64) -> Trace {
         self.validate();
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ fxhash(self.name.as_bytes()),
-        );
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name.as_bytes()));
         let gap_p = 1.0 / (self.mean_gap + 1.0);
         let mut trace = Trace::new(format!("{}.ckpt{seed}", self.name));
         trace.accesses.reserve(accesses);
@@ -217,11 +335,10 @@ mod tests {
         let p = profile_by_name("eon").unwrap();
         let tr = p.generate(20_000, 5);
         for a in &tr.accesses {
-            let ok_stack = a.addr >= STACK_BASE
-                && a.addr < STACK_BASE + (p.stack_blocks + 1) * BLOCK + 4096;
+            let ok_stack =
+                a.addr >= STACK_BASE && a.addr < STACK_BASE + (p.stack_blocks + 1) * BLOCK + 4096;
             // Sequential runs may walk a little past the nominal working set.
-            let ok_heap =
-                a.addr >= HEAP_BASE && a.addr < HEAP_BASE + (p.heap_blocks + 64) * BLOCK;
+            let ok_heap = a.addr >= HEAP_BASE && a.addr < HEAP_BASE + (p.heap_blocks + 64) * BLOCK;
             assert!(ok_stack || ok_heap, "addr {:x} outside regions", a.addr);
         }
     }

@@ -14,9 +14,11 @@ fn arb_access() -> impl Strategy<Value = MemAccess> {
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    ("[a-z0-9._-]{0,24}", proptest::collection::vec(arb_access(), 0..300)).prop_map(
-        |(name, accesses)| Trace { name, accesses },
+    (
+        "[a-z0-9._-]{0,24}",
+        proptest::collection::vec(arb_access(), 0..300),
     )
+        .prop_map(|(name, accesses)| Trace { name, accesses })
 }
 
 proptest! {

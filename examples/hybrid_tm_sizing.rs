@@ -41,7 +41,12 @@ fn main() {
     for &p in &[0.50, 0.90, 0.95] {
         let row: Vec<String> = [2u32, 4, 8]
             .iter()
-            .map(|&c| format!("{:>12}", sizing::table_entries_for_commit_prob(p, c, w, alpha)))
+            .map(|&c| {
+                format!(
+                    "{:>12}",
+                    sizing::table_entries_for_commit_prob(p, c, w, alpha)
+                )
+            })
             .collect();
         println!("  {:>10}% {}", p * 100.0, row.join(" "));
     }

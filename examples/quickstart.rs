@@ -60,7 +60,9 @@ fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
     .unwrap();
 
     // Money is conserved: the defining invariant of atomicity.
-    let total: u64 = (0..ACCOUNTS).map(|i| stm.heap().load(account_addr(i))).sum();
+    let total: u64 = (0..ACCOUNTS)
+        .map(|i| stm.heap().load(account_addr(i)))
+        .sum();
     assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money leaked!");
 
     let s = stm.stats();

@@ -135,7 +135,9 @@ fn main() {
     .unwrap();
 
     let final_list = snapshot(&stm, 0);
-    let expected: Vec<u64> = (0..per_thread * threads as u64).filter(|v| v % 3 != 0).collect();
+    let expected: Vec<u64> = (0..per_thread * threads as u64)
+        .filter(|v| v % 3 != 0)
+        .collect();
     assert_eq!(final_list, expected, "list must be sorted and exact");
 
     let s = stm.stats();
@@ -145,5 +147,8 @@ fn main() {
         s.commits,
         s.aborts
     );
-    println!("head of list: {:?} ...", &final_list[..8.min(final_list.len())]);
+    println!(
+        "head of list: {:?} ...",
+        &final_list[..8.min(final_list.len())]
+    );
 }

@@ -35,15 +35,13 @@ fn pipeline<T: ConcurrentTable>(stm: &Stm<T>) -> (u64, u64) {
                 let target = (PRODUCERS as u64) * JOBS_PER_PRODUCER;
                 loop {
                     // One atomic step: take a job, record its result, count it.
-                    let finished = stm.run(id, |txn| {
-                        match queue.dequeue(txn)? {
-                            Some(job) => {
-                                results.insert(txn, job, job * job)?;
-                                let n = done.add(txn, 1)?;
-                                Ok(n >= target)
-                            }
-                            None => Ok(done.read(txn)? >= target),
+                    let finished = stm.run(id, |txn| match queue.dequeue(txn)? {
+                        Some(job) => {
+                            results.insert(txn, job, job * job)?;
+                            let n = done.add(txn, 1)?;
+                            Ok(n >= target)
                         }
+                        None => Ok(done.read(txn)? >= target),
                     });
                     if finished {
                         break;

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Provides the two APIs the workspace uses:
+//!
+//! * [`scope`] — scoped threads whose spawn closures receive the scope (so
+//!   `s.spawn(move |_| ...)` compiles unchanged), delegating to
+//!   `std::thread::scope`. A panic in any child thread surfaces as `Err`.
+//! * [`channel::unbounded`] — an unbounded MPSC channel over
+//!   `std::sync::mpsc` (crossbeam's is MPMC, but the workspace only ever
+//!   drains from a single consumer).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope handle.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads.
+///
+/// Returns `Err` (with the panic payload) if the closure or any spawned
+/// thread panicked, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Re-export position matching `crossbeam::thread::scope`.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+/// MPSC channels (the workspace only uses `unbounded`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_children() {
+        let n = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let n = &n;
+                s.spawn(move |_| n.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let n = AtomicU32::new(0);
+        super::scope(|s| {
+            let n = &n;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| n.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_try_iter_drains() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let mut got: Vec<i32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+}

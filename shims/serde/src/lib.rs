@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (on trace types,
+//! for downstream users who bring a format crate); nothing in-tree ever
+//! serializes. The shim therefore exposes the two trait names and re-exports
+//! no-op derive macros under the same names.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros (see `shims/README.md`).
+//!
+//! The workspace derives serde traits on its trace types as a convenience
+//! for downstream users, but never serializes anything itself — so in the
+//! offline build the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

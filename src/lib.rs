@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`ownership`] | `tm-ownership` | Tagless and tagged ownership tables |
 //! | [`stm`] | `tm-stm` | Word-based software transactional memory |
+//! | [`adaptive`] | `tm-adaptive` | Online-resizable tables + sizing controller |
 //! | [`traces`] | `tm-traces` | Synthetic address-trace generators |
 //! | [`cache_sim`] | `tm-cache-sim` | L1 cache model for HTM overflow |
 //! | [`model`] | `tm-model` | Analytical conflict-likelihood model |
@@ -16,6 +17,7 @@
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment map.
 
+pub use tm_adaptive as adaptive;
 pub use tm_cache_sim as cache_sim;
 pub use tm_model as model;
 pub use tm_ownership as ownership;

@@ -113,7 +113,7 @@ fn occupancy_expectation_matches_model_helper() {
         alpha: 2,
         table_entries: 1 << 21,
         target_commits: 650,
-            reaction: Default::default(),
+        reaction: Default::default(),
         seed: 5,
     });
     let expected = lockstep::expected_occupancy_staggered(4, 24.0);
