@@ -7,7 +7,9 @@
 //! must size its table to the workload it is actually running. This crate
 //! turns that diagnosis into a cure:
 //!
-//! * [`ResizableTable`] wraps any [`ConcurrentTable`] in an active/standby
+//! * [`ResizableTable`] wraps any
+//!   [`ConcurrentTable`](tm_ownership::concurrent::ConcurrentTable) in an
+//!   active/standby
 //!   pair behind sharded [`epoch`] guards: a resize builds a standby table
 //!   of the new geometry, waits out in-flight operations, replays every
 //!   live grant, and swaps — transactions keep running and their logs stay

@@ -2,7 +2,7 @@
 //!
 //! [`ResizableTable`] wraps any [`ConcurrentTable`] in the active/standby
 //! pattern: transactions operate on the *active* generation through the
-//! [`EpochGate`](crate::epoch::EpochGate); a resize builds a *standby*
+//! [`crate::epoch::EpochGate`]; a resize builds a *standby*
 //! table of the new geometry, seals the gate, replays every live grant into
 //! the standby, swaps it in, and re-opens — all without aborting a single
 //! in-flight transaction.

@@ -77,23 +77,32 @@ fn bench_migration(c: &mut Criterion) {
 }
 
 /// Full STM throughput with a controller resizing mid-run, against the
-/// same workload on a static table of the starting size.
+/// same workload on a static table of the starting size. The workload is
+/// the harness's shared `uniform-writes` generator (`W = 16`), run in
+/// fixed-budget chunks with a controller tick between chunks.
 fn bench_stm_adaptive_vs_static(c: &mut Criterion) {
+    use tm_bench::uniform_writes_spec;
+    use tm_harness::{run_synthetic_phase, Phase};
+
     let mut g = c.benchmark_group("adaptive_stm_throughput");
     g.sample_size(10);
-    const TXNS: u64 = 300;
-    const W: u64 = 16;
+    const CHUNKS: u64 = 3;
+    const TXNS_PER_CHUNK: u64 = 100;
+    const HEAP_WORDS: usize = 1 << 16;
+    let spec = uniform_writes_spec(16);
 
     g.bench_function("static_512", |b| {
         b.iter(|| {
-            let stm = tm_stm::tagless_stm(1 << 16, 512);
-            for t in 0..TXNS {
-                stm.run(0, |txn| {
-                    for w in 0..W {
-                        txn.write(((t * W + w) * 97 % 8000) * 64, w)?;
-                    }
-                    Ok(())
-                });
+            let stm = tm_stm::tagless_stm(HEAP_WORDS, 512);
+            for chunk in 0..CHUNKS {
+                run_synthetic_phase(
+                    &stm,
+                    &spec,
+                    HEAP_WORDS,
+                    1,
+                    Phase::Txns(TXNS_PER_CHUNK),
+                    chunk,
+                );
             }
         })
     });
@@ -101,17 +110,17 @@ fn bench_stm_adaptive_vs_static(c: &mut Criterion) {
     g.bench_function("adaptive_from_512", |b| {
         b.iter(|| {
             let (stm, mut ctl) =
-                tm_adaptive::adaptive_stm(1 << 16, 512, ResizePolicy::default(), 2);
-            for t in 0..TXNS {
-                stm.run(0, |txn| {
-                    for w in 0..W {
-                        txn.write(((t * W + w) * 97 % 8000) * 64, w)?;
-                    }
-                    Ok(())
-                });
-                if t % 100 == 99 {
-                    let _ = ctl.tick(&stm);
-                }
+                tm_adaptive::adaptive_stm(HEAP_WORDS, 512, ResizePolicy::default(), 2);
+            for chunk in 0..CHUNKS {
+                run_synthetic_phase(
+                    &stm,
+                    &spec,
+                    HEAP_WORDS,
+                    1,
+                    Phase::Txns(TXNS_PER_CHUNK),
+                    chunk,
+                );
+                let _ = ctl.tick(&stm);
             }
         })
     });

@@ -1,81 +1,35 @@
-//! Ablation: end-to-end STM throughput, tagless vs tagged (the workspace's
-//! E13 extension experiment).
+//! Ablation: end-to-end STM throughput, tagless vs tagged vs lazy (the
+//! workspace's E13 extension experiment).
 //!
-//! Threads run transactions over **disjoint** data, so every abort under the
-//! tagless organization is a false conflict; the tagged organization incurs
-//! only its per-op overhead. The paper's Damron-et-al. anecdote (§2.1) —
-//! throughput *decreasing* with processors due to ownership-table collisions
-//! — is this effect at scale.
+//! A thin front-end over `tm-harness`: each data point builds a fresh
+//! engine and drives the shared `disjoint` workload
+//! ([`tm_bench::drive_throughput`]) for a fixed per-thread budget — data
+//! is partitioned per thread, so every tagless abort is a false conflict.
+//! The paper's Damron-et-al. anecdote (§2.1) — throughput *decreasing*
+//! with processors due to ownership-table collisions — is this effect at
+//! scale, and the same numbers appear as `disjoint` rows in a
+//! `repro --bin harness` report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_bench::{drive_throughput, THROUGHPUT_HEAP_WORDS};
 use tm_stm::lazy::LazyStm;
 use tm_stm::{tagged_stm, tagless_stm};
 
-const TXN_WORDS: u64 = 24; // modest transaction: 16 reads + 8 writes
-const TXNS_PER_THREAD: usize = 100;
-const HEAP_WORDS: usize = 1 << 16;
+const TXNS_PER_THREAD: u64 = 100;
 
 fn run_tagless(threads: u32, table_entries: usize) {
-    let stm = tagless_stm(HEAP_WORDS, table_entries);
-    workload(&stm, threads);
+    let stm = tagless_stm(THROUGHPUT_HEAP_WORDS, table_entries);
+    drive_throughput(&stm, threads, TXNS_PER_THREAD);
 }
 
 fn run_tagged(threads: u32, table_entries: usize) {
-    let stm = tagged_stm(HEAP_WORDS, table_entries);
-    workload(&stm, threads);
+    let stm = tagged_stm(THROUGHPUT_HEAP_WORDS, table_entries);
+    drive_throughput(&stm, threads, TXNS_PER_THREAD);
 }
 
 fn run_lazy(threads: u32, table_entries: usize) {
-    let stm = LazyStm::new(HEAP_WORDS, table_entries);
-    crossbeam::scope(|s| {
-        for id in 0..threads {
-            let stm = &stm;
-            s.spawn(move |_| {
-                let base = id as u64 * 4096;
-                for t in 0..TXNS_PER_THREAD as u64 {
-                    stm.run(id as u64, |txn| {
-                        for w in 0..TXN_WORDS {
-                            let addr = base + ((t * 67 + w * 13) % 512) * 8;
-                            if w % 3 == 2 {
-                                let v = txn.read(addr)?;
-                                txn.write(addr, v + 1)?;
-                            } else {
-                                txn.read(addr)?;
-                            }
-                        }
-                        Ok(())
-                    });
-                }
-            });
-        }
-    })
-    .unwrap();
-}
-
-fn workload<T: tm_stm::ConcurrentTable>(stm: &tm_stm::Stm<T>, threads: u32) {
-    crossbeam::scope(|s| {
-        for id in 0..threads {
-            s.spawn(move |_| {
-                // Disjoint region per thread: no true conflicts exist.
-                let base = id as u64 * 4096;
-                for t in 0..TXNS_PER_THREAD as u64 {
-                    stm.run(id, |txn| {
-                        for w in 0..TXN_WORDS {
-                            let addr = base + ((t * 67 + w * 13) % 512) * 8;
-                            if w % 3 == 2 {
-                                let v = txn.read(addr)?;
-                                txn.write(addr, v + 1)?;
-                            } else {
-                                txn.read(addr)?;
-                            }
-                        }
-                        Ok(())
-                    });
-                }
-            });
-        }
-    })
-    .unwrap();
+    let stm = LazyStm::new(THROUGHPUT_HEAP_WORDS, table_entries);
+    drive_throughput(&stm, threads, TXNS_PER_THREAD);
 }
 
 fn bench(c: &mut Criterion) {
@@ -84,7 +38,7 @@ fn bench(c: &mut Criterion) {
 
     for &threads in &[1u32, 2, 4] {
         // A small table makes tagless aliasing likely (the Damron effect);
-        // both organizations get the same 1024 entries.
+        // all organizations get the same 1024 entries.
         g.bench_with_input(
             BenchmarkId::new("tagless_1k", threads),
             &threads,

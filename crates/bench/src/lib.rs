@@ -11,10 +11,17 @@
 //!   both organizations, on disjoint-data workloads where every tagless
 //!   abort is a false conflict.
 //!
-//! Shared workload builders live here so benches and tests agree on setup.
+//! Shared workload builders live here so benches, tests, and the harness
+//! agree on setup. Throughput workloads delegate to `tm-harness` — the
+//! workspace's single source of truth for scenario execution — so a bench
+//! data point and a `repro --bin harness` report row measure the same code.
 
+use tm_harness::{run_synthetic_phase, DriveEngine, Phase, Scenario, SyntheticSpec};
 use tm_traces::filter::{remove_true_conflicts, to_block_stream, BlockAccess};
 use tm_traces::jbb::{generate, JbbParams};
+
+/// Heap words used by the throughput ablation workloads.
+pub const THROUGHPUT_HEAP_WORDS: usize = 1 << 16;
 
 /// Build filtered jbb block streams of a given per-thread length (shared by
 /// the fig2 bench and integration tests).
@@ -28,6 +35,37 @@ pub fn jbb_streams(accesses_per_thread: usize) -> Vec<Vec<BlockAccess>> {
     remove_true_conflicts(&raw)
 }
 
+/// The `stm_throughput` ablation's transaction shape, drawn from the
+/// harness's standard matrix: the **disjoint** scenario, whose per-thread
+/// data partitions guarantee zero true conflicts — so every tagless abort
+/// the bench provokes is a table-induced false conflict (the E13 premise).
+pub fn throughput_spec() -> SyntheticSpec {
+    Scenario::disjoint()
+        .synthetic_spec()
+        .expect("disjoint is synthetic")
+}
+
+/// Drive `txns_per_thread` fixed-budget transactions of the shared
+/// throughput workload over any engine on `threads` OS threads.
+pub fn drive_throughput<E: DriveEngine>(engine: &E, threads: u32, txns_per_thread: u64) {
+    run_synthetic_phase(
+        engine,
+        &throughput_spec(),
+        THROUGHPUT_HEAP_WORDS,
+        threads,
+        Phase::Txns(txns_per_thread),
+        0xBEAC4,
+    );
+}
+
+/// The adaptive-resize ablation's workload: `w`-block uniform write
+/// transactions (with per-op yields), shared with `repro --bin adaptive`.
+pub fn uniform_writes_spec(w: u32) -> SyntheticSpec {
+    Scenario::uniform_writes(w)
+        .synthetic_spec()
+        .expect("uniform_writes is synthetic")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +75,23 @@ mod tests {
         let s = jbb_streams(5_000);
         assert_eq!(s.len(), 4);
         assert!(s.iter().all(|x| !x.is_empty()));
+    }
+
+    #[test]
+    fn throughput_front_end_commits_the_budget() {
+        let stm = tm_stm::tagged_stm(THROUGHPUT_HEAP_WORDS, 1024);
+        drive_throughput(&stm, 2, 25);
+        assert_eq!(stm.stats().commits, 50);
+    }
+
+    #[test]
+    fn specs_come_from_the_shared_matrix() {
+        let t = throughput_spec();
+        assert!(t.disjoint, "E13 needs zero true conflicts");
+        assert_eq!(t.writes_per_txn, 8);
+        let w = uniform_writes_spec(16);
+        assert_eq!(w.writes_per_txn, 16);
+        assert_eq!(w.reads_per_txn, 0);
+        assert!(w.yield_per_op);
     }
 }

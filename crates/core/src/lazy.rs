@@ -49,6 +49,31 @@ impl LazyStats {
     pub fn total_aborts(&self) -> u64 {
         self.read_aborts + self.lock_aborts + self.validation_aborts
     }
+
+    /// Aborts per commit — comparable with
+    /// [`StmStatsSnapshot::abort_ratio`](crate::StmStatsSnapshot::abort_ratio).
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.commits as f64
+        }
+    }
+
+    /// The window of activity between `earlier` and `self` (all counters
+    /// are monotone) — the same phase-windowing surface the eager engine's
+    /// [`StmStatsSnapshot::since`](crate::StmStatsSnapshot::since) offers,
+    /// so measurement harnesses treat both engines uniformly.
+    pub fn since(&self, earlier: &LazyStats) -> LazyStats {
+        LazyStats {
+            commits: self.commits.saturating_sub(earlier.commits),
+            read_aborts: self.read_aborts.saturating_sub(earlier.read_aborts),
+            lock_aborts: self.lock_aborts.saturating_sub(earlier.lock_aborts),
+            validation_aborts: self
+                .validation_aborts
+                .saturating_sub(earlier.validation_aborts),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -450,6 +475,20 @@ mod tests {
         let r: Result<(), _> = stm.try_run(0, 2, |_txn| Err(Aborted));
         assert_eq!(r, Err(RetryLimitExceeded { attempts: 2 }));
         assert_eq!(stm.stats().read_aborts, 2);
+    }
+
+    #[test]
+    fn stats_windowing_and_ratio() {
+        let stm = LazyStm::new(64, 256);
+        stm.run(0, |txn| txn.write(0, 1));
+        let mid = stm.stats();
+        let _: Result<(), _> = stm.try_run(0, 3, |_txn| Err(Aborted));
+        stm.run(0, |txn| txn.write(8, 2));
+        let window = stm.stats().since(&mid);
+        assert_eq!(window.commits, 1);
+        assert_eq!(window.read_aborts, 3);
+        assert_eq!(window.abort_ratio(), 3.0);
+        assert_eq!(LazyStats::default().abort_ratio(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Report diffing — the perf regression gate CI runs.
+//!
+//! Two reports are matched run-by-run on `(engine, scenario, threads)` and
+//! checked metric-by-metric against tolerances:
+//!
+//! * `throughput_txn_s` may not drop more than `tolerance_pct` below the
+//!   baseline;
+//! * `aborts_per_commit` may not rise more than `tolerance_pct` above the
+//!   baseline plus a small absolute slack (ratios near zero are noisy);
+//! * `invariant_violations` must be zero in the candidate — a violation is
+//!   a correctness regression, never tolerable;
+//! * every baseline run must exist in the candidate (coverage cannot
+//!   silently shrink).
+//!
+//! Comparing a `--fast` report against a full report is refused: the phase
+//! lengths differ, so the numbers are not commensurable.
+
+use crate::report::HarnessReport;
+
+/// Comparison thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Allowed relative degradation, in percent (e.g. 25.0).
+    pub pct: f64,
+    /// Absolute slack added to the aborts-per-commit ceiling.
+    pub abort_ratio_slack: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            pct: 25.0,
+            abort_ratio_slack: 0.10,
+        }
+    }
+}
+
+impl Tolerance {
+    /// A tolerance with the given percentage and the default slack.
+    pub fn pct(pct: f64) -> Self {
+        Self {
+            pct,
+            ..Self::default()
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Run key (`engine/scenario/tN`).
+    pub key: String,
+    /// Which metric regressed.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// The limit the candidate crossed.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.3} -> {:.3} (limit {:.3})",
+            self.key, self.metric, self.baseline, self.candidate, self.limit
+        )
+    }
+}
+
+/// Full comparison outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Runs present in both reports and checked.
+    pub checked: usize,
+    /// Baseline run keys absent from the candidate.
+    pub missing: Vec<String>,
+    /// Candidate-only run keys (informational, not a failure).
+    pub extra: Vec<String>,
+    /// Metric regressions beyond tolerance.
+    pub regressions: Vec<Regression>,
+    /// A structural refusal (e.g. fast-vs-full), if any.
+    pub refusal: Option<String>,
+}
+
+impl CompareReport {
+    /// `true` when the candidate passes the gate.
+    pub fn passed(&self) -> bool {
+        self.refusal.is_none() && self.missing.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Human-readable verdict, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(refusal) = &self.refusal {
+            out.push_str(&format!("refused: {refusal}\n"));
+            return out;
+        }
+        out.push_str(&format!("checked {} run(s)\n", self.checked));
+        for key in &self.missing {
+            out.push_str(&format!("MISSING in candidate: {key}\n"));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION {r}\n"));
+        }
+        for key in &self.extra {
+            out.push_str(&format!("new in candidate (not gated): {key}\n"));
+        }
+        out.push_str(if self.passed() {
+            "verdict: PASS\n"
+        } else {
+            "verdict: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Compare `candidate` against `baseline` under `tolerance`.
+pub fn compare(
+    baseline: &HarnessReport,
+    candidate: &HarnessReport,
+    tolerance: &Tolerance,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    if baseline.fast != candidate.fast {
+        report.refusal = Some(format!(
+            "baseline fast={} but candidate fast={}; regenerate the baseline with matching phases",
+            baseline.fast, candidate.fast
+        ));
+        return report;
+    }
+    let rel = tolerance.pct / 100.0;
+    for base in &baseline.runs {
+        let key = base.key();
+        let Some(cand) = candidate.find(&key) else {
+            report.missing.push(key);
+            continue;
+        };
+        report.checked += 1;
+
+        let throughput_floor = base.throughput_txn_s * (1.0 - rel);
+        if cand.throughput_txn_s < throughput_floor {
+            report.regressions.push(Regression {
+                key: key.clone(),
+                metric: "throughput_txn_s".into(),
+                baseline: base.throughput_txn_s,
+                candidate: cand.throughput_txn_s,
+                limit: throughput_floor,
+            });
+        }
+
+        let abort_ceiling = base.aborts_per_commit * (1.0 + rel) + tolerance.abort_ratio_slack;
+        if cand.aborts_per_commit > abort_ceiling {
+            report.regressions.push(Regression {
+                key: key.clone(),
+                metric: "aborts_per_commit".into(),
+                baseline: base.aborts_per_commit,
+                candidate: cand.aborts_per_commit,
+                limit: abort_ceiling,
+            });
+        }
+
+        if cand.invariant_violations > 0 {
+            report.regressions.push(Regression {
+                key: key.clone(),
+                metric: "invariant_violations".into(),
+                baseline: base.invariant_violations as f64,
+                candidate: cand.invariant_violations as f64,
+                limit: 0.0,
+            });
+        }
+    }
+    for cand in &candidate.runs {
+        let key = cand.key();
+        if baseline.find(&key).is_none() {
+            report.extra.push(key);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::sample_run;
+
+    fn report(runs: Vec<crate::report::RunResult>) -> HarnessReport {
+        HarnessReport::new(false, runs)
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![
+            sample_run("eager-tagless", "uniform-mixed", 1000.0),
+            sample_run("lazy-tl2", "zipf", 500.0),
+        ]);
+        let c = compare(&r, &r, &Tolerance::default());
+        assert!(c.passed(), "{}", c.render());
+        assert_eq!(c.checked, 2);
+    }
+
+    #[test]
+    fn injected_throughput_drop_fails() {
+        let base = report(vec![sample_run("eager-tagless", "uniform-mixed", 1000.0)]);
+        // A 2x drop is far past the 25% tolerance.
+        let cand = report(vec![sample_run("eager-tagless", "uniform-mixed", 500.0)]);
+        let c = compare(&base, &cand, &Tolerance::pct(25.0));
+        assert!(!c.passed());
+        assert_eq!(c.regressions.len(), 1);
+        assert_eq!(c.regressions[0].metric, "throughput_txn_s");
+    }
+
+    #[test]
+    fn drop_within_tolerance_passes() {
+        let base = report(vec![sample_run("e", "s", 1000.0)]);
+        let cand = report(vec![sample_run("e", "s", 800.0)]);
+        assert!(compare(&base, &cand, &Tolerance::pct(25.0)).passed());
+    }
+
+    #[test]
+    fn abort_ratio_spike_fails() {
+        let base = report(vec![sample_run("e", "s", 1000.0)]);
+        let mut worse = sample_run("e", "s", 1000.0);
+        worse.aborts_per_commit = 5.0;
+        let c = compare(&base, &report(vec![worse]), &Tolerance::default());
+        assert!(!c.passed());
+        assert_eq!(c.regressions[0].metric, "aborts_per_commit");
+    }
+
+    #[test]
+    fn invariant_violation_always_fails() {
+        let base = report(vec![sample_run("e", "s", 1000.0)]);
+        let mut broken = sample_run("e", "s", 2000.0); // faster, but wrong
+        broken.invariant_violations = 1;
+        let c = compare(&base, &report(vec![broken]), &Tolerance::pct(1000.0));
+        assert!(!c.passed());
+        assert_eq!(c.regressions[0].metric, "invariant_violations");
+    }
+
+    #[test]
+    fn missing_coverage_fails_extra_is_informational() {
+        let base = report(vec![
+            sample_run("e", "s1", 100.0),
+            sample_run("e", "s2", 100.0),
+        ]);
+        let cand = report(vec![
+            sample_run("e", "s1", 100.0),
+            sample_run("e", "s3", 100.0),
+        ]);
+        let c = compare(&base, &cand, &Tolerance::default());
+        assert!(!c.passed());
+        assert_eq!(c.missing, vec!["e/s2/t4"]);
+        assert_eq!(c.extra, vec!["e/s3/t4"]);
+    }
+
+    #[test]
+    fn fast_vs_full_refused() {
+        let base = HarnessReport::new(true, vec![sample_run("e", "s", 100.0)]);
+        let cand = HarnessReport::new(false, vec![sample_run("e", "s", 100.0)]);
+        let c = compare(&base, &cand, &Tolerance::default());
+        assert!(!c.passed());
+        assert!(c.refusal.is_some());
+        assert!(c.render().contains("refused"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The versioned, machine-readable harness report.
+//!
+//! A [`HarnessReport`] is what CI stores, diffs, and gates on. Schema rules
+//! (documented for consumers in `benches/README.md`):
+//!
+//! * `schema_version` is bumped on any **breaking** change (field removal,
+//!   rename, or semantic change). Readers refuse mismatched versions.
+//! * Adding new fields is non-breaking: readers ignore unknown fields and
+//!   treat missing optional fields as absent.
+//! * All counters fit in 53 bits, so JSON numbers round-trip exactly.
+//!
+//! Serialization goes through the in-tree [`crate::json`] model because the
+//! workspace's `serde` is a no-op offline shim (`shims/serde`); swap these
+//! hand-written maps for real derives when registry access exists.
+
+use crate::json::{self, obj, s, unum, Json};
+
+/// Current report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One (engine, scenario, threads) measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Engine name (see [`crate::engine::EngineKind::name`]).
+    pub engine: String,
+    /// Scenario name (see [`crate::scenario::Scenario`]).
+    pub scenario: String,
+    /// Worker OS threads.
+    pub threads: u32,
+    /// Ownership-table entries (starting size for the adaptive engine).
+    pub table_entries: u64,
+    /// Heap size in words.
+    pub heap_words: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Warmup phase description.
+    pub warmup: String,
+    /// Measured phase description.
+    pub measure: String,
+    /// Measured-phase wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Transactions committed in the measured phase.
+    pub commits: u64,
+    /// Aborts (all kinds) in the measured phase.
+    pub aborts: u64,
+    /// Lazy engine: read-time aborts.
+    pub read_aborts: u64,
+    /// Lazy engine: commit-lock aborts.
+    pub lock_aborts: u64,
+    /// Lazy engine: validation aborts.
+    pub validation_aborts: u64,
+    /// Eager engines: stall-policy acquire retries.
+    pub stall_retries: u64,
+    /// Commits per second over the measured phase.
+    pub throughput_txn_s: f64,
+    /// Aborts per commit.
+    pub aborts_per_commit: f64,
+    /// For data-disjoint scenarios: aborts, all of which are false
+    /// conflicts (`None` when the workload has true conflicts).
+    pub false_conflict_aborts: Option<u64>,
+    /// False conflicts per commit (`None` as above).
+    pub false_conflicts_per_commit: Option<f64>,
+    /// Isolation/conservation invariant violations (must be 0).
+    pub invariant_violations: u64,
+    /// Monte-Carlo (closed-system simulator) prediction of false conflicts
+    /// per commit at this operating point, where the simulator applies.
+    pub sim_false_conflicts_per_commit: Option<f64>,
+    /// Adaptive engine: table entries after the run.
+    pub final_table_entries: Option<u64>,
+    /// Adaptive engine: resizes performed during the run.
+    pub resizes: Option<u64>,
+}
+
+impl RunResult {
+    /// The identity a comparison matches runs by.
+    pub fn key(&self) -> String {
+        format!("{}/{}/t{}", self.engine, self.scenario, self.threads)
+    }
+
+    fn to_json(&self) -> Json {
+        let opt_u = |v: Option<u64>| v.map(unum).unwrap_or(Json::Null);
+        let opt_f = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        obj(vec![
+            ("engine", s(&self.engine)),
+            ("scenario", s(&self.scenario)),
+            ("threads", unum(self.threads as u64)),
+            ("table_entries", unum(self.table_entries)),
+            ("heap_words", unum(self.heap_words)),
+            ("seed", unum(self.seed)),
+            ("warmup", s(&self.warmup)),
+            ("measure", s(&self.measure)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("commits", unum(self.commits)),
+            ("aborts", unum(self.aborts)),
+            ("read_aborts", unum(self.read_aborts)),
+            ("lock_aborts", unum(self.lock_aborts)),
+            ("validation_aborts", unum(self.validation_aborts)),
+            ("stall_retries", unum(self.stall_retries)),
+            ("throughput_txn_s", Json::Num(self.throughput_txn_s)),
+            ("aborts_per_commit", Json::Num(self.aborts_per_commit)),
+            ("false_conflict_aborts", opt_u(self.false_conflict_aborts)),
+            (
+                "false_conflicts_per_commit",
+                opt_f(self.false_conflicts_per_commit),
+            ),
+            ("invariant_violations", unum(self.invariant_violations)),
+            (
+                "sim_false_conflicts_per_commit",
+                opt_f(self.sim_false_conflicts_per_commit),
+            ),
+            ("final_table_entries", opt_u(self.final_table_entries)),
+            ("resizes", opt_u(self.resizes)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("run missing string field '{name}'"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("run missing integer field '{name}'"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("run missing number field '{name}'"))
+        };
+        let opt_u64 = |name: &str| v.get(name).and_then(Json::as_u64);
+        let opt_f64 = |name: &str| match v.get(name) {
+            Some(Json::Null) | None => None,
+            other => other.and_then(Json::as_f64),
+        };
+        Ok(RunResult {
+            engine: str_field("engine")?,
+            scenario: str_field("scenario")?,
+            threads: u64_field("threads")? as u32,
+            table_entries: u64_field("table_entries")?,
+            heap_words: u64_field("heap_words")?,
+            seed: u64_field("seed")?,
+            warmup: str_field("warmup")?,
+            measure: str_field("measure")?,
+            elapsed_s: f64_field("elapsed_s")?,
+            commits: u64_field("commits")?,
+            aborts: u64_field("aborts")?,
+            read_aborts: u64_field("read_aborts")?,
+            lock_aborts: u64_field("lock_aborts")?,
+            validation_aborts: u64_field("validation_aborts")?,
+            stall_retries: u64_field("stall_retries")?,
+            throughput_txn_s: f64_field("throughput_txn_s")?,
+            aborts_per_commit: f64_field("aborts_per_commit")?,
+            false_conflict_aborts: opt_u64("false_conflict_aborts"),
+            false_conflicts_per_commit: opt_f64("false_conflicts_per_commit"),
+            invariant_violations: u64_field("invariant_violations")?,
+            sim_false_conflicts_per_commit: opt_f64("sim_false_conflicts_per_commit"),
+            final_table_entries: opt_u64("final_table_entries"),
+            resizes: opt_u64("resizes"),
+        })
+    }
+}
+
+/// The versioned report CI stores and gates on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessReport {
+    /// Schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Producing tool ("tm-harness").
+    pub generator: String,
+    /// Whether the report came from a `--fast` smoke run.
+    pub fast: bool,
+    /// All measurements, in matrix order.
+    pub runs: Vec<RunResult>,
+}
+
+impl HarnessReport {
+    /// A fresh report at the current schema version.
+    pub fn new(fast: bool, runs: Vec<RunResult>) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            generator: "tm-harness".to_string(),
+            fast,
+            runs,
+        }
+    }
+
+    /// Distinct engine names covered.
+    pub fn engines(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.runs.iter().map(|r| r.engine.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct scenario names covered.
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.runs.iter().map(|r| r.scenario.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Look a run up by its comparison key.
+    pub fn find(&self, key: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.key() == key)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        obj(vec![
+            ("schema_version", unum(self.schema_version)),
+            ("generator", s(&self.generator)),
+            ("fast", Json::Bool(self.fast)),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(RunResult::to_json).collect()),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parse a report, enforcing the schema version.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing 'schema_version'")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version mismatch: report is v{version}, this tool reads v{SCHEMA_VERSION}"
+            ));
+        }
+        let generator = v
+            .get("generator")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let fast = v.get("fast").and_then(Json::as_bool).unwrap_or(false);
+        let runs = v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("report missing 'runs' array")?
+            .iter()
+            .map(RunResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HarnessReport {
+            schema_version: version,
+            generator,
+            fast,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn sample_run(engine: &str, scenario: &str, throughput: f64) -> RunResult {
+    RunResult {
+        engine: engine.to_string(),
+        scenario: scenario.to_string(),
+        threads: 4,
+        table_entries: 4096,
+        heap_words: 1 << 16,
+        seed: 7,
+        warmup: "50 ms".into(),
+        measure: "250 ms".into(),
+        elapsed_s: 0.25,
+        commits: (throughput * 0.25) as u64,
+        aborts: 10,
+        read_aborts: 0,
+        lock_aborts: 0,
+        validation_aborts: 0,
+        stall_retries: 0,
+        throughput_txn_s: throughput,
+        aborts_per_commit: 0.05,
+        false_conflict_aborts: None,
+        false_conflicts_per_commit: None,
+        invariant_violations: 0,
+        sim_false_conflicts_per_commit: Some(0.04),
+        final_table_entries: None,
+        resizes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let report = HarnessReport::new(
+            true,
+            vec![
+                sample_run("eager-tagless", "uniform-mixed", 1000.0),
+                sample_run("lazy-tl2", "zipf", 2000.0),
+            ],
+        );
+        let text = report.to_json_string();
+        let back = HarnessReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_version_enforced() {
+        let mut report = HarnessReport::new(false, vec![]);
+        report.schema_version = SCHEMA_VERSION + 1;
+        let text = report.to_json_string();
+        let err = HarnessReport::from_json_str(&text).unwrap_err();
+        assert!(err.contains("schema version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_ignored_missing_required_rejected() {
+        let mut text = HarnessReport::new(false, vec![sample_run("e", "s", 10.0)]).to_json_string();
+        // Unknown top-level and per-run fields must be tolerated.
+        text = text.replacen(
+            "\"generator\"",
+            "\"future_field\": [1, 2], \"generator\"",
+            1,
+        );
+        text = text.replacen("\"engine\"", "\"novel\": true, \"engine\"", 1);
+        let back = HarnessReport::from_json_str(&text).unwrap();
+        assert_eq!(back.runs.len(), 1);
+
+        // A run without 'commits' is malformed.
+        let broken = HarnessReport::new(false, vec![sample_run("e", "s", 10.0)])
+            .to_json_string()
+            .replacen("\"commits\"", "\"commits_renamed\"", 1);
+        assert!(HarnessReport::from_json_str(&broken).is_err());
+    }
+
+    #[test]
+    fn coverage_helpers() {
+        let report = HarnessReport::new(
+            false,
+            vec![
+                sample_run("b", "y", 1.0),
+                sample_run("a", "x", 1.0),
+                sample_run("a", "y", 1.0),
+            ],
+        );
+        assert_eq!(report.engines(), vec!["a", "b"]);
+        assert_eq!(report.scenarios(), vec!["x", "y"]);
+        assert!(report.find("a/x/t4").is_some());
+        assert!(report.find("a/z/t4").is_none());
+    }
+}

@@ -1,0 +1,439 @@
+//! Executing one (engine, scenario, threads) cell — and whole matrices.
+//!
+//! [`execute`] builds the requested engine, runs warmup + measure phases of
+//! the scenario on real OS threads, verifies the scenario's isolation
+//! invariant, and folds everything into a [`RunResult`]. [`run_matrix`]
+//! sweeps the cross product and returns a [`HarnessReport`] ready for JSON
+//! serialization and CI gating.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tm_adaptive::ResizePolicy;
+use tm_sim::closed::{run_closed_system, ClosedSystemParams};
+use tm_stm::lazy::LazyStm;
+use tm_stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm};
+
+use crate::driver::{
+    build_replay_streams, run_replay_phase, run_synthetic_phase, Phase, ThreadTally,
+};
+use crate::engine::{DriveEngine, EngineCounters, EngineKind};
+use crate::report::{HarnessReport, RunResult};
+use crate::scenario::{AccessPattern, Scenario, ScenarioKind};
+use crate::structs_load::run_structs;
+
+/// Everything needed to execute one cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Workload description.
+    pub scenario: Scenario,
+    /// Worker OS threads.
+    pub threads: u32,
+    /// Ownership-table entries (the starting size for the adaptive engine).
+    pub table_entries: usize,
+    /// Heap size in words.
+    pub heap_words: usize,
+    /// Run seed — per-thread RNG streams derive from it deterministically.
+    pub seed: u64,
+    /// Warmup phase (not measured).
+    pub warmup: Phase,
+    /// Measured phase.
+    pub measure: Phase,
+}
+
+impl RunSpec {
+    /// Sensible defaults: 4 threads, 4096-entry table, 64k-word heap,
+    /// 50 ms warmup, 250 ms measurement.
+    pub fn new(engine: EngineKind, scenario: Scenario) -> Self {
+        Self {
+            engine,
+            scenario,
+            threads: 4,
+            table_entries: 4096,
+            heap_words: 1 << 16,
+            seed: 0xB1DA,
+            warmup: Phase::DurationMs(50),
+            measure: Phase::DurationMs(250),
+        }
+    }
+}
+
+/// Outcome of driving both phases on a concrete engine.
+struct DriveOutcome {
+    measure_elapsed: Duration,
+    measure: EngineCounters,
+    violations: u64,
+}
+
+/// Execute one cell. Returns `None` when the engine cannot run the
+/// scenario (lazy engine × structs workloads).
+pub fn execute(spec: &RunSpec) -> Option<RunResult> {
+    if !spec.engine.supports(&spec.scenario) {
+        return None;
+    }
+    let mut extra = AdaptiveExtra::default();
+    let outcome = match spec.engine {
+        EngineKind::EagerTagless => {
+            let stm = tagless_stm(spec.heap_words, spec.table_entries);
+            drive_eager(&stm, spec)
+        }
+        EngineKind::EagerTagged => {
+            let stm = tagged_stm(spec.heap_words, spec.table_entries);
+            drive_eager(&stm, spec)
+        }
+        EngineKind::Lazy => {
+            let stm = LazyStm::new(spec.heap_words, spec.table_entries);
+            drive_addr_level(&stm, spec)
+        }
+        EngineKind::Adaptive => {
+            let (stm, mut controller) = tm_adaptive::adaptive_stm(
+                spec.heap_words,
+                spec.table_entries,
+                ResizePolicy::default(),
+                spec.threads,
+            );
+            let stop = AtomicBool::new(false);
+            let mut outcome = None;
+            crossbeam::scope(|s| {
+                let (stop_ref, stm_ref) = (&stop, &stm);
+                // A live operator loop, as in production: observe the
+                // commit stream, consult the sizing model, resize online.
+                s.spawn(move |_| {
+                    while !stop_ref.load(Ordering::Acquire) {
+                        let _ = controller.tick(stm_ref);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                });
+                outcome = Some(drive_eager(&stm, spec));
+                stop.store(true, Ordering::Release);
+            })
+            .expect("adaptive controller scope");
+            let stats = stm.table().resize_stats();
+            extra = AdaptiveExtra {
+                final_table_entries: Some(stm.table().live_entries() as u64),
+                resizes: Some(stats.resizes),
+            };
+            outcome.expect("scope body ran")
+        }
+    };
+    Some(finish(spec, outcome, extra))
+}
+
+#[derive(Default)]
+struct AdaptiveExtra {
+    final_table_entries: Option<u64>,
+    resizes: Option<u64>,
+}
+
+/// Drive any scenario kind on an eager STM (structs included).
+fn drive_eager<T: ConcurrentTable>(stm: &Stm<T>, spec: &RunSpec) -> DriveOutcome {
+    match &spec.scenario.kind {
+        ScenarioKind::Structs(kind) => {
+            let run = run_structs(
+                stm,
+                *kind,
+                spec.heap_words,
+                spec.threads,
+                spec.warmup,
+                spec.measure,
+                spec.seed,
+            );
+            DriveOutcome {
+                measure_elapsed: run.measure.elapsed,
+                measure: run.measure.counters,
+                violations: run.violations,
+            }
+        }
+        _ => drive_addr_level(stm, spec),
+    }
+}
+
+/// Drive an address-level (synthetic or replay) scenario on any engine.
+fn drive_addr_level<E: DriveEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
+    let warm_seed = crate::driver::warmup_seed(spec.seed);
+    let (warmup, measure) = match &spec.scenario.kind {
+        ScenarioKind::Synthetic(s) => (
+            run_synthetic_phase(
+                engine,
+                s,
+                spec.heap_words,
+                spec.threads,
+                spec.warmup,
+                warm_seed,
+            ),
+            run_synthetic_phase(
+                engine,
+                s,
+                spec.heap_words,
+                spec.threads,
+                spec.measure,
+                spec.seed,
+            ),
+        ),
+        ScenarioKind::Replay(r) => {
+            let streams = build_replay_streams(r, spec.seed, spec.heap_words);
+            (
+                run_replay_phase(
+                    engine,
+                    &streams,
+                    r.blocks_per_txn,
+                    spec.threads,
+                    spec.warmup,
+                ),
+                run_replay_phase(
+                    engine,
+                    &streams,
+                    r.blocks_per_txn,
+                    spec.threads,
+                    spec.measure,
+                ),
+            )
+        }
+        ScenarioKind::Structs(_) => unreachable!("structs handled by drive_eager"),
+    };
+    // Isolation invariant: writes are RMW increments, so the final heap
+    // checksum must equal the committed write ops of both phases. Any lost
+    // update, torn publish, or isolation leak breaks the equality.
+    let expected: u64 = warmup
+        .tallies
+        .iter()
+        .chain(&measure.tallies)
+        .map(|t: &ThreadTally| t.committed_write_ops)
+        .sum();
+    let violations = u64::from(engine.heap_sum(spec.heap_words) != expected);
+    DriveOutcome {
+        measure_elapsed: measure.elapsed,
+        measure: measure.counters,
+        violations,
+    }
+}
+
+/// Monte-Carlo cross-check: predicted false conflicts per commit from the
+/// closed-system simulator at the same (C, W, α, N) operating point.
+/// Only meaningful for uniform synthetic workloads on the plain tagless
+/// organization, which is exactly what the simulator models.
+fn sim_cross_check(spec: &RunSpec) -> Option<f64> {
+    if spec.engine != EngineKind::EagerTagless {
+        return None;
+    }
+    let ScenarioKind::Synthetic(s) = &spec.scenario.kind else {
+        return None;
+    };
+    if !matches!(s.pattern, AccessPattern::Uniform) {
+        return None;
+    }
+    // The simulator's conflicts are all table-induced (its block space is
+    // effectively collision-free), so its prediction is only commensurable
+    // with runs whose measured aborts are likewise pure false conflicts.
+    if !s.disjoint {
+        return None;
+    }
+    // The simulator's α is an integer reads-per-write; a workload whose
+    // ratio truncates would be cross-checked at the wrong operating point,
+    // so only exact ratios are predicted.
+    let writes = s.writes_per_txn.max(1);
+    if s.reads_per_txn % writes != 0 {
+        return None;
+    }
+    let result = run_closed_system(&ClosedSystemParams {
+        threads: spec.threads,
+        write_footprint: writes,
+        alpha: s.reads_per_txn / writes,
+        table_entries: spec.table_entries,
+        target_commits: 300,
+        reaction: Default::default(),
+        seed: spec.seed,
+    });
+    Some(result.aborts_per_commit())
+}
+
+fn finish(spec: &RunSpec, outcome: DriveOutcome, extra: AdaptiveExtra) -> RunResult {
+    let elapsed_s = outcome.measure_elapsed.as_secs_f64();
+    let commits = outcome.measure.commits;
+    let aborts = outcome.measure.aborts;
+    let disjoint = spec.scenario.disjoint_data(spec.threads);
+    RunResult {
+        engine: spec.engine.name().to_string(),
+        scenario: spec.scenario.name.clone(),
+        threads: spec.threads,
+        table_entries: spec.table_entries as u64,
+        heap_words: spec.heap_words as u64,
+        seed: spec.seed,
+        warmup: spec.warmup.describe(),
+        measure: spec.measure.describe(),
+        elapsed_s,
+        commits,
+        aborts,
+        read_aborts: outcome.measure.read_aborts,
+        lock_aborts: outcome.measure.lock_aborts,
+        validation_aborts: outcome.measure.validation_aborts,
+        stall_retries: outcome.measure.stall_retries,
+        throughput_txn_s: if elapsed_s > 0.0 {
+            commits as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        aborts_per_commit: aborts as f64 / commits.max(1) as f64,
+        false_conflict_aborts: disjoint.then_some(aborts),
+        false_conflicts_per_commit: disjoint.then(|| aborts as f64 / commits.max(1) as f64),
+        invariant_violations: outcome.violations,
+        sim_false_conflicts_per_commit: sim_cross_check(spec),
+        final_table_entries: extra.final_table_entries,
+        resizes: extra.resizes,
+    }
+}
+
+/// Configuration of a whole matrix sweep.
+#[derive(Clone, Debug)]
+pub struct MatrixConfig {
+    /// Engines to run.
+    pub engines: Vec<EngineKind>,
+    /// Scenarios to run.
+    pub scenarios: Vec<Scenario>,
+    /// Worker threads per run.
+    pub threads: u32,
+    /// Ownership-table entries.
+    pub table_entries: usize,
+    /// Heap words.
+    pub heap_words: usize,
+    /// Base seed (every cell uses it directly; determinism per cell).
+    pub seed: u64,
+    /// Warmup phase.
+    pub warmup: Phase,
+    /// Measured phase.
+    pub measure: Phase,
+    /// Recorded in the report so comparisons can refuse cross-mode diffs.
+    pub fast: bool,
+}
+
+impl MatrixConfig {
+    /// The standard full matrix: all engines × all standard scenarios.
+    pub fn standard() -> Self {
+        Self {
+            engines: EngineKind::all().to_vec(),
+            scenarios: Scenario::standard_matrix(),
+            threads: 4,
+            table_entries: 4096,
+            heap_words: 1 << 16,
+            seed: 0xB1DA,
+            warmup: Phase::DurationMs(100),
+            measure: Phase::DurationMs(500),
+            fast: false,
+        }
+    }
+
+    /// The CI smoke variant: same matrix, much shorter phases.
+    pub fn fast() -> Self {
+        Self {
+            warmup: Phase::DurationMs(30),
+            measure: Phase::DurationMs(120),
+            fast: true,
+            ..Self::standard()
+        }
+    }
+}
+
+/// Sweep the matrix, reporting progress through `progress` (cell index,
+/// total cells, result of the finished cell).
+pub fn run_matrix(
+    config: &MatrixConfig,
+    mut progress: impl FnMut(usize, usize, &RunResult),
+) -> HarnessReport {
+    let cells: Vec<(EngineKind, Scenario)> = config
+        .engines
+        .iter()
+        .flat_map(|&e| config.scenarios.iter().map(move |s| (e, s.clone())))
+        .filter(|(e, s)| e.supports(s))
+        .collect();
+    let total = cells.len();
+    let mut runs = Vec::with_capacity(total);
+    for (i, (engine, scenario)) in cells.into_iter().enumerate() {
+        let spec = RunSpec {
+            engine,
+            scenario,
+            threads: config.threads,
+            table_entries: config.table_entries,
+            heap_words: config.heap_words,
+            seed: config.seed,
+            warmup: config.warmup,
+            measure: config.measure,
+        };
+        let result = execute(&spec).expect("unsupported cells filtered above");
+        progress(i, total, &result);
+        runs.push(result);
+    }
+    HarnessReport::new(config.fast, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(engine: EngineKind, scenario: Scenario) -> RunSpec {
+        RunSpec {
+            threads: 2,
+            warmup: Phase::Txns(10),
+            measure: Phase::Txns(60),
+            table_entries: 2048,
+            heap_words: 1 << 14,
+            ..RunSpec::new(engine, scenario)
+        }
+    }
+
+    #[test]
+    fn execute_counts_fixed_budget_commits() {
+        let r = execute(&quick_spec(
+            EngineKind::EagerTagged,
+            Scenario::uniform_mixed(),
+        ))
+        .unwrap();
+        assert_eq!(r.commits, 120);
+        assert_eq!(r.invariant_violations, 0);
+        assert!(r.throughput_txn_s > 0.0);
+        assert!(r.false_conflict_aborts.is_none());
+    }
+
+    #[test]
+    fn lazy_structs_cell_is_unsupported() {
+        assert!(execute(&quick_spec(EngineKind::Lazy, Scenario::counter())).is_none());
+    }
+
+    #[test]
+    fn disjoint_scenario_reports_false_conflicts() {
+        let r = execute(&quick_spec(EngineKind::EagerTagless, Scenario::disjoint())).unwrap();
+        assert_eq!(r.false_conflict_aborts, Some(r.aborts));
+        assert!(r.sim_false_conflicts_per_commit.is_some());
+    }
+
+    #[test]
+    fn adaptive_cell_reports_table_state() {
+        let r = execute(&quick_spec(EngineKind::Adaptive, Scenario::write_heavy())).unwrap();
+        assert!(r.final_table_entries.is_some());
+        assert!(r.resizes.is_some());
+        assert_eq!(r.invariant_violations, 0);
+    }
+
+    #[test]
+    fn small_matrix_covers_supported_cells() {
+        let config = MatrixConfig {
+            engines: vec![EngineKind::EagerTagged, EngineKind::Lazy],
+            scenarios: vec![Scenario::uniform_mixed(), Scenario::counter()],
+            threads: 2,
+            table_entries: 1024,
+            heap_words: 1 << 13,
+            seed: 3,
+            warmup: Phase::Txns(5),
+            measure: Phase::Txns(20),
+            fast: true,
+        };
+        let mut seen = 0;
+        let report = run_matrix(&config, |_, total, _| {
+            assert_eq!(total, 3); // lazy × counter filtered out
+            seen += 1;
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(report.runs.len(), 3);
+    }
+}

@@ -1,0 +1,455 @@
+//! The declarative scenario matrix: what the worker threads actually do.
+//!
+//! A [`Scenario`] is a pure description — engines and thread counts are
+//! orthogonal axes chosen by [`crate::run::RunSpec`]. Three families:
+//!
+//! * **Synthetic** address-level workloads parameterized by footprint,
+//!   read/write mix, and access pattern (uniform, Zipf-skewed, hotspot,
+//!   disjoint per-thread partitions). Writes are read-modify-write
+//!   increments, so the final heap checksum is a whole-run isolation
+//!   invariant: `Σ heap = commits × writes_per_txn`.
+//! * **Structs** workloads driving `tm-structs` (counter/map/queue/stack)
+//!   with linearizability-style conservation checks.
+//! * **Replay** of `tm-traces` JBB-style block streams, chopped into
+//!   fixed-footprint transactions (streams are block-disjoint after true-
+//!   conflict filtering, so every cross-thread abort is a false conflict).
+
+use tm_traces::sampler::Zipf;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A named workload description, independent of engine and thread count.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable name used in reports and for CLI selection.
+    pub name: String,
+    /// The workload family and its parameters.
+    pub kind: ScenarioKind,
+}
+
+/// The three workload families.
+#[derive(Clone, Debug)]
+pub enum ScenarioKind {
+    /// Address-level synthetic transactions.
+    Synthetic(SyntheticSpec),
+    /// `tm-structs` data-structure workloads (eager engines only).
+    Structs(StructsKind),
+    /// `tm-traces` JBB-style block-stream replay.
+    Replay(ReplaySpec),
+}
+
+/// Parameters of a synthetic address-level workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSpec {
+    /// Read-modify-write increments per transaction (the model's `W`).
+    pub writes_per_txn: u32,
+    /// Plain reads per transaction (fresh blocks, `α·W` in the model).
+    pub reads_per_txn: u32,
+    /// How block addresses are drawn.
+    pub pattern: AccessPattern,
+    /// Partition the heap per thread so no true conflicts exist — every
+    /// abort is then table-induced (a false conflict).
+    pub disjoint: bool,
+    /// Yield after each operation so partial footprints interleave even on
+    /// boxes with fewer cores than threads (the paper's lockstep overlap).
+    pub yield_per_op: bool,
+}
+
+/// Block-address distribution of a synthetic workload.
+#[derive(Clone, Copy, Debug)]
+pub enum AccessPattern {
+    /// Uniform over the (possibly per-thread) block universe.
+    Uniform,
+    /// Zipf-skewed: rank 0 is the most popular block.
+    Zipf {
+        /// Skew exponent (`0` degenerates to uniform, `~1` is heavy skew).
+        exponent: f64,
+    },
+    /// A small hot region absorbs a fixed share of accesses.
+    Hotspot {
+        /// Number of blocks in the hot region.
+        hot_blocks: u64,
+        /// Percent of accesses (0–100) that go to the hot region.
+        hot_pct: u32,
+    },
+}
+
+/// Which `tm-structs` structure a structs scenario exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StructsKind {
+    /// Shared `TCounter`: random small deltas; invariant: final value equals
+    /// the sum of per-thread committed deltas.
+    Counter,
+    /// `TMap` with disjoint per-thread key ranges; invariant: final contents
+    /// equal each thread's last committed write per key.
+    Map,
+    /// Shared `TQueue`; invariant: element and value conservation.
+    Queue,
+    /// Shared `TStack`; invariant: element and value conservation.
+    Stack,
+}
+
+/// Parameters of a trace-replay workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplaySpec {
+    /// Raw accesses generated per source-trace thread before filtering.
+    pub accesses_per_thread: usize,
+    /// Block accesses grouped into one transaction.
+    pub blocks_per_txn: usize,
+}
+
+impl ReplaySpec {
+    /// Number of block-disjoint streams the generator produces (the JBB
+    /// generator's default warehouse count). Workers beyond this share
+    /// streams — correct, but no longer conflict-free across threads.
+    pub fn source_streams(&self) -> usize {
+        tm_traces::jbb::JbbParams::default().threads
+    }
+}
+
+impl Scenario {
+    fn synthetic(name: &str, spec: SyntheticSpec) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: ScenarioKind::Synthetic(spec),
+        }
+    }
+
+    /// Uniform mixed workload: 4 RMW increments + 8 reads per transaction.
+    pub fn uniform_mixed() -> Self {
+        Self::synthetic(
+            "uniform-mixed",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Read-dominated: 1 increment + 15 reads.
+    pub fn read_heavy() -> Self {
+        Self::synthetic(
+            "read-heavy",
+            SyntheticSpec {
+                writes_per_txn: 1,
+                reads_per_txn: 15,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Write-dominated: 8 increments + 2 reads.
+    pub fn write_heavy() -> Self {
+        Self::synthetic(
+            "write-heavy",
+            SyntheticSpec {
+                writes_per_txn: 8,
+                reads_per_txn: 2,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Zipf-skewed block popularity (object-access skew à la JBB).
+    pub fn zipf() -> Self {
+        Self::synthetic(
+            "zipf",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Zipf { exponent: 0.8 },
+                disjoint: false,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Hotspot contention: 25% of accesses hit a 16-block hot region.
+    pub fn hotspot() -> Self {
+        Self::synthetic(
+            "hotspot",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Hotspot {
+                    hot_blocks: 16,
+                    hot_pct: 25,
+                },
+                disjoint: false,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Disjoint per-thread partitions: zero true conflicts by construction,
+    /// so every abort is a table-induced false conflict.
+    pub fn disjoint() -> Self {
+        Self::synthetic(
+            "disjoint",
+            SyntheticSpec {
+                writes_per_txn: 8,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Uniform,
+                disjoint: true,
+                yield_per_op: false,
+            },
+        )
+    }
+
+    /// Uniform block *writes* only, with per-op yields — the workload of the
+    /// `repro --bin adaptive` ablation, exposed here so that binary and the
+    /// benches share one generator.
+    pub fn uniform_writes(writes_per_txn: u32) -> Self {
+        Self::synthetic(
+            &format!("uniform-writes-{writes_per_txn}"),
+            SyntheticSpec {
+                writes_per_txn,
+                reads_per_txn: 0,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: true,
+            },
+        )
+    }
+
+    /// Shared-counter structs workload.
+    pub fn counter() -> Self {
+        Self {
+            name: "counter".into(),
+            kind: ScenarioKind::Structs(StructsKind::Counter),
+        }
+    }
+
+    /// Hash-map structs workload.
+    pub fn map() -> Self {
+        Self {
+            name: "map".into(),
+            kind: ScenarioKind::Structs(StructsKind::Map),
+        }
+    }
+
+    /// FIFO-queue structs workload.
+    pub fn queue() -> Self {
+        Self {
+            name: "queue".into(),
+            kind: ScenarioKind::Structs(StructsKind::Queue),
+        }
+    }
+
+    /// Stack structs workload.
+    pub fn stack() -> Self {
+        Self {
+            name: "stack".into(),
+            kind: ScenarioKind::Structs(StructsKind::Stack),
+        }
+    }
+
+    /// JBB-style trace replay (block-disjoint streams, `W = 8` per txn).
+    pub fn replay_jbb() -> Self {
+        Self {
+            name: "replay-jbb".into(),
+            kind: ScenarioKind::Replay(ReplaySpec {
+                accesses_per_thread: 20_000,
+                blocks_per_txn: 8,
+            }),
+        }
+    }
+
+    /// The full standard matrix, in report order.
+    pub fn standard_matrix() -> Vec<Scenario> {
+        vec![
+            Self::uniform_mixed(),
+            Self::read_heavy(),
+            Self::write_heavy(),
+            Self::zipf(),
+            Self::hotspot(),
+            Self::disjoint(),
+            Self::counter(),
+            Self::map(),
+            Self::queue(),
+            Self::stack(),
+            Self::replay_jbb(),
+        ]
+    }
+
+    /// Look a standard scenario up by its report name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Self::standard_matrix().into_iter().find(|s| s.name == name)
+    }
+
+    /// `true` when the workload's data is disjoint across `threads` workers
+    /// by construction, making every cross-thread abort a false conflict.
+    ///
+    /// Thread count matters for replay: the filtered streams are pairwise
+    /// block-disjoint, but with more workers than streams two threads
+    /// co-replay one stream and genuinely conflict.
+    pub fn disjoint_data(&self, threads: u32) -> bool {
+        match &self.kind {
+            ScenarioKind::Synthetic(spec) => spec.disjoint,
+            // Replay streams pass through `remove_true_conflicts`.
+            ScenarioKind::Replay(spec) => threads as usize <= spec.source_streams(),
+            ScenarioKind::Structs(_) => false,
+        }
+    }
+
+    /// The synthetic parameters, when this is a synthetic scenario — the
+    /// accessor front-ends (repro binaries, benches) use to share one
+    /// workload generator.
+    pub fn synthetic_spec(&self) -> Option<SyntheticSpec> {
+        match &self.kind {
+            ScenarioKind::Synthetic(spec) => Some(*spec),
+            _ => None,
+        }
+    }
+}
+
+/// A per-thread deterministic block sampler for synthetic workloads.
+///
+/// `universe` is the global number of heap blocks; under `disjoint` the
+/// sampler confines thread `t` of `threads` to its own contiguous slice.
+pub struct BlockSampler {
+    base: u64,
+    span: u64,
+    pattern: AccessPattern,
+    zipf: Option<Zipf>,
+}
+
+impl BlockSampler {
+    /// Build the sampler for one worker thread.
+    pub fn new(spec: &SyntheticSpec, universe: u64, thread: u32, threads: u32) -> Self {
+        let (base, span) = if spec.disjoint {
+            let slice = (universe / threads as u64).max(1);
+            (thread as u64 * slice, slice)
+        } else {
+            (0, universe.max(1))
+        };
+        let zipf = match spec.pattern {
+            AccessPattern::Zipf { exponent } => Some(Zipf::new(span as usize, exponent)),
+            _ => None,
+        };
+        Self {
+            base,
+            span,
+            pattern: spec.pattern,
+            zipf,
+        }
+    }
+
+    /// Draw a block address.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let offset = match &self.pattern {
+            AccessPattern::Uniform => rng.gen_range(0..self.span),
+            AccessPattern::Zipf { .. } => {
+                self.zipf.as_ref().expect("zipf built in new").sample(rng) as u64
+            }
+            AccessPattern::Hotspot {
+                hot_blocks,
+                hot_pct,
+            } => {
+                if rng.gen_range(0..100u32) < *hot_pct {
+                    rng.gen_range(0..(*hot_blocks).min(self.span))
+                } else {
+                    rng.gen_range(0..self.span)
+                }
+            }
+        };
+        self.base + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_matrix_names_are_unique_and_resolvable() {
+        let matrix = Scenario::standard_matrix();
+        for s in &matrix {
+            assert!(Scenario::by_name(&s.name).is_some(), "{}", s.name);
+        }
+        let mut names: Vec<_> = matrix.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), matrix.len());
+    }
+
+    #[test]
+    fn disjoint_sampler_partitions_threads() {
+        let spec = SyntheticSpec {
+            writes_per_txn: 4,
+            reads_per_txn: 0,
+            pattern: AccessPattern::Uniform,
+            disjoint: true,
+            yield_per_op: false,
+        };
+        let universe = 1024;
+        let mut seen = Vec::new();
+        for t in 0..4u32 {
+            let sampler = BlockSampler::new(&spec, universe, t, 4);
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            for _ in 0..200 {
+                let b = sampler.sample(&mut rng);
+                assert!(
+                    (t as u64 * 256..(t as u64 + 1) * 256).contains(&b),
+                    "thread {t} sampled {b}"
+                );
+                seen.push(b);
+            }
+        }
+        assert!(seen.iter().any(|&b| b >= 768), "all slices exercised");
+    }
+
+    #[test]
+    fn hotspot_sampler_respects_hot_share() {
+        let spec = SyntheticSpec {
+            writes_per_txn: 1,
+            reads_per_txn: 0,
+            pattern: AccessPattern::Hotspot {
+                hot_blocks: 8,
+                hot_pct: 50,
+            },
+            disjoint: false,
+            yield_per_op: false,
+        };
+        let sampler = BlockSampler::new(&spec, 4096, 0, 1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let hot = (0..n).filter(|_| sampler.sample(&mut rng) < 8).count() as f64;
+        // 50% forced hot plus the uniform arm's small spillover.
+        let frac = hot / n as f64;
+        assert!((0.45..0.60).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn disjoint_flag_classification() {
+        assert!(Scenario::disjoint().disjoint_data(4));
+        assert!(Scenario::replay_jbb().disjoint_data(4));
+        // More workers than replay streams ⇒ co-replayers truly conflict.
+        assert!(!Scenario::replay_jbb().disjoint_data(8));
+        assert!(!Scenario::uniform_mixed().disjoint_data(4));
+        assert!(!Scenario::counter().disjoint_data(4));
+    }
+
+    #[test]
+    fn synthetic_spec_accessor() {
+        assert!(Scenario::uniform_mixed().synthetic_spec().is_some());
+        assert_eq!(
+            Scenario::uniform_writes(16)
+                .synthetic_spec()
+                .unwrap()
+                .writes_per_txn,
+            16
+        );
+        assert!(Scenario::counter().synthetic_spec().is_none());
+        assert!(Scenario::replay_jbb().synthetic_spec().is_none());
+    }
+}

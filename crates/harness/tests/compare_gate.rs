@@ -1,0 +1,52 @@
+//! End-to-end gate check: a real harness report must compare clean against
+//! itself (through full JSON serialization) and fail against an injected
+//! regression — the exact contract the CI perf-smoke job relies on.
+
+use tm_harness::{
+    compare, run_matrix, EngineKind, HarnessReport, MatrixConfig, Phase, Scenario, Tolerance,
+};
+
+fn tiny_matrix() -> MatrixConfig {
+    MatrixConfig {
+        engines: vec![EngineKind::EagerTagless, EngineKind::EagerTagged],
+        scenarios: vec![Scenario::uniform_mixed(), Scenario::queue()],
+        threads: 2,
+        table_entries: 1024,
+        heap_words: 1 << 13,
+        seed: 17,
+        warmup: Phase::Txns(10),
+        measure: Phase::Txns(50),
+        fast: true,
+    }
+}
+
+#[test]
+fn real_report_round_trips_and_self_compares_clean() {
+    let report = run_matrix(&tiny_matrix(), |_, _, _| {});
+    assert_eq!(report.runs.len(), 4);
+
+    let text = report.to_json_string();
+    let parsed = HarnessReport::from_json_str(&text).expect("self-produced JSON parses");
+    assert_eq!(parsed, report);
+
+    let verdict = compare(&parsed, &parsed, &Tolerance::pct(25.0));
+    assert!(verdict.passed(), "{}", verdict.render());
+    assert_eq!(verdict.checked, 4);
+}
+
+#[test]
+fn injected_2x_throughput_drop_fails_the_gate() {
+    let baseline = run_matrix(&tiny_matrix(), |_, _, _| {});
+    let mut regressed = baseline.clone();
+    regressed.runs[0].throughput_txn_s /= 2.0;
+
+    let verdict = compare(&baseline, &regressed, &Tolerance::pct(25.0));
+    assert!(!verdict.passed());
+    assert_eq!(verdict.regressions.len(), 1);
+    assert_eq!(verdict.regressions[0].metric, "throughput_txn_s");
+
+    // And the injected regression survives a JSON round trip (what CI
+    // actually diffs is two files).
+    let back = HarnessReport::from_json_str(&regressed.to_json_string()).unwrap();
+    assert!(!compare(&baseline, &back, &Tolerance::pct(25.0)).passed());
+}

@@ -9,56 +9,46 @@
 //! there; the adaptive system's controller notices the observed footprint,
 //! asks the sizing model for the right table, and swaps it in while the
 //! workload runs — throughput recovers to near the conflict-free line.
+//!
+//! Workload generation is delegated to `tm-harness` (the workspace's single
+//! source of truth for scenario execution): each phase is a fixed-budget
+//! [`tm_harness::run_synthetic_phase`] of `W`-block write transactions with
+//! per-op yields, so partial footprints genuinely interleave even on boxes
+//! with fewer cores than threads. Both systems run the identical phases.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use tm_adaptive::{AdaptiveController, ResizePolicy};
+use tm_harness::{run_synthetic_phase, DriveEngine, Phase, Scenario, SyntheticSpec};
 use tm_repro::{f3, Options, Table};
-use tm_stm::{tagless_stm, ConcurrentTable, Stm};
+use tm_stm::tagless_stm;
 
 const THREADS: u32 = 4;
 const START_ENTRIES: usize = 1024;
 const HEAP_WORDS: usize = 1 << 20;
-const HEAP_BLOCKS: u64 = (HEAP_WORDS as u64 * 8) / 64;
+
+/// The `W`-write uniform workload of this ablation, from the shared matrix.
+fn spec_for(w: u32) -> SyntheticSpec {
+    Scenario::uniform_writes(w)
+        .synthetic_spec()
+        .expect("uniform_writes is synthetic")
+}
 
 /// Run `txns` transactions of `w` block-writes on each of `THREADS`
-/// threads; returns (elapsed seconds, commits, aborts) for the run.
-///
-/// Transactions yield after every write so partial footprints genuinely
-/// interleave even on boxes with fewer cores than threads — the lockstep
-/// overlap the paper's model assumes. Both systems pay the same yields, so
-/// the comparison is apples to apples.
-fn run_phase<T: ConcurrentTable>(stm: &Stm<T>, w: u32, txns: u64, seed: u64) -> (f64, u64, u64) {
-    let before = stm.stats();
-    let t0 = Instant::now();
-    crossbeam::scope(|s| {
-        for id in 0..THREADS {
-            s.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (id as u64) << 32);
-                for _ in 0..txns {
-                    let base: Vec<u64> = (0..w).map(|_| rng.gen_range(0..HEAP_BLOCKS)).collect();
-                    stm.run(id, |txn| {
-                        for &b in &base {
-                            txn.write(b * 64, b)?;
-                            std::thread::yield_now();
-                        }
-                        Ok(())
-                    });
-                }
-            });
-        }
-    })
-    .unwrap();
-    let dt = t0.elapsed().as_secs_f64();
-    let after = stm.stats();
+/// threads; returns (elapsed seconds, commits, aborts) for the phase.
+fn run_phase<E: DriveEngine>(engine: &E, w: u32, txns: u64, seed: u64) -> (f64, u64, u64) {
+    let phase = run_synthetic_phase(
+        engine,
+        &spec_for(w),
+        HEAP_WORDS,
+        THREADS,
+        Phase::Txns(txns),
+        seed,
+    );
     (
-        dt,
-        after.commits - before.commits,
-        after.aborts - before.aborts,
+        phase.elapsed.as_secs_f64(),
+        phase.counters.commits,
+        phase.counters.aborts,
     )
 }
 

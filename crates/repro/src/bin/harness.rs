@@ -1,0 +1,254 @@
+//! The tm-harness CLI: run the scenario matrix on real threads and emit a
+//! machine-readable report, or diff two reports as a CI regression gate.
+//!
+//! ```text
+//! harness [--fast] [--out results.json] [--engine NAME]... [--scenario NAME]...
+//!         [--threads N] [--table-entries N] [--seed N]
+//!         [--warmup-ms N] [--measure-ms N]
+//! harness compare <baseline.json> <candidate.json> [--tolerance-pct P]
+//! harness compare --baseline <path> --candidate <path> [--tolerance-pct P]
+//! ```
+//!
+//! `compare` exits 0 when the candidate is within tolerance of the baseline
+//! on every gated metric, non-zero otherwise — this is what CI gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tm_harness::{compare, EngineKind, HarnessReport, MatrixConfig, Phase, Scenario, Tolerance};
+use tm_repro::{f3, Table};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..])
+    } else {
+        run_matrix_cli(&args)
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: harness [--fast] [--out FILE] [--engine NAME]... [--scenario NAME]...\n\
+         \x20              [--threads N] [--table-entries N] [--seed N]\n\
+         \x20              [--warmup-ms N] [--measure-ms N]\n\
+         \x20      harness compare <baseline> <candidate> [--tolerance-pct P]\n\
+         engines:   {}  (or 'all')\n\
+         scenarios: {}  (or 'all')",
+        EngineKind::all().map(|e| e.name()).join(", "),
+        Scenario::standard_matrix()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_num<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric argument")))
+}
+
+fn run_matrix_cli(args: &[String]) -> ExitCode {
+    let mut config = MatrixConfig::standard();
+    let mut engines: Vec<EngineKind> = Vec::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => {
+                let fast = MatrixConfig::fast();
+                config.warmup = fast.warmup;
+                config.measure = fast.measure;
+                config.fast = true;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--out needs a path")),
+                ));
+            }
+            "--engine" => {
+                let name = it.next().unwrap_or_else(|| usage("--engine needs a name"));
+                if name == "all" {
+                    engines = EngineKind::all().to_vec();
+                } else {
+                    engines.push(
+                        EngineKind::parse(name)
+                            .unwrap_or_else(|| usage(&format!("unknown engine '{name}'"))),
+                    );
+                }
+            }
+            "--scenario" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage("--scenario needs a name"));
+                if name == "all" {
+                    scenarios = Scenario::standard_matrix();
+                } else {
+                    scenarios.push(
+                        Scenario::by_name(name)
+                            .unwrap_or_else(|| usage(&format!("unknown scenario '{name}'"))),
+                    );
+                }
+            }
+            "--threads" => config.threads = parse_num(&mut it, "--threads"),
+            "--table-entries" => config.table_entries = parse_num(&mut it, "--table-entries"),
+            "--seed" => config.seed = parse_num(&mut it, "--seed"),
+            "--warmup-ms" => config.warmup = Phase::DurationMs(parse_num(&mut it, "--warmup-ms")),
+            "--measure-ms" => {
+                config.measure = Phase::DurationMs(parse_num(&mut it, "--measure-ms"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if !engines.is_empty() {
+        config.engines = engines;
+    }
+    if !scenarios.is_empty() {
+        config.scenarios = scenarios;
+    }
+
+    if !config
+        .engines
+        .iter()
+        .any(|e| config.scenarios.iter().any(|s| e.supports(s)))
+    {
+        usage("selected engines support none of the selected scenarios (the lazy engine cannot run structs workloads)");
+    }
+
+    let report = tm_harness::run_matrix(&config, |i, total, r| {
+        eprintln!(
+            "[{}/{}] {}/{}: {} commits, {} aborts, {} txn/s",
+            i + 1,
+            total,
+            r.engine,
+            r.scenario,
+            r.commits,
+            r.aborts,
+            f3(r.throughput_txn_s),
+        );
+    });
+
+    let mut table = Table::new(
+        format!(
+            "tm-harness matrix (threads = {}, table = {} entries, measure = {})",
+            config.threads,
+            config.table_entries,
+            config.measure.describe(),
+        ),
+        &[
+            "engine",
+            "scenario",
+            "ktxn/s",
+            "aborts/commit",
+            "false-conf/commit",
+            "violations",
+        ],
+    );
+    for r in &report.runs {
+        table.row(&[
+            r.engine.clone(),
+            r.scenario.clone(),
+            f3(r.throughput_txn_s / 1e3),
+            f3(r.aborts_per_commit),
+            r.false_conflicts_per_commit
+                .map(f3)
+                .unwrap_or_else(|| "-".into()),
+            r.invariant_violations.to_string(),
+        ]);
+    }
+    table.print();
+
+    let violations: u64 = report.runs.iter().map(|r| r.invariant_violations).sum();
+    if violations > 0 {
+        eprintln!("error: {violations} isolation invariant violation(s) detected");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json_string()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} ({} runs, {} engines, {} scenarios)",
+            path.display(),
+            report.runs.len(),
+            report.engines().len(),
+            report.scenarios().len(),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut candidate: Option<PathBuf> = None;
+    let mut tolerance = Tolerance::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                ));
+            }
+            "--candidate" => {
+                candidate = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--candidate needs a path")),
+                ));
+            }
+            "--tolerance-pct" => {
+                tolerance = Tolerance::pct(parse_num(&mut it, "--tolerance-pct"));
+            }
+            "--help" | "-h" => usage(""),
+            path if !path.starts_with('-') => {
+                // Positional form: first is the baseline, second the candidate.
+                if baseline.is_none() {
+                    baseline = Some(PathBuf::from(path));
+                } else if candidate.is_none() {
+                    candidate = Some(PathBuf::from(path));
+                } else {
+                    usage("too many positional arguments");
+                }
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| usage("compare needs a baseline report"));
+    let candidate = candidate.unwrap_or_else(|| usage("compare needs a candidate report"));
+
+    let load = |path: &PathBuf| -> Result<HarnessReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        HarnessReport::from_json_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+    };
+    let (base, cand) = match (load(&baseline), load(&candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = compare(&base, &cand, &tolerance);
+    print!("{}", verdict.render());
+    if verdict.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -88,6 +88,13 @@ impl ClosedSystemResult {
             self.commits as f64 / self.ticks as f64
         }
     }
+
+    /// Conflicts per committed transaction — the unit tm-harness reports
+    /// for real-thread runs, exposed here so the simulator's prediction can
+    /// be cross-checked against measurements at the same operating point.
+    pub fn aborts_per_commit(&self) -> f64 {
+        self.conflicts as f64 / self.commits.max(1) as f64
+    }
 }
 
 /// Per-thread transaction progress.

@@ -87,6 +87,11 @@ impl TQueue {
     pub fn dequeue_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
         stm.run(me, |txn| self.dequeue(txn))
     }
+
+    /// Auto-committing length (conservation checks in stress harnesses).
+    pub fn len_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+        stm.run(me, |txn| self.len(txn))
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,11 @@ impl TStack {
     pub fn pop_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
         stm.run(me, |txn| self.pop(txn))
     }
+
+    /// Auto-committing depth (conservation checks in stress harnesses).
+    pub fn len_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+        stm.run(me, |txn| self.len(txn))
+    }
 }
 
 #[cfg(test)]
