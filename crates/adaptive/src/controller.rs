@@ -147,7 +147,7 @@ impl AdaptiveController {
 mod tests {
     use super::*;
     use tm_ownership::{ConcurrentTaglessTable, HashKind, TableConfig};
-    use tm_stm::StmConfig;
+    use tm_stm::{StmConfig, TmEngine, TxnOps};
 
     fn adaptive(entries: usize) -> Stm<ResizableTable<ConcurrentTaglessTable>> {
         let table = ResizableTable::with_factory(

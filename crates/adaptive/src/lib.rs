@@ -24,6 +24,7 @@
 //!
 //! ```
 //! use tm_adaptive::{adaptive_stm, ControlReport, ResizePolicy};
+//! use tm_stm::{TmEngine, TxnOps};
 //!
 //! // 64k-word heap, deliberately under-sized 256-entry tagless table,
 //! // 4 expected worker threads.
@@ -64,14 +65,84 @@ pub use policy::{Decision, Observation, ResizePolicy};
 pub use resizable::{ResizableTable, ResizeError, ResizeReport, ResizeStats};
 
 use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
-use tm_stm::{Stm, StmConfig};
+use tm_stm::{Stm, StmBuilder};
 
-/// An STM over an adaptively-sized **tagless** table, plus the controller
-/// that keeps the table sized to the workload.
+/// Terminal methods extending [`StmBuilder`] with the adaptive engines, so
+/// the one fluent constructor covers this crate too:
 ///
-/// Starts at `initial_entries` (power of two) with the paper-default
-/// geometry; call [`AdaptiveController::tick`] periodically (timer thread,
-/// batch boundary, metrics scrape) to let the sizing model react.
+/// ```
+/// use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
+/// use tm_stm::{StmBuilder, TmEngine, TxnOps};
+///
+/// let (stm, mut controller) = StmBuilder::new()
+///     .heap_words(1 << 16)
+///     .table_entries(256)
+///     .build_adaptive(ResizePolicy::default(), 4);
+/// stm.run(0, |txn| txn.write(0, 7));
+/// assert_eq!(stm.heap().load(0), 7);
+/// assert_eq!(controller.epochs(), 0);
+/// ```
+pub trait AdaptiveStmBuilder {
+    /// An eager STM over an adaptively-sized **tagless** table, plus the
+    /// controller that keeps the table sized to the workload. Call
+    /// [`AdaptiveController::tick`] periodically (timer thread, batch
+    /// boundary, metrics scrape) to let the sizing model react.
+    fn build_adaptive(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaglessTable>>,
+        AdaptiveController,
+    );
+
+    /// Like [`build_adaptive`](AdaptiveStmBuilder::build_adaptive) but over
+    /// a **tagged** table: conflicts are always genuine, so resizing here
+    /// manages chain lengths (lookup cost) rather than false conflicts.
+    fn build_adaptive_tagged(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaggedTable>>,
+        AdaptiveController,
+    );
+}
+
+impl AdaptiveStmBuilder for StmBuilder {
+    fn build_adaptive(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaglessTable>>,
+        AdaptiveController,
+    ) {
+        let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaglessTable::new);
+        (
+            self.build_with_table(table),
+            AdaptiveController::new(policy, concurrency),
+        )
+    }
+
+    fn build_adaptive_tagged(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaggedTable>>,
+        AdaptiveController,
+    ) {
+        let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaggedTable::new);
+        (
+            self.build_with_table(table),
+            AdaptiveController::new(policy, concurrency),
+        )
+    }
+}
+
+/// Shorthand for [`StmBuilder`]`::new().heap_words(..).table_entries(..)
+/// .build_adaptive(..)` (see [`AdaptiveStmBuilder`]).
 pub fn adaptive_stm(
     heap_words: usize,
     initial_entries: usize,
@@ -81,19 +152,14 @@ pub fn adaptive_stm(
     Stm<ResizableTable<ConcurrentTaglessTable>>,
     AdaptiveController,
 ) {
-    let table = ResizableTable::with_factory(
-        TableConfig::new(initial_entries),
-        ConcurrentTaglessTable::new,
-    );
-    (
-        Stm::new(heap_words, table, StmConfig::default()),
-        AdaptiveController::new(policy, concurrency),
-    )
+    StmBuilder::new()
+        .heap_words(heap_words)
+        .table_entries(initial_entries)
+        .build_adaptive(policy, concurrency)
 }
 
-/// Like [`adaptive_stm`] but over a **tagged** table: conflicts are always
-/// genuine, so resizing here manages chain lengths (lookup cost) rather
-/// than false conflicts.
+/// Shorthand for [`AdaptiveStmBuilder::build_adaptive_tagged`] at the
+/// default geometry.
 pub fn adaptive_tagged_stm(
     heap_words: usize,
     initial_entries: usize,
@@ -103,14 +169,10 @@ pub fn adaptive_tagged_stm(
     Stm<ResizableTable<ConcurrentTaggedTable>>,
     AdaptiveController,
 ) {
-    let table = ResizableTable::with_factory(
-        TableConfig::new(initial_entries),
-        ConcurrentTaggedTable::new,
-    );
-    (
-        Stm::new(heap_words, table, StmConfig::default()),
-        AdaptiveController::new(policy, concurrency),
-    )
+    StmBuilder::new()
+        .heap_words(heap_words)
+        .table_entries(initial_entries)
+        .build_adaptive_tagged(policy, concurrency)
 }
 
 /// Convenience: a bare resizable tagless table (no STM), for direct use or

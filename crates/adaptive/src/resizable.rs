@@ -310,6 +310,16 @@ impl<T: ConcurrentTable> ResizableTable<T> {
         self.current.read().table.num_entries()
     }
 
+    /// The *active* generation's full configuration — entry count, hash
+    /// kind, block geometry — as of this call. [`ConcurrentTable::config`]
+    /// deliberately keeps returning the construction-time geometry (its
+    /// block mapper stays authoritative for address mapping and transaction
+    /// logs must outlive swaps); use this accessor whenever you are
+    /// reporting what the table looks like *now*.
+    pub fn live_config(&self) -> TableConfig {
+        self.current.read().table.config().clone()
+    }
+
     /// Hash kind of the *active* generation.
     pub fn live_hash(&self) -> HashKind {
         self.current.read().table.config().hash()
@@ -672,6 +682,22 @@ mod tests {
         // Rehash at the same size is a real change.
         assert!(t.resize_with_hash(16, HashKind::Multiplicative).is_ok());
         assert_eq!(t.live_hash(), HashKind::Multiplicative);
+    }
+
+    #[test]
+    fn live_config_tracks_resizes_config_does_not() {
+        let t = table(16);
+        assert_eq!(t.live_config().num_entries(), 16);
+        t.resize_with_hash(256, HashKind::Multiplicative).unwrap();
+        // The live view follows the swap...
+        let live = t.live_config();
+        assert_eq!(live.num_entries(), 256);
+        assert_eq!(live.hash(), HashKind::Multiplicative);
+        assert_eq!(live.num_entries(), t.live_entries());
+        // ...while the construction-time config stays put (documented wart:
+        // its block mapper remains authoritative for address mapping).
+        assert_eq!(t.config().num_entries(), 16);
+        assert_eq!(t.config().hash(), HashKind::Mask);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! workspace's single source of truth for scenario execution — so a bench
 //! data point and a `repro --bin harness` report row measure the same code.
 
-use tm_harness::{run_synthetic_phase, DriveEngine, Phase, Scenario, SyntheticSpec};
+use tm_harness::{run_synthetic_phase, Phase, Scenario, SyntheticSpec, TmEngine};
 use tm_traces::filter::{remove_true_conflicts, to_block_stream, BlockAccess};
 use tm_traces::jbb::{generate, JbbParams};
 
@@ -47,7 +47,7 @@ pub fn throughput_spec() -> SyntheticSpec {
 
 /// Drive `txns_per_thread` fixed-budget transactions of the shared
 /// throughput workload over any engine on `threads` OS threads.
-pub fn drive_throughput<E: DriveEngine>(engine: &E, threads: u32, txns_per_thread: u64) {
+pub fn drive_throughput<E: TmEngine>(engine: &E, threads: u32, txns_per_thread: u64) {
     run_synthetic_phase(
         engine,
         &throughput_spec(),

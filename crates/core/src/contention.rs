@@ -33,6 +33,36 @@ impl ContentionPolicy {
     }
 }
 
+/// How a whole transaction reacts to repeated aborts: the retry budget an
+/// engine spends before [`run_with`](crate::TmEngine::run_with) gives up
+/// with [`RetryLimitExceeded`](crate::RetryLimitExceeded).
+///
+/// Orthogonal to [`ContentionPolicy`], which governs a *single* conflicting
+/// acquire inside one attempt; the retry policy governs the attempt loop
+/// around the whole body. Every engine honours it identically — it is part
+/// of the [`TmEngine`](crate::TmEngine) contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Retry (with randomized exponential backoff) until the body commits.
+    #[default]
+    Unbounded,
+    /// Give up after this many attempts (clamped to at least one).
+    Bounded {
+        /// Maximum attempts, counting the first.
+        max_attempts: u32,
+    },
+}
+
+impl RetryPolicy {
+    /// The attempt budget this policy allows.
+    pub fn budget(&self) -> u32 {
+        match self {
+            RetryPolicy::Unbounded => u32::MAX,
+            RetryPolicy::Bounded { max_attempts } => (*max_attempts).max(1),
+        }
+    }
+}
+
 /// Randomized exponential backoff between transaction retries.
 ///
 /// Spin-loop based (no syscalls) with a cap; the jitter source is a

@@ -1,0 +1,542 @@
+//! The unified transaction API: one operation surface ([`TxnOps`]), one
+//! engine contract ([`TmEngine`]), one constructor ([`StmBuilder`]).
+//!
+//! The paper's thesis is that false-conflict scaling is a property of the
+//! *ownership-table organization*, not of any one STM protocol. The API
+//! mirrors that: workloads and data structures are written once against
+//! these traits and run unchanged over the eager engine (any
+//! [`ConcurrentTable`]) and the lazy TL2-style engine — so every workload
+//! can be measured on every organization.
+//!
+//! * [`TxnOps`] is what a transaction body sees: `read`/`write`/`update`/
+//!   `retry` plus per-transaction counters. [`Txn`] and
+//!   [`LazyTxn`](crate::LazyTxn) implement it; `tm-structs` structures are
+//!   generic over it, so they compose into any engine's transactions.
+//! * [`TmEngine`] is what a driver sees: `run`/`try_run`/`run_with` under a
+//!   pluggable [`RetryPolicy`], the shared [`Heap`], and a unified
+//!   [`EngineStats`] snapshot with `since()`/`abort_ratio()` that makes
+//!   cross-engine numbers commensurable.
+//! * [`StmBuilder`] replaces the ad-hoc constructor zoo: one fluent entry
+//!   point covering table geometry, contention policy, and retry policy,
+//!   with a typed terminal per engine (`build_tagless`, `build_tagged`,
+//!   `build_lazy`, and `build_with_table` for wrapped tables such as
+//!   `tm-adaptive`'s resizable one).
+//!
+//! # The same closure on every engine
+//!
+//! ```
+//! use tm_stm::{StmBuilder, TmEngine, TxnOps};
+//!
+//! // One workload, written against the traits...
+//! fn transfer<E: TmEngine>(stm: &E) -> u64 {
+//!     stm.heap().store(0, 100);
+//!     stm.run(0, |txn| {
+//!         let a = txn.read(0)?;
+//!         txn.write(64, a / 2)?;
+//!         txn.update(0, |v| v / 2)
+//!     })
+//! }
+//!
+//! // ...runs identically on all three engine families.
+//! let b = StmBuilder::new().heap_words(64).table_entries(256);
+//! assert_eq!(transfer(&b.build_tagless()), 50);
+//! assert_eq!(transfer(&b.build_tagged()), 50);
+//! assert_eq!(transfer(&b.build_lazy()), 50);
+//! ```
+
+use tm_ownership::concurrent::ConcurrentTable;
+use tm_ownership::{
+    ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, TableConfig, ThreadId,
+};
+
+use crate::contention::{ContentionPolicy, RetryPolicy};
+use crate::heap::{Heap, WORD_BYTES};
+use crate::lazy::LazyStm;
+use crate::stats::EngineStats;
+use crate::stm::{Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
+
+/// The address-level operations a transaction body is written against.
+///
+/// Implemented by the eager [`Txn`] and the lazy
+/// [`LazyTxn`](crate::LazyTxn); code generic over `TxnOps` (or taking
+/// `&mut dyn TxnOps` — the required methods and `update_with`/`update_add`
+/// are object-safe; the generic conveniences `update`/`retry` need a sized
+/// receiver) composes into either engine's transactions — this is the
+/// trait `tm-structs` structures build on.
+pub trait TxnOps {
+    /// Transactional read of the word at `addr`.
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted>;
+
+    /// Transactional write of `value` to the word at `addr` (buffered until
+    /// commit).
+    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted>;
+
+    /// Words read so far in this attempt (including write-buffer hits).
+    fn read_count(&self) -> u64;
+
+    /// Words written so far in this attempt.
+    fn write_count(&self) -> u64;
+
+    /// Object-safe read-modify-write; returns the new value. Prefer
+    /// [`update`](TxnOps::update) outside `dyn` contexts.
+    fn update_with(&mut self, addr: u64, f: &mut dyn FnMut(u64) -> u64) -> Result<u64, Aborted> {
+        let v = f(self.read(addr)?);
+        self.write(addr, v)?;
+        Ok(v)
+    }
+
+    /// Read-modify-write add (wrapping); returns the new value.
+    fn update_add(&mut self, addr: u64, delta: u64) -> Result<u64, Aborted> {
+        self.update_with(addr, &mut |v| v.wrapping_add(delta))
+    }
+
+    /// Read-modify-write helper; returns the new value.
+    fn update<F>(&mut self, addr: u64, f: F) -> Result<u64, Aborted>
+    where
+        F: FnOnce(u64) -> u64,
+        Self: Sized,
+    {
+        let mut f = Some(f);
+        self.update_with(addr, &mut |v| (f.take().expect("update runs once"))(v))
+    }
+
+    /// Voluntarily abort this attempt (e.g. a precondition failed and the
+    /// caller wants a clean retry). Equivalent to returning `Err(Aborted)`
+    /// from the body — which is also the spelling to use in `dyn TxnOps`
+    /// contexts, where this generic convenience is not dispatchable (just
+    /// as [`update_with`](TxnOps::update_with) is the `dyn` spelling of
+    /// [`update`](TxnOps::update)).
+    fn retry<R>(&self) -> Result<R, Aborted>
+    where
+        Self: Sized,
+    {
+        Err(Aborted)
+    }
+}
+
+/// A transactional-memory engine the generic machinery (harness drivers,
+/// data structures, benches) can run bodies on.
+///
+/// Implemented by [`Stm`] over **every** [`ConcurrentTable`] (tagless,
+/// tagged, and wrapped tables like `tm-adaptive`'s resizable one) and by
+/// [`LazyStm`]. The associated transaction type implements [`TxnOps`], so
+/// one body — written against the trait — runs on every engine.
+pub trait TmEngine: Sync {
+    /// The in-flight transaction handed to bodies.
+    type Txn<'e>: TxnOps
+    where
+        Self: 'e;
+
+    /// Run `body` as a transaction for thread `me` under an explicit retry
+    /// `policy`. Returns the body's result, or
+    /// [`RetryLimitExceeded`] once a bounded policy's budget is spent.
+    ///
+    /// `me` must be unique among concurrently executing threads (it is the
+    /// identity recorded in the ownership table where the organization
+    /// tracks one, and the backoff jitter seed everywhere).
+    fn run_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded>
+    where
+        Self: Sized;
+
+    /// The retry policy this engine was configured with (what
+    /// [`run_configured`](TmEngine::run_configured) applies).
+    fn retry_policy(&self) -> RetryPolicy;
+
+    /// Unified counter snapshot (see [`EngineStats`]).
+    fn engine_stats(&self) -> EngineStats;
+
+    /// The shared heap (for initialization and post-run inspection).
+    fn heap(&self) -> &Heap;
+
+    /// Run `body` for thread `me`, retrying on abort until it commits.
+    /// Returns the closure's result.
+    fn run<'s, R>(
+        &'s self,
+        me: ThreadId,
+        body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> R
+    where
+        Self: Sized,
+    {
+        match self.run_with(me, RetryPolicy::Unbounded, body) {
+            Ok(r) => r,
+            Err(_) => unreachable!("an unbounded policy cannot exhaust its budget"),
+        }
+    }
+
+    /// Like [`run`](TmEngine::run) but giving up after `max_attempts`
+    /// aborts.
+    fn try_run<'s, R>(
+        &'s self,
+        me: ThreadId,
+        max_attempts: u32,
+        body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded>
+    where
+        Self: Sized,
+    {
+        self.run_with(me, RetryPolicy::Bounded { max_attempts }, body)
+    }
+
+    /// Run `body` under the engine's configured
+    /// [`retry_policy`](TmEngine::retry_policy).
+    fn run_configured<'s, R>(
+        &'s self,
+        me: ThreadId,
+        body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded>
+    where
+        Self: Sized,
+    {
+        self.run_with(me, self.retry_policy(), body)
+    }
+
+    /// Sum of the first `words` heap words (the harness's isolation
+    /// checksum). Only meaningful while no transactions run.
+    fn heap_sum(&self, words: usize) -> u64 {
+        (0..words as u64)
+            .map(|w| self.heap().load(w * WORD_BYTES))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// Shared-ownership delegation: an `Arc<E>` drives the same engine, so
+/// thread-spawning code can pass clones or references interchangeably.
+impl<E: TmEngine + Send> TmEngine for std::sync::Arc<E> {
+    type Txn<'e>
+        = E::Txn<'e>
+    where
+        Self: 'e;
+
+    fn run_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        (**self).run_with(me, policy, body)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        (**self).retry_policy()
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        (**self).engine_stats()
+    }
+
+    fn heap(&self) -> &Heap {
+        (**self).heap()
+    }
+}
+
+impl<T: ConcurrentTable> TmEngine for Stm<T> {
+    type Txn<'e>
+        = Txn<'e, T>
+    where
+        Self: 'e;
+
+    fn run_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut Txn<'s, T>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        self.run_with_budget(me, policy.budget(), &mut body)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.config().retry
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        self.stats().into()
+    }
+
+    fn heap(&self) -> &Heap {
+        Stm::heap_ref(self)
+    }
+}
+
+impl TmEngine for LazyStm {
+    type Txn<'e> = crate::LazyTxn<'e>;
+
+    fn run_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut crate::LazyTxn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        self.run_with_budget(me as u64, policy.budget(), &mut body)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        LazyStm::configured_retry(self)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        self.stats()
+    }
+
+    fn heap(&self) -> &Heap {
+        LazyStm::heap_ref(self)
+    }
+}
+
+/// Fluent constructor for every engine in the crate — the single entry
+/// point replacing the historical `tagless_stm`/`tagged_stm`/`LazyStm::new`
+/// zoo (those remain as one-line shorthands over this builder).
+///
+/// Axes: heap size × table geometry (entries, block bytes, hash kind,
+/// conflict classification) × [`ContentionPolicy`] × [`RetryPolicy`]. The
+/// engine kind is the typed terminal method, so each engine keeps its
+/// concrete type (no boxing on the hot path). The builder is `Clone` and
+/// terminals take `&self`, so one geometry can mint several engines for
+/// side-by-side comparison.
+///
+/// ```
+/// use tm_stm::{ContentionPolicy, RetryPolicy, StmBuilder, TmEngine, TxnOps};
+///
+/// let builder = StmBuilder::new()
+///     .heap_words(1 << 10)
+///     .table_entries(512)
+///     .contention(ContentionPolicy::Stall { max_spins: 64 })
+///     .retry(RetryPolicy::Bounded { max_attempts: 8 });
+///
+/// let stm = builder.build_tagged();
+/// stm.run(0, |txn| txn.write(0, 7));
+/// assert_eq!(stm.heap().load(0), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StmBuilder {
+    heap_words: usize,
+    table_entries: usize,
+    block_bytes: Option<usize>,
+    hash: Option<HashKind>,
+    classify_conflicts: Option<bool>,
+    contention: ContentionPolicy,
+    retry: RetryPolicy,
+}
+
+impl Default for StmBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StmBuilder {
+    /// A builder with the workspace's defaults: a 64k-word heap, a
+    /// 4096-entry table of default geometry, suicide contention handling,
+    /// and unbounded retry.
+    pub fn new() -> Self {
+        Self {
+            heap_words: 1 << 16,
+            table_entries: 4096,
+            block_bytes: None,
+            hash: None,
+            classify_conflicts: None,
+            contention: ContentionPolicy::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Heap size in 64-bit words.
+    pub fn heap_words(mut self, words: usize) -> Self {
+        self.heap_words = words;
+        self
+    }
+
+    /// First-level ownership-table entries (the paper's `N`).
+    pub fn table_entries(mut self, entries: usize) -> Self {
+        self.table_entries = entries;
+        self
+    }
+
+    /// Cache-block bytes the table tracks ownership at.
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = Some(bytes);
+        self
+    }
+
+    /// Block-to-entry hash function.
+    pub fn hash(mut self, hash: HashKind) -> Self {
+        self.hash = Some(hash);
+        self
+    }
+
+    /// Whether the table classifies conflicts as true/false (costs a probe).
+    pub fn classify_conflicts(mut self, on: bool) -> Self {
+        self.classify_conflicts = Some(on);
+        self
+    }
+
+    /// Reaction to a conflicting acquire (eager engines only; the lazy
+    /// engine has no in-flight stalling to configure).
+    pub fn contention(mut self, policy: ContentionPolicy) -> Self {
+        self.contention = policy;
+        self
+    }
+
+    /// Default whole-transaction retry budget (see
+    /// [`TmEngine::run_configured`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The table geometry this builder currently describes.
+    pub fn table_config(&self) -> TableConfig {
+        let mut cfg = TableConfig::new(self.table_entries);
+        if let Some(bytes) = self.block_bytes {
+            cfg = cfg.with_block_bytes(bytes);
+        }
+        if let Some(hash) = self.hash {
+            cfg = cfg.with_hash(hash);
+        }
+        if let Some(on) = self.classify_conflicts {
+            cfg = cfg.with_conflict_classification(on);
+        }
+        cfg
+    }
+
+    /// The engine configuration this builder currently describes.
+    pub fn stm_config(&self) -> StmConfig {
+        StmConfig {
+            contention: self.contention,
+            retry: self.retry,
+        }
+    }
+
+    /// The configured heap size (for extension builders that construct
+    /// their own engine, e.g. `tm-adaptive`).
+    pub fn configured_heap_words(&self) -> usize {
+        self.heap_words
+    }
+
+    /// An eager STM over a **tagless** table (paper Figure 1).
+    pub fn build_tagless(&self) -> Stm<ConcurrentTaglessTable> {
+        self.build_with_table(ConcurrentTaglessTable::new(self.table_config()))
+    }
+
+    /// An eager STM over a **tagged** chained table (paper Figure 7).
+    pub fn build_tagged(&self) -> Stm<ConcurrentTaggedTable> {
+        self.build_with_table(ConcurrentTaggedTable::new(self.table_config()))
+    }
+
+    /// A lazy TL2-style STM over the versioned tagless table.
+    pub fn build_lazy(&self) -> LazyStm {
+        LazyStm::with_config(self.heap_words, self.table_config()).with_retry(self.retry)
+    }
+
+    /// An eager STM over a caller-supplied table — the extension point for
+    /// wrapped organizations (`tm-adaptive`'s `ResizableTable`, custom
+    /// instrumented tables). The table should be built from
+    /// [`table_config`](StmBuilder::table_config) so geometry knobs apply.
+    pub fn build_with_table<T: ConcurrentTable>(&self, table: T) -> Stm<T> {
+        Stm::new(self.heap_words, table, self.stm_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One body, three engines — the API's reason to exist.
+    fn count_to<E: TmEngine>(engine: &E, n: u64) -> u64 {
+        for _ in 0..n {
+            engine.run(0, |txn| txn.update_add(0, 1).map(|_| ()));
+        }
+        engine.run(0, |txn| txn.read(0))
+    }
+
+    #[test]
+    fn same_body_every_engine() {
+        let b = StmBuilder::new().heap_words(64).table_entries(128);
+        assert_eq!(count_to(&b.build_tagless(), 5), 5);
+        assert_eq!(count_to(&b.build_tagged(), 5), 5);
+        assert_eq!(count_to(&b.build_lazy(), 5), 5);
+    }
+
+    #[test]
+    fn engine_stats_are_commensurable() {
+        let b = StmBuilder::new().heap_words(64).table_entries(128);
+        let eager = b.build_tagged();
+        let lazy = b.build_lazy();
+        count_to(&eager, 3);
+        count_to(&lazy, 3);
+        // `count_to` issues one extra read-only transaction at the end.
+        assert_eq!(eager.engine_stats().commits, 4);
+        assert_eq!(lazy.engine_stats().commits, 4);
+        assert_eq!(eager.engine_stats().abort_ratio(), 0.0);
+        assert_eq!(lazy.engine_stats().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn builder_geometry_applies() {
+        let b = StmBuilder::new()
+            .heap_words(256)
+            .table_entries(32)
+            .hash(HashKind::Mask)
+            .block_bytes(64);
+        let stm = b.build_tagless();
+        assert_eq!(stm.table().num_entries(), 32);
+        assert_eq!(stm.table().config().hash(), HashKind::Mask);
+        let lazy = b.build_lazy();
+        assert_eq!(lazy.table().config().num_entries(), 32);
+    }
+
+    #[test]
+    fn configured_retry_policy_is_honoured() {
+        let b = StmBuilder::new()
+            .heap_words(64)
+            .table_entries(64)
+            .retry(RetryPolicy::Bounded { max_attempts: 2 });
+        let stm = b.build_tagged();
+        assert_eq!(stm.retry_policy(), RetryPolicy::Bounded { max_attempts: 2 });
+        let r: Result<(), _> = stm.run_configured(0, |txn| txn.retry());
+        assert_eq!(r, Err(RetryLimitExceeded { attempts: 2 }));
+
+        let lazy = b.build_lazy();
+        assert_eq!(
+            lazy.retry_policy(),
+            RetryPolicy::Bounded { max_attempts: 2 }
+        );
+        let r: Result<(), _> = lazy.run_configured(0, |_| Err(Aborted));
+        assert_eq!(r, Err(RetryLimitExceeded { attempts: 2 }));
+    }
+
+    #[test]
+    fn heap_sum_is_uniform() {
+        let b = StmBuilder::new().heap_words(16).table_entries(16);
+        let eager = b.build_tagless();
+        eager.run(0, |txn| {
+            txn.write(0, 3)?;
+            txn.write(8, 4)
+        });
+        assert_eq!(eager.heap_sum(16), 7);
+        let lazy = b.build_lazy();
+        lazy.run(0, |txn| txn.write(0, 9));
+        assert_eq!(lazy.heap_sum(16), 9);
+    }
+
+    #[test]
+    fn dyn_txn_ops_compose() {
+        // &mut dyn TxnOps is a first-class body parameter (what the harness
+        // and heterogeneous helpers use).
+        fn bump(txn: &mut dyn TxnOps) -> Result<(), Aborted> {
+            txn.update_add(0, 2)?;
+            Ok(())
+        }
+        let stm = StmBuilder::new()
+            .heap_words(16)
+            .table_entries(16)
+            .build_tagged();
+        stm.run(0, |txn| bump(txn));
+        assert_eq!(stm.heap().load(0), 2);
+    }
+}

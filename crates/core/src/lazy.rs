@@ -27,54 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tm_ownership::versioned::{VersionedStats, VersionedTable};
 use tm_ownership::{EntryIndex, TableConfig};
 
-use crate::contention::Backoff;
+use crate::contention::{Backoff, RetryPolicy};
+use crate::engine::TxnOps;
 use crate::heap::Heap;
+use crate::stats::EngineStats;
 use crate::stm::{Aborted, RetryLimitExceeded};
-
-/// Why a lazy transaction attempt aborted (kept per-STM for analysis).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LazyStats {
-    /// Committed transactions.
-    pub commits: u64,
-    /// Aborts at read time (entry locked or newer than the snapshot).
-    pub read_aborts: u64,
-    /// Aborts while acquiring commit-time locks.
-    pub lock_aborts: u64,
-    /// Aborts at read-set validation.
-    pub validation_aborts: u64,
-}
-
-impl LazyStats {
-    /// Total aborts of all kinds.
-    pub fn total_aborts(&self) -> u64 {
-        self.read_aborts + self.lock_aborts + self.validation_aborts
-    }
-
-    /// Aborts per commit — comparable with
-    /// [`StmStatsSnapshot::abort_ratio`](crate::StmStatsSnapshot::abort_ratio).
-    pub fn abort_ratio(&self) -> f64 {
-        if self.commits == 0 {
-            0.0
-        } else {
-            self.total_aborts() as f64 / self.commits as f64
-        }
-    }
-
-    /// The window of activity between `earlier` and `self` (all counters
-    /// are monotone) — the same phase-windowing surface the eager engine's
-    /// [`StmStatsSnapshot::since`](crate::StmStatsSnapshot::since) offers,
-    /// so measurement harnesses treat both engines uniformly.
-    pub fn since(&self, earlier: &LazyStats) -> LazyStats {
-        LazyStats {
-            commits: self.commits.saturating_sub(earlier.commits),
-            read_aborts: self.read_aborts.saturating_sub(earlier.read_aborts),
-            lock_aborts: self.lock_aborts.saturating_sub(earlier.lock_aborts),
-            validation_aborts: self
-                .validation_aborts
-                .saturating_sub(earlier.validation_aborts),
-        }
-    }
-}
 
 #[derive(Debug, Default)]
 struct Counters {
@@ -85,12 +42,17 @@ struct Counters {
 }
 
 /// A TL2-style software transactional memory (see the [module docs](self)).
+///
+/// Implements [`TmEngine`](crate::TmEngine), which is how transactions are
+/// run; build one with [`StmBuilder::build_lazy`](crate::StmBuilder::build_lazy)
+/// (or the [`LazyStm::new`] shorthand).
 #[derive(Debug)]
 pub struct LazyStm {
     heap: Heap,
     table: VersionedTable,
     clock: AtomicU64,
     counters: Counters,
+    retry: RetryPolicy,
 }
 
 impl LazyStm {
@@ -107,12 +69,27 @@ impl LazyStm {
             table: VersionedTable::new(cfg),
             clock: AtomicU64::new(1),
             counters: Counters::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
-    /// The shared heap (for initialization and inspection).
-    pub fn heap(&self) -> &Heap {
+    /// Set the default retry policy (what
+    /// [`TmEngine::run_configured`](crate::TmEngine::run_configured)
+    /// applies).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The shared heap (the public accessor is
+    /// [`TmEngine::heap`](crate::TmEngine::heap)).
+    pub(crate) fn heap_ref(&self) -> &Heap {
         &self.heap
+    }
+
+    /// The configured retry policy.
+    pub(crate) fn configured_retry(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The versioned table (for stats inspection).
@@ -120,13 +97,20 @@ impl LazyStm {
         &self.table
     }
 
-    /// Engine-level statistics.
-    pub fn stats(&self) -> LazyStats {
-        LazyStats {
+    /// Engine-level statistics in the unified cross-engine shape:
+    /// `aborts` is the total, with the lazy protocol's read/lock/validation
+    /// breakdown in the dedicated fields.
+    pub fn stats(&self) -> EngineStats {
+        let read_aborts = self.counters.read_aborts.load(Ordering::Relaxed);
+        let lock_aborts = self.counters.lock_aborts.load(Ordering::Relaxed);
+        let validation_aborts = self.counters.validation_aborts.load(Ordering::Relaxed);
+        EngineStats {
             commits: self.counters.commits.load(Ordering::Relaxed),
-            read_aborts: self.counters.read_aborts.load(Ordering::Relaxed),
-            lock_aborts: self.counters.lock_aborts.load(Ordering::Relaxed),
-            validation_aborts: self.counters.validation_aborts.load(Ordering::Relaxed),
+            aborts: read_aborts + lock_aborts + validation_aborts,
+            read_aborts,
+            lock_aborts,
+            validation_aborts,
+            stall_retries: 0,
         }
     }
 
@@ -135,33 +119,13 @@ impl LazyStm {
         self.table.stats()
     }
 
-    /// Run `body` as a transaction, retrying on abort until commit.
-    pub fn run<R>(
-        &self,
-        seed: u64,
-        mut body: impl FnMut(&mut LazyTxn<'_>) -> Result<R, Aborted>,
-    ) -> R {
-        match self.run_with_budget(seed, u32::MAX, &mut body) {
-            Ok(r) => r,
-            Err(_) => unreachable!("u32::MAX attempts cannot be exhausted in practice"),
-        }
-    }
-
-    /// Like [`LazyStm::run`] but giving up after `max_attempts` aborts.
-    pub fn try_run<R>(
-        &self,
+    /// The retry loop behind
+    /// [`TmEngine::run_with`](crate::TmEngine::run_with).
+    pub(crate) fn run_with_budget<'s, R>(
+        &'s self,
         seed: u64,
         max_attempts: u32,
-        mut body: impl FnMut(&mut LazyTxn<'_>) -> Result<R, Aborted>,
-    ) -> Result<R, RetryLimitExceeded> {
-        self.run_with_budget(seed, max_attempts, &mut body)
-    }
-
-    fn run_with_budget<R>(
-        &self,
-        seed: u64,
-        max_attempts: u32,
-        body: &mut dyn FnMut(&mut LazyTxn<'_>) -> Result<R, Aborted>,
+        body: &mut dyn FnMut(&mut LazyTxn<'s>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         assert!(max_attempts >= 1, "need at least one attempt");
         let mut backoff = Backoff::new(seed);
@@ -201,6 +165,7 @@ pub struct LazyTxn<'s> {
     /// Buffered writes, word address → value.
     wbuf: HashMap<u64, u64>,
     reads: u64,
+    writes: u64,
 }
 
 impl<'s> LazyTxn<'s> {
@@ -211,12 +176,8 @@ impl<'s> LazyTxn<'s> {
             read_set: HashMap::new(),
             wbuf: HashMap::new(),
             reads: 0,
+            writes: 0,
         }
-    }
-
-    /// Words read so far (including write-buffer hits).
-    pub fn read_count(&self) -> u64 {
-        self.reads
     }
 
     /// Distinct entries in the validation set.
@@ -224,8 +185,7 @@ impl<'s> LazyTxn<'s> {
         self.read_set.len()
     }
 
-    /// Transactional read.
-    pub fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+    fn read_validated(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.reads += 1;
         if let Some(&v) = self.wbuf.get(&addr) {
             return Ok(v);
@@ -253,19 +213,6 @@ impl<'s> LazyTxn<'s> {
             }
         }
         Ok(value)
-    }
-
-    /// Transactional write (buffered until commit).
-    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
-        self.wbuf.insert(addr, value);
-        Ok(())
-    }
-
-    /// Read-modify-write helper.
-    pub fn update(&mut self, addr: u64, f: impl FnOnce(u64) -> u64) -> Result<u64, Aborted> {
-        let v = f(self.read(addr)?);
-        self.write(addr, v)?;
-        Ok(v)
     }
 
     fn commit(self) -> Result<(), Aborted> {
@@ -337,9 +284,33 @@ impl<'s> LazyTxn<'s> {
     }
 }
 
+/// The lazy transaction's operation surface: reads validate against the
+/// snapshot clock (invisible readers); writes are buffered and only lock at
+/// commit time.
+impl TxnOps for LazyTxn<'_> {
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+        self.read_validated(addr)
+    }
+
+    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
+        self.writes += 1;
+        self.wbuf.insert(addr, value);
+        Ok(())
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::TmEngine;
 
     #[test]
     fn read_write_commit() {
@@ -390,7 +361,7 @@ mod tests {
     #[test]
     fn concurrent_counter_is_exact() {
         let stm = std::sync::Arc::new(LazyStm::new(64, 1024));
-        let threads = 4u64;
+        let threads = 4u32;
         let increments = 500u64;
         crossbeam::scope(|s| {
             for id in 0..threads {
@@ -403,8 +374,8 @@ mod tests {
             }
         })
         .unwrap();
-        assert_eq!(stm.heap().load(0), threads * increments);
-        assert_eq!(stm.stats().commits, threads * increments);
+        assert_eq!(stm.heap().load(0), threads as u64 * increments);
+        assert_eq!(stm.stats().commits, threads as u64 * increments);
     }
 
     #[test]
@@ -415,10 +386,10 @@ mod tests {
             stm.heap().store(i * 8, 100);
         }
         crossbeam::scope(|s| {
-            for id in 0..4u64 {
+            for id in 0..4u32 {
                 let stm = &stm;
                 s.spawn(move |_| {
-                    let mut x = (id + 1) * 0x9E37_79B9;
+                    let mut x = (id as u64 + 1) * 0x9E37_79B9;
                     for _ in 0..800 {
                         x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
                         let a = (x >> 30) % cells;
@@ -487,8 +458,9 @@ mod tests {
         let window = stm.stats().since(&mid);
         assert_eq!(window.commits, 1);
         assert_eq!(window.read_aborts, 3);
+        assert_eq!(window.aborts, 3);
         assert_eq!(window.abort_ratio(), 3.0);
-        assert_eq!(LazyStats::default().abort_ratio(), 0.0);
+        assert_eq!(EngineStats::default().abort_ratio(), 0.0);
     }
 
     #[test]
@@ -500,7 +472,7 @@ mod tests {
         stm.heap().store(0, 1);
         stm.heap().store(64, 1); // different blocks
         crossbeam::scope(|s| {
-            for id in 0..2u64 {
+            for id in 0..2u32 {
                 let stm = &stm;
                 s.spawn(move |_| {
                     stm.run(id, |txn| {

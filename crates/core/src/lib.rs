@@ -1,51 +1,69 @@
 //! A word-based software transactional memory with pluggable ownership
-//! tables.
+//! tables — and **one transaction API over every engine**.
 //!
 //! This crate is the executable substrate of Zilles & Rajwar's *Transactional
-//! Memory and the Birthday Paradox* (SPAA 2007): a real, multi-threaded STM
-//! whose conflict detection runs through either of the two ownership-table
-//! organizations the paper compares —
+//! Memory and the Birthday Paradox* (SPAA 2007). The paper's claim is that
+//! false-conflict scaling is a property of the *ownership-table
+//! organization*, not of any one STM protocol; the crate's API is shaped by
+//! that claim. Two traits define the whole surface:
 //!
-//! * [`tagless_stm`] — the **tagless** table (paper Figure 1) most published
+//! * [`TxnOps`] — what a transaction body does: `read`/`write`/`update`/
+//!   `retry` plus per-attempt counters. Data structures and workloads are
+//!   written once against it.
+//! * [`TmEngine`] — what runs bodies: `run`/`try_run`/`run_with` under a
+//!   pluggable [`RetryPolicy`], the shared [`Heap`], and a unified
+//!   [`EngineStats`] snapshot (`since()`, `abort_ratio()`) that makes
+//!   cross-engine measurements commensurable.
+//!
+//! Three engine families implement them:
+//!
+//! * **Eager, tagless** ([`StmBuilder::build_tagless`]) — eager ownership
+//!   acquisition over the tagless table (paper Figure 1) most published
 //!   word-based STMs use. Cheap per-access metadata, but transactions
 //!   touching *different* data abort each other whenever their blocks alias
-//!   in the table: the **false conflicts** whose birthday-paradox scaling is
-//!   the paper's subject.
-//! * [`tagged_stm`] — the **tagged, chained** table (paper Figure 7) the
-//!   paper advocates: records carry address tags, so only genuine data
-//!   conflicts abort anyone.
+//!   in the table: the **false conflicts** whose birthday-paradox scaling
+//!   is the paper's subject.
+//! * **Eager, tagged** ([`StmBuilder::build_tagged`]) — the tagged, chained
+//!   table (paper Figure 7) the paper advocates: records carry address
+//!   tags, so only genuine data conflicts abort anyone. [`Stm`] is generic
+//!   over [`ConcurrentTable`], so wrapped organizations (e.g.
+//!   `tm-adaptive`'s online-resizable table) slot in the same way.
+//! * **Lazy TL2-style** ([`StmBuilder::build_lazy`]) — [`LazyStm`], an
+//!   invisible-reader, commit-time-locking engine over the versioned
+//!   tagless table, demonstrating that the false-conflict law survives a
+//!   complete protocol change.
 //!
-//! Design: eager ownership acquisition at first read/write, buffered writes
-//! published at commit, abort-and-retry with randomized exponential backoff
-//! (optionally bounded stalling, [`ContentionPolicy::Stall`]), and optional
-//! **strong isolation** ([`Stm::strong_read`]/[`Stm::strong_write`]) where
-//! even non-transactional accesses consult the table (paper §6).
+//! The eager engines add abort-and-retry with randomized exponential
+//! backoff (optionally bounded stalling, [`ContentionPolicy::Stall`]) and
+//! optional **strong isolation** ([`Stm::strong_read`]/[`Stm::strong_write`])
+//! where even non-transactional accesses consult the table (paper §6).
 //!
-//! A second, independent engine — [`lazy::LazyStm`] — implements the
-//! **invisible-reader, commit-time-locking** protocol (TL2-style) over the
-//! versioned tagless table of `tm_ownership::versioned`, demonstrating that
-//! the paper's false-conflict law is a property of the *table organization*,
-//! not of any one STM protocol.
+//! # One body, every engine
 //!
-//! # Example
+//! [`StmBuilder`] is the single constructor; each engine is a typed
+//! terminal. The same closure runs unchanged on all of them:
 //!
 //! ```
-//! use tm_stm::tagged_stm;
+//! use tm_stm::{StmBuilder, TmEngine, TxnOps};
 //!
-//! let stm = tagged_stm(1024, 4096); // 1024-word heap, 4096-entry table
-//! stm.heap().store(0, 100);         // account A
-//! stm.heap().store(512 * 8, 50);    // account B (word 512)
+//! // Transfer 30 from account A to account B, atomically.
+//! fn transfer<E: TmEngine>(stm: &E) -> (u64, u64) {
+//!     stm.heap().store(0, 100); // account A
+//!     stm.heap().store(512 * 8, 50); // account B (word 512)
+//!     stm.run(0, |txn| {
+//!         let a = txn.read(0)?;
+//!         let b = txn.read(512 * 8)?;
+//!         txn.write(0, a - 30)?;
+//!         txn.write(512 * 8, b + 30)?;
+//!         Ok(())
+//!     });
+//!     (stm.heap().load(0), stm.heap().load(512 * 8))
+//! }
 //!
-//! // Transfer 30 from A to B, atomically.
-//! stm.run(0, |txn| {
-//!     let a = txn.read(0)?;
-//!     let b = txn.read(512 * 8)?;
-//!     txn.write(0, a - 30)?;
-//!     txn.write(512 * 8, b + 30)?;
-//!     Ok(())
-//! });
-//! assert_eq!(stm.heap().load(0), 70);
-//! assert_eq!(stm.heap().load(512 * 8), 80);
+//! let builder = StmBuilder::new().heap_words(1024).table_entries(4096);
+//! assert_eq!(transfer(&builder.build_tagged()), (70, 80));
+//! assert_eq!(transfer(&builder.build_tagless()), (70, 80));
+//! assert_eq!(transfer(&builder.build_lazy()), (70, 80));
 //! ```
 
 #![warn(missing_docs)]
@@ -53,15 +71,17 @@
 #![forbid(unsafe_code)]
 
 mod contention;
+mod engine;
 mod heap;
 pub mod lazy;
 mod stats;
 mod stm;
 
-pub use contention::{Backoff, ContentionPolicy};
+pub use contention::{Backoff, ContentionPolicy, RetryPolicy};
+pub use engine::{StmBuilder, TmEngine, TxnOps};
 pub use heap::{Heap, WORD_BYTES};
-pub use lazy::{LazyStats, LazyStm, LazyTxn};
-pub use stats::{StmStats, StmStatsSnapshot};
+pub use lazy::{LazyStm, LazyTxn};
+pub use stats::{EngineStats, StmStats, StmStatsSnapshot};
 pub use stm::{tagged_stm, tagless_stm, Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
 
 // Re-export the table types users need to build custom configurations.

@@ -2,6 +2,71 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Engine-independent counter snapshot — the one statistics surface every
+/// [`TmEngine`](crate::TmEngine) exposes, so measurement code never has to
+/// know which protocol produced the numbers.
+///
+/// Fields an engine does not track stay zero (the eager engine has no
+/// lazy-style abort breakdown; the lazy engine never stalls an acquire).
+/// `aborts` is always the total across all abort kinds, so
+/// [`abort_ratio`](EngineStats::abort_ratio) is commensurable across
+/// engines — the property the paper's cross-organization comparisons need.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts of all kinds.
+    pub aborts: u64,
+    /// Lazy engine: aborts at read time (entry locked or newer than the
+    /// snapshot).
+    pub read_aborts: u64,
+    /// Lazy engine: aborts while acquiring commit-time locks.
+    pub lock_aborts: u64,
+    /// Lazy engine: aborts at read-set validation.
+    pub validation_aborts: u64,
+    /// Eager engine: acquire re-attempts under the stall policy.
+    pub stall_retries: u64,
+}
+
+impl EngineStats {
+    /// Aborts per commit — the cost false conflicts impose, comparable
+    /// across every engine.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// The window of activity between `earlier` and `self` (all counters
+    /// are monotone, so a field-wise saturating difference). Measurement
+    /// harnesses use this to isolate a phase's activity.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            read_aborts: self.read_aborts.saturating_sub(earlier.read_aborts),
+            lock_aborts: self.lock_aborts.saturating_sub(earlier.lock_aborts),
+            validation_aborts: self
+                .validation_aborts
+                .saturating_sub(earlier.validation_aborts),
+            stall_retries: self.stall_retries.saturating_sub(earlier.stall_retries),
+        }
+    }
+}
+
+impl From<StmStatsSnapshot> for EngineStats {
+    fn from(s: StmStatsSnapshot) -> Self {
+        EngineStats {
+            commits: s.commits,
+            aborts: s.aborts,
+            stall_retries: s.stall_retries,
+            ..EngineStats::default()
+        }
+    }
+}
+
 /// Atomic counters shared by all transactions of one [`crate::Stm`].
 #[derive(Debug, Default)]
 pub struct StmStats {
@@ -170,5 +235,35 @@ mod tests {
     #[test]
     fn abort_ratio_without_commits() {
         assert_eq!(StmStatsSnapshot::default().abort_ratio(), 0.0);
+        assert_eq!(EngineStats::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn engine_stats_window_and_conversion() {
+        let a = EngineStats {
+            commits: 10,
+            aborts: 4,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            commits: 25,
+            aborts: 5,
+            ..Default::default()
+        };
+        let w = b.since(&a);
+        assert_eq!(w.commits, 15);
+        assert_eq!(w.aborts, 1);
+
+        let snap = StmStatsSnapshot {
+            commits: 7,
+            aborts: 3,
+            stall_retries: 2,
+            ..Default::default()
+        };
+        let e = EngineStats::from(snap);
+        assert_eq!(e.commits, 7);
+        assert_eq!(e.aborts, 3);
+        assert_eq!(e.stall_retries, 2);
+        assert_eq!(e.read_aborts, 0);
     }
 }

@@ -17,16 +17,18 @@ use std::collections::{HashMap, HashSet};
 
 use tm_ownership::concurrent::{ConcurrentTable, GrantKey, Held};
 use tm_ownership::{Access, AcquireOutcome, ThreadId};
-use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
+use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable};
 
-use crate::contention::{Backoff, ContentionPolicy};
+use crate::contention::{Backoff, ContentionPolicy, RetryPolicy};
+use crate::engine::TxnOps;
 use crate::heap::Heap;
 use crate::stats::{StmStats, StmStatsSnapshot};
 
 /// Marker error: the current transaction attempt must be abandoned.
 ///
-/// Returned by [`Txn::read`]/[`Txn::write`] on conflict; user code
-/// propagates it with `?` and [`Stm::run`] retries the whole closure.
+/// Returned by [`TxnOps::read`]/[`TxnOps::write`] on conflict; user code
+/// propagates it with `?` and [`TmEngine::run`](crate::TmEngine::run)
+/// retries the whole closure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Aborted;
 
@@ -38,7 +40,8 @@ impl std::fmt::Display for Aborted {
 
 impl std::error::Error for Aborted {}
 
-/// The retry budget of [`Stm::try_run`] was exhausted.
+/// The retry budget of [`TmEngine::try_run`](crate::TmEngine::try_run)
+/// (or of a bounded [`RetryPolicy`]) was exhausted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryLimitExceeded {
     /// Attempts made (equals the configured budget).
@@ -58,6 +61,9 @@ impl std::error::Error for RetryLimitExceeded {}
 pub struct StmConfig {
     /// Conflict reaction (see [`ContentionPolicy`]).
     pub contention: ContentionPolicy,
+    /// Default whole-transaction retry budget (see
+    /// [`TmEngine::run_configured`](crate::TmEngine::run_configured)).
+    pub retry: RetryPolicy,
 }
 
 /// A software transactional memory over a shared [`Heap`], generic in the
@@ -70,24 +76,24 @@ pub struct Stm<T: ConcurrentTable> {
     stats: StmStats,
 }
 
-/// Convenience constructor: an STM backed by a **tagless** table (paper
-/// Figure 1) of `table_entries` entries over a `heap_words`-word heap.
+/// Shorthand for [`StmBuilder`](crate::StmBuilder)`::new().heap_words(..)
+/// .table_entries(..).build_tagless()`: an STM backed by a **tagless**
+/// table (paper Figure 1).
 pub fn tagless_stm(heap_words: usize, table_entries: usize) -> Stm<ConcurrentTaglessTable> {
-    Stm::new(
-        heap_words,
-        ConcurrentTaglessTable::new(TableConfig::new(table_entries)),
-        StmConfig::default(),
-    )
+    crate::StmBuilder::new()
+        .heap_words(heap_words)
+        .table_entries(table_entries)
+        .build_tagless()
 }
 
-/// Convenience constructor: an STM backed by a **tagged** chained table
-/// (paper Figure 7) of `table_entries` entries over a `heap_words`-word heap.
+/// Shorthand for [`StmBuilder`](crate::StmBuilder)`::new().heap_words(..)
+/// .table_entries(..).build_tagged()`: an STM backed by a **tagged**
+/// chained table (paper Figure 7).
 pub fn tagged_stm(heap_words: usize, table_entries: usize) -> Stm<ConcurrentTaggedTable> {
-    Stm::new(
-        heap_words,
-        ConcurrentTaggedTable::new(TableConfig::new(table_entries)),
-        StmConfig::default(),
-    )
+    crate::StmBuilder::new()
+        .heap_words(heap_words)
+        .table_entries(table_entries)
+        .build_tagged()
 }
 
 impl<T: ConcurrentTable> Stm<T> {
@@ -101,8 +107,9 @@ impl<T: ConcurrentTable> Stm<T> {
         }
     }
 
-    /// The shared heap (for initialization and post-run inspection).
-    pub fn heap(&self) -> &Heap {
+    /// The shared heap (the public accessor is
+    /// [`TmEngine::heap`](crate::TmEngine::heap)).
+    pub(crate) fn heap_ref(&self) -> &Heap {
         &self.heap
     }
 
@@ -121,37 +128,14 @@ impl<T: ConcurrentTable> Stm<T> {
         self.stats.snapshot()
     }
 
-    /// Run `body` as a transaction for thread `me`, retrying on abort until
-    /// it commits. Returns the closure's result.
-    ///
-    /// `me` must be unique among concurrently executing threads (it is the
-    /// identity recorded in the ownership table).
-    pub fn run<R>(
-        &self,
-        me: ThreadId,
-        mut body: impl FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
-    ) -> R {
-        match self.run_with_budget(me, u32::MAX, &mut body) {
-            Ok(r) => r,
-            Err(_) => unreachable!("u32::MAX attempts cannot be exhausted in practice"),
-        }
-    }
-
-    /// Like [`Stm::run`] but giving up after `max_attempts` aborts.
-    pub fn try_run<R>(
-        &self,
+    /// The retry loop behind
+    /// [`TmEngine::run_with`](crate::TmEngine::run_with) — the trait is the
+    /// public way to run transactions on any engine.
+    pub(crate) fn run_with_budget<'s, R>(
+        &'s self,
         me: ThreadId,
         max_attempts: u32,
-        mut body: impl FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
-    ) -> Result<R, RetryLimitExceeded> {
-        self.run_with_budget(me, max_attempts, &mut body)
-    }
-
-    fn run_with_budget<R>(
-        &self,
-        me: ThreadId,
-        max_attempts: u32,
-        body: &mut dyn FnMut(&mut Txn<'_, T>) -> Result<R, Aborted>,
+        body: &mut dyn FnMut(&mut Txn<'s, T>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         assert!(max_attempts >= 1, "need at least one attempt");
         let mut backoff = Backoff::new(me as u64);
@@ -278,52 +262,9 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
         self.id
     }
 
-    /// Reads performed so far (word granularity, including buffered hits).
-    pub fn read_count(&self) -> u64 {
-        self.reads
-    }
-
-    /// Writes performed so far (word granularity).
-    pub fn write_count(&self) -> u64 {
-        self.writes
-    }
-
     /// Distinct ownership grants currently held.
     pub fn grant_count(&self) -> usize {
         self.log.len()
-    }
-
-    /// Transactional read of the word at `addr`.
-    pub fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
-        self.reads += 1;
-        if let Some(&v) = self.wbuf.get(&addr) {
-            return Ok(v);
-        }
-        self.acquire(addr, Access::Read)?;
-        Ok(self.stm.heap.load(addr))
-    }
-
-    /// Transactional write of `value` to the word at `addr` (buffered until
-    /// commit).
-    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
-        self.writes += 1;
-        self.acquire(addr, Access::Write)?;
-        self.write_blocks.insert(block_of(&self.stm.table, addr));
-        self.wbuf.insert(addr, value);
-        Ok(())
-    }
-
-    /// Read-modify-write helper.
-    pub fn update(&mut self, addr: u64, f: impl FnOnce(u64) -> u64) -> Result<u64, Aborted> {
-        let v = f(self.read(addr)?);
-        self.write(addr, v)?;
-        Ok(v)
-    }
-
-    /// Voluntarily abort (e.g. a precondition failed and the caller wants a
-    /// clean retry). Equivalent to returning `Err(Aborted)` from the body.
-    pub fn retry<R>(&self) -> Result<R, Aborted> {
-        Err(Aborted)
     }
 
     fn acquire(&mut self, addr: u64, access: Access) -> Result<(), Aborted> {
@@ -384,6 +325,35 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
     }
 }
 
+/// The eager transaction's operation surface: reads and writes acquire
+/// block ownership eagerly; writes stay buffered until commit.
+impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+        self.reads += 1;
+        if let Some(&v) = self.wbuf.get(&addr) {
+            return Ok(v);
+        }
+        self.acquire(addr, Access::Read)?;
+        Ok(self.stm.heap.load(addr))
+    }
+
+    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
+        self.writes += 1;
+        self.acquire(addr, Access::Write)?;
+        self.write_blocks.insert(block_of(&self.stm.table, addr));
+        self.wbuf.insert(addr, value);
+        Ok(())
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
 impl<T: ConcurrentTable> Drop for Txn<'_, T> {
     fn drop(&mut self) {
         // A panic inside the body (or an early return path we didn't see)
@@ -397,6 +367,8 @@ impl<T: ConcurrentTable> Drop for Txn<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::TmEngine;
+    use tm_ownership::TableConfig;
 
     #[test]
     fn read_write_commit() {
@@ -609,6 +581,7 @@ mod tests {
     fn stall_policy_reduces_aborts_on_short_conflicts() {
         let config = StmConfig {
             contention: ContentionPolicy::Stall { max_spins: 200 },
+            retry: RetryPolicy::Unbounded,
         };
         let stm = std::sync::Arc::new(Stm::new(
             64,

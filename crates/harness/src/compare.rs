@@ -175,6 +175,19 @@ pub fn compare(
     for cand in &candidate.runs {
         let key = cand.key();
         if baseline.find(&key).is_none() {
+            // Candidate-only runs are not perf-gated (no reference numbers)
+            // but isolation violations fail regardless: a new scenario that
+            // ships broken must not slip past the gate just because the
+            // baseline has not been regenerated yet.
+            if cand.invariant_violations > 0 {
+                report.regressions.push(Regression {
+                    key: key.clone(),
+                    metric: "invariant_violations".into(),
+                    baseline: 0.0,
+                    candidate: cand.invariant_violations as f64,
+                    limit: 0.0,
+                });
+            }
             report.extra.push(key);
         }
     }
@@ -237,6 +250,21 @@ mod tests {
         let c = compare(&base, &report(vec![broken]), &Tolerance::pct(1000.0));
         assert!(!c.passed());
         assert_eq!(c.regressions[0].metric, "invariant_violations");
+    }
+
+    #[test]
+    fn candidate_only_run_with_violation_fails() {
+        // New-in-candidate cells have no perf reference, but isolation is
+        // gated unconditionally.
+        let base = report(vec![sample_run("e", "s1", 100.0)]);
+        let mut novel = sample_run("e", "s2", 100.0);
+        novel.invariant_violations = 2;
+        let cand = report(vec![sample_run("e", "s1", 100.0), novel]);
+        let c = compare(&base, &cand, &Tolerance::default());
+        assert!(!c.passed());
+        assert_eq!(c.regressions[0].metric, "invariant_violations");
+        assert_eq!(c.regressions[0].key, "e/s2/t4");
+        assert_eq!(c.extra, vec!["e/s2/t4"]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 
 use tm_traces::filter::BlockAccess;
 
-use crate::engine::{DriveEngine, EngineCounters};
+use crate::engine::{EngineStats, TmEngine, TxnOps};
 use crate::scenario::{BlockSampler, ReplaySpec, SyntheticSpec};
 
 /// How long one phase runs.
@@ -58,7 +58,7 @@ pub struct PhaseResult<R> {
     /// Wall-clock time from first spawn to last join.
     pub elapsed: Duration,
     /// Engine-counter window covering exactly this phase.
-    pub counters: EngineCounters,
+    pub counters: EngineStats,
     /// Per-thread worker results, in thread order.
     pub tallies: Vec<R>,
 }
@@ -69,7 +69,7 @@ pub struct PhaseResult<R> {
 /// via [`phase_loop`] (or equivalent) honouring both.
 pub fn run_phase_threads<E, R, F>(engine: &E, threads: u32, phase: Phase, work: F) -> PhaseResult<R>
 where
-    E: DriveEngine,
+    E: TmEngine,
     R: Send,
     F: Fn(u32, &AtomicBool, Option<u64>) -> R + Sync,
 {
@@ -79,7 +79,7 @@ where
         Phase::Txns(n) => Some(n),
         Phase::DurationMs(_) => None,
     };
-    let before = engine.counters();
+    let before = engine.engine_stats();
     let t0 = Instant::now();
     let mut tallies: Vec<R> = Vec::with_capacity(threads as usize);
     crossbeam::scope(|s| {
@@ -98,7 +98,7 @@ where
     })
     .expect("phase scope");
     let elapsed = t0.elapsed();
-    let counters = engine.counters().since(&before);
+    let counters = engine.engine_stats().since(&before);
     PhaseResult {
         elapsed,
         counters,
@@ -131,7 +131,7 @@ pub fn phase_loop(stop: &AtomicBool, budget: Option<u64>, mut body: impl FnMut(u
 /// `writes_per_txn` RMW increments at sampled block addresses. Because
 /// writes are increments, `Σ heap == Σ committed_write_ops` is a whole-run
 /// isolation invariant the caller can verify.
-pub fn run_synthetic_phase<E: DriveEngine>(
+pub fn run_synthetic_phase<E: TmEngine>(
     engine: &E,
     spec: &SyntheticSpec,
     heap_words: usize,
@@ -157,7 +157,7 @@ pub fn run_synthetic_phase<E: DriveEngine>(
             reads.extend((0..spec.reads_per_txn).map(|_| sampler.sample(&mut rng) * 64));
             writes.clear();
             writes.extend((0..spec.writes_per_txn).map(|_| sampler.sample(&mut rng) * 64));
-            engine.run_txn(id, &mut |txn| {
+            engine.run(id, |txn| {
                 for &addr in &reads {
                     txn.read(addr)?;
                     if spec.yield_per_op {
@@ -216,7 +216,7 @@ pub fn build_replay_streams(
 /// in transactions of `blocks_per_txn` block accesses, looping the stream
 /// as needed. Writes are RMW increments so the heap-checksum invariant
 /// applies here too.
-pub fn run_replay_phase<E: DriveEngine>(
+pub fn run_replay_phase<E: TmEngine>(
     engine: &E,
     streams: &[Vec<BlockAccess>],
     blocks_per_txn: usize,
@@ -240,7 +240,7 @@ pub fn run_replay_phase<E: DriveEngine>(
             let t = (i % txns_in_stream as u64) as usize;
             let chunk = &stream[t * blocks_per_txn..(t + 1) * blocks_per_txn];
             let mut writes = 0u64;
-            engine.run_txn(id, &mut |txn| {
+            engine.run(id, |txn| {
                 let mut w = 0u64;
                 for access in chunk {
                     let addr = access.block * 64;
@@ -307,10 +307,7 @@ mod tests {
         let stm = tm_stm::tagless_stm(1 << 12, 4096);
         let r = run_synthetic_phase(&stm, &spec(), 1 << 12, 4, Phase::Txns(25), 11);
         let expected: u64 = r.tallies.iter().map(|t| t.committed_write_ops).sum();
-        assert_eq!(
-            crate::engine::DriveEngine::heap_sum(&stm, 1 << 12),
-            expected
-        );
+        assert_eq!(crate::engine::TmEngine::heap_sum(&stm, 1 << 12), expected);
         assert_eq!(expected, 100 * 3);
     }
 
@@ -355,7 +352,7 @@ mod tests {
         assert_eq!(r.counters.commits, 160);
         let expected: u64 = r.tallies.iter().map(|t| t.committed_write_ops).sum();
         assert_eq!(
-            crate::engine::DriveEngine::heap_sum(&stm, heap_words),
+            crate::engine::TmEngine::heap_sum(&stm, heap_words),
             expected
         );
     }

@@ -1,14 +1,15 @@
-//! Uniform driving surface over every engine in the workspace.
+//! The engine axis of the run matrix — and thin re-exports of the core
+//! transaction traits.
 //!
-//! The harness's whole point is running the *same* scenario over the eager
-//! STM (tagless/tagged/adaptive tables) and the lazy TL2-style engine and
-//! comparing the numbers. [`DriveEngine`] is the minimal trait that makes
-//! that possible without duplicating a thread driver per engine: run one
-//! transaction, read the counters, checksum the heap. [`TxnOps`] is the
+//! The driving surface itself lives in `tm-stm` now: [`TmEngine`] runs one
+//! transaction and exposes unified [`EngineStats`]; [`TxnOps`] is the
 //! address-level operation surface scenario bodies are written against.
+//! Every engine implements both, so the harness needs no per-engine
+//! adapter layer and **every scenario runs on every engine** — including
+//! the `tm-structs` workloads on the lazy engine, the matrix cells the old
+//! per-harness trait could not express.
 
-use tm_stm::lazy::{LazyStm, LazyTxn};
-use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+pub use tm_stm::{EngineStats, TmEngine, TxnOps};
 
 /// Engine selection axis of the run matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,9 +46,10 @@ impl EngineKind {
         }
     }
 
-    /// Parse a CLI/report name (accepts a few aliases).
+    /// Parse a CLI/report name: every [`EngineKind::name`] string plus a
+    /// few aliases, case-insensitively.
     pub fn parse(name: &str) -> Option<EngineKind> {
-        match name {
+        match name.trim().to_ascii_lowercase().as_str() {
             "eager-tagless" | "tagless" => Some(EngineKind::EagerTagless),
             "eager-tagged" | "tagged" => Some(EngineKind::EagerTagged),
             "lazy-tl2" | "lazy" | "tl2" => Some(EngineKind::Lazy),
@@ -56,156 +58,21 @@ impl EngineKind {
         }
     }
 
-    /// Whether this engine can execute the scenario. `tm-structs` bodies
-    /// compose into eager [`Txn`]s only; everything else runs everywhere.
-    pub fn supports(&self, scenario: &crate::scenario::Scenario) -> bool {
-        !matches!(
-            (&scenario.kind, self),
-            (crate::scenario::ScenarioKind::Structs(_), EngineKind::Lazy)
-        )
+    /// Like [`EngineKind::parse`], but the error spells out every accepted
+    /// name — what CLI front-ends should print for a typo'd `--engine`.
+    pub fn parse_or_describe(name: &str) -> Result<EngineKind, String> {
+        EngineKind::parse(name).ok_or_else(|| {
+            format!(
+                "unknown engine '{name}' (valid: {}; aliases: tagless, tagged, lazy, tl2)",
+                EngineKind::all().map(|e| e.name()).join(", ")
+            )
+        })
     }
 }
 
 impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
-    }
-}
-
-/// A point-in-time copy of an engine's counters, unified across engines.
-/// Fields an engine does not track stay zero.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct EngineCounters {
-    /// Committed transactions.
-    pub commits: u64,
-    /// Aborted attempts of all kinds.
-    pub aborts: u64,
-    /// Lazy engine: aborts at read time (locked or too-new stamp).
-    pub read_aborts: u64,
-    /// Lazy engine: aborts acquiring commit-time locks.
-    pub lock_aborts: u64,
-    /// Lazy engine: aborts at read-set validation.
-    pub validation_aborts: u64,
-    /// Eager engine: acquire re-attempts under the stall policy.
-    pub stall_retries: u64,
-}
-
-impl EngineCounters {
-    /// Field-wise window between `earlier` and `self` (counters are
-    /// monotone).
-    pub fn since(&self, earlier: &EngineCounters) -> EngineCounters {
-        EngineCounters {
-            commits: self.commits.saturating_sub(earlier.commits),
-            aborts: self.aborts.saturating_sub(earlier.aborts),
-            read_aborts: self.read_aborts.saturating_sub(earlier.read_aborts),
-            lock_aborts: self.lock_aborts.saturating_sub(earlier.lock_aborts),
-            validation_aborts: self
-                .validation_aborts
-                .saturating_sub(earlier.validation_aborts),
-            stall_retries: self.stall_retries.saturating_sub(earlier.stall_retries),
-        }
-    }
-}
-
-/// Address-level transaction operations scenario bodies are written against.
-pub trait TxnOps {
-    /// Transactional read of the word at `addr`.
-    fn read(&mut self, addr: u64) -> Result<u64, Aborted>;
-    /// Transactional write (buffered until commit).
-    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted>;
-    /// Read-modify-write increment; returns the new value.
-    fn update_add(&mut self, addr: u64, delta: u64) -> Result<u64, Aborted>;
-}
-
-impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
-    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
-        Txn::read(self, addr)
-    }
-
-    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
-        Txn::write(self, addr, value)
-    }
-
-    fn update_add(&mut self, addr: u64, delta: u64) -> Result<u64, Aborted> {
-        Txn::update(self, addr, |v| v.wrapping_add(delta))
-    }
-}
-
-impl TxnOps for LazyTxn<'_> {
-    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
-        LazyTxn::read(self, addr)
-    }
-
-    fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
-        LazyTxn::write(self, addr, value)
-    }
-
-    fn update_add(&mut self, addr: u64, delta: u64) -> Result<u64, Aborted> {
-        LazyTxn::update(self, addr, |v| v.wrapping_add(delta))
-    }
-}
-
-/// An engine the generic thread driver can run scenarios over.
-///
-/// Scenario bodies see the engine's transaction through `&mut dyn TxnOps`;
-/// the virtual call per operation is identical for every engine, so
-/// cross-engine comparisons stay apples to apples.
-pub trait DriveEngine: Sync {
-    /// Run one transaction for worker `me`, retrying internally until it
-    /// commits.
-    fn run_txn(&self, me: u32, body: &mut dyn FnMut(&mut dyn TxnOps) -> Result<(), Aborted>);
-
-    /// Unified counter snapshot.
-    fn counters(&self) -> EngineCounters;
-
-    /// Sum of the first `words` heap words (the synthetic scenarios'
-    /// isolation checksum). Must only be called while no transactions run.
-    fn heap_sum(&self, words: usize) -> u64;
-}
-
-impl<T: ConcurrentTable> DriveEngine for Stm<T> {
-    fn run_txn(&self, me: u32, body: &mut dyn FnMut(&mut dyn TxnOps) -> Result<(), Aborted>) {
-        self.run(me, |txn| body(txn));
-    }
-
-    fn counters(&self) -> EngineCounters {
-        let s = self.stats();
-        EngineCounters {
-            commits: s.commits,
-            aborts: s.aborts,
-            stall_retries: s.stall_retries,
-            ..Default::default()
-        }
-    }
-
-    fn heap_sum(&self, words: usize) -> u64 {
-        (0..words as u64)
-            .map(|w| self.heap().load(w * 8))
-            .fold(0u64, u64::wrapping_add)
-    }
-}
-
-impl DriveEngine for LazyStm {
-    fn run_txn(&self, me: u32, body: &mut dyn FnMut(&mut dyn TxnOps) -> Result<(), Aborted>) {
-        self.run(me as u64, |txn| body(txn));
-    }
-
-    fn counters(&self) -> EngineCounters {
-        let s = self.stats();
-        EngineCounters {
-            commits: s.commits,
-            aborts: s.total_aborts(),
-            read_aborts: s.read_aborts,
-            lock_aborts: s.lock_aborts,
-            validation_aborts: s.validation_aborts,
-            ..Default::default()
-        }
-    }
-
-    fn heap_sum(&self, words: usize) -> u64 {
-        (0..words as u64)
-            .map(|w| self.heap().load(w * 8))
-            .fold(0u64, u64::wrapping_add)
     }
 }
 
@@ -223,48 +90,45 @@ mod tests {
     }
 
     #[test]
-    fn lazy_rejects_structs_scenarios() {
-        let counter = crate::scenario::Scenario::counter();
-        let uniform = crate::scenario::Scenario::uniform_mixed();
-        assert!(!EngineKind::Lazy.supports(&counter));
-        assert!(EngineKind::Lazy.supports(&uniform));
-        assert!(EngineKind::EagerTagged.supports(&counter));
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(
+            EngineKind::parse("Eager-Tagged"),
+            Some(EngineKind::EagerTagged)
+        );
+        assert_eq!(EngineKind::parse("LAZY-TL2"), Some(EngineKind::Lazy));
+        assert_eq!(EngineKind::parse(" adaptive "), Some(EngineKind::Adaptive));
     }
 
     #[test]
-    fn counters_window() {
-        let a = EngineCounters {
-            commits: 10,
-            aborts: 4,
-            ..Default::default()
-        };
-        let b = EngineCounters {
-            commits: 25,
-            aborts: 5,
-            ..Default::default()
-        };
-        let w = b.since(&a);
-        assert_eq!(w.commits, 15);
-        assert_eq!(w.aborts, 1);
+    fn parse_error_lists_valid_names() {
+        let err = EngineKind::parse_or_describe("bogus").unwrap_err();
+        for kind in EngineKind::all() {
+            assert!(err.contains(kind.name()), "{err}");
+        }
+        assert!(err.contains("bogus"), "{err}");
+        assert_eq!(
+            EngineKind::parse_or_describe("TAGGED"),
+            Ok(EngineKind::EagerTagged)
+        );
     }
 
     #[test]
-    fn drive_engine_counters_and_heap_sum() {
+    fn core_trait_reexports_drive_engines() {
         let stm = tm_stm::tagged_stm(64, 256);
-        DriveEngine::run_txn(&stm, 0, &mut |txn| {
+        TmEngine::run(&stm, 0, |txn| {
             txn.update_add(0, 5)?;
             txn.update_add(8, 2)?;
             Ok(())
         });
-        assert_eq!(stm.counters().commits, 1);
-        assert_eq!(DriveEngine::heap_sum(&stm, 8), 7);
+        assert_eq!(stm.engine_stats().commits, 1);
+        assert_eq!(stm.heap_sum(8), 7);
 
-        let lazy = LazyStm::new(64, 256);
-        DriveEngine::run_txn(&lazy, 0, &mut |txn| {
+        let lazy = tm_stm::LazyStm::new(64, 256);
+        TmEngine::run(&lazy, 0, |txn| {
             txn.update_add(0, 3)?;
             Ok(())
         });
-        assert_eq!(lazy.counters().commits, 1);
-        assert_eq!(DriveEngine::heap_sum(&lazy, 8), 3);
+        assert_eq!(lazy.engine_stats().commits, 1);
+        assert_eq!(lazy.heap_sum(8), 3);
     }
 }

@@ -15,7 +15,10 @@
 //! One declarative [`Scenario`] matrix covers uniform/Zipf/hotspot access,
 //! read-/write-heavy mixes, disjoint partitions (where every abort is a
 //! false conflict), `tm-structs` data-structure workloads with
-//! linearizability-style conservation checks, and `tm-traces` replay. Every
+//! linearizability-style conservation checks, and `tm-traces` replay —
+//! and because the workloads are written against `tm-stm`'s [`TxnOps`]/
+//! [`TmEngine`] traits, **every cell of the engine × scenario cross
+//! product runs**, structs-on-lazy included. Every
 //! run is seed-deterministic in fixed-budget mode, measures warmup +
 //! measured phases, verifies an isolation invariant, and serializes into a
 //! versioned [`HarnessReport`] (JSON) that [`compare`](compare::compare)
@@ -33,7 +36,7 @@
 //!     measure: Phase::Txns(50),
 //!     ..RunSpec::new(EngineKind::EagerTagged, Scenario::uniform_mixed())
 //! };
-//! let result = execute(&spec).unwrap();
+//! let result = execute(&spec);
 //! assert_eq!(result.commits, 100);
 //! assert_eq!(result.invariant_violations, 0);
 //! ```
@@ -56,7 +59,7 @@ pub use driver::{
     build_replay_streams, phase_loop, run_phase_threads, run_replay_phase, run_synthetic_phase,
     warmup_seed, Phase, PhaseResult, ThreadTally,
 };
-pub use engine::{DriveEngine, EngineCounters, EngineKind, TxnOps};
+pub use engine::{EngineKind, EngineStats, TmEngine, TxnOps};
 pub use report::{HarnessReport, RunResult, SCHEMA_VERSION};
 pub use run::{execute, run_matrix, MatrixConfig, RunSpec};
 pub use scenario::{AccessPattern, ReplaySpec, Scenario, ScenarioKind, StructsKind, SyntheticSpec};

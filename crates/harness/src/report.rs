@@ -16,7 +16,13 @@
 use crate::json::{self, obj, s, unum, Json};
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the scenario matrix gained the structs×lazy cells (the engine ×
+/// scenario cross product is now full, so baseline coverage expectations
+/// changed), and `final_table_entries` now reports the adaptive table's
+/// *live* geometry (`ResizableTable::live_config`) rather than a raw entry
+/// count read racily off the wrapper — a semantic change of a gated field.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One (engine, scenario, threads) measurement.
 #[derive(Clone, Debug, PartialEq)]

@@ -9,15 +9,14 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use tm_adaptive::ResizePolicy;
+use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
 use tm_sim::closed::{run_closed_system, ClosedSystemParams};
-use tm_stm::lazy::LazyStm;
-use tm_stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm};
+use tm_stm::StmBuilder;
 
 use crate::driver::{
     build_replay_streams, run_replay_phase, run_synthetic_phase, Phase, ThreadTally,
 };
-use crate::engine::{DriveEngine, EngineCounters, EngineKind};
+use crate::engine::{EngineKind, EngineStats, TmEngine};
 use crate::report::{HarnessReport, RunResult};
 use crate::scenario::{AccessPattern, Scenario, ScenarioKind};
 use crate::structs_load::run_structs;
@@ -63,37 +62,25 @@ impl RunSpec {
 /// Outcome of driving both phases on a concrete engine.
 struct DriveOutcome {
     measure_elapsed: Duration,
-    measure: EngineCounters,
+    measure: EngineStats,
     violations: u64,
 }
 
-/// Execute one cell. Returns `None` when the engine cannot run the
-/// scenario (lazy engine × structs workloads).
-pub fn execute(spec: &RunSpec) -> Option<RunResult> {
-    if !spec.engine.supports(&spec.scenario) {
-        return None;
-    }
+/// Execute one cell. Every engine runs every scenario — the old
+/// structs×lazy carve-out is gone now that `tm-structs` is generic over
+/// the core transaction traits.
+pub fn execute(spec: &RunSpec) -> RunResult {
+    let builder = StmBuilder::new()
+        .heap_words(spec.heap_words)
+        .table_entries(spec.table_entries);
     let mut extra = AdaptiveExtra::default();
     let outcome = match spec.engine {
-        EngineKind::EagerTagless => {
-            let stm = tagless_stm(spec.heap_words, spec.table_entries);
-            drive_eager(&stm, spec)
-        }
-        EngineKind::EagerTagged => {
-            let stm = tagged_stm(spec.heap_words, spec.table_entries);
-            drive_eager(&stm, spec)
-        }
-        EngineKind::Lazy => {
-            let stm = LazyStm::new(spec.heap_words, spec.table_entries);
-            drive_addr_level(&stm, spec)
-        }
+        EngineKind::EagerTagless => drive(&builder.build_tagless(), spec),
+        EngineKind::EagerTagged => drive(&builder.build_tagged(), spec),
+        EngineKind::Lazy => drive(&builder.build_lazy(), spec),
         EngineKind::Adaptive => {
-            let (stm, mut controller) = tm_adaptive::adaptive_stm(
-                spec.heap_words,
-                spec.table_entries,
-                ResizePolicy::default(),
-                spec.threads,
-            );
+            let (stm, mut controller) =
+                builder.build_adaptive(ResizePolicy::default(), spec.threads);
             let stop = AtomicBool::new(false);
             let mut outcome = None;
             crossbeam::scope(|s| {
@@ -106,19 +93,22 @@ pub fn execute(spec: &RunSpec) -> Option<RunResult> {
                         std::thread::sleep(Duration::from_millis(5));
                     }
                 });
-                outcome = Some(drive_eager(&stm, spec));
+                outcome = Some(drive(&stm, spec));
                 stop.store(true, Ordering::Release);
             })
             .expect("adaptive controller scope");
             let stats = stm.table().resize_stats();
+            // Report the *live* geometry (the table may have resized away
+            // from the construction-time config mid-run).
+            let live = stm.table().live_config();
             extra = AdaptiveExtra {
-                final_table_entries: Some(stm.table().live_entries() as u64),
+                final_table_entries: Some(live.num_entries() as u64),
                 resizes: Some(stats.resizes),
             };
             outcome.expect("scope body ran")
         }
     };
-    Some(finish(spec, outcome, extra))
+    finish(spec, outcome, extra)
 }
 
 #[derive(Default)]
@@ -127,31 +117,29 @@ struct AdaptiveExtra {
     resizes: Option<u64>,
 }
 
-/// Drive any scenario kind on an eager STM (structs included).
-fn drive_eager<T: ConcurrentTable>(stm: &Stm<T>, spec: &RunSpec) -> DriveOutcome {
-    match &spec.scenario.kind {
-        ScenarioKind::Structs(kind) => {
-            let run = run_structs(
-                stm,
-                *kind,
-                spec.heap_words,
-                spec.threads,
-                spec.warmup,
-                spec.measure,
-                spec.seed,
-            );
-            DriveOutcome {
-                measure_elapsed: run.measure.elapsed,
-                measure: run.measure.counters,
-                violations: run.violations,
-            }
-        }
-        _ => drive_addr_level(stm, spec),
+/// Drive any scenario family on any engine.
+fn drive<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
+    if let ScenarioKind::Structs(kind) = &spec.scenario.kind {
+        let run = run_structs(
+            engine,
+            *kind,
+            spec.heap_words,
+            spec.threads,
+            spec.warmup,
+            spec.measure,
+            spec.seed,
+        );
+        return DriveOutcome {
+            measure_elapsed: run.measure.elapsed,
+            measure: run.measure.counters,
+            violations: run.violations,
+        };
     }
+    drive_addr_level(engine, spec)
 }
 
 /// Drive an address-level (synthetic or replay) scenario on any engine.
-fn drive_addr_level<E: DriveEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
+fn drive_addr_level<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
     let warm_seed = crate::driver::warmup_seed(spec.seed);
     let (warmup, measure) = match &spec.scenario.kind {
         ScenarioKind::Synthetic(s) => (
@@ -191,7 +179,7 @@ fn drive_addr_level<E: DriveEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome 
                 ),
             )
         }
-        ScenarioKind::Structs(_) => unreachable!("structs handled by drive_eager"),
+        ScenarioKind::Structs(_) => unreachable!("structs handled by drive"),
     };
     // Isolation invariant: writes are RMW increments, so the final heap
     // checksum must equal the committed write ops of both phases. Any lost
@@ -345,7 +333,6 @@ pub fn run_matrix(
         .engines
         .iter()
         .flat_map(|&e| config.scenarios.iter().map(move |s| (e, s.clone())))
-        .filter(|(e, s)| e.supports(s))
         .collect();
     let total = cells.len();
     let mut runs = Vec::with_capacity(total);
@@ -360,7 +347,7 @@ pub fn run_matrix(
             warmup: config.warmup,
             measure: config.measure,
         };
-        let result = execute(&spec).expect("unsupported cells filtered above");
+        let result = execute(&spec);
         progress(i, total, &result);
         runs.push(result);
     }
@@ -387,8 +374,7 @@ mod tests {
         let r = execute(&quick_spec(
             EngineKind::EagerTagged,
             Scenario::uniform_mixed(),
-        ))
-        .unwrap();
+        ));
         assert_eq!(r.commits, 120);
         assert_eq!(r.invariant_violations, 0);
         assert!(r.throughput_txn_s > 0.0);
@@ -396,20 +382,24 @@ mod tests {
     }
 
     #[test]
-    fn lazy_structs_cell_is_unsupported() {
-        assert!(execute(&quick_spec(EngineKind::Lazy, Scenario::counter())).is_none());
+    fn lazy_structs_cell_runs_with_conservation_intact() {
+        // The cell the old API could not express: a structs workload on the
+        // lazy engine, with the same fixed budget and invariant checks.
+        let r = execute(&quick_spec(EngineKind::Lazy, Scenario::counter()));
+        assert_eq!(r.commits, 120);
+        assert_eq!(r.invariant_violations, 0);
     }
 
     #[test]
     fn disjoint_scenario_reports_false_conflicts() {
-        let r = execute(&quick_spec(EngineKind::EagerTagless, Scenario::disjoint())).unwrap();
+        let r = execute(&quick_spec(EngineKind::EagerTagless, Scenario::disjoint()));
         assert_eq!(r.false_conflict_aborts, Some(r.aborts));
         assert!(r.sim_false_conflicts_per_commit.is_some());
     }
 
     #[test]
     fn adaptive_cell_reports_table_state() {
-        let r = execute(&quick_spec(EngineKind::Adaptive, Scenario::write_heavy())).unwrap();
+        let r = execute(&quick_spec(EngineKind::Adaptive, Scenario::write_heavy()));
         assert!(r.final_table_entries.is_some());
         assert!(r.resizes.is_some());
         assert_eq!(r.invariant_violations, 0);
@@ -430,10 +420,11 @@ mod tests {
         };
         let mut seen = 0;
         let report = run_matrix(&config, |_, total, _| {
-            assert_eq!(total, 3); // lazy × counter filtered out
+            assert_eq!(total, 4); // full cross product: no carve-outs
             seen += 1;
         });
-        assert_eq!(seen, 3);
-        assert_eq!(report.runs.len(), 3);
+        assert_eq!(seen, 4);
+        assert_eq!(report.runs.len(), 4);
+        assert!(report.find("lazy-tl2/counter/t2").is_some());
     }
 }

@@ -11,16 +11,16 @@
 //! * **queue**/**stack** — element-count and value-sum conservation: what
 //!   went in minus what came out must still be inside.
 //!
-//! These bodies compose into eager [`tm_stm::Txn`]s, so they run on the
-//! tagless, tagged, and adaptive engines (the lazy engine's transaction
-//! type is different; [`crate::engine::EngineKind::supports`] excludes it).
+//! The bodies are written against [`TmEngine`]/`TxnOps`, so they run on
+//! **every** engine — eager tagless/tagged, the adaptive resizable table,
+//! and the lazy TL2-style engine alike — with the same conservation checks.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tm_stm::{ConcurrentTable, Stm};
+use tm_stm::TmEngine;
 use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
 
 use crate::driver::{mix_seed, phase_loop, run_phase_threads, warmup_seed, Phase, PhaseResult};
@@ -67,8 +67,8 @@ pub struct StructsRun {
 }
 
 /// Run warmup + measure phases of a structs workload and verify invariants.
-pub fn run_structs<T: ConcurrentTable>(
-    stm: &Stm<T>,
+pub fn run_structs<E: TmEngine>(
+    stm: &E,
     kind: StructsKind,
     heap_words: usize,
     threads: u32,

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use tm_adaptive::{AdaptiveController, ResizePolicy};
-use tm_harness::{run_synthetic_phase, DriveEngine, Phase, Scenario, SyntheticSpec};
+use tm_harness::{run_synthetic_phase, Phase, Scenario, SyntheticSpec, TmEngine};
 use tm_repro::{f3, Options, Table};
 use tm_stm::tagless_stm;
 
@@ -36,7 +36,7 @@ fn spec_for(w: u32) -> SyntheticSpec {
 
 /// Run `txns` transactions of `w` block-writes on each of `THREADS`
 /// threads; returns (elapsed seconds, commits, aborts) for the phase.
-fn run_phase<E: DriveEngine>(engine: &E, w: u32, txns: u64, seed: u64) -> (f64, u64, u64) {
+fn run_phase<E: TmEngine>(engine: &E, w: u32, txns: u64, seed: u64) -> (f64, u64, u64) {
     let phase = run_synthetic_phase(
         engine,
         &spec_for(w),

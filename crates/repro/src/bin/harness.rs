@@ -75,13 +75,11 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
             }
             "--engine" => {
                 let name = it.next().unwrap_or_else(|| usage("--engine needs a name"));
-                if name == "all" {
+                if name.eq_ignore_ascii_case("all") {
                     engines = EngineKind::all().to_vec();
                 } else {
-                    engines.push(
-                        EngineKind::parse(name)
-                            .unwrap_or_else(|| usage(&format!("unknown engine '{name}'"))),
-                    );
+                    // Case-insensitive, and a typo lists every valid name.
+                    engines.push(EngineKind::parse_or_describe(name).unwrap_or_else(|e| usage(&e)));
                 }
             }
             "--scenario" => {
@@ -113,14 +111,6 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
     }
     if !scenarios.is_empty() {
         config.scenarios = scenarios;
-    }
-
-    if !config
-        .engines
-        .iter()
-        .any(|e| config.scenarios.iter().any(|s| e.supports(s)))
-    {
-        usage("selected engines support none of the selected scenarios (the lazy engine cannot run structs workloads)");
     }
 
     let report = tm_harness::run_matrix(&config, |i, total, r| {

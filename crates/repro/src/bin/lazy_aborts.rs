@@ -10,6 +10,7 @@
 
 use tm_repro::{f3, Options, Table};
 use tm_stm::lazy::LazyStm;
+use tm_stm::{TmEngine, TxnOps};
 
 const THREADS: u32 = 4;
 const WRITES_PER_TXN: u64 = 8;
@@ -25,7 +26,7 @@ fn run_point(table_entries: usize, txns_per_thread: u64) -> (u64, u64) {
                 let base = id as u64 * 1024 * 64;
                 let mut x = (id as u64 + 1) * 0x9E37_79B9;
                 for _ in 0..txns_per_thread {
-                    stm.run(x, |txn| {
+                    stm.run(id, |txn| {
                         for w in 0..WRITES_PER_TXN {
                             for r in 0..READS_PER_WRITE {
                                 x = x.wrapping_mul(6364136223846793005).wrapping_add(r);
@@ -51,7 +52,7 @@ fn run_point(table_entries: usize, txns_per_thread: u64) -> (u64, u64) {
     })
     .unwrap();
     let s = stm.stats();
-    (s.commits, s.total_aborts())
+    (s.commits, s.aborts)
 }
 
 fn main() {

@@ -2,7 +2,7 @@
 //! ownership-table entry under locality-preserving hashes.
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+use tm_stm::{Aborted, TmEngine, TxnOps};
 
 use crate::region::Region;
 
@@ -26,26 +26,22 @@ impl TCounter {
     }
 
     /// Add `delta` inside an enclosing transaction; returns the new value.
-    pub fn add<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-        delta: u64,
-    ) -> Result<u64, Aborted> {
-        txn.update(self.addr, |v| v.wrapping_add(delta))
+    pub fn add<O: TxnOps + ?Sized>(&self, txn: &mut O, delta: u64) -> Result<u64, Aborted> {
+        txn.update_add(self.addr, delta)
     }
 
     /// Read inside an enclosing transaction.
-    pub fn read<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+    pub fn read<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         txn.read(self.addr)
     }
 
     /// Auto-committing increment.
-    pub fn add_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, delta: u64) -> u64 {
+    pub fn add_now<E: TmEngine>(&self, stm: &E, me: ThreadId, delta: u64) -> u64 {
         stm.run(me, |txn| self.add(txn, delta))
     }
 
     /// Auto-committing read.
-    pub fn get<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+    pub fn get<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
         stm.run(me, |txn| self.read(txn))
     }
 }
@@ -53,7 +49,7 @@ impl TCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_stm::tagged_stm;
+    use tm_stm::{tagged_stm, LazyStm};
 
     #[test]
     fn add_and_get() {
@@ -67,6 +63,16 @@ mod tests {
     }
 
     #[test]
+    fn add_and_get_on_lazy_engine() {
+        // The same structure, unchanged, on the TL2-style engine.
+        let stm = LazyStm::new(1024, 256);
+        let mut r = Region::new(0, 8192);
+        let c = TCounter::create(&mut r);
+        assert_eq!(c.add_now(&stm, 0, 5), 5);
+        assert_eq!(c.get(&stm, 0), 5);
+    }
+
+    #[test]
     fn counters_are_block_isolated() {
         let mut r = Region::new(0, 8192);
         let a = TCounter::create(&mut r);
@@ -77,6 +83,25 @@ mod tests {
     #[test]
     fn concurrent_increments_exact() {
         let stm = std::sync::Arc::new(tagged_stm(1024, 256));
+        let mut r = Region::new(0, 8192);
+        let c = TCounter::create(&mut r);
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let stm = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..500 {
+                        c.add_now(stm, id, 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.get(&stm, 0), 2000);
+    }
+
+    #[test]
+    fn concurrent_increments_exact_on_lazy() {
+        let stm = std::sync::Arc::new(LazyStm::new(1024, 1024));
         let mut r = Region::new(0, 8192);
         let c = TCounter::create(&mut r);
         crossbeam::scope(|s| {

@@ -1,12 +1,16 @@
-//! Transactional data structures over the word-based STM.
+//! Transactional data structures over the word-based STM — generic over
+//! **every** engine.
 //!
 //! The paper's motivation for transactional memory is that atomic blocks
 //! compose where locks do not; this crate is the workspace's demonstration
-//! that the `tm-stm` public API supports real composable structures. Every
+//! that the `tm-stm` trait layer supports real composable structures. Every
 //! structure is laid out in the STM's raw word [`Heap`](tm_stm::Heap) via a
-//! [`Region`] allocator, is parametric in the ownership-table organization,
-//! and exposes *transaction-composable* methods (taking `&mut Txn`) next to
-//! the auto-committing convenience wrappers.
+//! [`Region`] allocator and exposes *transaction-composable* methods
+//! generic over [`TxnOps`](tm_stm::TxnOps) next to auto-committing
+//! convenience wrappers generic over [`TmEngine`](tm_stm::TmEngine) — so
+//! one structure definition runs on the eager engines (any ownership-table
+//! organization, including `tm-adaptive`'s resizable one) *and* the lazy
+//! TL2-style engine, unchanged.
 //!
 //! Because these structures run on the same ownership tables the paper
 //! analyses, they double as workloads: point the constructors at a small
@@ -16,22 +20,32 @@
 //! # Example
 //!
 //! ```
-//! use tm_stm::tagged_stm;
+//! use tm_stm::{StmBuilder, TmEngine, TxnOps};
 //! use tm_structs::{Region, TCounter, TStack};
 //!
-//! let stm = tagged_stm(4096, 1024);
 //! let mut region = Region::new(0, 4096);
 //! let counter = TCounter::create(&mut region);
 //! let stack = TStack::create(&mut region, 64);
 //!
-//! // Compose: push and count in one atomic step.
-//! stm.run(0, |txn| {
-//!     stack.push(txn, &stm, 42)?;
-//!     counter.add(txn, 1)?;
-//!     Ok(())
-//! });
-//! assert_eq!(counter.get(&stm, 0), 1);
-//! assert_eq!(stack.pop_now(&stm, 0), Some(42));
+//! // Compose: push and count in one atomic step — on any engine.
+//! fn push_and_count<E: TmEngine>(stm: &E, counter: TCounter, stack: tm_structs::TStack) {
+//!     stm.run(0, |txn| {
+//!         stack.push(txn, 42)?;
+//!         counter.add(txn, 1)?;
+//!         Ok(())
+//!     });
+//! }
+//!
+//! let builder = StmBuilder::new().heap_words(4096).table_entries(1024);
+//! let eager = builder.build_tagged();
+//! push_and_count(&eager, counter, stack);
+//! assert_eq!(counter.get(&eager, 0), 1);
+//! assert_eq!(stack.pop_now(&eager, 0), Some(42));
+//!
+//! let lazy = builder.build_lazy();
+//! push_and_count(&lazy, counter, stack);
+//! assert_eq!(counter.get(&lazy, 0), 1);
+//! assert_eq!(stack.pop_now(&lazy, 0), Some(42));
 //! ```
 
 #![warn(missing_docs)]

@@ -12,7 +12,7 @@
 //! metadata costs for pointerless structures.
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+use tm_stm::{Aborted, TmEngine, TxnOps};
 
 use crate::region::Region;
 
@@ -70,9 +70,9 @@ impl TMap {
     /// Insert or update inside a transaction; returns the previous value,
     /// or `Err(Aborted)` never for capacity — a full map returns `Ok(None)`
     /// *without inserting* and `inserted = false` via [`TMap::try_insert`].
-    pub fn insert<T: ConcurrentTable>(
+    pub fn insert<O: TxnOps + ?Sized>(
         &self,
-        txn: &mut Txn<'_, T>,
+        txn: &mut O,
         key: u64,
         value: u64,
     ) -> Result<Option<u64>, Aborted> {
@@ -84,9 +84,9 @@ impl TMap {
 
     /// Insert or update; `(previous value, whether stored)`. A full map
     /// (probe wrapped all the way around) stores nothing.
-    pub fn try_insert<T: ConcurrentTable>(
+    pub fn try_insert<O: TxnOps + ?Sized>(
         &self,
-        txn: &mut Txn<'_, T>,
+        txn: &mut O,
         key: u64,
         value: u64,
     ) -> Result<(Option<u64>, bool), Aborted> {
@@ -110,11 +110,7 @@ impl TMap {
     }
 
     /// Look up inside a transaction.
-    pub fn get<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-        key: u64,
-    ) -> Result<Option<u64>, Aborted> {
+    pub fn get<O: TxnOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<u64>, Aborted> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
         let start = self.slot_of(key);
         for i in 0..self.capacity {
@@ -132,9 +128,9 @@ impl TMap {
 
     /// Remove inside a transaction; returns the removed value. Uses
     /// backward-shift deletion to preserve probe invariants.
-    pub fn remove<T: ConcurrentTable>(
+    pub fn remove<O: TxnOps + ?Sized>(
         &self,
-        txn: &mut Txn<'_, T>,
+        txn: &mut O,
         key: u64,
     ) -> Result<Option<u64>, Aborted> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
@@ -185,9 +181,9 @@ impl TMap {
     }
 
     /// Auto-committing insert.
-    pub fn insert_now<T: ConcurrentTable>(
+    pub fn insert_now<E: TmEngine>(
         &self,
-        stm: &Stm<T>,
+        stm: &E,
         me: ThreadId,
         key: u64,
         value: u64,
@@ -196,17 +192,12 @@ impl TMap {
     }
 
     /// Auto-committing lookup.
-    pub fn get_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, key: u64) -> Option<u64> {
+    pub fn get_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<u64> {
         stm.run(me, |txn| self.get(txn, key))
     }
 
     /// Auto-committing removal.
-    pub fn remove_now<T: ConcurrentTable>(
-        &self,
-        stm: &Stm<T>,
-        me: ThreadId,
-        key: u64,
-    ) -> Option<u64> {
+    pub fn remove_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<u64> {
         stm.run(me, |txn| self.remove(txn, key))
     }
 }

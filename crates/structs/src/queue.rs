@@ -4,7 +4,7 @@
 //! is `[head, tail)` and slots are indexed modulo the capacity.
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+use tm_stm::{Aborted, TmEngine, TxnOps};
 
 use crate::region::Region;
 
@@ -41,18 +41,14 @@ impl TQueue {
     }
 
     /// Elements currently queued, inside a transaction.
-    pub fn len<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+    pub fn len<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         let head = txn.read(self.head_addr())?;
         let tail = txn.read(self.tail_addr())?;
         Ok(tail - head)
     }
 
     /// Enqueue inside a transaction; returns `false` when full.
-    pub fn enqueue<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-        value: u64,
-    ) -> Result<bool, Aborted> {
+    pub fn enqueue<O: TxnOps + ?Sized>(&self, txn: &mut O, value: u64) -> Result<bool, Aborted> {
         let head = txn.read(self.head_addr())?;
         let tail = txn.read(self.tail_addr())?;
         if tail - head == self.capacity {
@@ -64,10 +60,7 @@ impl TQueue {
     }
 
     /// Dequeue inside a transaction; `None` when empty.
-    pub fn dequeue<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-    ) -> Result<Option<u64>, Aborted> {
+    pub fn dequeue<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<u64>, Aborted> {
         let head = txn.read(self.head_addr())?;
         let tail = txn.read(self.tail_addr())?;
         if head == tail {
@@ -79,17 +72,17 @@ impl TQueue {
     }
 
     /// Auto-committing enqueue.
-    pub fn enqueue_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, value: u64) -> bool {
+    pub fn enqueue_now<E: TmEngine>(&self, stm: &E, me: ThreadId, value: u64) -> bool {
         stm.run(me, |txn| self.enqueue(txn, value))
     }
 
     /// Auto-committing dequeue.
-    pub fn dequeue_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
+    pub fn dequeue_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<u64> {
         stm.run(me, |txn| self.dequeue(txn))
     }
 
     /// Auto-committing length (conservation checks in stress harnesses).
-    pub fn len_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+    pub fn len_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
         stm.run(me, |txn| self.len(txn))
     }
 }

@@ -1,7 +1,7 @@
 //! A bounded transactional stack: `[top, slot0, slot1, …]`.
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, ConcurrentTable, Stm, Txn};
+use tm_stm::{Aborted, TmEngine, TxnOps};
 
 use crate::region::Region;
 
@@ -34,17 +34,12 @@ impl TStack {
     }
 
     /// Current length, inside a transaction.
-    pub fn len<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<u64, Aborted> {
+    pub fn len<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         txn.read(self.top_addr())
     }
 
     /// Push inside a transaction; returns `false` when full.
-    pub fn push<T: ConcurrentTable>(
-        &self,
-        txn: &mut Txn<'_, T>,
-        _stm: &Stm<T>,
-        value: u64,
-    ) -> Result<bool, Aborted> {
+    pub fn push<O: TxnOps + ?Sized>(&self, txn: &mut O, value: u64) -> Result<bool, Aborted> {
         let top = txn.read(self.top_addr())?;
         if top == self.capacity {
             return Ok(false);
@@ -55,7 +50,7 @@ impl TStack {
     }
 
     /// Pop inside a transaction; `None` when empty.
-    pub fn pop<T: ConcurrentTable>(&self, txn: &mut Txn<'_, T>) -> Result<Option<u64>, Aborted> {
+    pub fn pop<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<u64>, Aborted> {
         let top = txn.read(self.top_addr())?;
         if top == 0 {
             return Ok(None);
@@ -66,17 +61,17 @@ impl TStack {
     }
 
     /// Auto-committing push.
-    pub fn push_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId, value: u64) -> bool {
-        stm.run(me, |txn| self.push(txn, stm, value))
+    pub fn push_now<E: TmEngine>(&self, stm: &E, me: ThreadId, value: u64) -> bool {
+        stm.run(me, |txn| self.push(txn, value))
     }
 
     /// Auto-committing pop.
-    pub fn pop_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> Option<u64> {
+    pub fn pop_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<u64> {
         stm.run(me, |txn| self.pop(txn))
     }
 
     /// Auto-committing depth (conservation checks in stress harnesses).
-    pub fn len_now<T: ConcurrentTable>(&self, stm: &Stm<T>, me: ThreadId) -> u64 {
+    pub fn len_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
         stm.run(me, |txn| self.len(txn))
     }
 }

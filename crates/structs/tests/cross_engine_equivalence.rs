@@ -1,0 +1,193 @@
+//! Cross-engine structs equivalence: identical operation sequences driven
+//! through the eager-tagged, lazy TL2, and adaptive engines via the
+//! `TmEngine` trait must produce identical observable behaviour — every
+//! per-operation return value, every final structure state, and the
+//! container conservation invariants.
+//!
+//! This is the property the unified transaction API exists to guarantee:
+//! the engine (protocol + table organization) changes *performance*, never
+//! *semantics*. Sequences are single-threaded so the serial spec is exact.
+
+use proptest::prelude::*;
+
+use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
+use tm_stm::{StmBuilder, TmEngine};
+use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
+
+const HEAP_WORDS: usize = 1 << 14;
+const REGION_BYTES: u64 = (HEAP_WORDS as u64) * 8;
+const MAP_CAPACITY: u64 = 64;
+const CONTAINER_CAPACITY: u64 = 16;
+const KEY_RANGE: u64 = 24;
+
+/// One operation against the four-structure universe.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    CounterAdd(u64),
+    CounterRead,
+    MapInsert(u64, u64),
+    MapGet(u64),
+    MapRemove(u64),
+    QueueEnqueue(u64),
+    QueueDequeue,
+    QueueLen,
+    StackPush(u64),
+    StackPop,
+    StackLen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..8).prop_map(Op::CounterAdd),
+        Just(Op::CounterRead),
+        ((1u64..KEY_RANGE), (0u64..1000)).prop_map(|(k, v)| Op::MapInsert(k, v)),
+        (1u64..KEY_RANGE).prop_map(Op::MapGet),
+        (1u64..KEY_RANGE).prop_map(Op::MapRemove),
+        (0u64..1000).prop_map(Op::QueueEnqueue),
+        Just(Op::QueueDequeue),
+        Just(Op::QueueLen),
+        (0u64..1000).prop_map(Op::StackPush),
+        Just(Op::StackPop),
+        Just(Op::StackLen),
+    ]
+}
+
+/// The observable outcome of one op (unified across op kinds).
+type Observed = Option<u64>;
+
+/// Everything an engine run exposes: per-op observations plus the drained
+/// final contents of every structure.
+#[derive(Debug, PartialEq, Eq)]
+struct Trace {
+    observations: Vec<Observed>,
+    final_counter: u64,
+    final_map: Vec<(u64, u64)>,
+    drained_queue: Vec<u64>,
+    drained_stack: Vec<u64>,
+    commits: u64,
+}
+
+/// Drive `ops` through `engine` — the structures are (re)created in the
+/// engine's own heap, so each engine sees an identical initial universe.
+fn drive<E: TmEngine>(engine: &E, ops: &[Op]) -> Trace {
+    let mut region = Region::new(0, REGION_BYTES);
+    let counter = TCounter::create(&mut region);
+    let map = TMap::create(&mut region, MAP_CAPACITY);
+    let queue = TQueue::create(&mut region, CONTAINER_CAPACITY);
+    let stack = TStack::create(&mut region, CONTAINER_CAPACITY);
+
+    let observations = ops
+        .iter()
+        .map(|op| match *op {
+            Op::CounterAdd(d) => Some(counter.add_now(engine, 0, d)),
+            Op::CounterRead => Some(counter.get(engine, 0)),
+            Op::MapInsert(k, v) => map.insert_now(engine, 0, k, v),
+            Op::MapGet(k) => map.get_now(engine, 0, k),
+            Op::MapRemove(k) => map.remove_now(engine, 0, k),
+            Op::QueueEnqueue(v) => Some(queue.enqueue_now(engine, 0, v) as u64),
+            Op::QueueDequeue => queue.dequeue_now(engine, 0),
+            Op::QueueLen => Some(queue.len_now(engine, 0)),
+            Op::StackPush(v) => Some(stack.push_now(engine, 0, v) as u64),
+            Op::StackPop => stack.pop_now(engine, 0),
+            Op::StackLen => Some(stack.len_now(engine, 0)),
+        })
+        .collect();
+
+    let final_counter = counter.get(engine, 0);
+    let mut final_map = Vec::new();
+    for k in 1..KEY_RANGE {
+        if let Some(v) = map.get_now(engine, 0, k) {
+            final_map.push((k, v));
+        }
+    }
+    let mut drained_queue = Vec::new();
+    while let Some(v) = queue.dequeue_now(engine, 0) {
+        drained_queue.push(v);
+    }
+    let mut drained_stack = Vec::new();
+    while let Some(v) = stack.pop_now(engine, 0) {
+        drained_stack.push(v);
+    }
+    Trace {
+        observations,
+        final_counter,
+        final_map,
+        drained_queue,
+        drained_stack,
+        commits: engine.engine_stats().commits,
+    }
+}
+
+/// Conservation invariants derivable from the observations alone — checked
+/// per engine so a compensating pair of bugs cannot cancel out across the
+/// equality comparison.
+fn check_conservation(ops: &[Op], trace: &Trace) {
+    let mut expect_counter = 0u64;
+    let mut q_in = 0u64;
+    let mut q_out = 0u64;
+    let mut s_in = 0u64;
+    let mut s_out = 0u64;
+    for (op, obs) in ops.iter().zip(&trace.observations) {
+        match *op {
+            Op::CounterAdd(d) => expect_counter = expect_counter.wrapping_add(d),
+            Op::QueueEnqueue(_) => q_in += u64::from(*obs == Some(1)),
+            Op::QueueDequeue => q_out += u64::from(obs.is_some()),
+            Op::StackPush(_) => s_in += u64::from(*obs == Some(1)),
+            Op::StackPop => s_out += u64::from(obs.is_some()),
+            _ => {}
+        }
+    }
+    assert_eq!(trace.final_counter, expect_counter, "counter conservation");
+    assert_eq!(
+        trace.drained_queue.len() as u64,
+        q_in - q_out,
+        "queue element conservation"
+    );
+    assert_eq!(
+        trace.drained_stack.len() as u64,
+        s_in - s_out,
+        "stack element conservation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance property: the same op sequence through three engine
+    /// families yields identical traces and intact conservation laws.
+    #[test]
+    fn identical_ops_identical_state_on_every_engine(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let builder = StmBuilder::new().heap_words(HEAP_WORDS).table_entries(1024);
+
+        let tagged = drive(&builder.build_tagged(), &ops);
+        let lazy = drive(&builder.build_lazy(), &ops);
+        let (adaptive_engine, _controller) =
+            builder.build_adaptive(ResizePolicy::default(), 1);
+        let adaptive = drive(&adaptive_engine, &ops);
+
+        check_conservation(&ops, &tagged);
+        check_conservation(&ops, &lazy);
+        check_conservation(&ops, &adaptive);
+
+        prop_assert_eq!(&tagged, &lazy, "eager-tagged vs lazy-tl2 diverged");
+        prop_assert_eq!(&tagged, &adaptive, "eager-tagged vs adaptive diverged");
+    }
+
+    /// Same property under an adversarially tiny tagless geometry: heavy
+    /// aliasing changes abort counts, never results. (Commit counts still
+    /// match because single-threaded runs never abort on any engine.)
+    #[test]
+    fn tiny_aliasing_table_changes_no_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let roomy = StmBuilder::new().heap_words(HEAP_WORDS).table_entries(2048);
+        let tiny = StmBuilder::new().heap_words(HEAP_WORDS).table_entries(4);
+        let reference = drive(&roomy.build_tagged(), &ops);
+        let aliased_eager = drive(&tiny.build_tagless(), &ops);
+        let aliased_lazy = drive(&tiny.build_lazy(), &ops);
+        prop_assert_eq!(&reference, &aliased_eager, "tagless aliasing changed semantics");
+        prop_assert_eq!(&reference, &aliased_lazy, "lazy aliasing changed semantics");
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tm_birthday::stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm};
+use tm_birthday::stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm, TmEngine, TxnOps};
 
 const ACCOUNTS: u64 = 64;
 const INITIAL: u64 = 1_000;

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example transactional_list`
 
-use tm_birthday::stm::{Aborted, ConcurrentTable, Stm, Txn};
+use tm_birthday::prelude::{Aborted, TmEngine, TxnOps};
 
 const HEAD: u64 = 0; // word address of the head pointer
 const BUMP: u64 = 8; // word address of the allocation cursor
@@ -19,11 +19,7 @@ const ARENA_START: u64 = 64; // first allocatable address (block-aligned)
 const NULL: u64 = 0;
 
 /// Allocate a `[value, next]` node; returns its address.
-fn alloc_node<T: ConcurrentTable>(
-    txn: &mut Txn<'_, T>,
-    value: u64,
-    next: u64,
-) -> Result<u64, Aborted> {
+fn alloc_node<O: TxnOps + ?Sized>(txn: &mut O, value: u64, next: u64) -> Result<u64, Aborted> {
     let node = match txn.read(BUMP)? {
         0 => ARENA_START,
         cur => cur,
@@ -35,7 +31,7 @@ fn alloc_node<T: ConcurrentTable>(
 }
 
 /// Insert `value` keeping the list sorted; returns false if already present.
-fn insert<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
+fn insert<E: TmEngine>(stm: &E, me: u32, value: u64) -> bool {
     stm.run(me, |txn| {
         let (mut prev, mut cur) = (HEAD, txn.read(HEAD)?);
         while cur != NULL {
@@ -56,7 +52,7 @@ fn insert<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
 }
 
 /// Membership test.
-fn contains<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
+fn contains<E: TmEngine>(stm: &E, me: u32, value: u64) -> bool {
     stm.run(me, |txn| {
         let mut cur = txn.read(HEAD)?;
         while cur != NULL {
@@ -74,7 +70,7 @@ fn contains<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
 }
 
 /// Remove `value`; returns whether it was present.
-fn remove<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
+fn remove<E: TmEngine>(stm: &E, me: u32, value: u64) -> bool {
     stm.run(me, |txn| {
         let (mut prev, mut cur) = (HEAD, txn.read(HEAD)?);
         while cur != NULL {
@@ -95,7 +91,7 @@ fn remove<T: ConcurrentTable>(stm: &Stm<T>, me: u32, value: u64) -> bool {
 }
 
 /// Collect the list contents (single transaction ⇒ consistent snapshot).
-fn snapshot<T: ConcurrentTable>(stm: &Stm<T>, me: u32) -> Vec<u64> {
+fn snapshot<E: TmEngine>(stm: &E, me: u32) -> Vec<u64> {
     stm.run(me, |txn| {
         let mut out = Vec::new();
         let mut cur = txn.read(HEAD)?;
@@ -140,7 +136,7 @@ fn main() {
         .collect();
     assert_eq!(final_list, expected, "list must be sorted and exact");
 
-    let s = stm.stats();
+    let s = stm.engine_stats();
     println!(
         "sorted list of {} elements built by {threads} threads: {} commits, {} aborts (all true conflicts)",
         final_list.len(),

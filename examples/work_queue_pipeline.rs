@@ -3,16 +3,19 @@
 //! counter — **all three structures touched in one atomic transaction**,
 //! the composability that motivates TM (paper §1).
 //!
+//! The pipeline is written once against the `TmEngine`/`TxnOps` traits and
+//! runs unchanged on the eager tagged engine *and* the lazy TL2-style one.
+//!
 //! Run with: `cargo run --release --example work_queue_pipeline`
 
-use tm_birthday::stm::{tagged_stm, ConcurrentTable, Stm};
+use tm_birthday::prelude::{StmBuilder, TmEngine};
 use tm_birthday::structs::{Region, TCounter, TMap, TQueue};
 
 const JOBS_PER_PRODUCER: u64 = 400;
 const PRODUCERS: u32 = 2;
 const WORKERS: u32 = 2;
 
-fn pipeline<T: ConcurrentTable>(stm: &Stm<T>) -> (u64, u64) {
+fn pipeline<E: TmEngine>(stm: &E) -> (u64, u64) {
     let mut region = Region::new(0, 1 << 17);
     let queue = TQueue::create(&mut region, 256);
     let results = TMap::create(&mut region, 4096);
@@ -62,16 +65,24 @@ fn pipeline<T: ConcurrentTable>(stm: &Stm<T>) -> (u64, u64) {
             "job {job} lost or corrupted"
         );
     }
-    (done.get(stm, 0), stm.stats().aborts)
+    (done.get(stm, 0), stm.engine_stats().aborts)
 }
 
 fn main() {
-    let stm = tagged_stm(1 << 15, 4096);
-    let (done, aborts) = pipeline(&stm);
+    let builder = StmBuilder::new().heap_words(1 << 15).table_entries(4096);
+
+    let (done, aborts) = pipeline(&builder.build_tagged());
     println!(
-        "pipeline complete: {done} jobs through queue -> map -> counter atomically; \
+        "eager-tagged: {done} jobs through queue -> map -> counter atomically; \
          {aborts} aborts (all genuine queue/counter contention)"
     );
+
+    let (done, aborts) = pipeline(&builder.build_lazy());
+    println!(
+        "lazy-tl2:     {done} jobs through the identical closure; {aborts} aborts \
+         (validation-time conflicts on the same hot words)"
+    );
+
     println!(
         "every conflict here is *true* contention on the queue ends and the counter —\n\
          swap in a small tagless table to add false conflicts between the map's\n\

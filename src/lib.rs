@@ -15,7 +15,66 @@
 //! | [`sim`] | `tm-sim` | Monte-Carlo simulators |
 //! | [`structs`] | `tm-structs` | Transactional data structures |
 //!
+//! The [`prelude`] re-exports the unified transaction API (the `TmEngine`/
+//! `TxnOps` traits, the `StmBuilder`, and the data structures) in one
+//! import.
+//!
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment map.
+
+/// One-import surface for writing transactional code: the core traits, the
+/// builder, and the data structures.
+///
+/// The same closure runs on every engine the builder can mint. Eager
+/// tagless (paper Figure 1):
+///
+/// ```
+/// use tm_birthday::prelude::*;
+///
+/// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_tagless();
+/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// assert_eq!(n, 41);
+/// ```
+///
+/// Eager tagged (paper Figure 7):
+///
+/// ```
+/// use tm_birthday::prelude::*;
+///
+/// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_tagged();
+/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// assert_eq!(n, 41);
+/// ```
+///
+/// Lazy TL2-style:
+///
+/// ```
+/// use tm_birthday::prelude::*;
+///
+/// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_lazy();
+/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// assert_eq!(n, 41);
+/// ```
+///
+/// Adaptive (online-resizable table driven by the sizing model):
+///
+/// ```
+/// use tm_birthday::prelude::*;
+///
+/// let (stm, _controller) = StmBuilder::new()
+///     .heap_words(256)
+///     .table_entries(128)
+///     .build_adaptive(ResizePolicy::default(), 1);
+/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// assert_eq!(n, 41);
+/// ```
+pub mod prelude {
+    pub use tm_adaptive::{AdaptiveController, AdaptiveStmBuilder, ResizePolicy};
+    pub use tm_stm::{
+        Aborted, ContentionPolicy, EngineStats, LazyStm, RetryLimitExceeded, RetryPolicy, Stm,
+        StmBuilder, TmEngine, TxnOps,
+    };
+    pub use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
+}
 
 pub use tm_adaptive as adaptive;
 pub use tm_cache_sim as cache_sim;

@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tm_birthday::ownership::TableConfig;
 use tm_birthday::stm::{
-    tagged_stm, tagless_stm, ConcurrentTable, ContentionPolicy, Stm, StmConfig,
+    tagged_stm, tagless_stm, ConcurrentTable, ContentionPolicy, RetryPolicy, Stm, StmConfig,
+    TmEngine, TxnOps,
 };
 
 const THREADS: u32 = 4;
@@ -74,6 +75,7 @@ fn conservation_under_stall_policy() {
         tm_birthday::ownership::ConcurrentTaggedTable::new(TableConfig::new(512)),
         StmConfig {
             contention: ContentionPolicy::Stall { max_spins: 64 },
+            retry: RetryPolicy::Unbounded,
         },
     );
     conservation(&stm, 128, 1_000);

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use tm_birthday::stm::lazy::LazyStm;
-use tm_birthday::stm::{tagged_stm, tagless_stm, Aborted, ConcurrentTable, Stm};
+use tm_birthday::stm::{tagged_stm, tagless_stm, Aborted, ConcurrentTable, Stm, TmEngine, TxnOps};
 
 /// One step of a transaction script.
 #[derive(Clone, Copy, Debug)]
@@ -160,7 +160,7 @@ proptest! {
                 s.spawn(move |_| {
                     for _ in 0..n {
                         eager.run(id as u32, |t| t.update(0, |v| v + 1).map(|_| ()));
-                        lazy.run(id as u64, |t| t.update(0, |v| v + 1).map(|_| ()));
+                        lazy.run(id as u32, |t| t.update(0, |v| v + 1).map(|_| ()));
                     }
                 });
             }
