@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Merge several tm-harness reports into a conservative baseline envelope.
+
+Per (engine, scenario, threads) cell the output keeps the *lowest* observed
+throughput (plus that run's elapsed/commits, so the row stays internally
+consistent) and the *highest* abort ratios — so a single lucky draw at
+baseline-generation time cannot become a chronically over-tight CI gate.
+
+Usage:
+    python3 benches/envelope.py OUT.json RUN1.json RUN2.json [RUN3.json ...]
+
+All inputs must cover identical cells (same matrix, same --fast mode) and
+be violation-free; anything else is an error.
+"""
+
+import json
+import sys
+
+
+def key(run):
+    return (run["engine"], run["scenario"], run["threads"])
+
+
+def main(out_path, paths):
+    reports = []
+    for p in paths:
+        with open(p) as f:
+            reports.append(json.load(f))
+    base = reports[0]
+    cells = {key(r) for r in base["runs"]}
+    for rep, p in zip(reports, paths):
+        assert rep["schema_version"] == base["schema_version"], p
+        assert rep["fast"] == base["fast"], f"{p}: --fast mode mismatch"
+        assert {key(r) for r in rep["runs"]} == cells, f"{p}: cell set differs"
+    others = [{key(r): r for r in rep["runs"]} for rep in reports[1:]]
+    for run in base["runs"]:
+        for other in others:
+            r = other[key(run)]
+            assert r["invariant_violations"] == 0, f"violations in {key(run)}"
+            if r["throughput_txn_s"] < run["throughput_txn_s"]:
+                run["throughput_txn_s"] = r["throughput_txn_s"]
+                run["elapsed_s"] = r["elapsed_s"]
+                run["commits"] = r["commits"]
+            run["aborts_per_commit"] = max(run["aborts_per_commit"], r["aborts_per_commit"])
+            if (
+                run.get("false_conflicts_per_commit") is not None
+                and r.get("false_conflicts_per_commit") is not None
+            ):
+                run["false_conflicts_per_commit"] = max(
+                    run["false_conflicts_per_commit"], r["false_conflicts_per_commit"]
+                )
+    with open(out_path, "w") as f:
+        json.dump(base, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}: envelope of {len(paths)} reports, {len(base['runs'])} cells")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 4:
+        sys.exit(__doc__)
+    main(sys.argv[1], sys.argv[2:])

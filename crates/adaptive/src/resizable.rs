@@ -38,7 +38,9 @@ use parking_lot::{Mutex, RwLock};
 
 use tm_ownership::concurrent::{ConcurrentTable, GrantKey, GrantSnapshot, Held};
 use tm_ownership::stats::TableStats;
-use tm_ownership::{Access, AcquireOutcome, BlockAddr, HashKind, Mode, TableConfig, ThreadId};
+use tm_ownership::{
+    Access, AcquireOutcome, BlockAddr, FastHashState, HashKind, Mode, TableConfig, ThreadId,
+};
 
 use crate::epoch::EpochGate;
 
@@ -56,12 +58,16 @@ struct EntryHold {
 
 /// One journal shard: block-level grants plus the inner-key holdings whose
 /// entry index hashes here.
+///
+/// Both maps sit on every transactional access, so they use the trusted-key
+/// [`FastHashState`] (one multiply-mix per word) instead of SipHash — the
+/// journal is internal bookkeeping, never attacker-controlled.
 #[derive(Debug, Default)]
 struct ShardMaps {
     /// `(txn, block) → level` for every live block-level grant.
-    journal: HashMap<(ThreadId, BlockAddr), Held>,
+    journal: HashMap<(ThreadId, BlockAddr), Held, FastHashState>,
     /// `(txn, inner key) → coalesced holding` on the wrapped table.
-    holdings: HashMap<(ThreadId, GrantKey), EntryHold>,
+    holdings: HashMap<(ThreadId, GrantKey), EntryHold, FastHashState>,
 }
 
 /// One generation: a wrapped table plus the journal describing its live

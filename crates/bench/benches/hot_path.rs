@@ -1,0 +1,136 @@
+//! Hot-path microbenchmark: per-attempt heap allocations and single-thread
+//! transaction latency for every engine family.
+//!
+//! Two measurements, both over the same synthetic body (4 uniform reads +
+//! 4 uniform RMW increments, the paper's small-W regime):
+//!
+//! 1. **Allocation count** — a counting global allocator tallies every
+//!    `alloc`/`realloc` while a warmed-up thread runs transactions. The
+//!    scratch-recycling contract is that a steady-state attempt performs
+//!    **zero** heap allocations; the bench asserts exactly that (set
+//!    `HOT_PATH_TOLERATE_ALLOCS=1` to report instead of assert — used to
+//!    capture the pre-optimization baseline in `benches/README.md`).
+//! 2. **Latency** — wall-clock nanoseconds per committed transaction on one
+//!    thread, where allocator and hashing overhead dominates (no
+//!    contention, no aborts).
+//!
+//! Run with `cargo bench -p tm-bench --bench hot_path`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tm_stm::{StmBuilder, TmEngine, TxnOps};
+
+/// Global allocator shim that counts allocation events (not bytes: the
+/// contract under test is "zero allocator round-trips per attempt").
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const HEAP_WORDS: usize = 1 << 14;
+const TABLE_ENTRIES: usize = 4096;
+const READS: usize = 4;
+const WRITES: usize = 4;
+/// Distinct blocks the workload cycles through (fits heap and table).
+const WORKING_SET: u64 = 512;
+
+/// One transaction of the standard body at a deterministic footprint
+/// offset. Addresses stride by 64 B so every access is a distinct block.
+fn one_txn<E: TmEngine>(engine: &E, i: u64) {
+    engine.run(0, |txn| {
+        for k in 0..READS as u64 {
+            txn.read(((i + k) % WORKING_SET) * 64)?;
+        }
+        for k in 0..WRITES as u64 {
+            txn.update_add(((i + READS as u64 + k) % WORKING_SET) * 64, 1)?;
+        }
+        Ok(())
+    });
+}
+
+struct Outcome {
+    allocs_per_txn: f64,
+    ns_per_txn: f64,
+}
+
+fn measure<E: TmEngine>(engine: &E) -> Outcome {
+    // Warm up: fault in lazy structures, spill tables, bucket capacity.
+    for i in 0..10_000u64 {
+        one_txn(engine, i);
+    }
+
+    // Allocation phase.
+    let txns = 100_000u64;
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for i in 0..txns {
+        one_txn(engine, i);
+    }
+    let events = ALLOC_EVENTS.load(Ordering::Relaxed) - before;
+
+    // Latency phase.
+    let t0 = Instant::now();
+    for i in 0..txns {
+        one_txn(engine, black_box(i));
+    }
+    let elapsed = t0.elapsed();
+
+    Outcome {
+        allocs_per_txn: events as f64 / txns as f64,
+        ns_per_txn: elapsed.as_nanos() as f64 / txns as f64,
+    }
+}
+
+fn main() {
+    let tolerate = std::env::var("HOT_PATH_TOLERATE_ALLOCS").is_ok();
+    let builder = StmBuilder::new()
+        .heap_words(HEAP_WORDS)
+        .table_entries(TABLE_ENTRIES);
+
+    println!("== hot_path (4 reads + 4 RMW writes, single thread)");
+    println!("  {:<16} {:>16} {:>14}", "engine", "allocs/txn", "ns/txn");
+    let outcomes: Vec<(&str, Outcome)> = vec![
+        ("eager-tagless", measure(&builder.build_tagless())),
+        ("eager-tagged", measure(&builder.build_tagged())),
+        ("lazy-tl2", measure(&builder.build_lazy())),
+    ];
+    for (name, o) in &outcomes {
+        println!(
+            "  {:<16} {:>16.3} {:>14.1}",
+            name, o.allocs_per_txn, o.ns_per_txn
+        );
+    }
+
+    if !tolerate {
+        for (name, o) in &outcomes {
+            assert!(
+                o.allocs_per_txn == 0.0,
+                "{name}: steady-state attempts must not allocate \
+                 (measured {:.3} allocations/txn)",
+                o.allocs_per_txn
+            );
+        }
+        println!("  zero-allocation steady state: OK");
+    }
+}

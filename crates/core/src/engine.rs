@@ -272,7 +272,7 @@ impl TmEngine for LazyStm {
         policy: RetryPolicy,
         mut body: impl FnMut(&mut crate::LazyTxn<'s>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
-        self.run_with_budget(me as u64, policy.budget(), &mut body)
+        self.run_with_budget(me, policy.budget(), &mut body)
     }
 
     fn retry_policy(&self) -> RetryPolicy {

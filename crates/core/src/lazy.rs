@@ -21,25 +21,31 @@
 //! applies to this engine too — it just manifests at validation time, which
 //! [`LazyStm::stats`] separates out.
 
-use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tm_ownership::versioned::{VersionedStats, VersionedTable};
-use tm_ownership::{EntryIndex, TableConfig};
+use tm_ownership::{BlockMapper, TableConfig, ThreadId};
 
 use crate::contention::{Backoff, RetryPolicy};
 use crate::engine::TxnOps;
 use crate::heap::Heap;
-use crate::stats::EngineStats;
+use crate::scratch::ScratchGuard;
+use crate::stats::{EngineStats, Striped};
 use crate::stm::{Aborted, RetryLimitExceeded};
 
+/// One stripe of the lazy engine's counters, striped through the shared
+/// [`Striped`] mechanism (see [`crate::StmStats`] for the aggregation
+/// contract; threads pick stripes by id, snapshots sum them, quiesced
+/// totals are exact).
 #[derive(Debug, Default)]
-struct Counters {
+struct LazyCells {
     commits: AtomicU64,
     read_aborts: AtomicU64,
     lock_aborts: AtomicU64,
     validation_aborts: AtomicU64,
 }
+
+type Counters = Striped<LazyCells>;
 
 /// A TL2-style software transactional memory (see the [module docs](self)).
 ///
@@ -101,11 +107,18 @@ impl LazyStm {
     /// `aborts` is the total, with the lazy protocol's read/lock/validation
     /// breakdown in the dedicated fields.
     pub fn stats(&self) -> EngineStats {
-        let read_aborts = self.counters.read_aborts.load(Ordering::Relaxed);
-        let lock_aborts = self.counters.lock_aborts.load(Ordering::Relaxed);
-        let validation_aborts = self.counters.validation_aborts.load(Ordering::Relaxed);
+        let mut commits = 0u64;
+        let mut read_aborts = 0u64;
+        let mut lock_aborts = 0u64;
+        let mut validation_aborts = 0u64;
+        for stripe in self.counters.iter() {
+            commits += stripe.commits.load(Ordering::Relaxed);
+            read_aborts += stripe.read_aborts.load(Ordering::Relaxed);
+            lock_aborts += stripe.lock_aborts.load(Ordering::Relaxed);
+            validation_aborts += stripe.validation_aborts.load(Ordering::Relaxed);
+        }
         EngineStats {
-            commits: self.counters.commits.load(Ordering::Relaxed),
+            commits,
             aborts: read_aborts + lock_aborts + validation_aborts,
             read_aborts,
             lock_aborts,
@@ -123,25 +136,27 @@ impl LazyStm {
     /// [`TmEngine::run_with`](crate::TmEngine::run_with).
     pub(crate) fn run_with_budget<'s, R>(
         &'s self,
-        seed: u64,
+        me: ThreadId,
         max_attempts: u32,
         body: &mut dyn FnMut(&mut LazyTxn<'s>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         assert!(max_attempts >= 1, "need at least one attempt");
-        let mut backoff = Backoff::new(seed);
+        let mut backoff = Backoff::new(me as u64);
         let mut attempts = 0u32;
         loop {
-            let mut txn = LazyTxn::begin(self);
+            let mut txn = LazyTxn::begin(self, me);
             let aborted = match body(&mut txn) {
                 Ok(r) => match txn.commit() {
                     Ok(()) => {
-                        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                        let stripe = self.counters.stripe(me);
+                        stripe.commits.fetch_add(1, Ordering::Relaxed);
                         return Ok(r);
                     }
                     Err(Aborted) => true,
                 },
                 Err(Aborted) => {
-                    self.counters.read_aborts.fetch_add(1, Ordering::Relaxed);
+                    let stripe = self.counters.stripe(me);
+                    stripe.read_aborts.fetch_add(1, Ordering::Relaxed);
                     true
                 }
             };
@@ -156,25 +171,30 @@ impl LazyStm {
 }
 
 /// An in-flight lazy transaction: invisible read set plus write buffer.
+///
+/// Like the eager [`crate::Txn`], all per-attempt structures — read set,
+/// write buffer, and the commit-time lock buffers — live in a recycled
+/// [`TxnScratch`](crate::scratch::TxnScratch), and the block mapper is
+/// cached at begin, so steady-state attempts allocate nothing.
 #[derive(Debug)]
 pub struct LazyTxn<'s> {
     stm: &'s LazyStm,
+    id: ThreadId,
     rv: u64,
-    /// entry → version observed at first read (validation set).
-    read_set: HashMap<EntryIndex, u64>,
-    /// Buffered writes, word address → value.
-    wbuf: HashMap<u64, u64>,
+    mapper: BlockMapper,
+    scratch: ScratchGuard,
     reads: u64,
     writes: u64,
 }
 
 impl<'s> LazyTxn<'s> {
-    fn begin(stm: &'s LazyStm) -> Self {
+    fn begin(stm: &'s LazyStm, id: ThreadId) -> Self {
         Self {
             stm,
+            id,
             rv: stm.clock.load(Ordering::Acquire),
-            read_set: HashMap::new(),
-            wbuf: HashMap::new(),
+            mapper: stm.table.config().mapper(),
+            scratch: ScratchGuard::checkout(),
             reads: 0,
             writes: 0,
         }
@@ -182,18 +202,20 @@ impl<'s> LazyTxn<'s> {
 
     /// Distinct entries in the validation set.
     pub fn read_set_len(&self) -> usize {
-        self.read_set.len()
+        self.scratch.read_set.len()
+    }
+
+    /// Buffered (not yet committed) writes in this attempt.
+    pub fn pending_writes(&self) -> usize {
+        self.scratch.wbuf.len()
     }
 
     fn read_validated(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.reads += 1;
-        if let Some(&v) = self.wbuf.get(&addr) {
+        if let Some(v) = self.scratch.wbuf.get(addr) {
             return Ok(v);
         }
-        let entry = self
-            .stm
-            .table
-            .entry_of(self.stm.table.config().mapper().block_of(addr));
+        let entry = self.stm.table.entry_of(self.mapper.block_of(addr));
         let pre = self.stm.table.sample(entry);
         if pre.locked || pre.version > self.rv {
             return Err(Aborted);
@@ -205,79 +227,81 @@ impl<'s> LazyTxn<'s> {
             return Err(Aborted);
         }
         // Consistency across entries: remember the first-observed version.
-        match self.read_set.get(&entry) {
-            Some(&v) if v != pre.version => return Err(Aborted),
+        match self.scratch.read_set.get(entry) {
+            Some(v) if v != pre.version => return Err(Aborted),
             Some(_) => {}
             None => {
-                self.read_set.insert(entry, pre.version);
+                self.scratch.read_set.insert(entry, pre.version);
             }
         }
         Ok(value)
     }
 
-    fn commit(self) -> Result<(), Aborted> {
+    fn commit(mut self) -> Result<(), Aborted> {
         let stm = self.stm;
-        if self.wbuf.is_empty() {
+        let mapper = self.mapper;
+        let scratch = &mut *self.scratch;
+        if scratch.wbuf.is_empty() {
             // Read-only transactions commit without locking: every read was
             // consistent at `rv`.
             return Ok(());
         }
 
         // Lock the write set in ascending entry order (no deadlock), CASing
-        // on the currently-sampled version.
-        let mut lock_set: BTreeSet<EntryIndex> = BTreeSet::new();
-        for &addr in self.wbuf.keys() {
-            lock_set.insert(
-                stm.table
-                    .entry_of(stm.table.config().mapper().block_of(addr)),
-            );
+        // on the currently-sampled version. The sort/dedup buffer and the
+        // locked list are retained scratch — this path allocates nothing
+        // once warm.
+        scratch.entry_buf.clear();
+        for (addr, _) in scratch.wbuf.iter() {
+            scratch
+                .entry_buf
+                .push(stm.table.entry_of(mapper.block_of(addr)));
         }
-        let mut locked: Vec<(EntryIndex, u64)> = Vec::with_capacity(lock_set.len());
-        for &entry in &lock_set {
+        scratch.entry_buf.sort_unstable();
+        scratch.entry_buf.dedup();
+        scratch.locked_buf.clear();
+        for i in 0..scratch.entry_buf.len() {
+            let entry = scratch.entry_buf[i];
             let stamp = stm.table.sample(entry);
             let ok = !stamp.locked && stm.table.try_lock(entry, stamp.version);
             if !ok {
-                for &(e, v) in &locked {
+                for &(e, v) in &scratch.locked_buf {
                     stm.table.unlock_restore(e, v);
                 }
-                stm.counters.lock_aborts.fetch_add(1, Ordering::Relaxed);
+                let stripe = stm.counters.stripe(self.id);
+                stripe.lock_aborts.fetch_add(1, Ordering::Relaxed);
                 return Err(Aborted);
             }
-            locked.push((entry, stamp.version));
+            scratch.locked_buf.push((entry, stamp.version));
         }
 
         let wv = stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
 
         // Validate the read set (entries we locked ourselves pass).
-        for (&entry, &version) in &self.read_set {
-            let mine = locked.iter().any(|&(e, _)| e == entry);
+        for (entry, version) in scratch.read_set.iter() {
+            let mine = scratch.locked_buf.iter().find(|&&(e, _)| e == entry);
             // If we locked it ourselves, its pre-lock version must match
             // what we read; `validate` sees the locked state, so check the
             // recorded pre-lock version directly in that case.
-            let ok = if mine {
-                locked
-                    .iter()
-                    .find(|&&(e, _)| e == entry)
-                    .is_some_and(|&(_, v)| v == version)
-            } else {
-                stm.table.validate(entry, version, false)
+            let ok = match mine {
+                Some(&(_, v)) => v == version,
+                None => stm.table.validate(entry, version, false),
             };
             if !ok {
-                for &(e, v) in &locked {
+                for &(e, v) in &scratch.locked_buf {
                     stm.table.unlock_restore(e, v);
                 }
-                stm.counters
-                    .validation_aborts
-                    .fetch_add(1, Ordering::Relaxed);
+                let stripe = stm.counters.stripe(self.id);
+                stripe.validation_aborts.fetch_add(1, Ordering::Relaxed);
                 return Err(Aborted);
             }
         }
 
         // Publish and release.
-        for (&addr, &value) in &self.wbuf {
+        for (addr, value) in scratch.wbuf.iter() {
             stm.heap.store(addr, value);
         }
-        for &(entry, _) in &locked {
+        for &(entry, _) in &scratch.locked_buf {
             stm.table.unlock_bump(entry, wv);
         }
         Ok(())
@@ -294,7 +318,7 @@ impl TxnOps for LazyTxn<'_> {
 
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
-        self.wbuf.insert(addr, value);
+        self.scratch.wbuf.insert(addr, value);
         Ok(())
     }
 

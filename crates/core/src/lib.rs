@@ -74,6 +74,7 @@ mod contention;
 mod engine;
 mod heap;
 pub mod lazy;
+pub mod scratch;
 mod stats;
 mod stm;
 
@@ -81,6 +82,7 @@ pub use contention::{Backoff, ContentionPolicy, RetryPolicy};
 pub use engine::{StmBuilder, TmEngine, TxnOps};
 pub use heap::{Heap, WORD_BYTES};
 pub use lazy::{LazyStm, LazyTxn};
+pub use scratch::{SmallKey, SmallMap, TxnScratch};
 pub use stats::{EngineStats, StmStats, StmStatsSnapshot};
 pub use stm::{tagged_stm, tagless_stm, Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
 

@@ -13,15 +13,14 @@
 //! [`ConcurrentTaggedTable`] exposes exactly the false-conflict cost the
 //! paper analyses, on real threads rather than in Monte-Carlo form.
 
-use std::collections::{HashMap, HashSet};
-
-use tm_ownership::concurrent::{ConcurrentTable, GrantKey, Held};
-use tm_ownership::{Access, AcquireOutcome, ThreadId};
+use tm_ownership::concurrent::{ConcurrentTable, Held};
+use tm_ownership::{Access, AcquireOutcome, BlockMapper, ThreadId};
 use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable};
 
 use crate::contention::{Backoff, ContentionPolicy, RetryPolicy};
 use crate::engine::TxnOps;
 use crate::heap::Heap;
+use crate::scratch::ScratchGuard;
 use crate::stats::{StmStats, StmStatsSnapshot};
 
 /// Marker error: the current transaction attempt must be abandoned.
@@ -145,12 +144,12 @@ impl<T: ConcurrentTable> Stm<T> {
             match body(&mut txn) {
                 Ok(r) => {
                     txn.commit();
-                    self.stats.on_commit();
+                    self.stats.on_commit(me);
                     return Ok(r);
                 }
                 Err(Aborted) => {
                     txn.rollback();
-                    self.stats.on_abort();
+                    self.stats.on_abort(me);
                     attempts += 1;
                     if attempts >= max_attempts {
                         return Err(RetryLimitExceeded { attempts });
@@ -165,19 +164,15 @@ impl<T: ConcurrentTable> Stm<T> {
     /// ownership table so the read cannot observe a transaction's
     /// speculative state, spinning while a writer holds the block.
     pub fn strong_read(&self, me: ThreadId, addr: u64) -> u64 {
-        self.stats.on_strong(false);
+        self.stats.on_strong(me, false);
+        // Invariant across spins — derive once, as Txn::acquire does.
+        let block = block_of(&self.table, addr);
         loop {
-            match self
-                .table
-                .acquire(me, block_of(&self.table, addr), Access::Read, Held::None)
-            {
+            match self.table.acquire(me, block, Access::Read, Held::None) {
                 AcquireOutcome::Granted => {
                     let v = self.heap.load(addr);
-                    self.table.release(
-                        me,
-                        self.table.grant_key(block_of(&self.table, addr)),
-                        Held::Read,
-                    );
+                    self.table
+                        .release(me, self.table.grant_key(block), Held::Read);
                     return v;
                 }
                 AcquireOutcome::AlreadyHeld => {
@@ -186,7 +181,7 @@ impl<T: ConcurrentTable> Stm<T> {
                     return self.heap.load(addr);
                 }
                 AcquireOutcome::Conflict(_) => {
-                    self.stats.on_strong_stall();
+                    self.stats.on_strong_stall(me);
                     std::hint::spin_loop();
                 }
             }
@@ -196,19 +191,15 @@ impl<T: ConcurrentTable> Stm<T> {
     /// Strong-isolation non-transactional write (paper §6); spins while any
     /// transaction holds the block.
     pub fn strong_write(&self, me: ThreadId, addr: u64, value: u64) {
-        self.stats.on_strong(true);
+        self.stats.on_strong(me, true);
+        // Invariant across spins — derive once, as Txn::acquire does.
+        let block = block_of(&self.table, addr);
         loop {
-            match self
-                .table
-                .acquire(me, block_of(&self.table, addr), Access::Write, Held::None)
-            {
+            match self.table.acquire(me, block, Access::Write, Held::None) {
                 AcquireOutcome::Granted => {
                     self.heap.store(addr, value);
-                    self.table.release(
-                        me,
-                        self.table.grant_key(block_of(&self.table, addr)),
-                        Held::Write,
-                    );
+                    self.table
+                        .release(me, self.table.grant_key(block), Held::Write);
                     return;
                 }
                 AcquireOutcome::AlreadyHeld => {
@@ -216,7 +207,7 @@ impl<T: ConcurrentTable> Stm<T> {
                     return;
                 }
                 AcquireOutcome::Conflict(_) => {
-                    self.stats.on_strong_stall();
+                    self.stats.on_strong_stall(me);
                     std::hint::spin_loop();
                 }
             }
@@ -231,13 +222,27 @@ fn block_of<T: ConcurrentTable>(table: &T, addr: u64) -> u64 {
 
 /// An in-flight transaction: the per-thread log (grant key → held level) and
 /// the speculative write buffer the paper's §2.1 describes.
+///
+/// All per-attempt structures live in a recycled [`TxnScratch`]
+/// (see [`crate::scratch`]) checked out of the thread's pool, and the
+/// table's block mapper plus the contention policy's spin budget are cached
+/// inline — so a steady-state attempt performs no heap allocation, no
+/// rehash, and no configuration re-derivation on any access.
+///
+/// [`TxnScratch`]: crate::scratch::TxnScratch
 #[derive(Debug)]
 pub struct Txn<'s, T: ConcurrentTable> {
     stm: &'s Stm<T>,
     id: ThreadId,
-    log: HashMap<GrantKey, Held>,
-    wbuf: HashMap<u64, u64>,
-    write_blocks: HashSet<u64>,
+    /// Cached `table.config().mapper()` (a copy; deriving it per access
+    /// costs a config indirection on the hottest path).
+    mapper: BlockMapper,
+    /// Cached `config.contention.max_spins()`.
+    max_spins: u32,
+    scratch: ScratchGuard,
+    /// Stall-policy re-attempts this attempt; flushed to the shared
+    /// (striped) stats once per attempt instead of once per spin.
+    stall_retries: u64,
     finished: bool,
     reads: u64,
     writes: u64,
@@ -248,9 +253,10 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
         Self {
             stm,
             id,
-            log: HashMap::new(),
-            wbuf: HashMap::new(),
-            write_blocks: HashSet::new(),
+            mapper: stm.table.config().mapper(),
+            max_spins: stm.config.contention.max_spins(),
+            scratch: ScratchGuard::checkout(),
+            stall_retries: 0,
             finished: false,
             reads: 0,
             writes: 0,
@@ -264,28 +270,34 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
 
     /// Distinct ownership grants currently held.
     pub fn grant_count(&self) -> usize {
-        self.log.len()
+        self.scratch.log.len()
     }
 
-    fn acquire(&mut self, addr: u64, access: Access) -> Result<(), Aborted> {
-        let block = block_of(&self.stm.table, addr);
+    /// Buffered (not yet committed) writes in this attempt.
+    pub fn pending_writes(&self) -> usize {
+        self.scratch.wbuf.len()
+    }
+
+    fn acquire(&mut self, block: u64, access: Access) -> Result<(), Aborted> {
+        // Everything invariant across the stall-retry spins — grant key,
+        // currently-held level, spin budget — is resolved once, before the
+        // loop; each re-attempt is just the table CAS/probe plus a pause.
         let key = self.stm.table.grant_key(block);
-        let held = self.log.get(&key).copied().unwrap_or(Held::None);
-        let budget = self.stm.config.contention.max_spins();
+        let held = self.scratch.log.get(key).unwrap_or(Held::None);
         let mut spins = 0u32;
         loop {
             match self.stm.table.acquire(self.id, block, access, held) {
                 AcquireOutcome::Granted => {
-                    self.log.insert(key, held.after(access));
+                    self.scratch.log.insert(key, held.after(access));
                     return Ok(());
                 }
                 AcquireOutcome::AlreadyHeld => return Ok(()),
                 AcquireOutcome::Conflict(_) => {
-                    if spins >= budget {
+                    if spins >= self.max_spins {
                         return Err(Aborted);
                     }
                     spins += 1;
-                    self.stm.stats.on_stall_retry();
+                    self.stall_retries += 1;
                     std::hint::spin_loop();
                 }
             }
@@ -296,32 +308,49 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
         // Footprint observation for adaptive sizing: distinct written
         // blocks (the model's W, tracked incrementally in `write`) and
         // total grants held ((1+α)·W).
-        self.stm
-            .stats
-            .on_commit_footprint(self.write_blocks.len() as u64, self.log.len() as u64);
+        self.stm.stats.on_commit_footprint(
+            self.id,
+            self.scratch.write_blocks.len() as u64,
+            self.scratch.log.len() as u64,
+        );
 
         // Publish buffered writes, then release ownership. The table's
         // Release/Acquire transitions order the (relaxed) heap stores before
         // any subsequent reader's loads.
-        for (&addr, &value) in &self.wbuf {
-            self.stm.heap.store(addr, value);
+        let stm = self.stm;
+        for (addr, value) in self.scratch.wbuf.iter() {
+            stm.heap.store(addr, value);
         }
-        self.release_grants();
-        self.finished = true;
+        self.finish();
     }
 
     fn rollback(mut self) {
         // Speculative writes never reached the heap; just return grants.
-        self.wbuf.clear();
+        // No clearing here: `ScratchGuard::checkout` is the single
+        // clearing authority, so the next attempt starts clean either way.
+        self.finish();
+    }
+
+    /// Common attempt epilogue: return grants, flush the batched stall
+    /// counter, mark done (the scratch returns to the pool when the guard
+    /// drops).
+    fn finish(&mut self) {
         self.release_grants();
+        self.stm
+            .stats
+            .add_stall_retries(self.id, self.stall_retries);
+        self.stall_retries = 0;
         self.finished = true;
     }
 
     fn release_grants(&mut self) {
-        for (&key, &held) in &self.log {
-            self.stm.table.release(self.id, key, held);
+        // Runs exactly once per attempt (`finish` is guarded by the
+        // `finished` flag), so the log need not be cleared afterwards —
+        // checkout-time reset handles that.
+        let stm = self.stm;
+        for (key, held) in self.scratch.log.iter() {
+            stm.table.release(self.id, key, held);
         }
-        self.log.clear();
     }
 }
 
@@ -330,18 +359,19 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
 impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.reads += 1;
-        if let Some(&v) = self.wbuf.get(&addr) {
+        if let Some(v) = self.scratch.wbuf.get(addr) {
             return Ok(v);
         }
-        self.acquire(addr, Access::Read)?;
+        self.acquire(self.mapper.block_of(addr), Access::Read)?;
         Ok(self.stm.heap.load(addr))
     }
 
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
-        self.acquire(addr, Access::Write)?;
-        self.write_blocks.insert(block_of(&self.stm.table, addr));
-        self.wbuf.insert(addr, value);
+        let block = self.mapper.block_of(addr);
+        self.acquire(block, Access::Write)?;
+        self.scratch.write_blocks.insert(block, ());
+        self.scratch.wbuf.insert(addr, value);
         Ok(())
     }
 
@@ -357,9 +387,9 @@ impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
 impl<T: ConcurrentTable> Drop for Txn<'_, T> {
     fn drop(&mut self) {
         // A panic inside the body (or an early return path we didn't see)
-        // must not leak ownership grants.
+        // must not leak ownership grants (or the batched stall count).
         if !self.finished {
-            self.release_grants();
+            self.finish();
         }
     }
 }

@@ -16,10 +16,79 @@ use crate::stats::TableStats;
 
 use super::{ConcurrentTable, GrantKey, GrantSnapshot, Held};
 
+/// Sharers kept inline before spilling to a heap list. Covers the paper's
+/// experimental range (≤ 8 hardware threads): with at most
+/// `READERS_INLINE` concurrent readers per block, acquiring a fresh read
+/// record allocates nothing.
+const READERS_INLINE: usize = 8;
+
+/// The reader list of one record: inline array first, heap spill only past
+/// [`READERS_INLINE`] simultaneous sharers of one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ReaderSet {
+    inline: [ThreadId; READERS_INLINE],
+    inline_len: u8,
+    spill: Vec<ThreadId>,
+}
+
+impl ReaderSet {
+    fn one(txn: ThreadId) -> Self {
+        let mut inline = [0; READERS_INLINE];
+        inline[0] = txn;
+        Self {
+            inline,
+            inline_len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inline_len as usize + self.spill.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn contains(&self, txn: ThreadId) -> bool {
+        self.inline[..self.inline_len as usize].contains(&txn) || self.spill.contains(&txn)
+    }
+
+    fn push(&mut self, txn: ThreadId) {
+        if (self.inline_len as usize) < READERS_INLINE {
+            self.inline[self.inline_len as usize] = txn;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(txn);
+        }
+    }
+
+    /// `true` when `txn` is the only sharer (the read→write upgrade test).
+    fn sole(&self, txn: ThreadId) -> bool {
+        self.inline_len == 1 && self.spill.is_empty() && self.inline[0] == txn
+    }
+
+    /// Drop one occurrence of `txn`, backfilling the inline array from the
+    /// spill so inline stays the dense prefix.
+    fn remove(&mut self, txn: ThreadId) {
+        let n = self.inline_len as usize;
+        if let Some(i) = self.inline[..n].iter().position(|&t| t == txn) {
+            if let Some(last) = self.spill.pop() {
+                self.inline[i] = last;
+            } else {
+                self.inline[i] = self.inline[n - 1];
+                self.inline_len -= 1;
+            }
+        } else if let Some(i) = self.spill.iter().position(|&t| t == txn) {
+            self.spill.swap_remove(i);
+        }
+    }
+}
+
 /// Who holds a record and how.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum RecState {
-    Readers(Vec<ThreadId>),
+    Readers(ReaderSet),
     Writer(ThreadId),
 }
 
@@ -143,7 +212,7 @@ impl ConcurrentTaggedTable {
                 }
                 bucket.push(Rec {
                     block,
-                    state: RecState::Readers(vec![txn]),
+                    state: RecState::Readers(ReaderSet::one(txn)),
                 });
                 self.grant()
             }
@@ -158,7 +227,7 @@ impl ConcurrentTaggedTable {
                     self.conflict(ConflictKind::ReadAfterWrite, Some(o))
                 }
                 RecState::Readers(v) => {
-                    if v.contains(&txn) {
+                    if v.contains(txn) {
                         self.counters.already_held.fetch_add(1, Ordering::Relaxed);
                         AcquireOutcome::AlreadyHeld
                     } else {
@@ -195,7 +264,7 @@ impl ConcurrentTaggedTable {
                     self.conflict(ConflictKind::WriteAfterWrite, Some(o))
                 }
                 RecState::Readers(v) => {
-                    if v.len() == 1 && v[0] == txn {
+                    if v.sole(txn) {
                         rec.state = RecState::Writer(txn);
                         self.counters.upgrades.fetch_add(1, Ordering::Relaxed);
                         drop(bucket);
@@ -261,7 +330,7 @@ impl ConcurrentTable for ConcurrentTaggedTable {
                 true
             }
             RecState::Readers(v) => {
-                v.retain(|&t| t != txn);
+                v.remove(txn);
                 v.is_empty()
             }
         };

@@ -33,9 +33,14 @@ impl fmt::Display for Mode {
 }
 
 /// The kind of permission a transaction requests on a cache block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// `Default` is [`Access::Read`] — only used by containers that pre-fill
+/// storage (e.g. `SmallMap`'s inline slots); a default value is never
+/// observable as a grant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Read permission (shared).
+    #[default]
     Read,
     /// Write permission (exclusive).
     Write,

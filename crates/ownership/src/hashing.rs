@@ -115,7 +115,13 @@ pub struct TableConfig {
     mapper: BlockMapper,
     hash: HashKind,
     classify_conflicts: bool,
+    max_threads: usize,
 }
+
+/// Default [`TableConfig::max_threads`]: comfortably above any machine the
+/// paper's experiments (≤ 8 hardware threads) or this workspace's harness
+/// target, while keeping pre-sized per-thread state small.
+pub const DEFAULT_MAX_THREADS: usize = 64;
 
 impl TableConfig {
     /// A table of `num_entries` entries (power of two), 64-byte blocks,
@@ -133,7 +139,17 @@ impl TableConfig {
             mapper: BlockMapper::default(),
             hash: HashKind::default(),
             classify_conflicts: false,
+            max_threads: DEFAULT_MAX_THREADS,
         }
+    }
+
+    /// Expected upper bound on concurrently active thread ids. Tables that
+    /// keep per-thread state (the sequential tagged table's hold maps)
+    /// pre-size it from this bound so no acquire pays a first-touch resize;
+    /// ids at or above the bound still work, via on-demand growth.
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads.max(1);
+        self
     }
 
     /// Use blocks of `block_bytes` (power of two). The paper's experiments
@@ -180,6 +196,13 @@ impl TableConfig {
     #[inline]
     pub fn classify_conflicts(&self) -> bool {
         self.classify_conflicts
+    }
+
+    /// Expected upper bound on thread ids (see
+    /// [`TableConfig::with_max_threads`]).
+    #[inline]
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
     }
 
     /// Entry index for a cache block.

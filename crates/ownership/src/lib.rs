@@ -55,6 +55,7 @@ pub mod concurrent;
 mod entry;
 mod footprint;
 mod hashing;
+pub mod smallmap;
 pub mod stats;
 mod tagged;
 mod tagless;
@@ -65,6 +66,7 @@ pub use concurrent::{ConcurrentTaggedTable, ConcurrentTaglessTable, GrantSnapsho
 pub use entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
 pub use footprint::TxnFootprint;
 pub use hashing::{BlockAddr, BlockMapper, EntryIndex, HashKind, TableConfig};
+pub use smallmap::{FastHashState, SmallKey, SmallMap};
 pub use tagged::{Bucket, OwnershipRecord, TaggedTable};
 pub use tagless::TaglessTable;
 pub use versioned::{Stamp, VersionedStats, VersionedTable};

@@ -9,10 +9,9 @@
 //! indirection is rarely traversed; [`crate::stats::TableStats::chain_hist`]
 //! lets experiments confirm that.
 
-use std::collections::HashMap;
-
 use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
+use crate::smallmap::SmallMap;
 use crate::stats::TableStats;
 use crate::OwnershipTable;
 
@@ -158,7 +157,11 @@ pub struct TaggedTable {
     buckets: Vec<Bucket>,
     /// Per-thread map of held blocks → access level, standing in for the
     /// per-thread transaction log (enables O(footprint) `release_all`).
-    holds: Vec<HashMap<BlockAddr, Access>>,
+    /// Pre-sized to [`TableConfig::max_threads`] so a high thread id's
+    /// first acquire never pays a vector resize; [`SmallMap`] keeps each
+    /// footprint inline (no per-acquire hashing or allocation at the
+    /// paper's W).
+    holds: Vec<SmallMap<BlockAddr, Access>>,
     occupancy: usize,
     records: usize,
     stats: TableStats,
@@ -169,10 +172,13 @@ impl TaggedTable {
     /// a tagged table always knows its conflicts are genuine.
     pub fn new(cfg: TableConfig) -> Self {
         let n = cfg.num_entries();
+        let threads = cfg.max_threads();
+        let mut holds = Vec::with_capacity(threads);
+        holds.resize_with(threads, SmallMap::new);
         Self {
             cfg,
             buckets: vec![Bucket::Empty; n],
-            holds: Vec::new(),
+            holds,
             occupancy: 0,
             records: 0,
             stats: TableStats::default(),
@@ -204,10 +210,12 @@ impl TaggedTable {
         self.holds.get(txn as usize).is_some_and(|h| !h.is_empty())
     }
 
-    fn hold_mut(&mut self, txn: ThreadId) -> &mut HashMap<BlockAddr, Access> {
+    fn hold_mut(&mut self, txn: ThreadId) -> &mut SmallMap<BlockAddr, Access> {
         let i = txn as usize;
+        // Pre-sized from `TableConfig::max_threads` at construction; growth
+        // here is the escape hatch for ids beyond the configured bound.
         if i >= self.holds.len() {
-            self.holds.resize_with(i + 1, HashMap::new);
+            self.holds.resize_with(i + 1, SmallMap::new);
         }
         &mut self.holds[i]
     }
@@ -327,7 +335,7 @@ impl TaggedTable {
         let Some(hold) = self.holds.get_mut(i) else {
             return;
         };
-        if hold.remove(&block).is_none() {
+        if hold.remove(block).is_none() {
             return;
         }
         self.stats.releases += 1;
@@ -358,7 +366,7 @@ impl TaggedTable {
         if i >= self.holds.len() {
             return;
         }
-        let blocks: Vec<BlockAddr> = self.holds[i].keys().copied().collect();
+        let blocks: Vec<BlockAddr> = self.holds[i].iter().map(|(b, _)| b).collect();
         for b in blocks {
             self.release_block(txn, b);
         }

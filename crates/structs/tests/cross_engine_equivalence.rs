@@ -190,4 +190,49 @@ proptest! {
         prop_assert_eq!(&reference, &aliased_eager, "tagless aliasing changed semantics");
         prop_assert_eq!(&reference, &aliased_lazy, "lazy aliasing changed semantics");
     }
+
+    /// Equivalence **through the recycled-scratch path**: before the op
+    /// stream, run a transaction whose first attempt dirties every
+    /// per-attempt scratch structure (a spill-sized write buffer + log /
+    /// read set) and aborts. The structs trace that follows through the
+    /// recycled bundles must be identical to a never-poisoned engine's.
+    #[test]
+    fn scratch_poisoning_changes_no_structs_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        /// Abort one spill-sized transaction, then commit an empty one —
+        /// leaves recycled (once-dirty) scratch bundles and one commit.
+        fn poison<E: TmEngine>(engine: &E) {
+            use tm_stm::TxnOps;
+            let mut attempt = 0u32;
+            engine.run(0, |txn| {
+                attempt += 1;
+                if attempt == 1 {
+                    for w in 0..40u64 {
+                        txn.write(w * 8, 0xBAD0 + w)?;
+                        txn.read(w * 8)?;
+                    }
+                    return txn.retry();
+                }
+                Ok(()) // second attempt commits nothing
+            });
+        }
+
+        let builder = StmBuilder::new().heap_words(HEAP_WORDS).table_entries(1024);
+
+        let poisoned = builder.build_tagged();
+        poison(&poisoned);
+        let mut trace = drive(&poisoned, &ops);
+        // The poison transaction adds exactly one commit of its own.
+        trace.commits -= 1;
+        let clean = drive(&builder.build_tagged(), &ops);
+        prop_assert_eq!(&trace, &clean, "aborted scratch state leaked into structs run");
+
+        let lazy = builder.build_lazy();
+        poison(&lazy);
+        let mut trace = drive(&lazy, &ops);
+        trace.commits -= 1;
+        let clean_lazy = drive(&builder.build_lazy(), &ops);
+        prop_assert_eq!(&trace, &clean_lazy, "aborted lazy scratch leaked into structs run");
+    }
 }
