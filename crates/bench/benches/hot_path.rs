@@ -1,15 +1,22 @@
 //! Hot-path microbenchmark: per-attempt heap allocations and single-thread
 //! transaction latency for every engine family.
 //!
-//! Two measurements, both over the same synthetic body (4 uniform reads +
-//! 4 uniform RMW increments, the paper's small-W regime):
+//! Two bodies, each measured twice:
+//!
+//! * the **synthetic** body (4 uniform reads + 4 uniform RMW increments,
+//!   the paper's small-W regime) at the raw `TxnOps` level;
+//! * the **list-chase** body: one insert + one remove on a warmed `TList`
+//!   through the typed object layer — a full pointer-chasing traversal
+//!   plus a transactional node alloc *and* free per transaction, proving
+//!   the typed layer and `TxAlloc` add no per-attempt heap traffic.
 //!
 //! 1. **Allocation count** — a counting global allocator tallies every
 //!    `alloc`/`realloc` while a warmed-up thread runs transactions. The
 //!    scratch-recycling contract is that a steady-state attempt performs
-//!    **zero** heap allocations; the bench asserts exactly that (set
-//!    `HOT_PATH_TOLERATE_ALLOCS=1` to report instead of assert — used to
-//!    capture the pre-optimization baseline in `benches/README.md`).
+//!    **zero** heap allocations — for both bodies; the bench asserts
+//!    exactly that (set `HOT_PATH_TOLERATE_ALLOCS=1` to report instead of
+//!    assert — used to capture the pre-optimization baseline in
+//!    `benches/README.md`).
 //! 2. **Latency** — wall-clock nanoseconds per committed transaction on one
 //!    thread, where allocator and hashing overhead dominates (no
 //!    contention, no aborts).
@@ -21,7 +28,8 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tm_stm::{StmBuilder, TmEngine, TxnOps};
+use tm_stm::{Region, StmBuilder, TmEngine, TxnOps};
+use tm_structs::TList;
 
 /// Global allocator shim that counts allocation events (not bytes: the
 /// contract under test is "zero allocator round-trips per attempt").
@@ -102,35 +110,97 @@ fn measure<E: TmEngine>(engine: &E) -> Outcome {
     }
 }
 
-fn main() {
-    let tolerate = std::env::var("HOT_PATH_TOLERATE_ALLOCS").is_ok();
-    let builder = StmBuilder::new()
-        .heap_words(HEAP_WORDS)
-        .table_entries(TABLE_ENTRIES);
+/// Live elements the warmed list carries (even values; odd values churn).
+const LIST_RESIDENT: u64 = 64;
 
-    println!("== hot_path (4 reads + 4 RMW writes, single thread)");
+/// One list-chase transaction: insert an absent odd key, then remove it —
+/// a full sorted traversal, a transactional node allocation, and a
+/// transactional free, all in one atomic step through the typed layer.
+fn one_list_txn<E: TmEngine>(engine: &E, list: &TList<u64>, i: u64) {
+    let key = 2 * (i % LIST_RESIDENT) + 1;
+    engine.run(0, |txn| {
+        let inserted = list.insert(txn, key)?.expect("pool sized for churn");
+        debug_assert!(inserted);
+        let removed = list.remove(txn, key)?;
+        debug_assert!(removed);
+        Ok(())
+    });
+}
+
+fn measure_list<E: TmEngine>(engine: &E) -> Outcome {
+    let mut region = Region::new(0, (HEAP_WORDS as u64) * 8);
+    let list: TList<u64> = TList::create(&mut region, LIST_RESIDENT + 1);
+    // Resident set: even values, traversed by every churn transaction.
+    for v in 0..LIST_RESIDENT {
+        list.insert_now(engine, 0, 2 * v).expect("pool has room");
+    }
+
+    for i in 0..2_000u64 {
+        one_list_txn(engine, &list, i);
+    }
+
+    let txns = 20_000u64;
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for i in 0..txns {
+        one_list_txn(engine, &list, i);
+    }
+    let events = ALLOC_EVENTS.load(Ordering::Relaxed) - before;
+
+    let t0 = Instant::now();
+    for i in 0..txns {
+        one_list_txn(engine, &list, black_box(i));
+    }
+    let elapsed = t0.elapsed();
+
+    Outcome {
+        allocs_per_txn: events as f64 / txns as f64,
+        ns_per_txn: elapsed.as_nanos() as f64 / txns as f64,
+    }
+}
+
+fn report(title: &str, outcomes: &[(&str, Outcome)], tolerate: bool) {
+    println!("== hot_path ({title}, single thread)");
     println!("  {:<16} {:>16} {:>14}", "engine", "allocs/txn", "ns/txn");
-    let outcomes: Vec<(&str, Outcome)> = vec![
-        ("eager-tagless", measure(&builder.build_tagless())),
-        ("eager-tagged", measure(&builder.build_tagged())),
-        ("lazy-tl2", measure(&builder.build_lazy())),
-    ];
-    for (name, o) in &outcomes {
+    for (name, o) in outcomes {
         println!(
             "  {:<16} {:>16.3} {:>14.1}",
             name, o.allocs_per_txn, o.ns_per_txn
         );
     }
-
     if !tolerate {
-        for (name, o) in &outcomes {
+        for (name, o) in outcomes {
             assert!(
                 o.allocs_per_txn == 0.0,
-                "{name}: steady-state attempts must not allocate \
+                "{name} ({title}): steady-state attempts must not allocate \
                  (measured {:.3} allocations/txn)",
                 o.allocs_per_txn
             );
         }
         println!("  zero-allocation steady state: OK");
     }
+}
+
+fn main() {
+    let tolerate = std::env::var("HOT_PATH_TOLERATE_ALLOCS").is_ok();
+    let builder = StmBuilder::new()
+        .heap_words(HEAP_WORDS)
+        .table_entries(TABLE_ENTRIES);
+
+    let synthetic: Vec<(&str, Outcome)> = vec![
+        ("eager-tagless", measure(&builder.build_tagless())),
+        ("eager-tagged", measure(&builder.build_tagged())),
+        ("lazy-tl2", measure(&builder.build_lazy())),
+    ];
+    report("4 reads + 4 RMW writes", &synthetic, tolerate);
+
+    let list: Vec<(&str, Outcome)> = vec![
+        ("eager-tagless", measure_list(&builder.build_tagless())),
+        ("eager-tagged", measure_list(&builder.build_tagged())),
+        ("lazy-tl2", measure_list(&builder.build_lazy())),
+    ];
+    report(
+        "list-chase: typed traverse + node alloc/free",
+        &list,
+        tolerate,
+    );
 }

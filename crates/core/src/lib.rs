@@ -33,6 +33,14 @@
 //!   tagless table, demonstrating that the false-conflict law survives a
 //!   complete protocol change.
 //!
+//! Above the word-granular traits sits the **typed object layer** (the
+//! [`typed`] module): [`TxWord`]/[`TxLayout`] codecs map values onto
+//! consecutive heap words, [`TRef<T>`] is a typed handle whose
+//! `get`/`set`/`update` compose into any transaction, [`Region`] allocates
+//! static layout, and [`TxAlloc`] allocates and frees cells *inside*
+//! transactions (aborts roll allocations back). User code — including all
+//! of `tm-structs` — never touches a raw address.
+//!
 //! The eager engines add abort-and-retry with randomized exponential
 //! backoff (optionally bounded stalling, [`ContentionPolicy::Stall`]) and
 //! optional **strong isolation** ([`Stm::strong_read`]/[`Stm::strong_write`])
@@ -70,21 +78,27 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod alloc;
 mod contention;
 mod engine;
 mod heap;
 pub mod lazy;
+mod region;
 pub mod scratch;
 mod stats;
 mod stm;
+pub mod typed;
 
+pub use alloc::TxAlloc;
 pub use contention::{Backoff, ContentionPolicy, RetryPolicy};
 pub use engine::{StmBuilder, TmEngine, TxnOps};
 pub use heap::{Heap, WORD_BYTES};
 pub use lazy::{LazyStm, LazyTxn};
+pub use region::Region;
 pub use scratch::{SmallKey, SmallMap, TxnScratch};
 pub use stats::{EngineStats, StmStats, StmStatsSnapshot};
 pub use stm::{tagged_stm, tagless_stm, Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
+pub use typed::{CapacityError, TRef, TxLayout, TxResult, TxWord};
 
 // Re-export the table types users need to build custom configurations.
 pub use tm_ownership::concurrent::{ConcurrentTable, Held};

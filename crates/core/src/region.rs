@@ -1,0 +1,204 @@
+//! Static word-granular layout allocation inside the STM heap.
+//!
+//! Structures are *created* before concurrent execution begins (the usual
+//! STM idiom: layout is static, contents are transactional), so the region
+//! allocator is a plain bump allocator over word addresses with alignment
+//! to cache-block boundaries on request. This is the **static** half of the
+//! workspace's allocation story; the **runtime** half is [`TxAlloc`], whose
+//! alloc/free are transactional operations a region carves space for via
+//! [`Region::alloc_pool`].
+//!
+//! The typed entry points ([`alloc_ref`](Region::alloc_ref),
+//! [`alloc_ref_aligned`](Region::alloc_ref_aligned),
+//! [`alloc_pool`](Region::alloc_pool)) are how user code obtains
+//! [`TRef`]s — addresses stay inside the allocator.
+
+use crate::alloc::TxAlloc;
+use crate::heap::WORD_BYTES;
+use crate::typed::{TRef, TxLayout};
+
+/// A bump allocator over a byte-address range of the STM heap.
+#[derive(Clone, Debug)]
+pub struct Region {
+    next: u64,
+    end: u64,
+}
+
+impl Region {
+    /// A region spanning `[start_addr, start_addr + len_bytes)`. Addresses
+    /// must be word-aligned.
+    ///
+    /// # Panics
+    /// Panics on unaligned bounds, or when the range overflows the address
+    /// space.
+    pub fn new(start_addr: u64, len_bytes: u64) -> Self {
+        assert!(
+            start_addr.is_multiple_of(WORD_BYTES) && len_bytes.is_multiple_of(WORD_BYTES),
+            "region bounds must be word-aligned"
+        );
+        let end = start_addr
+            .checked_add(len_bytes)
+            .expect("region end overflows the 64-bit address space");
+        Self {
+            next: start_addr,
+            end,
+        }
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+
+    /// Allocate `words` contiguous words; returns the base byte address.
+    ///
+    /// # Panics
+    /// Panics when the region is exhausted (layout is static: running out
+    /// is a programming error, not a recoverable condition) or when the
+    /// requested size overflows byte arithmetic.
+    pub fn alloc_words(&mut self, words: u64) -> u64 {
+        let bytes = words
+            .checked_mul(WORD_BYTES)
+            .expect("allocation size overflows byte arithmetic");
+        let new_next = self
+            .next
+            .checked_add(bytes)
+            .expect("allocation end overflows the 64-bit address space");
+        assert!(
+            new_next <= self.end,
+            "region exhausted: need {bytes} bytes, have {}",
+            self.remaining()
+        );
+        let base = self.next;
+        self.next = new_next;
+        base
+    }
+
+    /// Allocate `words` words starting at the next 64-byte block boundary
+    /// (structures that want block-exclusive fields use this to avoid
+    /// sharing ownership-table entries with neighbours under mask hashing).
+    pub fn alloc_words_block_aligned(&mut self, words: u64) -> u64 {
+        let misalign = self.next % 64;
+        if misalign != 0 {
+            let pad = (64 - misalign) / WORD_BYTES;
+            self.alloc_words(pad);
+        }
+        self.alloc_words(words)
+    }
+
+    /// Allocate a typed cell; returns its handle. The cell's words are
+    /// zero until written (for pointer types that means `None`).
+    pub fn alloc_ref<T: TxLayout>(&mut self) -> TRef<T> {
+        let addr = self.alloc_words(T::WORDS.max(1));
+        TRef::from_raw(self.guard_null(addr, T::WORDS.max(1)))
+    }
+
+    /// Allocate a typed cell on a cache-block boundary (so it owns its
+    /// ownership-table entry under locality-preserving hashes).
+    pub fn alloc_ref_aligned<T: TxLayout>(&mut self) -> TRef<T> {
+        let mut addr = self.alloc_words_block_aligned(T::WORDS.max(1));
+        if addr == 0 {
+            // Address 0 is the null encoding; skip this block for the next
+            // aligned one so the cell stays both non-null *and* aligned.
+            addr = self.alloc_words_block_aligned(T::WORDS.max(1));
+        }
+        TRef::from_raw(addr)
+    }
+
+    /// Carve a transactional pool of `cells` fixed-size `T` cells out of
+    /// this region (block-aligned base). Alloc/free on the returned
+    /// [`TxAlloc`] are transactional — aborted transactions roll their
+    /// allocations back. See the `alloc` module docs for the pool layout.
+    pub fn alloc_pool<T: TxLayout>(&mut self, cells: u64) -> TxAlloc<T> {
+        let words = TxAlloc::<T>::words_for(cells);
+        let base = self.alloc_words_block_aligned(words);
+        TxAlloc::new(base, cells)
+    }
+
+    /// Address 0 encodes the null pointer (`Option<TRef<_>>`), so a typed
+    /// cell at address 0 could never be pointed to. Skip it: the first
+    /// allocation's words are left unused and a fresh cell is carved
+    /// immediately after.
+    fn guard_null(&mut self, addr: u64, words: u64) -> u64 {
+        if addr == 0 {
+            let shifted = self.alloc_words(words);
+            debug_assert_ne!(shifted, 0);
+            return shifted;
+        }
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation() {
+        let mut r = Region::new(0, 1024);
+        assert_eq!(r.alloc_words(4), 0);
+        assert_eq!(r.alloc_words(1), 32);
+        assert_eq!(r.remaining(), 1024 - 40);
+    }
+
+    #[test]
+    fn block_alignment_pads() {
+        let mut r = Region::new(0, 4096);
+        r.alloc_words(1); // next = 8
+        let a = r.alloc_words_block_aligned(2);
+        assert_eq!(a % 64, 0);
+        assert_eq!(a, 64);
+        // Already aligned: no padding.
+        let mut r2 = Region::new(128, 4096);
+        assert_eq!(r2.alloc_words_block_aligned(1), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut r = Region::new(0, 16);
+        r.alloc_words(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_bounds_rejected() {
+        Region::new(3, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn constructor_overflow_rejected() {
+        // Adversarial bounds: start + len wraps u64. Must panic cleanly,
+        // not wrap into a region whose end precedes its start.
+        Region::new(u64::MAX - 7, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn alloc_words_overflow_rejected() {
+        let mut r = Region::new(0, 1024);
+        // words * WORD_BYTES wraps u64: must panic, not alias low addresses.
+        r.alloc_words(u64::MAX / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn alloc_cursor_overflow_rejected() {
+        // A region legally ending at the top of the address space: the
+        // cursor addition itself must be checked too.
+        let start = (u64::MAX / WORD_BYTES) * WORD_BYTES - 64;
+        let mut r = Region::new(start, 64);
+        r.alloc_words(8);
+        r.alloc_words(u64::MAX / WORD_BYTES);
+    }
+
+    #[test]
+    fn typed_refs_never_sit_at_null() {
+        let mut r = Region::new(0, 4096);
+        let first = r.alloc_ref::<u64>();
+        assert_ne!(first.addr(), 0, "address 0 is the null encoding");
+        let second = r.alloc_ref::<(u64, u64)>();
+        assert!(second.addr() >= first.addr() + 8);
+    }
+}

@@ -62,5 +62,7 @@ pub use driver::{
 pub use engine::{EngineKind, EngineStats, TmEngine, TxnOps};
 pub use report::{HarnessReport, RunResult, SCHEMA_VERSION};
 pub use run::{execute, run_matrix, MatrixConfig, RunSpec};
-pub use scenario::{AccessPattern, ReplaySpec, Scenario, ScenarioKind, StructsKind, SyntheticSpec};
+pub use scenario::{
+    AccessPattern, ListKeyMix, ReplaySpec, Scenario, ScenarioKind, StructsKind, SyntheticSpec,
+};
 pub use structs_load::{run_structs, StructsRun, StructsTally};

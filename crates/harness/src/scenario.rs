@@ -8,7 +8,8 @@
 //!   disjoint per-thread partitions). Writes are read-modify-write
 //!   increments, so the final heap checksum is a whole-run isolation
 //!   invariant: `Σ heap = commits × writes_per_txn`.
-//! * **Structs** workloads driving `tm-structs` (counter/map/queue/stack)
+//! * **Structs** workloads driving `tm-structs` (counter/map/queue/stack,
+//!   plus the `list-chase` pointer-chasing family over the dynamic `TList`)
 //!   with linearizability-style conservation checks.
 //! * **Replay** of `tm-traces` JBB-style block streams, chopped into
 //!   fixed-footprint transactions (streams are block-disjoint after true-
@@ -88,6 +89,21 @@ pub enum StructsKind {
     Queue,
     /// Shared `TStack`; invariant: element and value conservation.
     Stack,
+    /// Shared sorted `TList` with transactional node alloc/free — the
+    /// pointer-chasing workload. Invariants: element/value conservation,
+    /// sortedness, and node-pool conservation (no leaked or double-freed
+    /// nodes).
+    List(ListKeyMix),
+}
+
+/// How the `list-chase` workload draws its keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListKeyMix {
+    /// Uniform over the key universe: traversals span the whole list.
+    Uniform,
+    /// Half the operations target a few smallest keys — short, hot
+    /// traversals near the list head contending with long uniform ones.
+    Hotspot,
 }
 
 /// Parameters of a trace-replay workload.
@@ -252,6 +268,25 @@ impl Scenario {
         }
     }
 
+    /// Pointer-chasing over the sorted `TList`, uniform key mix: every
+    /// operation traverses the shared linked structure and may allocate or
+    /// free a node transactionally.
+    pub fn list_chase_uniform() -> Self {
+        Self {
+            name: "list-chase-uniform".into(),
+            kind: ScenarioKind::Structs(StructsKind::List(ListKeyMix::Uniform)),
+        }
+    }
+
+    /// Pointer-chasing over the sorted `TList`, hotspot key mix: half the
+    /// operations hit the few smallest keys near the head.
+    pub fn list_chase_hot() -> Self {
+        Self {
+            name: "list-chase-hot".into(),
+            kind: ScenarioKind::Structs(StructsKind::List(ListKeyMix::Hotspot)),
+        }
+    }
+
     /// JBB-style trace replay (block-disjoint streams, `W = 8` per txn).
     pub fn replay_jbb() -> Self {
         Self {
@@ -276,6 +311,8 @@ impl Scenario {
             Self::map(),
             Self::queue(),
             Self::stack(),
+            Self::list_chase_uniform(),
+            Self::list_chase_hot(),
             Self::replay_jbb(),
         ]
     }

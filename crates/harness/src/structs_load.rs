@@ -21,10 +21,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tm_stm::TmEngine;
-use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
+use tm_structs::{Region, TCounter, TList, TMap, TQueue, TStack};
 
 use crate::driver::{mix_seed, phase_loop, run_phase_threads, warmup_seed, Phase, PhaseResult};
-use crate::scenario::StructsKind;
+use crate::scenario::{ListKeyMix, StructsKind};
 
 /// Keys each thread owns in the map workload.
 const MAP_KEYS_PER_THREAD: u64 = 128;
@@ -34,6 +34,14 @@ const MAP_CAPACITY: u64 = 4096;
 const CONTAINER_CAPACITY: u64 = 1024;
 /// Value range for queue/stack payloads (small, so sums stay far from wrap).
 const VALUE_RANGE: u64 = 1000;
+/// Key universe of the list-chase workload — also the node-pool capacity,
+/// so pool exhaustion is impossible by construction (live nodes ≤ distinct
+/// keys).
+const LIST_KEY_RANGE: u64 = 128;
+/// Hotspot mix: this many smallest keys…
+const LIST_HOT_KEYS: u64 = 16;
+/// …absorb this share of operations.
+const LIST_HOT_PCT: u32 = 50;
 
 /// What one thread committed during a structs phase.
 #[derive(Clone, Debug, Default)]
@@ -124,7 +132,8 @@ pub fn run_structs<E: TmEngine>(
                         match rng.gen_range(0..100u32) {
                             0..=59 => {
                                 let value = rng.gen_range(0..VALUE_RANGE);
-                                map.insert_now(stm, id, key, value);
+                                map.insert_now(stm, id, key, value)
+                                    .expect("map sized with headroom for the workload");
                                 mine.insert(key, Some(value));
                             }
                             60..=84 => {
@@ -175,7 +184,7 @@ pub fn run_structs<E: TmEngine>(
                     phase_loop(stop, budget, |_| {
                         if rng.gen_range(0..100u32) < 55 {
                             let value = rng.gen_range(0..VALUE_RANGE);
-                            if queue.enqueue_now(stm, id, value) {
+                            if queue.enqueue_now(stm, id, value).is_ok() {
                                 tally.in_count += 1;
                                 tally.in_sum = tally.in_sum.wrapping_add(value);
                             }
@@ -210,7 +219,7 @@ pub fn run_structs<E: TmEngine>(
                     phase_loop(stop, budget, |_| {
                         if rng.gen_range(0..100u32) < 55 {
                             let value = rng.gen_range(0..VALUE_RANGE);
-                            if stack.push_now(stm, id, value) {
+                            if stack.push_now(stm, id, value).is_ok() {
                                 tally.in_count += 1;
                                 tally.in_sum = tally.in_sum.wrapping_add(value);
                             }
@@ -230,6 +239,82 @@ pub fn run_structs<E: TmEngine>(
                 stack.len_now(stm, 0),
                 || stack.pop_now(stm, 0),
             );
+            StructsRun {
+                warmup: w,
+                measure: m,
+                violations,
+            }
+        }
+        StructsKind::List(mix) => {
+            let list: TList = TList::create(&mut region, LIST_KEY_RANGE);
+            let phase_fn = |phase: Phase, seed: u64| {
+                run_phase_threads(stm, threads, phase, |id, stop, budget| {
+                    let mut rng = StdRng::seed_from_u64(mix_seed(seed, id));
+                    let mut tally = StructsTally::default();
+                    phase_loop(stop, budget, |_| {
+                        let key = match mix {
+                            ListKeyMix::Uniform => rng.gen_range(0..LIST_KEY_RANGE),
+                            ListKeyMix::Hotspot => {
+                                if rng.gen_range(0..100u32) < LIST_HOT_PCT {
+                                    rng.gen_range(0..LIST_HOT_KEYS)
+                                } else {
+                                    rng.gen_range(0..LIST_KEY_RANGE)
+                                }
+                            }
+                        };
+                        match rng.gen_range(0..100u32) {
+                            0..=39 => {
+                                let inserted = list
+                                    .insert_now(stm, id, key)
+                                    .expect("pool covers the key universe");
+                                if inserted {
+                                    tally.in_count += 1;
+                                    tally.in_sum = tally.in_sum.wrapping_add(key);
+                                }
+                            }
+                            40..=79 => {
+                                if list.remove_now(stm, id, key) {
+                                    tally.out_count += 1;
+                                    tally.out_sum = tally.out_sum.wrapping_add(key);
+                                }
+                            }
+                            _ => {
+                                list.contains_now(stm, id, key);
+                            }
+                        }
+                        tally.committed_txns += 1;
+                    });
+                    tally
+                })
+            };
+            let w = phase_fn(warmup, warmup_seed(seed));
+            let m = phase_fn(measure, seed);
+            // Conservation: what the threads observed going in and out must
+            // match the surviving list exactly — in count, in value sum, in
+            // sorted-set shape, and in node-pool accounting (a leaked or
+            // double-freed node breaks `len + free == capacity`).
+            let (mut in_count, mut in_sum, mut out_count, mut out_sum) = (0u64, 0u64, 0u64, 0u64);
+            for t in w.tallies.iter().chain(&m.tallies) {
+                in_count += t.in_count;
+                in_sum = in_sum.wrapping_add(t.in_sum);
+                out_count += t.out_count;
+                out_sum = out_sum.wrapping_add(t.out_sum);
+            }
+            let snap = list.snapshot_now(stm, 0);
+            let mut violations = 0u64;
+            if !snap.windows(2).all(|w| w[0] < w[1]) {
+                violations += 1; // unsorted or duplicated values
+            }
+            if snap.len() as u64 != in_count.wrapping_sub(out_count) {
+                violations += 1; // element conservation
+            }
+            let snap_sum = snap.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+            if snap_sum != in_sum.wrapping_sub(out_sum) {
+                violations += 1; // value conservation
+            }
+            if snap.len() as u64 + list.free_nodes_now(stm, 0) != list.capacity() {
+                violations += 1; // node leak or double free
+            }
             StructsRun {
                 warmup: w,
                 measure: m,
@@ -324,5 +409,14 @@ mod tests {
     fn stack_conserves_elements_and_values() {
         let r = check(StructsKind::Stack);
         assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn list_chase_conserves_elements_values_and_nodes() {
+        for mix in [ListKeyMix::Uniform, ListKeyMix::Hotspot] {
+            let r = check(StructsKind::List(mix));
+            assert_eq!(r.violations, 0, "{mix:?}");
+            assert_eq!(r.measure.counters.commits, 4 * 120, "{mix:?} fixed budget");
+        }
     }
 }

@@ -24,6 +24,7 @@ fn same_seed_same_counts_every_engine_and_family() {
         Scenario::zipf(),
         Scenario::hotspot(),
         Scenario::counter(),
+        Scenario::list_chase_uniform(),
         Scenario::replay_jbb(),
     ];
     for engine in EngineKind::all() {

@@ -56,6 +56,19 @@ fn every_engine_preserves_structs_linearizability() {
 }
 
 #[test]
+fn every_engine_preserves_list_chase_conservation() {
+    // The pointer-chasing workload with transactional node alloc/free: on
+    // every engine, under real contention, the surviving list must match
+    // the committed insert/remove observations exactly — contents, value
+    // sums, sortedness, and node-pool accounting (no leaked or double-freed
+    // nodes even when splice transactions abort mid-allocation).
+    for engine in EngineKind::all() {
+        smoke(engine, Scenario::list_chase_uniform());
+        smoke(engine, Scenario::list_chase_hot());
+    }
+}
+
+#[test]
 fn disjoint_aborts_are_all_false_conflicts_and_tagged_has_none() {
     // The paper's central contrast, as a harness assertion: on disjoint
     // data the tagged organization cannot conflict at all, while the

@@ -1,38 +1,37 @@
-//! A transactional counter: one word, block-aligned so it owns its
+//! A transactional counter: one typed cell, block-aligned so it owns its
 //! ownership-table entry under locality-preserving hashes.
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, TmEngine, TxnOps};
+use tm_stm::{Aborted, Region, TRef, TmEngine, TxnOps};
 
-use crate::region::Region;
-
-/// A shared counter living at a fixed heap address.
+/// A shared counter living in one typed heap cell.
 #[derive(Clone, Copy, Debug)]
 pub struct TCounter {
-    addr: u64,
+    cell: TRef<u64>,
 }
 
 impl TCounter {
     /// Allocate a counter in `region` (block-aligned, initial value 0).
     pub fn create(region: &mut Region) -> Self {
         Self {
-            addr: region.alloc_words_block_aligned(1),
+            cell: region.alloc_ref_aligned(),
         }
     }
 
-    /// The heap address (for diagnostics).
-    pub fn addr(&self) -> u64 {
-        self.addr
+    /// The underlying typed cell (diagnostics, composition with `TRef`
+    /// code).
+    pub fn cell(&self) -> TRef<u64> {
+        self.cell
     }
 
     /// Add `delta` inside an enclosing transaction; returns the new value.
     pub fn add<O: TxnOps + ?Sized>(&self, txn: &mut O, delta: u64) -> Result<u64, Aborted> {
-        txn.update_add(self.addr, delta)
+        txn.update_add(self.cell.addr(), delta)
     }
 
     /// Read inside an enclosing transaction.
     pub fn read<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
-        txn.read(self.addr)
+        self.cell.get(txn)
     }
 
     /// Auto-committing increment.
@@ -42,7 +41,7 @@ impl TCounter {
 
     /// Auto-committing read.
     pub fn get<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
-        stm.run(me, |txn| self.read(txn))
+        self.cell.get_now(stm, me)
     }
 }
 
@@ -77,7 +76,11 @@ mod tests {
         let mut r = Region::new(0, 8192);
         let a = TCounter::create(&mut r);
         let b = TCounter::create(&mut r);
-        assert_ne!(a.addr() / 64, b.addr() / 64, "distinct cache blocks");
+        assert_ne!(
+            a.cell().addr() / 64,
+            b.cell().addr() / 64,
+            "distinct cache blocks"
+        );
     }
 
     #[test]

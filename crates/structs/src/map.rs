@@ -1,32 +1,52 @@
-//! A fixed-capacity transactional hash map with open addressing.
+//! A fixed-capacity transactional hash map with open addressing and typed
+//! values.
 //!
-//! Layout: `2 × capacity` words — `capacity` key slots followed by
-//! `capacity` value slots. Key 0 is reserved as the empty marker (callers
-//! store keys ≥ 1; a thin shift at the API boundary handles 0 if needed).
-//! Linear probing; deletions use backward-shift to keep probe chains intact
-//! (no tombstones, so lookups stay O(cluster) forever).
+//! Layout: `capacity` one-word key slots followed by `capacity` value
+//! slots of `V::WORDS` words each. Key 0 is reserved as the empty marker
+//! (callers store keys ≥ 1; a thin shift at the API boundary handles 0 if
+//! needed). Linear probing; deletions use backward-shift to keep probe
+//! chains intact (no tombstones, so lookups stay O(cluster) forever).
 //!
 //! Every operation is a single transaction (or composes into a caller's),
 //! so concurrent inserts to the *same cluster* serialize through ownership
 //! of the probed blocks — a realistic picture of what word-granular STM
 //! metadata costs for pointerless structures.
 
-use tm_ownership::ThreadId;
-use tm_stm::{Aborted, TmEngine, TxnOps};
+use std::marker::PhantomData;
 
-use crate::region::Region;
+use tm_ownership::ThreadId;
+use tm_stm::{
+    Aborted, CapacityError, Region, TRef, TmEngine, TxLayout, TxResult, TxnOps, WORD_BYTES,
+};
 
 const EMPTY: u64 = 0;
 
-/// A fixed-capacity open-addressing hash map in the STM heap.
-#[derive(Clone, Copy, Debug)]
-pub struct TMap {
-    keys_base: u64,
-    vals_base: u64,
+/// A fixed-capacity open-addressing hash map from `u64` keys to `V` values
+/// in the STM heap.
+pub struct TMap<V = u64> {
+    keys: u64,
+    vals: u64,
     capacity: u64,
+    _marker: PhantomData<fn() -> V>,
 }
 
-impl TMap {
+// Manual impl: the handle is an address bundle — no `V: Debug` bound.
+impl<V> std::fmt::Debug for TMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TMap")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<V> Clone for TMap<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for TMap<V> {}
+
+impl<V: TxLayout> TMap<V> {
     /// Allocate a map with `capacity` slots (power of two) in `region`.
     ///
     /// # Panics
@@ -36,12 +56,17 @@ impl TMap {
             capacity.is_power_of_two(),
             "capacity must be a power of two"
         );
-        let keys_base = region.alloc_words_block_aligned(capacity);
-        let vals_base = region.alloc_words_block_aligned(capacity);
+        let keys = region.alloc_words_block_aligned(capacity);
+        let vals = region.alloc_words_block_aligned(
+            capacity
+                .checked_mul(V::WORDS)
+                .expect("map size overflows word arithmetic"),
+        );
         Self {
-            keys_base,
-            vals_base,
+            keys,
+            vals,
             capacity,
+            _marker: PhantomData,
         }
     }
 
@@ -58,66 +83,53 @@ impl TMap {
     }
 
     #[inline]
-    fn key_addr(&self, slot: u64) -> u64 {
-        self.keys_base + slot * 8
+    fn key_slot(&self, slot: u64) -> TRef<u64> {
+        TRef::from_raw(self.keys + slot * WORD_BYTES)
     }
 
     #[inline]
-    fn val_addr(&self, slot: u64) -> u64 {
-        self.vals_base + slot * 8
+    fn val_slot(&self, slot: u64) -> TRef<V> {
+        TRef::from_raw(self.vals + slot * V::WORDS * WORD_BYTES)
     }
 
-    /// Insert or update inside a transaction; returns the previous value,
-    /// or `Err(Aborted)` never for capacity — a full map returns `Ok(None)`
-    /// *without inserting* and `inserted = false` via [`TMap::try_insert`].
+    /// Insert or update inside a transaction; returns the previous value.
+    /// A full map (probe wrapped all the way around) stores nothing and
+    /// returns `Err(CapacityError)` (inner) — see the crate docs for the
+    /// outcome idiom.
     pub fn insert<O: TxnOps + ?Sized>(
         &self,
         txn: &mut O,
         key: u64,
-        value: u64,
-    ) -> Result<Option<u64>, Aborted> {
-        self.try_insert(txn, key, value).map(|(prev, inserted)| {
-            assert!(inserted, "TMap full: size the capacity for the workload");
-            prev
-        })
-    }
-
-    /// Insert or update; `(previous value, whether stored)`. A full map
-    /// (probe wrapped all the way around) stores nothing.
-    pub fn try_insert<O: TxnOps + ?Sized>(
-        &self,
-        txn: &mut O,
-        key: u64,
-        value: u64,
-    ) -> Result<(Option<u64>, bool), Aborted> {
+        value: V,
+    ) -> TxResult<Option<V>> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
         let start = self.slot_of(key);
         for i in 0..self.capacity {
             let slot = (start + i) % self.capacity;
-            let k = txn.read(self.key_addr(slot))?;
+            let k = self.key_slot(slot).get(txn)?;
             if k == key {
-                let prev = txn.read(self.val_addr(slot))?;
-                txn.write(self.val_addr(slot), value)?;
-                return Ok((Some(prev), true));
+                let prev = self.val_slot(slot).get(txn)?;
+                self.val_slot(slot).set(txn, value)?;
+                return Ok(Ok(Some(prev)));
             }
             if k == EMPTY {
-                txn.write(self.key_addr(slot), key)?;
-                txn.write(self.val_addr(slot), value)?;
-                return Ok((None, true));
+                self.key_slot(slot).set(txn, key)?;
+                self.val_slot(slot).set(txn, value)?;
+                return Ok(Ok(None));
             }
         }
-        Ok((None, false))
+        Ok(Err(CapacityError))
     }
 
     /// Look up inside a transaction.
-    pub fn get<O: TxnOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<u64>, Aborted> {
+    pub fn get<O: TxnOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<V>, Aborted> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
         let start = self.slot_of(key);
         for i in 0..self.capacity {
             let slot = (start + i) % self.capacity;
-            let k = txn.read(self.key_addr(slot))?;
+            let k = self.key_slot(slot).get(txn)?;
             if k == key {
-                return Ok(Some(txn.read(self.val_addr(slot))?));
+                return Ok(Some(self.val_slot(slot).get(txn)?));
             }
             if k == EMPTY {
                 return Ok(None);
@@ -128,17 +140,13 @@ impl TMap {
 
     /// Remove inside a transaction; returns the removed value. Uses
     /// backward-shift deletion to preserve probe invariants.
-    pub fn remove<O: TxnOps + ?Sized>(
-        &self,
-        txn: &mut O,
-        key: u64,
-    ) -> Result<Option<u64>, Aborted> {
+    pub fn remove<O: TxnOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<V>, Aborted> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
         let start = self.slot_of(key);
         let mut slot = None;
         for i in 0..self.capacity {
             let s = (start + i) % self.capacity;
-            let k = txn.read(self.key_addr(s))?;
+            let k = self.key_slot(s).get(txn)?;
             if k == key {
                 slot = Some(s);
                 break;
@@ -150,12 +158,12 @@ impl TMap {
         let Some(mut hole) = slot else {
             return Ok(None);
         };
-        let removed = txn.read(self.val_addr(hole))?;
+        let removed = self.val_slot(hole).get(txn)?;
         // Backward-shift: walk the cluster, pulling back entries whose home
         // slot is at or before the hole.
         let mut probe = (hole + 1) % self.capacity;
         loop {
-            let k = txn.read(self.key_addr(probe))?;
+            let k = self.key_slot(probe).get(txn)?;
             if k == EMPTY {
                 break;
             }
@@ -168,36 +176,38 @@ impl TMap {
                 home <= hole || hole < probe
             };
             if between {
-                let v = txn.read(self.val_addr(probe))?;
-                txn.write(self.key_addr(hole), k)?;
-                txn.write(self.val_addr(hole), v)?;
+                let v = self.val_slot(probe).get(txn)?;
+                self.key_slot(hole).set(txn, k)?;
+                self.val_slot(hole).set(txn, v)?;
                 hole = probe;
             }
             probe = (probe + 1) % self.capacity;
         }
-        txn.write(self.key_addr(hole), EMPTY)?;
-        txn.write(self.val_addr(hole), 0)?;
+        self.key_slot(hole).set(txn, EMPTY)?;
         Ok(Some(removed))
     }
 
-    /// Auto-committing insert.
+    /// Auto-committing insert; returns the previous value.
     pub fn insert_now<E: TmEngine>(
         &self,
         stm: &E,
         me: ThreadId,
         key: u64,
-        value: u64,
-    ) -> Option<u64> {
-        stm.run(me, |txn| self.insert(txn, key, value))
+        value: V,
+    ) -> Result<Option<V>, CapacityError>
+    where
+        V: Clone,
+    {
+        stm.run(me, |txn| self.insert(txn, key, value.clone()))
     }
 
     /// Auto-committing lookup.
-    pub fn get_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<u64> {
+    pub fn get_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<V> {
         stm.run(me, |txn| self.get(txn, key))
     }
 
     /// Auto-committing removal.
-    pub fn remove_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<u64> {
+    pub fn remove_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<V> {
         stm.run(me, |txn| self.remove(txn, key))
     }
 }
@@ -217,9 +227,9 @@ mod tests {
     #[test]
     fn insert_get_remove_round_trip() {
         let (stm, m) = setup(64);
-        assert_eq!(m.insert_now(&stm, 0, 7, 70), None);
+        assert_eq!(m.insert_now(&stm, 0, 7, 70), Ok(None));
         assert_eq!(m.get_now(&stm, 0, 7), Some(70));
-        assert_eq!(m.insert_now(&stm, 0, 7, 71), Some(70));
+        assert_eq!(m.insert_now(&stm, 0, 7, 71), Ok(Some(70)));
         assert_eq!(m.get_now(&stm, 0, 7), Some(71));
         assert_eq!(m.remove_now(&stm, 0, 7), Some(71));
         assert_eq!(m.get_now(&stm, 0, 7), None);
@@ -231,7 +241,7 @@ mod tests {
         // Insert more keys than any one cluster can avoid overlapping.
         let (stm, m) = setup(64);
         for k in 1..=48u64 {
-            assert_eq!(m.insert_now(&stm, 0, k, k * 10), None);
+            assert_eq!(m.insert_now(&stm, 0, k, k * 10), Ok(None));
         }
         for k in 1..=48u64 {
             assert_eq!(m.get_now(&stm, 0, k), Some(k * 10), "key {k}");
@@ -248,36 +258,49 @@ mod tests {
     }
 
     #[test]
-    fn try_insert_reports_full() {
+    fn insert_reports_full() {
         let (stm, m) = setup(4);
         stm.run(0, |txn| {
             for k in 1..=4u64 {
-                assert_eq!(m.try_insert(txn, k, k)?, (None, true));
+                assert_eq!(m.insert(txn, k, k)?, Ok(None));
             }
-            assert_eq!(m.try_insert(txn, 99, 1)?, (None, false));
+            assert_eq!(m.insert(txn, 99, 1)?, Err(CapacityError));
             Ok(())
         });
+        // The full-map probe committed without storing anything.
+        assert_eq!(m.get_now(&stm, 0, 99), None);
+    }
+
+    #[test]
+    fn typed_values_round_trip() {
+        let stm = tagged_stm(1 << 15, 4096);
+        let mut r = Region::new(0, 1 << 17);
+        let m: TMap<(u64, bool)> = TMap::create(&mut r, 16);
+        assert_eq!(m.insert_now(&stm, 0, 3, (30, true)), Ok(None));
+        assert_eq!(m.get_now(&stm, 0, 3), Some((30, true)));
+        assert_eq!(m.remove_now(&stm, 0, 3), Some((30, true)));
+        assert_eq!(m.get_now(&stm, 0, 3), None);
     }
 
     #[test]
     #[should_panic(expected = "reserved")]
     fn key_zero_rejected() {
         let (stm, m) = setup(8);
-        m.insert_now(&stm, 0, 0, 1);
+        let _ = m.insert_now(&stm, 0, 0, 1);
     }
 
     #[test]
     fn concurrent_disjoint_key_ranges() {
         let stm = std::sync::Arc::new(tagged_stm(1 << 15, 4096));
         let mut r = Region::new(0, 1 << 17);
-        let m = TMap::create(&mut r, 1024);
+        let m: TMap = TMap::create(&mut r, 1024);
         crossbeam::scope(|s| {
             for id in 0..4u32 {
                 let stm = &stm;
                 s.spawn(move |_| {
                     for i in 0..100u64 {
                         let k = 1 + (id as u64) * 1000 + i;
-                        m.insert_now(stm, id, k, k ^ 0xABCD);
+                        m.insert_now(stm, id, k, k ^ 0xABCD).expect("headroom");
                     }
                 });
             }
@@ -304,7 +327,10 @@ mod tests {
             match rng.gen_range(0..3) {
                 0 => {
                     let v = rng.gen::<u32>() as u64;
-                    assert_eq!(m.insert_now(&stm, 0, key, v), reference.insert(key, v));
+                    assert_eq!(
+                        m.insert_now(&stm, 0, key, v).expect("headroom"),
+                        reference.insert(key, v)
+                    );
                 }
                 1 => assert_eq!(m.get_now(&stm, 0, key), reference.get(&key).copied()),
                 _ => assert_eq!(m.remove_now(&stm, 0, key), reference.remove(&key)),

@@ -1,26 +1,62 @@
-//! A bounded transactional FIFO ring: `[head, tail, slot0 … slotN-1]`.
+//! A bounded transactional FIFO ring of typed elements:
+//! `[head, tail, slot0 … slotN-1]`.
 //!
 //! `head`/`tail` are monotonically increasing counters; the occupied range
-//! is `[head, tail)` and slots are indexed modulo the capacity.
+//! is `[head, tail)` and slots are indexed modulo the capacity. Elements
+//! are any [`TxLayout`] type — multi-word values occupy consecutive words
+//! per slot and are read/written atomically within the transaction.
+
+use std::marker::PhantomData;
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, TmEngine, TxnOps};
+use tm_stm::{
+    Aborted, CapacityError, Region, TRef, TmEngine, TxLayout, TxResult, TxnOps, WORD_BYTES,
+};
 
-use crate::region::Region;
-
-/// A fixed-capacity FIFO queue of words in the STM heap.
-#[derive(Clone, Copy, Debug)]
-pub struct TQueue {
-    base: u64,
+/// A fixed-capacity FIFO queue of `T` values in the STM heap.
+pub struct TQueue<T = u64> {
+    head: TRef<u64>,
+    tail: TRef<u64>,
+    slots: u64,
     capacity: u64,
+    _marker: PhantomData<fn() -> T>,
 }
 
-impl TQueue {
+// Manual impl: the handle is an address bundle — no `T: Debug` bound.
+impl<T> std::fmt::Debug for TQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TQueue")
+            .field("slots", &self.slots)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<T> Clone for TQueue<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TQueue<T> {}
+
+impl<T: TxLayout> TQueue<T> {
+    const STRIDE: u64 = T::WORDS * WORD_BYTES;
+
     /// Allocate a queue of `capacity` elements in `region`.
     pub fn create(region: &mut Region, capacity: u64) -> Self {
         assert!(capacity >= 1, "need capacity");
-        let base = region.alloc_words_block_aligned(capacity + 2);
-        Self { base, capacity }
+        let words = capacity
+            .checked_mul(T::WORDS)
+            .and_then(|w| w.checked_add(2))
+            .expect("queue size overflows word arithmetic");
+        let base = region.alloc_words_block_aligned(words);
+        Self {
+            head: TRef::from_raw(base),
+            tail: TRef::from_raw(base + WORD_BYTES),
+            slots: base + 2 * WORD_BYTES,
+            capacity,
+            _marker: PhantomData,
+        }
     }
 
     /// Maximum elements.
@@ -28,56 +64,57 @@ impl TQueue {
         self.capacity
     }
 
-    fn head_addr(&self) -> u64 {
-        self.base
-    }
-
-    fn tail_addr(&self) -> u64 {
-        self.base + 8
-    }
-
-    fn slot_addr(&self, logical: u64) -> u64 {
-        self.base + 16 + (logical % self.capacity) * 8
+    fn slot(&self, logical: u64) -> TRef<T> {
+        TRef::from_raw(self.slots + (logical % self.capacity) * Self::STRIDE)
     }
 
     /// Elements currently queued, inside a transaction.
     pub fn len<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
-        let head = txn.read(self.head_addr())?;
-        let tail = txn.read(self.tail_addr())?;
+        let head = self.head.get(txn)?;
+        let tail = self.tail.get(txn)?;
         Ok(tail - head)
     }
 
-    /// Enqueue inside a transaction; returns `false` when full.
-    pub fn enqueue<O: TxnOps + ?Sized>(&self, txn: &mut O, value: u64) -> Result<bool, Aborted> {
-        let head = txn.read(self.head_addr())?;
-        let tail = txn.read(self.tail_addr())?;
+    /// Enqueue inside a transaction; `Err(CapacityError)` (inner) when
+    /// full. See the crate docs for the outcome idiom.
+    pub fn enqueue<O: TxnOps + ?Sized>(&self, txn: &mut O, value: T) -> TxResult<()> {
+        let head = self.head.get(txn)?;
+        let tail = self.tail.get(txn)?;
         if tail - head == self.capacity {
-            return Ok(false);
+            return Ok(Err(CapacityError));
         }
-        txn.write(self.slot_addr(tail), value)?;
-        txn.write(self.tail_addr(), tail + 1)?;
-        Ok(true)
+        self.slot(tail).set(txn, value)?;
+        self.tail.set(txn, tail + 1)?;
+        Ok(Ok(()))
     }
 
     /// Dequeue inside a transaction; `None` when empty.
-    pub fn dequeue<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<u64>, Aborted> {
-        let head = txn.read(self.head_addr())?;
-        let tail = txn.read(self.tail_addr())?;
+    pub fn dequeue<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<T>, Aborted> {
+        let head = self.head.get(txn)?;
+        let tail = self.tail.get(txn)?;
         if head == tail {
             return Ok(None);
         }
-        let v = txn.read(self.slot_addr(head))?;
-        txn.write(self.head_addr(), head + 1)?;
+        let v = self.slot(head).get(txn)?;
+        self.head.set(txn, head + 1)?;
         Ok(Some(v))
     }
 
     /// Auto-committing enqueue.
-    pub fn enqueue_now<E: TmEngine>(&self, stm: &E, me: ThreadId, value: u64) -> bool {
-        stm.run(me, |txn| self.enqueue(txn, value))
+    pub fn enqueue_now<E: TmEngine>(
+        &self,
+        stm: &E,
+        me: ThreadId,
+        value: T,
+    ) -> Result<(), CapacityError>
+    where
+        T: Clone,
+    {
+        stm.run(me, |txn| self.enqueue(txn, value.clone()))
     }
 
     /// Auto-committing dequeue.
-    pub fn dequeue_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<u64> {
+    pub fn dequeue_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<T> {
         stm.run(me, |txn| self.dequeue(txn))
     }
 
@@ -103,7 +140,7 @@ mod tests {
     fn fifo_order() {
         let (stm, q) = setup(8);
         for i in 1..=5 {
-            assert!(q.enqueue_now(&stm, 0, i));
+            assert!(q.enqueue_now(&stm, 0, i).is_ok());
         }
         for i in 1..=5 {
             assert_eq!(q.dequeue_now(&stm, 0), Some(i));
@@ -115,8 +152,8 @@ mod tests {
     fn wraps_around_ring() {
         let (stm, q) = setup(4);
         for round in 0..10u64 {
-            assert!(q.enqueue_now(&stm, 0, round * 2));
-            assert!(q.enqueue_now(&stm, 0, round * 2 + 1));
+            assert!(q.enqueue_now(&stm, 0, round * 2).is_ok());
+            assert!(q.enqueue_now(&stm, 0, round * 2 + 1).is_ok());
             assert_eq!(q.dequeue_now(&stm, 0), Some(round * 2));
             assert_eq!(q.dequeue_now(&stm, 0), Some(round * 2 + 1));
         }
@@ -125,18 +162,38 @@ mod tests {
     #[test]
     fn full_queue_rejects() {
         let (stm, q) = setup(2);
-        assert!(q.enqueue_now(&stm, 0, 1));
-        assert!(q.enqueue_now(&stm, 0, 2));
-        assert!(!q.enqueue_now(&stm, 0, 3));
+        assert!(q.enqueue_now(&stm, 0, 1).is_ok());
+        assert!(q.enqueue_now(&stm, 0, 2).is_ok());
+        assert_eq!(q.enqueue_now(&stm, 0, 3), Err(CapacityError));
         assert_eq!(q.dequeue_now(&stm, 0), Some(1));
-        assert!(q.enqueue_now(&stm, 0, 3));
+        assert!(q.enqueue_now(&stm, 0, 3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn adversarial_capacity_rejected() {
+        // capacity * WORDS + header must not wrap into a tiny allocation.
+        let mut r = Region::new(0, 1 << 16);
+        let _: TQueue = TQueue::create(&mut r, u64::MAX - 1);
+    }
+
+    #[test]
+    fn multi_word_elements_round_trip() {
+        // A queue of (id, flag) records: 2-word slots, read back intact.
+        let stm = tagged_stm(1 << 14, 1024);
+        let mut r = Region::new(0, 1 << 16);
+        let q: TQueue<(u64, bool)> = TQueue::create(&mut r, 4);
+        assert!(q.enqueue_now(&stm, 0, (7, true)).is_ok());
+        assert!(q.enqueue_now(&stm, 0, (8, false)).is_ok());
+        assert_eq!(q.dequeue_now(&stm, 0), Some((7, true)));
+        assert_eq!(q.dequeue_now(&stm, 0), Some((8, false)));
     }
 
     #[test]
     fn producer_consumer_delivers_everything_in_order_per_producer() {
         let stm = std::sync::Arc::new(tagged_stm(1 << 14, 4096));
         let mut r = Region::new(0, 1 << 16);
-        let q = TQueue::create(&mut r, 1024);
+        let q: TQueue = TQueue::create(&mut r, 1024);
         let n = 400u64;
         let received = std::sync::Mutex::new(Vec::new());
         crossbeam::scope(|sc| {
@@ -146,7 +203,7 @@ mod tests {
                 sc.spawn(move |_| {
                     for i in 0..n {
                         let v = ((id as u64) << 32) | i;
-                        while !q.enqueue_now(stm, id, v) {
+                        while q.enqueue_now(stm, id, v).is_err() {
                             std::thread::yield_now();
                         }
                     }

@@ -1,23 +1,54 @@
-//! A bounded transactional stack: `[top, slot0, slot1, …]`.
+//! A bounded transactional stack of typed elements: `[top, slot0, slot1, …]`.
+
+use std::marker::PhantomData;
 
 use tm_ownership::ThreadId;
-use tm_stm::{Aborted, TmEngine, TxnOps};
+use tm_stm::{
+    Aborted, CapacityError, Region, TRef, TmEngine, TxLayout, TxResult, TxnOps, WORD_BYTES,
+};
 
-use crate::region::Region;
-
-/// A fixed-capacity LIFO stack of words in the STM heap.
-#[derive(Clone, Copy, Debug)]
-pub struct TStack {
-    base: u64,
+/// A fixed-capacity LIFO stack of `T` values in the STM heap.
+pub struct TStack<T = u64> {
+    top: TRef<u64>,
+    slots: u64,
     capacity: u64,
+    _marker: PhantomData<fn() -> T>,
 }
 
-impl TStack {
+// Manual impl: the handle is an address bundle — no `T: Debug` bound.
+impl<T> std::fmt::Debug for TStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TStack")
+            .field("slots", &self.slots)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<T> Clone for TStack<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TStack<T> {}
+
+impl<T: TxLayout> TStack<T> {
+    const STRIDE: u64 = T::WORDS * WORD_BYTES;
+
     /// Allocate a stack of `capacity` elements in `region`.
     pub fn create(region: &mut Region, capacity: u64) -> Self {
         assert!(capacity >= 1, "need capacity");
-        let base = region.alloc_words_block_aligned(capacity + 1);
-        Self { base, capacity }
+        let words = capacity
+            .checked_mul(T::WORDS)
+            .and_then(|w| w.checked_add(1))
+            .expect("stack size overflows word arithmetic");
+        let base = region.alloc_words_block_aligned(words);
+        Self {
+            top: TRef::from_raw(base),
+            slots: base + WORD_BYTES,
+            capacity,
+            _marker: PhantomData,
+        }
     }
 
     /// Maximum elements.
@@ -25,48 +56,53 @@ impl TStack {
         self.capacity
     }
 
-    fn top_addr(&self) -> u64 {
-        self.base
-    }
-
-    fn slot_addr(&self, i: u64) -> u64 {
-        self.base + (1 + i) * 8
+    fn slot(&self, i: u64) -> TRef<T> {
+        TRef::from_raw(self.slots + i * Self::STRIDE)
     }
 
     /// Current length, inside a transaction.
     pub fn len<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
-        txn.read(self.top_addr())
+        self.top.get(txn)
     }
 
-    /// Push inside a transaction; returns `false` when full.
-    pub fn push<O: TxnOps + ?Sized>(&self, txn: &mut O, value: u64) -> Result<bool, Aborted> {
-        let top = txn.read(self.top_addr())?;
+    /// Push inside a transaction; `Err(CapacityError)` (inner) when full.
+    /// See the crate docs for the outcome idiom.
+    pub fn push<O: TxnOps + ?Sized>(&self, txn: &mut O, value: T) -> TxResult<()> {
+        let top = self.top.get(txn)?;
         if top == self.capacity {
-            return Ok(false);
+            return Ok(Err(CapacityError));
         }
-        txn.write(self.slot_addr(top), value)?;
-        txn.write(self.top_addr(), top + 1)?;
-        Ok(true)
+        self.slot(top).set(txn, value)?;
+        self.top.set(txn, top + 1)?;
+        Ok(Ok(()))
     }
 
     /// Pop inside a transaction; `None` when empty.
-    pub fn pop<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<u64>, Aborted> {
-        let top = txn.read(self.top_addr())?;
+    pub fn pop<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Option<T>, Aborted> {
+        let top = self.top.get(txn)?;
         if top == 0 {
             return Ok(None);
         }
-        let v = txn.read(self.slot_addr(top - 1))?;
-        txn.write(self.top_addr(), top - 1)?;
+        let v = self.slot(top - 1).get(txn)?;
+        self.top.set(txn, top - 1)?;
         Ok(Some(v))
     }
 
     /// Auto-committing push.
-    pub fn push_now<E: TmEngine>(&self, stm: &E, me: ThreadId, value: u64) -> bool {
-        stm.run(me, |txn| self.push(txn, value))
+    pub fn push_now<E: TmEngine>(
+        &self,
+        stm: &E,
+        me: ThreadId,
+        value: T,
+    ) -> Result<(), CapacityError>
+    where
+        T: Clone,
+    {
+        stm.run(me, |txn| self.push(txn, value.clone()))
     }
 
     /// Auto-committing pop.
-    pub fn pop_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<u64> {
+    pub fn pop_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> Option<T> {
         stm.run(me, |txn| self.pop(txn))
     }
 
@@ -91,9 +127,9 @@ mod tests {
     #[test]
     fn lifo_order() {
         let (stm, s) = setup();
-        assert!(s.push_now(&stm, 0, 1));
-        assert!(s.push_now(&stm, 0, 2));
-        assert!(s.push_now(&stm, 0, 3));
+        assert!(s.push_now(&stm, 0, 1).is_ok());
+        assert!(s.push_now(&stm, 0, 2).is_ok());
+        assert!(s.push_now(&stm, 0, 3).is_ok());
         assert_eq!(s.pop_now(&stm, 0), Some(3));
         assert_eq!(s.pop_now(&stm, 0), Some(2));
         assert_eq!(s.pop_now(&stm, 0), Some(1));
@@ -104,20 +140,42 @@ mod tests {
     fn capacity_respected() {
         let (stm, s) = setup();
         for i in 0..16 {
-            assert!(s.push_now(&stm, 0, i));
+            assert!(s.push_now(&stm, 0, i).is_ok());
         }
-        assert!(!s.push_now(&stm, 0, 99), "17th push must report full");
+        assert_eq!(
+            s.push_now(&stm, 0, 99),
+            Err(CapacityError),
+            "17th push must report full"
+        );
         assert_eq!(s.pop_now(&stm, 0), Some(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn adversarial_capacity_rejected() {
+        let mut r = Region::new(0, 1 << 16);
+        let _: TStack = TStack::create(&mut r, u64::MAX);
+    }
+
+    #[test]
+    fn typed_records_push_pop() {
+        let stm = tagged_stm(4096, 1024);
+        let mut r = Region::new(0, 1 << 15);
+        let s: TStack<(u64, i64)> = TStack::create(&mut r, 4);
+        assert!(s.push_now(&stm, 0, (1, -1)).is_ok());
+        assert!(s.push_now(&stm, 0, (2, -2)).is_ok());
+        assert_eq!(s.pop_now(&stm, 0), Some((2, -2)));
+        assert_eq!(s.pop_now(&stm, 0), Some((1, -1)));
     }
 
     #[test]
     fn concurrent_push_pop_conserves_elements() {
         let stm = std::sync::Arc::new(tagged_stm(1 << 14, 4096));
         let mut r = Region::new(0, 1 << 16);
-        let s = TStack::create(&mut r, 4096);
+        let s: TStack = TStack::create(&mut r, 4096);
         // Pre-fill with 1000 tokens of value 1.
         for _ in 0..1000 {
-            assert!(s.push_now(&stm, 0, 1));
+            assert!(s.push_now(&stm, 0, 1).is_ok());
         }
         use std::sync::atomic::{AtomicU64, Ordering};
         let popped = AtomicU64::new(0);
@@ -131,7 +189,7 @@ mod tests {
                                 popped.fetch_add(1, Ordering::Relaxed);
                             }
                         } else {
-                            s.push_now(stm, id, 1);
+                            s.push_now(stm, id, 1).expect("stack has headroom");
                         }
                     }
                 });

@@ -7,20 +7,29 @@
 //! This is the property the unified transaction API exists to guarantee:
 //! the engine (protocol + table organization) changes *performance*, never
 //! *semantics*. Sequences are single-threaded so the serial spec is exact.
+//!
+//! The typed rewrite adds the dynamic structure: `TList` operations —
+//! including **abort-poisoned** variants whose first attempt performs the
+//! transactional node alloc/free and then aborts — must leave identical
+//! lists and a leak-free node pool (`len + free == capacity`) on every
+//! engine.
 
 use proptest::prelude::*;
 
 use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
-use tm_stm::{StmBuilder, TmEngine};
-use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
+use tm_stm::{StmBuilder, TmEngine, TxnOps};
+use tm_structs::{Region, TCounter, TList, TMap, TQueue, TStack};
 
 const HEAP_WORDS: usize = 1 << 14;
 const REGION_BYTES: u64 = (HEAP_WORDS as u64) * 8;
 const MAP_CAPACITY: u64 = 64;
 const CONTAINER_CAPACITY: u64 = 16;
+/// Deliberately smaller than `KEY_RANGE`: list capacity errors are
+/// reachable, and their placement must agree across engines.
+const LIST_CAPACITY: u64 = 12;
 const KEY_RANGE: u64 = 24;
 
-/// One operation against the four-structure universe.
+/// One operation against the five-structure universe.
 #[derive(Clone, Copy, Debug)]
 enum Op {
     CounterAdd(u64),
@@ -34,6 +43,15 @@ enum Op {
     StackPush(u64),
     StackPop,
     StackLen,
+    ListInsert(u64),
+    ListRemove(u64),
+    ListContains(u64),
+    /// First attempt inserts then aborts (rolling the node allocation
+    /// back); second attempt inserts for real.
+    ListInsertPoisoned(u64),
+    /// First attempt removes then aborts (rolling the node free back);
+    /// second attempt removes for real.
+    ListRemovePoisoned(u64),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -49,14 +67,24 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u64..1000).prop_map(Op::StackPush),
         Just(Op::StackPop),
         Just(Op::StackLen),
+        (0u64..KEY_RANGE).prop_map(Op::ListInsert),
+        (0u64..KEY_RANGE).prop_map(Op::ListRemove),
+        (0u64..KEY_RANGE).prop_map(Op::ListContains),
+        (0u64..KEY_RANGE).prop_map(Op::ListInsertPoisoned),
+        (0u64..KEY_RANGE).prop_map(Op::ListRemovePoisoned),
     ]
 }
 
 /// The observable outcome of one op (unified across op kinds).
 type Observed = Option<u64>;
 
+/// List-insert outcomes folded into one word.
+const LIST_INSERTED: u64 = 1;
+const LIST_DUPLICATE: u64 = 0;
+const LIST_FULL: u64 = 2;
+
 /// Everything an engine run exposes: per-op observations plus the drained
-/// final contents of every structure.
+/// final contents of every structure and the list's node-pool audit.
 #[derive(Debug, PartialEq, Eq)]
 struct Trace {
     observations: Vec<Observed>,
@@ -64,6 +92,8 @@ struct Trace {
     final_map: Vec<(u64, u64)>,
     drained_queue: Vec<u64>,
     drained_stack: Vec<u64>,
+    final_list: Vec<u64>,
+    list_free_nodes: u64,
     commits: u64,
 }
 
@@ -72,24 +102,60 @@ struct Trace {
 fn drive<E: TmEngine>(engine: &E, ops: &[Op]) -> Trace {
     let mut region = Region::new(0, REGION_BYTES);
     let counter = TCounter::create(&mut region);
-    let map = TMap::create(&mut region, MAP_CAPACITY);
-    let queue = TQueue::create(&mut region, CONTAINER_CAPACITY);
-    let stack = TStack::create(&mut region, CONTAINER_CAPACITY);
+    let map: TMap = TMap::create(&mut region, MAP_CAPACITY);
+    let queue: TQueue = TQueue::create(&mut region, CONTAINER_CAPACITY);
+    let stack: TStack = TStack::create(&mut region, CONTAINER_CAPACITY);
+    let list: TList = TList::create(&mut region, LIST_CAPACITY);
+
+    let list_insert_word = |r: Result<bool, tm_structs::CapacityError>| match r {
+        Ok(true) => LIST_INSERTED,
+        Ok(false) => LIST_DUPLICATE,
+        Err(_) => LIST_FULL,
+    };
 
     let observations = ops
         .iter()
         .map(|op| match *op {
             Op::CounterAdd(d) => Some(counter.add_now(engine, 0, d)),
             Op::CounterRead => Some(counter.get(engine, 0)),
-            Op::MapInsert(k, v) => map.insert_now(engine, 0, k, v),
+            Op::MapInsert(k, v) => map.insert_now(engine, 0, k, v).expect("map headroom"),
             Op::MapGet(k) => map.get_now(engine, 0, k),
             Op::MapRemove(k) => map.remove_now(engine, 0, k),
-            Op::QueueEnqueue(v) => Some(queue.enqueue_now(engine, 0, v) as u64),
+            Op::QueueEnqueue(v) => Some(u64::from(queue.enqueue_now(engine, 0, v).is_ok())),
             Op::QueueDequeue => queue.dequeue_now(engine, 0),
             Op::QueueLen => Some(queue.len_now(engine, 0)),
-            Op::StackPush(v) => Some(stack.push_now(engine, 0, v) as u64),
+            Op::StackPush(v) => Some(u64::from(stack.push_now(engine, 0, v).is_ok())),
             Op::StackPop => stack.pop_now(engine, 0),
             Op::StackLen => Some(stack.len_now(engine, 0)),
+            Op::ListInsert(v) => Some(list_insert_word(list.insert_now(engine, 0, v))),
+            Op::ListRemove(v) => Some(u64::from(list.remove_now(engine, 0, v))),
+            Op::ListContains(v) => Some(u64::from(list.contains_now(engine, 0, v))),
+            Op::ListInsertPoisoned(v) => {
+                // Attempt 1 allocates a node into the splice and aborts;
+                // only attempt 2's effect may survive.
+                let mut attempt = 0u32;
+                let r = engine.run(0, |txn| {
+                    attempt += 1;
+                    if attempt == 1 {
+                        let _ = list.insert(txn, v)?;
+                        return txn.retry();
+                    }
+                    list.insert(txn, v)
+                });
+                Some(list_insert_word(r))
+            }
+            Op::ListRemovePoisoned(v) => {
+                let mut attempt = 0u32;
+                let r = engine.run(0, |txn| {
+                    attempt += 1;
+                    if attempt == 1 {
+                        let _ = list.remove(txn, v)?;
+                        return txn.retry();
+                    }
+                    list.remove(txn, v)
+                });
+                Some(u64::from(r))
+            }
         })
         .collect();
 
@@ -114,6 +180,8 @@ fn drive<E: TmEngine>(engine: &E, ops: &[Op]) -> Trace {
         final_map,
         drained_queue,
         drained_stack,
+        final_list: list.snapshot_now(engine, 0),
+        list_free_nodes: list.free_nodes_now(engine, 0),
         commits: engine.engine_stats().commits,
     }
 }
@@ -127,6 +195,7 @@ fn check_conservation(ops: &[Op], trace: &Trace) {
     let mut q_out = 0u64;
     let mut s_in = 0u64;
     let mut s_out = 0u64;
+    let mut list_model = std::collections::BTreeSet::new();
     for (op, obs) in ops.iter().zip(&trace.observations) {
         match *op {
             Op::CounterAdd(d) => expect_counter = expect_counter.wrapping_add(d),
@@ -134,6 +203,12 @@ fn check_conservation(ops: &[Op], trace: &Trace) {
             Op::QueueDequeue => q_out += u64::from(obs.is_some()),
             Op::StackPush(_) => s_in += u64::from(*obs == Some(1)),
             Op::StackPop => s_out += u64::from(obs.is_some()),
+            Op::ListInsert(v) | Op::ListInsertPoisoned(v) if *obs == Some(LIST_INSERTED) => {
+                list_model.insert(v);
+            }
+            Op::ListRemove(v) | Op::ListRemovePoisoned(v) if *obs == Some(1) => {
+                list_model.remove(&v);
+            }
             _ => {}
         }
     }
@@ -147,6 +222,15 @@ fn check_conservation(ops: &[Op], trace: &Trace) {
         trace.drained_stack.len() as u64,
         s_in - s_out,
         "stack element conservation"
+    );
+    // The list must agree with the serial model implied by its own
+    // observations: contents, sortedness, and a leak-free node pool.
+    let expect_list: Vec<u64> = list_model.into_iter().collect();
+    assert_eq!(trace.final_list, expect_list, "list contents conservation");
+    assert_eq!(
+        trace.final_list.len() as u64 + trace.list_free_nodes,
+        LIST_CAPACITY,
+        "node pool leaked or double-freed"
     );
 }
 
@@ -177,7 +261,8 @@ proptest! {
 
     /// Same property under an adversarially tiny tagless geometry: heavy
     /// aliasing changes abort counts, never results. (Commit counts still
-    /// match because single-threaded runs never abort on any engine.)
+    /// match because single-threaded runs never abort on any engine —
+    /// poisoned ops abort exactly once everywhere.)
     #[test]
     fn tiny_aliasing_table_changes_no_semantics(
         ops in proptest::collection::vec(op_strategy(), 1..60),
@@ -203,7 +288,6 @@ proptest! {
         /// Abort one spill-sized transaction, then commit an empty one —
         /// leaves recycled (once-dirty) scratch bundles and one commit.
         fn poison<E: TmEngine>(engine: &E) {
-            use tm_stm::TxnOps;
             let mut attempt = 0u32;
             engine.run(0, |txn| {
                 attempt += 1;

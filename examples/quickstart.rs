@@ -1,47 +1,54 @@
-//! Quickstart: concurrent bank transfers over the word-based STM, showing
+//! Quickstart: concurrent bank transfers over the typed STM API, showing
 //! the paper's point in miniature — the same program, run over a tagless
 //! and a tagged ownership table, pays very different abort bills.
 //!
+//! Accounts are typed cells (`TRef<u64>`) allocated block-aligned from a
+//! `Region`, so no user code touches a raw heap address — and distinct
+//! accounts can only conflict through ownership-table aliasing, never
+//! through data overlap.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use tm_birthday::stm::{tagged_stm, tagless_stm, ConcurrentTable, Stm, TmEngine, TxnOps};
+use tm_birthday::prelude::*;
+use tm_birthday::stm::ConcurrentTable;
 
-const ACCOUNTS: u64 = 64;
+const ACCOUNTS: usize = 64;
 const INITIAL: u64 = 1_000;
 const TRANSFERS_PER_THREAD: usize = 2_000;
 const THREADS: u32 = 4;
 
-/// Word address of account `i` — one account per cache block, so accounts
-/// never *truly* conflict unless two threads touch the same account.
-fn account_addr(i: u64) -> u64 {
-    i * 64
-}
-
 fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
-    for i in 0..ACCOUNTS {
-        stm.heap().store(account_addr(i), INITIAL);
+    // One account per cache block: accounts never *truly* conflict unless
+    // two threads touch the same account.
+    let mut region = Region::new(0, stm.heap().size_bytes());
+    let accounts: Vec<TRef<u64>> = (0..ACCOUNTS)
+        .map(|_| region.alloc_ref_aligned::<u64>())
+        .collect();
+    for account in &accounts {
+        account.poke(stm.heap(), INITIAL);
     }
 
     crossbeam::scope(|s| {
         for id in 0..THREADS {
+            let accounts = &accounts;
             s.spawn(move |_| {
                 // A simple deterministic mixing sequence per thread.
                 let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1);
                 // Each thread transfers only within its own quarter of the
                 // accounts: threads never touch the same account, so every
                 // cross-thread conflict below is a *false* one.
-                let per = ACCOUNTS / THREADS as u64;
-                let base = id as u64 * per;
+                let per = ACCOUNTS / THREADS as usize;
+                let base = id as usize * per;
                 for _ in 0..TRANSFERS_PER_THREAD {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let from = base + (x >> 33) % per;
-                    let to = base + (x >> 13) % per;
+                    let from = accounts[base + (x >> 33) as usize % per];
+                    let to = accounts[base + (x >> 13) as usize % per];
                     if from == to {
                         continue;
                     }
                     stm.run(id, |txn| {
-                        let a = txn.read(account_addr(from))?;
-                        let b = txn.read(account_addr(to))?;
+                        let a = from.get(txn)?;
+                        let b = to.get(txn)?;
                         // Simulate fee computation etc. — real transactions
                         // do work while holding ownership, which is what
                         // creates the window for conflicts.
@@ -49,8 +56,8 @@ fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
                             std::hint::spin_loop();
                         }
                         let amount = a.min(10);
-                        txn.write(account_addr(from), a - amount)?;
-                        txn.write(account_addr(to), b + amount)?;
+                        from.set(txn, a - amount)?;
+                        to.set(txn, b + amount)?;
                         Ok(())
                     });
                 }
@@ -60,10 +67,8 @@ fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
     .unwrap();
 
     // Money is conserved: the defining invariant of atomicity.
-    let total: u64 = (0..ACCOUNTS)
-        .map(|i| stm.heap().load(account_addr(i)))
-        .sum();
-    assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money leaked!");
+    let total: u64 = accounts.iter().map(|a| a.peek(stm.heap())).sum();
+    assert_eq!(total, ACCOUNTS as u64 * INITIAL, "{label}: money leaked!");
 
     let s = stm.stats();
     let t = stm.table().stats_snapshot();
@@ -84,9 +89,11 @@ fn main() {
 
     // A deliberately small table (32 entries for 64 accounts: pigeonhole)
     // makes aliasing visible, as in the paper's Figure 2 regime.
-    let heap_words = (ACCOUNTS as usize) * 8;
-    run_bank("tagless", &tagless_stm(heap_words, 32));
-    run_bank("tagged", &tagged_stm(heap_words, 32));
+    let builder = StmBuilder::new()
+        .heap_words(ACCOUNTS * 8 + 8)
+        .table_entries(32);
+    run_bank("tagless", &builder.build_tagless());
+    run_bank("tagged", &builder.build_tagged());
 
     println!(
         "\nBoth runs preserve the invariant; the tagless table simply pays\n\

@@ -8,8 +8,7 @@
 //!
 //! Run with: `cargo run --release --example work_queue_pipeline`
 
-use tm_birthday::prelude::{StmBuilder, TmEngine};
-use tm_birthday::structs::{Region, TCounter, TMap, TQueue};
+use tm_birthday::prelude::{Region, StmBuilder, TCounter, TMap, TQueue, TmEngine};
 
 const JOBS_PER_PRODUCER: u64 = 400;
 const PRODUCERS: u32 = 2;
@@ -17,8 +16,8 @@ const WORKERS: u32 = 2;
 
 fn pipeline<E: TmEngine>(stm: &E) -> (u64, u64) {
     let mut region = Region::new(0, 1 << 17);
-    let queue = TQueue::create(&mut region, 256);
-    let results = TMap::create(&mut region, 4096);
+    let queue: TQueue<u64> = TQueue::create(&mut region, 256);
+    let results: TMap<u64> = TMap::create(&mut region, 4096);
     let done = TCounter::create(&mut region);
 
     crossbeam::scope(|s| {
@@ -26,7 +25,7 @@ fn pipeline<E: TmEngine>(stm: &E) -> (u64, u64) {
             s.spawn(move |_| {
                 for i in 0..JOBS_PER_PRODUCER {
                     let job = 1 + (p as u64) * JOBS_PER_PRODUCER + i;
-                    while !queue.enqueue_now(stm, p, job) {
+                    while queue.enqueue_now(stm, p, job).is_err() {
                         std::thread::yield_now();
                     }
                 }
@@ -40,7 +39,9 @@ fn pipeline<E: TmEngine>(stm: &E) -> (u64, u64) {
                     // One atomic step: take a job, record its result, count it.
                     let finished = stm.run(id, |txn| match queue.dequeue(txn)? {
                         Some(job) => {
-                            results.insert(txn, job, job * job)?;
+                            results
+                                .insert(txn, job, job * job)?
+                                .expect("results map has headroom");
                             let n = done.add(txn, 1)?;
                             Ok(n >= target)
                         }

@@ -16,22 +16,26 @@
 //! | [`structs`] | `tm-structs` | Transactional data structures |
 //!
 //! The [`prelude`] re-exports the unified transaction API (the `TmEngine`/
-//! `TxnOps` traits, the `StmBuilder`, and the data structures) in one
-//! import.
+//! `TxnOps` traits, the `StmBuilder`), the typed object layer (`TRef`,
+//! the `TxWord`/`TxLayout` codecs, `Region`, `TxAlloc`), and the data
+//! structures in one import.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment map.
 
 /// One-import surface for writing transactional code: the core traits, the
-/// builder, and the data structures.
+/// builder, the typed object layer, and the data structures.
 ///
-/// The same closure runs on every engine the builder can mint. Eager
-/// tagless (paper Figure 1):
+/// Code is written against typed handles — a [`Region`](tm_stm::Region)
+/// allocates [`TRef<T>`](tm_stm::TRef) cells, and the same closure runs on
+/// every engine the builder can mint. Eager tagless (paper Figure 1):
 ///
 /// ```
 /// use tm_birthday::prelude::*;
 ///
 /// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_tagless();
-/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// let mut region = Region::new(0, 256 * 8);
+/// let cell: TRef<u64> = region.alloc_ref();
+/// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
 /// ```
 ///
@@ -41,7 +45,9 @@
 /// use tm_birthday::prelude::*;
 ///
 /// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_tagged();
-/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// let mut region = Region::new(0, 256 * 8);
+/// let cell: TRef<u64> = region.alloc_ref();
+/// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
 /// ```
 ///
@@ -51,7 +57,9 @@
 /// use tm_birthday::prelude::*;
 ///
 /// let stm = StmBuilder::new().heap_words(256).table_entries(128).build_lazy();
-/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// let mut region = Region::new(0, 256 * 8);
+/// let cell: TRef<u64> = region.alloc_ref();
+/// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
 /// ```
 ///
@@ -64,16 +72,32 @@
 ///     .heap_words(256)
 ///     .table_entries(128)
 ///     .build_adaptive(ResizePolicy::default(), 1);
-/// let n = stm.run(0, |txn| txn.update(0, |v| v + 41));
+/// let mut region = Region::new(0, 256 * 8);
+/// let cell: TRef<u64> = region.alloc_ref();
+/// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
+/// ```
+///
+/// Dynamic structures allocate nodes *inside* transactions through
+/// [`TxAlloc`](tm_stm::TxAlloc) — aborts roll the allocation back:
+///
+/// ```
+/// use tm_birthday::prelude::*;
+///
+/// let stm = StmBuilder::new().heap_words(1024).table_entries(256).build_tagged();
+/// let mut region = Region::new(0, 1024 * 8);
+/// let list: TList<u64> = TList::create(&mut region, 32);
+/// assert_eq!(list.insert_now(&stm, 0, 7), Ok(true));
+/// assert_eq!(list.insert_now(&stm, 0, 3), Ok(true));
+/// assert_eq!(list.snapshot_now(&stm, 0), vec![3, 7]);
 /// ```
 pub mod prelude {
     pub use tm_adaptive::{AdaptiveController, AdaptiveStmBuilder, ResizePolicy};
     pub use tm_stm::{
-        Aborted, ContentionPolicy, EngineStats, LazyStm, RetryLimitExceeded, RetryPolicy, Stm,
-        StmBuilder, TmEngine, TxnOps,
+        Aborted, CapacityError, ContentionPolicy, EngineStats, LazyStm, Region, RetryLimitExceeded,
+        RetryPolicy, Stm, StmBuilder, TRef, TmEngine, TxAlloc, TxLayout, TxResult, TxWord, TxnOps,
     };
-    pub use tm_structs::{Region, TCounter, TMap, TQueue, TStack};
+    pub use tm_structs::{TCounter, TList, TMap, TQueue, TStack};
 }
 
 pub use tm_adaptive as adaptive;
