@@ -13,7 +13,7 @@
 
 use tm_model::lockstep;
 use tm_ownership::concurrent::ConcurrentTable;
-use tm_stm::{Stm, StmStatsSnapshot};
+use tm_stm::{Probe, Stm, StmStatsSnapshot};
 
 use crate::policy::{Decision, Observation, ResizePolicy};
 use crate::resizable::{ResizableTable, ResizeError, ResizeReport};
@@ -91,8 +91,13 @@ impl AdaptiveController {
         self.epochs
     }
 
-    /// Close one control epoch over `stm` (see module docs).
-    pub fn tick<T: ConcurrentTable>(&mut self, stm: &Stm<ResizableTable<T>>) -> ControlReport {
+    /// Close one control epoch over `stm` (see module docs). Resize
+    /// decisions that execute are reported to the engine's telemetry probe
+    /// as [`Probe::on_resize`] events.
+    pub fn tick<T: ConcurrentTable, P: Probe>(
+        &mut self,
+        stm: &Stm<ResizableTable<T>, P>,
+    ) -> ControlReport {
         self.epochs += 1;
         let snap = stm.stats();
         let window = snap.since(&self.last);
@@ -128,11 +133,17 @@ impl AdaptiveController {
                 predicted_conflict,
             },
             Decision::Resize(entries) => match stm.table().resize_to(entries) {
-                Ok(report) => ControlReport::Resized {
-                    observation,
-                    predicted_conflict,
-                    report,
-                },
+                Ok(report) => {
+                    if P::ENABLED {
+                        stm.probe()
+                            .on_resize(report.from_entries as u64, report.to_entries as u64);
+                    }
+                    ControlReport::Resized {
+                        observation,
+                        predicted_conflict,
+                        report,
+                    }
+                }
                 Err(error) => ControlReport::ResizeDeferred {
                     observation,
                     attempted_entries: entries,

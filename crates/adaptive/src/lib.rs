@@ -65,7 +65,7 @@ pub use policy::{Decision, Observation, ResizePolicy};
 pub use resizable::{ResizableTable, ResizeError, ResizeReport, ResizeStats};
 
 use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
-use tm_stm::{Stm, StmBuilder};
+use tm_stm::{Probe, Stm, StmBuilder};
 
 /// Terminal methods extending [`StmBuilder`] with the adaptive engines, so
 /// the one fluent constructor covers this crate too:
@@ -107,6 +107,19 @@ pub trait AdaptiveStmBuilder {
         Stm<ResizableTable<ConcurrentTaggedTable>>,
         AdaptiveController,
     );
+
+    /// [`build_adaptive`](AdaptiveStmBuilder::build_adaptive) with an
+    /// attached telemetry probe; the controller reports executed resizes to
+    /// it as `on_resize` events.
+    fn build_adaptive_probed<P: Probe>(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+        probe: P,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaglessTable>, P>,
+        AdaptiveController,
+    );
 }
 
 impl AdaptiveStmBuilder for StmBuilder {
@@ -136,6 +149,22 @@ impl AdaptiveStmBuilder for StmBuilder {
         let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaggedTable::new);
         (
             self.build_with_table(table),
+            AdaptiveController::new(policy, concurrency),
+        )
+    }
+
+    fn build_adaptive_probed<P: Probe>(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+        probe: P,
+    ) -> (
+        Stm<ResizableTable<ConcurrentTaglessTable>, P>,
+        AdaptiveController,
+    ) {
+        let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaglessTable::new);
+        (
+            self.build_with_table_probed(table, probe),
             AdaptiveController::new(policy, concurrency),
         )
     }

@@ -48,6 +48,7 @@ use tm_ownership::concurrent::ConcurrentTable;
 use tm_ownership::{
     ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, TableConfig, ThreadId,
 };
+use tm_telemetry::Probe;
 
 use crate::contention::{ContentionPolicy, RetryPolicy};
 use crate::heap::{Heap, WORD_BYTES};
@@ -235,9 +236,9 @@ impl<E: TmEngine + Send> TmEngine for std::sync::Arc<E> {
     }
 }
 
-impl<T: ConcurrentTable> TmEngine for Stm<T> {
+impl<T: ConcurrentTable, P: Probe> TmEngine for Stm<T, P> {
     type Txn<'e>
-        = Txn<'e, T>
+        = Txn<'e, T, P>
     where
         Self: 'e;
 
@@ -245,7 +246,7 @@ impl<T: ConcurrentTable> TmEngine for Stm<T> {
         &'s self,
         me: ThreadId,
         policy: RetryPolicy,
-        mut body: impl FnMut(&mut Txn<'s, T>) -> Result<R, Aborted>,
+        mut body: impl FnMut(&mut Txn<'s, T, P>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         self.run_with_budget(me, policy.budget(), &mut body)
     }
@@ -263,14 +264,17 @@ impl<T: ConcurrentTable> TmEngine for Stm<T> {
     }
 }
 
-impl TmEngine for LazyStm {
-    type Txn<'e> = crate::LazyTxn<'e>;
+impl<P: Probe> TmEngine for LazyStm<P> {
+    type Txn<'e>
+        = crate::LazyTxn<'e, P>
+    where
+        Self: 'e;
 
     fn run_with<'s, R>(
         &'s self,
         me: ThreadId,
         policy: RetryPolicy,
-        mut body: impl FnMut(&mut crate::LazyTxn<'s>) -> Result<R, Aborted>,
+        mut body: impl FnMut(&mut crate::LazyTxn<'s, P>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         self.run_with_budget(me, policy.budget(), &mut body)
     }
@@ -439,6 +443,35 @@ impl StmBuilder {
     /// [`table_config`](StmBuilder::table_config) so geometry knobs apply.
     pub fn build_with_table<T: ConcurrentTable>(&self, table: T) -> Stm<T> {
         Stm::new(self.heap_words, table, self.stm_config())
+    }
+
+    /// [`build_tagless`](StmBuilder::build_tagless) with an attached
+    /// telemetry probe (e.g. [`tm_telemetry::Recorder`]).
+    pub fn build_tagless_probed<P: Probe>(&self, probe: P) -> Stm<ConcurrentTaglessTable, P> {
+        self.build_with_table_probed(ConcurrentTaglessTable::new(self.table_config()), probe)
+    }
+
+    /// [`build_tagged`](StmBuilder::build_tagged) with an attached
+    /// telemetry probe.
+    pub fn build_tagged_probed<P: Probe>(&self, probe: P) -> Stm<ConcurrentTaggedTable, P> {
+        self.build_with_table_probed(ConcurrentTaggedTable::new(self.table_config()), probe)
+    }
+
+    /// [`build_lazy`](StmBuilder::build_lazy) with an attached telemetry
+    /// probe.
+    pub fn build_lazy_probed<P: Probe>(&self, probe: P) -> LazyStm<P> {
+        LazyStm::with_config_probed(self.heap_words, self.table_config(), probe)
+            .with_retry(self.retry)
+    }
+
+    /// [`build_with_table`](StmBuilder::build_with_table) with an attached
+    /// telemetry probe.
+    pub fn build_with_table_probed<T: ConcurrentTable, P: Probe>(
+        &self,
+        table: T,
+        probe: P,
+    ) -> Stm<T, P> {
+        Stm::with_probe(self.heap_words, table, self.stm_config(), probe)
     }
 }
 

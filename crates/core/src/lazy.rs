@@ -22,16 +22,33 @@
 //! [`LazyStm::stats`] separates out.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use tm_ownership::versioned::{VersionedStats, VersionedTable};
-use tm_ownership::{BlockMapper, TableConfig, ThreadId};
+use tm_ownership::{fingerprint_of, BlockMapper, TableConfig, ThreadId, FP_NONE, FP_SATURATED};
+use tm_telemetry::{AbortCause, NoopProbe, Probe};
 
 use crate::contention::{Backoff, RetryPolicy};
 use crate::engine::TxnOps;
 use crate::heap::Heap;
 use crate::scratch::ScratchGuard;
 use crate::stats::{EngineStats, Striped};
-use crate::stm::{Aborted, RetryLimitExceeded};
+use crate::stm::{elapsed_ns, Aborted, RetryLimitExceeded};
+
+/// Classify a conflict by comparing the fingerprint found in the entry word
+/// (the last/current writer's block) against the fingerprint of the block
+/// this transaction accessed there. Unknown or saturated fingerprints on
+/// either side prove nothing.
+#[inline]
+fn classify_fp(theirs: u32, mine: u32) -> AbortCause {
+    if theirs == FP_NONE || theirs == FP_SATURATED || mine == FP_NONE || mine == FP_SATURATED {
+        AbortCause::UnknownConflict
+    } else if theirs == mine {
+        AbortCause::TrueConflict
+    } else {
+        AbortCause::FalseConflict
+    }
+}
 
 /// One stripe of the lazy engine's counters, striped through the shared
 /// [`Striped`] mechanism (see [`crate::StmStats`] for the aggregation
@@ -43,6 +60,8 @@ struct LazyCells {
     read_aborts: AtomicU64,
     lock_aborts: AtomicU64,
     validation_aborts: AtomicU64,
+    committed_write_blocks: AtomicU64,
+    committed_grant_blocks: AtomicU64,
 }
 
 type Counters = Striped<LazyCells>;
@@ -53,30 +72,44 @@ type Counters = Striped<LazyCells>;
 /// run; build one with [`StmBuilder::build_lazy`](crate::StmBuilder::build_lazy)
 /// (or the [`LazyStm::new`] shorthand).
 #[derive(Debug)]
-pub struct LazyStm {
+pub struct LazyStm<P: Probe = NoopProbe> {
     heap: Heap,
     table: VersionedTable,
     clock: AtomicU64,
     counters: Counters,
     retry: RetryPolicy,
+    probe: P,
 }
 
 impl LazyStm {
     /// An STM over a `heap_words`-word heap and an `N`-entry versioned
-    /// tagless table.
+    /// tagless table (telemetry off).
     pub fn new(heap_words: usize, table_entries: usize) -> Self {
         Self::with_config(heap_words, TableConfig::new(table_entries))
     }
 
-    /// Full-configuration constructor.
+    /// Full-configuration constructor (telemetry off).
     pub fn with_config(heap_words: usize, cfg: TableConfig) -> Self {
+        Self::with_config_probed(heap_words, cfg, NoopProbe)
+    }
+}
+
+impl<P: Probe> LazyStm<P> {
+    /// Full-configuration constructor with an attached telemetry probe.
+    pub fn with_config_probed(heap_words: usize, cfg: TableConfig, probe: P) -> Self {
         Self {
             heap: Heap::new(heap_words),
             table: VersionedTable::new(cfg),
             clock: AtomicU64::new(1),
             counters: Counters::default(),
             retry: RetryPolicy::default(),
+            probe,
         }
+    }
+
+    /// The attached telemetry probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// Set the default retry policy (what
@@ -111,11 +144,15 @@ impl LazyStm {
         let mut read_aborts = 0u64;
         let mut lock_aborts = 0u64;
         let mut validation_aborts = 0u64;
+        let mut committed_write_blocks = 0u64;
+        let mut committed_grant_blocks = 0u64;
         for stripe in self.counters.iter() {
             commits += stripe.commits.load(Ordering::Relaxed);
             read_aborts += stripe.read_aborts.load(Ordering::Relaxed);
             lock_aborts += stripe.lock_aborts.load(Ordering::Relaxed);
             validation_aborts += stripe.validation_aborts.load(Ordering::Relaxed);
+            committed_write_blocks += stripe.committed_write_blocks.load(Ordering::Relaxed);
+            committed_grant_blocks += stripe.committed_grant_blocks.load(Ordering::Relaxed);
         }
         EngineStats {
             commits,
@@ -124,6 +161,8 @@ impl LazyStm {
             lock_aborts,
             validation_aborts,
             stall_retries: 0,
+            committed_write_blocks,
+            committed_grant_blocks,
         }
     }
 
@@ -138,29 +177,47 @@ impl LazyStm {
         &'s self,
         me: ThreadId,
         max_attempts: u32,
-        body: &mut dyn FnMut(&mut LazyTxn<'s>) -> Result<R, Aborted>,
+        body: &mut dyn FnMut(&mut LazyTxn<'s, P>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         assert!(max_attempts >= 1, "need at least one attempt");
         let mut backoff = Backoff::new(me as u64);
         let mut attempts = 0u32;
+        // Clock reads are gated on the compile-time probe switch: with
+        // `NoopProbe` the timestamps are `None` and never taken.
+        let txn_start = P::ENABLED.then(Instant::now);
+        if P::ENABLED {
+            self.probe.on_txn_begin(me);
+        }
         loop {
+            let attempt_start = P::ENABLED.then(Instant::now);
             let mut txn = LazyTxn::begin(self, me);
-            let aborted = match body(&mut txn) {
+            let cause = match body(&mut txn) {
                 Ok(r) => match txn.commit() {
                     Ok(()) => {
                         let stripe = self.counters.stripe(me);
                         stripe.commits.fetch_add(1, Ordering::Relaxed);
+                        if P::ENABLED {
+                            self.probe.on_commit(
+                                me,
+                                elapsed_ns(attempt_start),
+                                elapsed_ns(txn_start),
+                                u64::from(attempts) + 1,
+                            );
+                        }
                         return Ok(r);
                     }
-                    Err(Aborted) => true,
+                    // The commit site attributed the cause itself.
+                    Err(cause) => cause,
                 },
                 Err(Aborted) => {
                     let stripe = self.counters.stripe(me);
                     stripe.read_aborts.fetch_add(1, Ordering::Relaxed);
-                    true
+                    txn.abort_cause.take().unwrap_or(AbortCause::ExplicitRetry)
                 }
             };
-            debug_assert!(aborted);
+            if P::ENABLED {
+                self.probe.on_abort(me, cause, elapsed_ns(attempt_start));
+            }
             attempts += 1;
             if attempts >= max_attempts {
                 return Err(RetryLimitExceeded { attempts });
@@ -177,18 +234,21 @@ impl LazyStm {
 /// [`TxnScratch`](crate::scratch::TxnScratch), and the block mapper is
 /// cached at begin, so steady-state attempts allocate nothing.
 #[derive(Debug)]
-pub struct LazyTxn<'s> {
-    stm: &'s LazyStm,
+pub struct LazyTxn<'s, P: Probe = NoopProbe> {
+    stm: &'s LazyStm<P>,
     id: ThreadId,
     rv: u64,
     mapper: BlockMapper,
     scratch: ScratchGuard,
     reads: u64,
     writes: u64,
+    /// Cause of the abort that ended this attempt (telemetry only; set at
+    /// the failing read, consumed by the retry loop).
+    abort_cause: Option<AbortCause>,
 }
 
-impl<'s> LazyTxn<'s> {
-    fn begin(stm: &'s LazyStm, id: ThreadId) -> Self {
+impl<'s, P: Probe> LazyTxn<'s, P> {
+    fn begin(stm: &'s LazyStm<P>, id: ThreadId) -> Self {
         Self {
             stm,
             id,
@@ -197,6 +257,7 @@ impl<'s> LazyTxn<'s> {
             scratch: ScratchGuard::checkout(),
             reads: 0,
             writes: 0,
+            abort_cause: None,
         }
     }
 
@@ -215,85 +276,145 @@ impl<'s> LazyTxn<'s> {
         if let Some(v) = self.scratch.wbuf.get(addr) {
             return Ok(v);
         }
-        let entry = self.stm.table.entry_of(self.mapper.block_of(addr));
+        let block = self.mapper.block_of(addr);
+        let my_fp = fingerprint_of(block);
+        let entry = self.stm.table.entry_of(block);
         let pre = self.stm.table.sample(entry);
         if pre.locked || pre.version > self.rv {
+            // The entry word names the block of the writer that locked or
+            // last bumped it — compare fingerprints to attribute the abort.
+            if P::ENABLED {
+                self.abort_cause = Some(classify_fp(pre.fp, my_fp));
+            }
             return Err(Aborted);
         }
         let value = self.stm.heap.load(addr);
         // Re-check: if the stamp moved during the read, the value may be torn.
         let post = self.stm.table.sample(entry);
         if post.locked || post.version != pre.version {
+            if P::ENABLED {
+                self.abort_cause = Some(classify_fp(post.fp, my_fp));
+            }
             return Err(Aborted);
         }
-        // Consistency across entries: remember the first-observed version.
+        // Consistency across entries: remember the first-observed version
+        // (and the block fingerprint, for commit-time attribution).
         match self.scratch.read_set.get(entry) {
-            Some(v) if v != pre.version => return Err(Aborted),
+            Some((v, _)) if v != pre.version => {
+                if P::ENABLED {
+                    self.abort_cause = Some(classify_fp(pre.fp, my_fp));
+                }
+                return Err(Aborted);
+            }
             Some(_) => {}
             None => {
-                self.scratch.read_set.insert(entry, pre.version);
+                self.scratch.read_set.insert(entry, (pre.version, my_fp));
             }
         }
         Ok(value)
     }
 
-    fn commit(mut self) -> Result<(), Aborted> {
+    /// On failure, returns the attributed abort cause (the counters are
+    /// updated here; the retry loop forwards the cause to the probe).
+    fn commit(mut self) -> Result<(), AbortCause> {
         let stm = self.stm;
-        let mapper = self.mapper;
         let scratch = &mut *self.scratch;
         if scratch.wbuf.is_empty() {
             // Read-only transactions commit without locking: every read was
             // consistent at `rv`.
+            let stripe = stm.counters.stripe(self.id);
+            stripe
+                .committed_grant_blocks
+                .fetch_add(scratch.read_set.len() as u64, Ordering::Relaxed);
             return Ok(());
         }
 
         // Lock the write set in ascending entry order (no deadlock), CASing
-        // on the currently-sampled version. The sort/dedup buffer and the
-        // locked list are retained scratch — this path allocates nothing
-        // once warm.
+        // on the currently-sampled version and installing the written
+        // block's fingerprint for concurrent aborters to classify against.
+        // The sort/dedup buffer and the locked list are retained scratch —
+        // this path allocates nothing once warm.
         scratch.entry_buf.clear();
-        for (addr, _) in scratch.wbuf.iter() {
+        for (block, _) in scratch.write_blocks.iter() {
             scratch
                 .entry_buf
-                .push(stm.table.entry_of(mapper.block_of(addr)));
+                .push((stm.table.entry_of(block), fingerprint_of(block)));
         }
         scratch.entry_buf.sort_unstable();
         scratch.entry_buf.dedup();
+        // Distinct blocks aliasing into one entry: keep one record, with a
+        // saturated fingerprint (the entry covers more than one block).
+        let mut w = 0;
+        for i in 0..scratch.entry_buf.len() {
+            if w > 0 && scratch.entry_buf[w - 1].0 == scratch.entry_buf[i].0 {
+                scratch.entry_buf[w - 1].1 = FP_SATURATED;
+            } else {
+                scratch.entry_buf[w] = scratch.entry_buf[i];
+                w += 1;
+            }
+        }
+        scratch.entry_buf.truncate(w);
+
         scratch.locked_buf.clear();
         for i in 0..scratch.entry_buf.len() {
-            let entry = scratch.entry_buf[i];
+            let (entry, fp) = scratch.entry_buf[i];
             let stamp = stm.table.sample(entry);
-            let ok = !stamp.locked && stm.table.try_lock(entry, stamp.version);
+            let ok = !stamp.locked && stm.table.try_lock_fp(entry, stamp.version, fp);
             if !ok {
-                for &(e, v) in &scratch.locked_buf {
-                    stm.table.unlock_restore(e, v);
+                // Whoever beat us (a live locker or a completed bumper)
+                // left its block fingerprint in the word.
+                let cause = if P::ENABLED {
+                    classify_fp(stm.table.sample(entry).fp, fp)
+                } else {
+                    AbortCause::UnknownConflict
+                };
+                for &(e, v, pfp) in &scratch.locked_buf {
+                    stm.table.unlock_restore_fp(e, v, pfp);
                 }
                 let stripe = stm.counters.stripe(self.id);
                 stripe.lock_aborts.fetch_add(1, Ordering::Relaxed);
-                return Err(Aborted);
+                return Err(cause);
             }
-            scratch.locked_buf.push((entry, stamp.version));
+            scratch.locked_buf.push((entry, stamp.version, stamp.fp));
         }
 
         let wv = stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
 
         // Validate the read set (entries we locked ourselves pass).
-        for (entry, version) in scratch.read_set.iter() {
-            let mine = scratch.locked_buf.iter().find(|&&(e, _)| e == entry);
+        for (entry, (version, my_fp)) in scratch.read_set.iter() {
+            let mine = scratch.locked_buf.iter().find(|&&(e, _, _)| e == entry);
             // If we locked it ourselves, its pre-lock version must match
             // what we read; `validate` sees the locked state, so check the
             // recorded pre-lock version directly in that case.
             let ok = match mine {
-                Some(&(_, v)) => v == version,
+                Some(&(_, v, _)) => v == version,
                 None => stm.table.validate(entry, version, false),
             };
             if !ok {
-                for &(e, v) in &scratch.locked_buf {
-                    stm.table.unlock_restore(e, v);
+                // A provably-aliasing invalidator is a false conflict; a
+                // provably-same-block one a true conflict; otherwise the
+                // generic validation failure. For entries we locked
+                // ourselves the live word holds OUR fingerprint — the
+                // invalidator's is the one sampled just before locking,
+                // preserved in `locked_buf`.
+                let cause = if P::ENABLED {
+                    let their_fp = match mine {
+                        Some(&(_, _, pre_lock_fp)) => pre_lock_fp,
+                        None => stm.table.sample(entry).fp,
+                    };
+                    match classify_fp(their_fp, my_fp) {
+                        AbortCause::UnknownConflict => AbortCause::ValidationFailed,
+                        c => c,
+                    }
+                } else {
+                    AbortCause::ValidationFailed
+                };
+                for &(e, v, pfp) in &scratch.locked_buf {
+                    stm.table.unlock_restore_fp(e, v, pfp);
                 }
                 let stripe = stm.counters.stripe(self.id);
                 stripe.validation_aborts.fetch_add(1, Ordering::Relaxed);
-                return Err(Aborted);
+                return Err(cause);
             }
         }
 
@@ -301,9 +422,21 @@ impl<'s> LazyTxn<'s> {
         for (addr, value) in scratch.wbuf.iter() {
             stm.heap.store(addr, value);
         }
-        for &(entry, _) in &scratch.locked_buf {
+        for &(entry, _, _) in &scratch.locked_buf {
             stm.table.unlock_bump(entry, wv);
         }
+
+        // Footprint observation (the model's W and (1+α)·W) for the
+        // adaptive controller and the harness's per-cell means.
+        let write_blocks = scratch.write_blocks.len() as u64;
+        let stripe = stm.counters.stripe(self.id);
+        stripe
+            .committed_write_blocks
+            .fetch_add(write_blocks, Ordering::Relaxed);
+        stripe.committed_grant_blocks.fetch_add(
+            write_blocks + scratch.read_set.len() as u64,
+            Ordering::Relaxed,
+        );
         Ok(())
     }
 }
@@ -311,13 +444,18 @@ impl<'s> LazyTxn<'s> {
 /// The lazy transaction's operation surface: reads validate against the
 /// snapshot clock (invisible readers); writes are buffered and only lock at
 /// commit time.
-impl TxnOps for LazyTxn<'_> {
+impl<P: Probe> TxnOps for LazyTxn<'_, P> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.read_validated(addr)
     }
 
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
+        // Track distinct written blocks as we go (the model's observed W;
+        // commit derives its lock set from this, already deduplicated).
+        self.scratch
+            .write_blocks
+            .insert(self.mapper.block_of(addr), ());
         self.scratch.wbuf.insert(addr, value);
         Ok(())
     }

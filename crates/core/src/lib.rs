@@ -103,3 +103,10 @@ pub use typed::{CapacityError, TRef, TxLayout, TxResult, TxWord};
 // Re-export the table types users need to build custom configurations.
 pub use tm_ownership::concurrent::{ConcurrentTable, Held};
 pub use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, TableConfig};
+
+// Re-export the telemetry layer: engines are generic over `Probe`, the
+// default `NoopProbe` compiles the instrumentation away, and `Recorder`
+// is the batteries-included histogram/abort-cause/flight-recorder probe.
+pub use tm_telemetry::{
+    AbortCause, EventKind, Histogram, NoopProbe, Probe, Recorder, TelemetrySnapshot, TxnEvent,
+};

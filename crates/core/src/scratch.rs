@@ -45,14 +45,17 @@ pub struct TxnScratch {
     pub(crate) log: SmallMap<u64, Held>,
     /// Both engines: speculative write buffer, word address → value.
     pub(crate) wbuf: SmallMap<u64, u64>,
-    /// Eager engine: distinct written blocks (the model's observed `W`).
+    /// Both engines: distinct written blocks (the model's observed `W`).
     pub(crate) write_blocks: SmallMap<u64, ()>,
-    /// Lazy engine: entry → version observed at first read.
-    pub(crate) read_set: SmallMap<EntryIndex, u64>,
-    /// Lazy commit: sorted, deduplicated write-set entries.
-    pub(crate) entry_buf: Vec<EntryIndex>,
-    /// Lazy commit: entries locked so far, with their pre-lock versions.
-    pub(crate) locked_buf: Vec<(EntryIndex, u64)>,
+    /// Lazy engine: entry → (version observed at first read, fingerprint of
+    /// the block read there — for abort-cause attribution at validation).
+    pub(crate) read_set: SmallMap<EntryIndex, (u64, u32)>,
+    /// Lazy commit: sorted, deduplicated write-set entries with the
+    /// fingerprint to install while locked.
+    pub(crate) entry_buf: Vec<(EntryIndex, u32)>,
+    /// Lazy commit: entries locked so far, with their pre-lock versions and
+    /// fingerprints (restored verbatim on abort).
+    pub(crate) locked_buf: Vec<(EntryIndex, u64, u32)>,
 }
 
 impl TxnScratch {

@@ -26,6 +26,15 @@ pub struct EngineStats {
     pub validation_aborts: u64,
     /// Eager engine: acquire re-attempts under the stall policy.
     pub stall_retries: u64,
+    /// Sum over committed transactions of distinct cache blocks *written*
+    /// (the observed counterpart of the model's `W`).
+    pub committed_write_blocks: u64,
+    /// Sum over committed transactions of distinct footprint units held at
+    /// commit — `(1+α)·W` in the model. For the eager engines this counts
+    /// ownership grants (see [`StmStatsSnapshot::committed_grant_blocks`]
+    /// for the entry-keyed caveat); for the lazy engine, write-set blocks
+    /// plus read-set entries.
+    pub committed_grant_blocks: u64,
 }
 
 impl EngineStats {
@@ -36,6 +45,29 @@ impl EngineStats {
             0.0
         } else {
             self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean distinct written blocks per committed transaction (observed `W`).
+    pub fn mean_write_footprint(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.committed_write_blocks as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean fresh-read units per written block (observed `α`), derived from
+    /// the footprint counters the same way as
+    /// [`StmStatsSnapshot::mean_alpha`].
+    pub fn mean_alpha(&self) -> f64 {
+        if self.committed_write_blocks == 0 {
+            0.0
+        } else {
+            let reads = self
+                .committed_grant_blocks
+                .saturating_sub(self.committed_write_blocks);
+            reads as f64 / self.committed_write_blocks as f64
         }
     }
 
@@ -52,6 +84,12 @@ impl EngineStats {
                 .validation_aborts
                 .saturating_sub(earlier.validation_aborts),
             stall_retries: self.stall_retries.saturating_sub(earlier.stall_retries),
+            committed_write_blocks: self
+                .committed_write_blocks
+                .saturating_sub(earlier.committed_write_blocks),
+            committed_grant_blocks: self
+                .committed_grant_blocks
+                .saturating_sub(earlier.committed_grant_blocks),
         }
     }
 }
@@ -62,6 +100,8 @@ impl From<StmStatsSnapshot> for EngineStats {
             commits: s.commits,
             aborts: s.aborts,
             stall_retries: s.stall_retries,
+            committed_write_blocks: s.committed_write_blocks,
+            committed_grant_blocks: s.committed_grant_blocks,
             ..EngineStats::default()
         }
     }

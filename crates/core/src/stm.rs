@@ -13,15 +13,35 @@
 //! [`ConcurrentTaggedTable`] exposes exactly the false-conflict cost the
 //! paper analyses, on real threads rather than in Monte-Carlo form.
 
+use std::time::Instant;
+
 use tm_ownership::concurrent::{ConcurrentTable, Held};
-use tm_ownership::{Access, AcquireOutcome, BlockMapper, ThreadId};
+use tm_ownership::{Access, AcquireOutcome, BlockMapper, ConflictClass, ThreadId};
 use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable};
+use tm_telemetry::{AbortCause, NoopProbe, Probe};
 
 use crate::contention::{Backoff, ContentionPolicy, RetryPolicy};
 use crate::engine::TxnOps;
 use crate::heap::Heap;
 use crate::scratch::ScratchGuard;
 use crate::stats::{StmStats, StmStatsSnapshot};
+
+/// Nanoseconds elapsed since an (optionally taken) probe timestamp; `0`
+/// when telemetry is off and no timestamp was taken.
+#[inline]
+pub(crate) fn elapsed_ns(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+/// Map a table-attributed [`ConflictClass`] to the telemetry taxonomy.
+#[inline]
+pub(crate) fn cause_of_class(class: ConflictClass) -> AbortCause {
+    match class {
+        ConflictClass::KnownFalse => AbortCause::FalseConflict,
+        ConflictClass::KnownTrue => AbortCause::TrueConflict,
+        ConflictClass::Unknown => AbortCause::UnknownConflict,
+    }
+}
 
 /// Marker error: the current transaction attempt must be abandoned.
 ///
@@ -55,6 +75,9 @@ impl std::fmt::Display for RetryLimitExceeded {
 
 impl std::error::Error for RetryLimitExceeded {}
 
+/// The transaction-body callback `run_with_budget` drives across attempts.
+type BodyFn<'b, 's, T, P, R> = &'b mut dyn FnMut(&mut Txn<'s, T, P>) -> Result<R, Aborted>;
+
 /// STM-wide configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StmConfig {
@@ -66,13 +89,21 @@ pub struct StmConfig {
 }
 
 /// A software transactional memory over a shared [`Heap`], generic in the
-/// ownership-table organization `T`.
+/// ownership-table organization `T` and the telemetry probe `P`.
+///
+/// With the default [`NoopProbe`] every probe hook monomorphizes to
+/// nothing — no clock reads, no event bookkeeping — so the telemetry layer
+/// costs exactly zero unless a real probe (e.g.
+/// [`Recorder`](tm_telemetry::Recorder)) is attached via
+/// [`StmBuilder::build_tagless_probed`](crate::StmBuilder::build_tagless_probed)
+/// and friends.
 #[derive(Debug)]
-pub struct Stm<T: ConcurrentTable> {
+pub struct Stm<T: ConcurrentTable, P: Probe = NoopProbe> {
     heap: Heap,
     table: T,
     config: StmConfig,
     stats: StmStats,
+    probe: P,
 }
 
 /// Shorthand for [`StmBuilder`](crate::StmBuilder)`::new().heap_words(..)
@@ -96,14 +127,28 @@ pub fn tagged_stm(heap_words: usize, table_entries: usize) -> Stm<ConcurrentTagg
 }
 
 impl<T: ConcurrentTable> Stm<T> {
-    /// Build an STM from a heap size, a table, and a configuration.
+    /// Build an STM from a heap size, a table, and a configuration, with
+    /// telemetry off (the zero-cost [`NoopProbe`]).
     pub fn new(heap_words: usize, table: T, config: StmConfig) -> Self {
+        Self::with_probe(heap_words, table, config, NoopProbe)
+    }
+}
+
+impl<T: ConcurrentTable, P: Probe> Stm<T, P> {
+    /// Build an STM with an attached telemetry probe.
+    pub fn with_probe(heap_words: usize, table: T, config: StmConfig, probe: P) -> Self {
         Self {
             heap: Heap::new(heap_words),
             table,
             config,
             stats: StmStats::default(),
+            probe,
         }
+    }
+
+    /// The attached telemetry probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// The shared heap (the public accessor is
@@ -134,22 +179,42 @@ impl<T: ConcurrentTable> Stm<T> {
         &'s self,
         me: ThreadId,
         max_attempts: u32,
-        body: &mut dyn FnMut(&mut Txn<'s, T>) -> Result<R, Aborted>,
+        body: BodyFn<'_, 's, T, P, R>,
     ) -> Result<R, RetryLimitExceeded> {
         assert!(max_attempts >= 1, "need at least one attempt");
         let mut backoff = Backoff::new(me as u64);
         let mut attempts = 0u32;
+        // All clock reads are behind the compile-time probe switch: with
+        // `NoopProbe` the timestamps are `None` and nothing below touches
+        // the clock.
+        let txn_start = P::ENABLED.then(Instant::now);
+        if P::ENABLED {
+            self.probe.on_txn_begin(me);
+        }
         loop {
+            let attempt_start = P::ENABLED.then(Instant::now);
             let mut txn = Txn::new(self, me);
             match body(&mut txn) {
                 Ok(r) => {
                     txn.commit();
                     self.stats.on_commit(me);
+                    if P::ENABLED {
+                        self.probe.on_commit(
+                            me,
+                            elapsed_ns(attempt_start),
+                            elapsed_ns(txn_start),
+                            u64::from(attempts) + 1,
+                        );
+                    }
                     return Ok(r);
                 }
                 Err(Aborted) => {
+                    let cause = txn.abort_cause.take().unwrap_or(AbortCause::ExplicitRetry);
                     txn.rollback();
                     self.stats.on_abort(me);
+                    if P::ENABLED {
+                        self.probe.on_abort(me, cause, elapsed_ns(attempt_start));
+                    }
                     attempts += 1;
                     if attempts >= max_attempts {
                         return Err(RetryLimitExceeded { attempts });
@@ -231,8 +296,8 @@ fn block_of<T: ConcurrentTable>(table: &T, addr: u64) -> u64 {
 ///
 /// [`TxnScratch`]: crate::scratch::TxnScratch
 #[derive(Debug)]
-pub struct Txn<'s, T: ConcurrentTable> {
-    stm: &'s Stm<T>,
+pub struct Txn<'s, T: ConcurrentTable, P: Probe = NoopProbe> {
+    stm: &'s Stm<T, P>,
     id: ThreadId,
     /// Cached `table.config().mapper()` (a copy; deriving it per access
     /// costs a config indirection on the hottest path).
@@ -246,10 +311,13 @@ pub struct Txn<'s, T: ConcurrentTable> {
     finished: bool,
     reads: u64,
     writes: u64,
+    /// Cause of the abort that ended this attempt (telemetry only; set at
+    /// the conflict site, consumed by the retry loop).
+    abort_cause: Option<AbortCause>,
 }
 
-impl<'s, T: ConcurrentTable> Txn<'s, T> {
-    fn new(stm: &'s Stm<T>, id: ThreadId) -> Self {
+impl<'s, T: ConcurrentTable, P: Probe> Txn<'s, T, P> {
+    fn new(stm: &'s Stm<T, P>, id: ThreadId) -> Self {
         Self {
             stm,
             id,
@@ -260,6 +328,7 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
             finished: false,
             reads: 0,
             writes: 0,
+            abort_cause: None,
         }
     }
 
@@ -289,15 +358,24 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
             match self.stm.table.acquire(self.id, block, access, held) {
                 AcquireOutcome::Granted => {
                     self.scratch.log.insert(key, held.after(access));
+                    if P::ENABLED {
+                        self.stm.probe.on_grant(self.id);
+                    }
                     return Ok(());
                 }
                 AcquireOutcome::AlreadyHeld => return Ok(()),
-                AcquireOutcome::Conflict(_) => {
+                AcquireOutcome::Conflict(c) => {
                     if spins >= self.max_spins {
+                        if P::ENABLED {
+                            self.abort_cause = Some(cause_of_class(c.class));
+                        }
                         return Err(Aborted);
                     }
                     spins += 1;
                     self.stall_retries += 1;
+                    if P::ENABLED {
+                        self.stm.probe.on_stall(self.id);
+                    }
                     std::hint::spin_loop();
                 }
             }
@@ -356,7 +434,7 @@ impl<'s, T: ConcurrentTable> Txn<'s, T> {
 
 /// The eager transaction's operation surface: reads and writes acquire
 /// block ownership eagerly; writes stay buffered until commit.
-impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
+impl<T: ConcurrentTable, P: Probe> TxnOps for Txn<'_, T, P> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.reads += 1;
         if let Some(v) = self.scratch.wbuf.get(addr) {
@@ -384,7 +462,7 @@ impl<T: ConcurrentTable> TxnOps for Txn<'_, T> {
     }
 }
 
-impl<T: ConcurrentTable> Drop for Txn<'_, T> {
+impl<T: ConcurrentTable, P: Probe> Drop for Txn<'_, T, P> {
     fn drop(&mut self) {
         // A panic inside the body (or an early return path we didn't see)
         // must not leak ownership grants (or the batched stall count).

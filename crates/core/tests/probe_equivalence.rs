@@ -1,0 +1,74 @@
+//! Telemetry must be observation-only: an engine driven with the
+//! batteries-included `Recorder` probe must produce *exactly* the same
+//! `EngineStats` as the same deterministic workload on a `NoopProbe`
+//! engine — attaching telemetry may cost time, never semantics.
+
+use std::sync::Arc;
+
+use tm_stm::{AbortCause, EngineStats, Recorder, StmBuilder, TmEngine, TxnOps};
+
+/// A deterministic single-threaded workload with commits, voluntary
+/// retries, reads, and multi-block writes.
+fn drive<E: TmEngine>(stm: &E) -> EngineStats {
+    for round in 0..50u64 {
+        let mut first = true;
+        stm.run(0, |txn| {
+            // Every third transaction aborts its first attempt.
+            if round % 3 == 0 && first {
+                first = false;
+                return txn.retry();
+            }
+            let base = (round % 8) * 64;
+            let v = txn.read(base)?;
+            txn.write(base, v + 1)?;
+            txn.write(base + 512, round)?;
+            Ok(())
+        });
+    }
+    stm.engine_stats()
+}
+
+fn builder() -> StmBuilder {
+    StmBuilder::new().heap_words(1 << 10).table_entries(256)
+}
+
+#[test]
+fn recorder_probe_does_not_change_tagless_stats() {
+    let plain = drive(&builder().build_tagless());
+    let recorder = Arc::new(Recorder::new());
+    let probed = drive(&builder().build_tagless_probed(Arc::clone(&recorder)));
+    assert_eq!(plain, probed);
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.total_aborts(), probed.aborts);
+    assert_eq!(snap.cause(AbortCause::ExplicitRetry), probed.aborts);
+    assert_eq!(snap.txn.count(), probed.commits);
+    assert_eq!(snap.attempt.count(), probed.commits + probed.aborts);
+}
+
+#[test]
+fn recorder_probe_does_not_change_tagged_stats() {
+    let plain = drive(&builder().build_tagged());
+    let probed = drive(&builder().build_tagged_probed(Arc::new(Recorder::new())));
+    assert_eq!(plain, probed);
+}
+
+#[test]
+fn recorder_probe_does_not_change_lazy_stats() {
+    let plain = drive(&builder().build_lazy());
+    let recorder = Arc::new(Recorder::new());
+    let probed = drive(&builder().build_lazy_probed(Arc::clone(&recorder)));
+    assert_eq!(plain, probed);
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.total_aborts(), probed.aborts);
+}
+
+#[test]
+fn probed_percentiles_are_ordered() {
+    let recorder = Arc::new(Recorder::new());
+    drive(&builder().build_tagged_probed(Arc::clone(&recorder)));
+    let snap = recorder.snapshot();
+    let (p50, p95, p99) = snap.txn.p50_p95_p99().expect("50 committed txns");
+    assert!(p50 <= p95 && p95 <= p99);
+}

@@ -60,13 +60,26 @@ pub struct Regression {
     pub limit: f64,
 }
 
+impl Regression {
+    /// Relative change from baseline to candidate, in percent (`None` when
+    /// the baseline is zero and a ratio is meaningless).
+    pub fn delta_pct(&self) -> Option<f64> {
+        (self.baseline != 0.0)
+            .then(|| (self.candidate - self.baseline) / self.baseline.abs() * 100.0)
+    }
+}
+
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} {:.3} -> {:.3} (limit {:.3})",
-            self.key, self.metric, self.baseline, self.candidate, self.limit
-        )
+            "{}: {} baseline {:.3} -> candidate {:.3}",
+            self.key, self.metric, self.baseline, self.candidate
+        )?;
+        if let Some(delta) = self.delta_pct() {
+            write!(f, " ({delta:+.1}%)")?;
+        }
+        write!(f, ", limit {:.3}", self.limit)
     }
 }
 
@@ -223,6 +236,12 @@ mod tests {
         assert!(!c.passed());
         assert_eq!(c.regressions.len(), 1);
         assert_eq!(c.regressions[0].metric, "throughput_txn_s");
+        // The rendered failure names both values and the relative delta.
+        let line = c.regressions[0].to_string();
+        assert!(line.contains("baseline 1000.000"), "{line}");
+        assert!(line.contains("candidate 500.000"), "{line}");
+        assert!(line.contains("(-50.0%)"), "{line}");
+        assert!(line.contains("limit"), "{line}");
     }
 
     #[test]

@@ -78,6 +78,14 @@ impl Json {
         }
     }
 
+    /// The value as an object's member list (insertion order).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Serialize with two-space indentation and a trailing newline.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();

@@ -61,7 +61,7 @@ pub use driver::{
 };
 pub use engine::{EngineKind, EngineStats, TmEngine, TxnOps};
 pub use report::{HarnessReport, RunResult, SCHEMA_VERSION};
-pub use run::{execute, run_matrix, MatrixConfig, RunSpec};
+pub use run::{execute, execute_traced, run_matrix, run_matrix_traced, MatrixConfig, RunSpec};
 pub use scenario::{
     AccessPattern, ListKeyMix, ReplaySpec, Scenario, ScenarioKind, StructsKind, SyntheticSpec,
 };

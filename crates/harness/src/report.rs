@@ -17,12 +17,22 @@ use crate::json::{self, obj, s, unum, Json};
 
 /// Current report schema version.
 ///
+/// v3: every run now carries telemetry — whole-transaction latency
+/// percentiles (`latency_p50_ns`/`p95`/`p99`), an `abort_causes` breakdown
+/// attributed at the abort site, the observed model parameters
+/// (`mean_write_footprint`, `mean_alpha`), and the analytic Eq. 8
+/// prediction (`predicted_false_conflicts_per_commit`). Breaking semantic
+/// change: `false_conflict_aborts` / `false_conflicts_per_commit` were
+/// previously populated only on data-disjoint scenarios (where *every*
+/// abort is false by construction); they are now the **cause-attributed**
+/// false-conflict counts and are populated on every cell.
+///
 /// v2: the scenario matrix gained the structs×lazy cells (the engine ×
 /// scenario cross product is now full, so baseline coverage expectations
 /// changed), and `final_table_entries` now reports the adaptive table's
 /// *live* geometry (`ResizableTable::live_config`) rather than a raw entry
 /// count read racily off the wrapper — a semantic change of a gated field.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One (engine, scenario, threads) measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,10 +71,11 @@ pub struct RunResult {
     pub throughput_txn_s: f64,
     /// Aborts per commit.
     pub aborts_per_commit: f64,
-    /// For data-disjoint scenarios: aborts, all of which are false
-    /// conflicts (`None` when the workload has true conflicts).
+    /// Aborts attributed `false-conflict` at the abort site (distinct
+    /// blocks aliasing one table entry). Populated on every cell since v3;
+    /// on data-disjoint scenarios it must equal `aborts`.
     pub false_conflict_aborts: Option<u64>,
-    /// False conflicts per commit (`None` as above).
+    /// False conflicts per commit (cause-attributed, as above).
     pub false_conflicts_per_commit: Option<f64>,
     /// Isolation/conservation invariant violations (must be 0).
     pub invariant_violations: u64,
@@ -75,6 +86,25 @@ pub struct RunResult {
     pub final_table_entries: Option<u64>,
     /// Adaptive engine: resizes performed during the run.
     pub resizes: Option<u64>,
+    /// Measured-phase whole-transaction latency, 50th percentile, ns
+    /// (`None` when the phase committed nothing).
+    pub latency_p50_ns: Option<u64>,
+    /// Whole-transaction latency, 95th percentile, ns.
+    pub latency_p95_ns: Option<u64>,
+    /// Whole-transaction latency, 99th percentile, ns.
+    pub latency_p99_ns: Option<u64>,
+    /// Abort counts by attributed cause (nonzero causes only), in
+    /// [`AbortCause::ALL`](tm_stm::AbortCause::ALL) order. Sums to `aborts`.
+    pub abort_causes: Vec<(String, u64)>,
+    /// Observed mean committed write footprint `W` (blocks per commit).
+    pub mean_write_footprint: f64,
+    /// Observed mean fresh-read blocks per written block (the model's `α`).
+    pub mean_alpha: f64,
+    /// The paper's Eq. 8 prediction of false conflicts per transaction at
+    /// the observed operating point (`C` = threads, observed `W` and `α`,
+    /// `N` = final live table entries), for the empirical-vs-model
+    /// cross-check. `None` when the phase committed nothing.
+    pub predicted_false_conflicts_per_commit: Option<f64>,
 }
 
 impl RunResult {
@@ -116,6 +146,24 @@ impl RunResult {
             ),
             ("final_table_entries", opt_u(self.final_table_entries)),
             ("resizes", opt_u(self.resizes)),
+            ("latency_p50_ns", opt_u(self.latency_p50_ns)),
+            ("latency_p95_ns", opt_u(self.latency_p95_ns)),
+            ("latency_p99_ns", opt_u(self.latency_p99_ns)),
+            (
+                "abort_causes",
+                Json::Obj(
+                    self.abort_causes
+                        .iter()
+                        .map(|(name, count)| (name.clone(), unum(*count)))
+                        .collect(),
+                ),
+            ),
+            ("mean_write_footprint", Json::Num(self.mean_write_footprint)),
+            ("mean_alpha", Json::Num(self.mean_alpha)),
+            (
+                "predicted_false_conflicts_per_commit",
+                opt_f(self.predicted_false_conflicts_per_commit),
+            ),
         ])
     }
 
@@ -165,6 +213,22 @@ impl RunResult {
             sim_false_conflicts_per_commit: opt_f64("sim_false_conflicts_per_commit"),
             final_table_entries: opt_u64("final_table_entries"),
             resizes: opt_u64("resizes"),
+            latency_p50_ns: opt_u64("latency_p50_ns"),
+            latency_p95_ns: opt_u64("latency_p95_ns"),
+            latency_p99_ns: opt_u64("latency_p99_ns"),
+            abort_causes: v
+                .get("abort_causes")
+                .and_then(Json::as_obj)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, c)| c.as_u64().map(|c| (k.clone(), c)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            mean_write_footprint: f64_field("mean_write_footprint")?,
+            mean_alpha: f64_field("mean_alpha")?,
+            predicted_false_conflicts_per_commit: opt_f64("predicted_false_conflicts_per_commit"),
         })
     }
 }
@@ -282,12 +346,22 @@ pub(crate) fn sample_run(engine: &str, scenario: &str, throughput: f64) -> RunRe
         stall_retries: 0,
         throughput_txn_s: throughput,
         aborts_per_commit: 0.05,
-        false_conflict_aborts: None,
-        false_conflicts_per_commit: None,
+        false_conflict_aborts: Some(4),
+        false_conflicts_per_commit: Some(0.02),
         invariant_violations: 0,
         sim_false_conflicts_per_commit: Some(0.04),
         final_table_entries: None,
         resizes: None,
+        latency_p50_ns: Some(1_100),
+        latency_p95_ns: Some(5_300),
+        latency_p99_ns: Some(12_000),
+        abort_causes: vec![
+            ("true-conflict".to_string(), 6),
+            ("false-conflict".to_string(), 4),
+        ],
+        mean_write_footprint: 2.5,
+        mean_alpha: 3.0,
+        predicted_false_conflicts_per_commit: Some(0.018),
     }
 }
 

@@ -6,12 +6,15 @@
 //! sweeps the cross product and returns a [`HarnessReport`] ready for JSON
 //! serialization and CI gating.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
+use tm_model::lockstep;
 use tm_sim::closed::{run_closed_system, ClosedSystemParams};
-use tm_stm::StmBuilder;
+use tm_stm::{AbortCause, Recorder, StmBuilder, TelemetrySnapshot};
 
 use crate::driver::{
     build_replay_streams, run_replay_phase, run_synthetic_phase, Phase, ThreadTally,
@@ -64,23 +67,55 @@ struct DriveOutcome {
     measure_elapsed: Duration,
     measure: EngineStats,
     violations: u64,
+    /// Telemetry captured over exactly the measured phase (the recorder's
+    /// window is reset at the warmup/measure boundary and snapshotted
+    /// before any post-run verification transactions).
+    telemetry: TelemetrySnapshot,
 }
 
 /// Execute one cell. Every engine runs every scenario — the old
 /// structs×lazy carve-out is gone now that `tm-structs` is generic over
 /// the core transaction traits.
 pub fn execute(spec: &RunSpec) -> RunResult {
+    execute_traced(spec).0
+}
+
+/// [`execute`], also returning the raw measured-phase telemetry (latency
+/// histograms, abort causes, and the flight-recorder event ring) for JSONL
+/// trace export.
+///
+/// Every engine runs with an attached [`Recorder`] probe and conflict
+/// classification enabled, so abort causes are attributed at the abort
+/// site on every cell.
+pub fn execute_traced(spec: &RunSpec) -> (RunResult, TelemetrySnapshot) {
+    let recorder = Arc::new(Recorder::new());
     let builder = StmBuilder::new()
         .heap_words(spec.heap_words)
-        .table_entries(spec.table_entries);
+        .table_entries(spec.table_entries)
+        .classify_conflicts(true);
     let mut extra = AdaptiveExtra::default();
     let outcome = match spec.engine {
-        EngineKind::EagerTagless => drive(&builder.build_tagless(), spec),
-        EngineKind::EagerTagged => drive(&builder.build_tagged(), spec),
-        EngineKind::Lazy => drive(&builder.build_lazy(), spec),
+        EngineKind::EagerTagless => drive(
+            &builder.build_tagless_probed(Arc::clone(&recorder)),
+            spec,
+            &recorder,
+        ),
+        EngineKind::EagerTagged => drive(
+            &builder.build_tagged_probed(Arc::clone(&recorder)),
+            spec,
+            &recorder,
+        ),
+        EngineKind::Lazy => drive(
+            &builder.build_lazy_probed(Arc::clone(&recorder)),
+            spec,
+            &recorder,
+        ),
         EngineKind::Adaptive => {
-            let (stm, mut controller) =
-                builder.build_adaptive(ResizePolicy::default(), spec.threads);
+            let (stm, mut controller) = builder.build_adaptive_probed(
+                ResizePolicy::default(),
+                spec.threads,
+                Arc::clone(&recorder),
+            );
             let stop = AtomicBool::new(false);
             let mut outcome = None;
             crossbeam::scope(|s| {
@@ -93,7 +128,7 @@ pub fn execute(spec: &RunSpec) -> RunResult {
                         std::thread::sleep(Duration::from_millis(5));
                     }
                 });
-                outcome = Some(drive(&stm, spec));
+                outcome = Some(drive(&stm, spec, &recorder));
                 stop.store(true, Ordering::Release);
             })
             .expect("adaptive controller scope");
@@ -108,7 +143,8 @@ pub fn execute(spec: &RunSpec) -> RunResult {
             outcome.expect("scope body ran")
         }
     };
-    finish(spec, outcome, extra)
+    let result = finish(spec, &outcome, extra);
+    (result, outcome.telemetry)
 }
 
 #[derive(Default)]
@@ -117,9 +153,13 @@ struct AdaptiveExtra {
     resizes: Option<u64>,
 }
 
-/// Drive any scenario family on any engine.
-fn drive<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
+/// Drive any scenario family on any engine. The recorder's window is reset
+/// at the warmup/measure boundary and snapshotted immediately after the
+/// measured phase, so the captured telemetry covers exactly the phase the
+/// counters describe (post-run verification transactions excluded).
+fn drive<E: TmEngine>(engine: &E, spec: &RunSpec, recorder: &Recorder) -> DriveOutcome {
     if let ScenarioKind::Structs(kind) = &spec.scenario.kind {
+        let captured: RefCell<Option<TelemetrySnapshot>> = RefCell::new(None);
         let run = run_structs(
             engine,
             *kind,
@@ -128,59 +168,66 @@ fn drive<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
             spec.warmup,
             spec.measure,
             spec.seed,
+            || recorder.reset_window(),
+            || *captured.borrow_mut() = Some(recorder.snapshot()),
         );
+        let telemetry = captured.into_inner().expect("after_measure hook ran");
         return DriveOutcome {
             measure_elapsed: run.measure.elapsed,
             measure: run.measure.counters,
             violations: run.violations,
+            telemetry,
         };
     }
-    drive_addr_level(engine, spec)
+    drive_addr_level(engine, spec, recorder)
 }
 
 /// Drive an address-level (synthetic or replay) scenario on any engine.
-fn drive_addr_level<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
+fn drive_addr_level<E: TmEngine>(engine: &E, spec: &RunSpec, recorder: &Recorder) -> DriveOutcome {
     let warm_seed = crate::driver::warmup_seed(spec.seed);
     let (warmup, measure) = match &spec.scenario.kind {
-        ScenarioKind::Synthetic(s) => (
-            run_synthetic_phase(
+        ScenarioKind::Synthetic(s) => {
+            let w = run_synthetic_phase(
                 engine,
                 s,
                 spec.heap_words,
                 spec.threads,
                 spec.warmup,
                 warm_seed,
-            ),
-            run_synthetic_phase(
+            );
+            recorder.reset_window();
+            let m = run_synthetic_phase(
                 engine,
                 s,
                 spec.heap_words,
                 spec.threads,
                 spec.measure,
                 spec.seed,
-            ),
-        ),
+            );
+            (w, m)
+        }
         ScenarioKind::Replay(r) => {
             let streams = build_replay_streams(r, spec.seed, spec.heap_words);
-            (
-                run_replay_phase(
-                    engine,
-                    &streams,
-                    r.blocks_per_txn,
-                    spec.threads,
-                    spec.warmup,
-                ),
-                run_replay_phase(
-                    engine,
-                    &streams,
-                    r.blocks_per_txn,
-                    spec.threads,
-                    spec.measure,
-                ),
-            )
+            let w = run_replay_phase(
+                engine,
+                &streams,
+                r.blocks_per_txn,
+                spec.threads,
+                spec.warmup,
+            );
+            recorder.reset_window();
+            let m = run_replay_phase(
+                engine,
+                &streams,
+                r.blocks_per_txn,
+                spec.threads,
+                spec.measure,
+            );
+            (w, m)
         }
         ScenarioKind::Structs(_) => unreachable!("structs handled by drive"),
     };
+    let telemetry = recorder.snapshot();
     // Isolation invariant: writes are RMW increments, so the final heap
     // checksum must equal the committed write ops of both phases. Any lost
     // update, torn publish, or isolation leak breaks the equality.
@@ -195,6 +242,7 @@ fn drive_addr_level<E: TmEngine>(engine: &E, spec: &RunSpec) -> DriveOutcome {
         measure_elapsed: measure.elapsed,
         measure: measure.counters,
         violations,
+        telemetry,
     }
 }
 
@@ -237,11 +285,40 @@ fn sim_cross_check(spec: &RunSpec) -> Option<f64> {
     Some(result.aborts_per_commit())
 }
 
-fn finish(spec: &RunSpec, outcome: DriveOutcome, extra: AdaptiveExtra) -> RunResult {
+fn finish(spec: &RunSpec, outcome: &DriveOutcome, extra: AdaptiveExtra) -> RunResult {
     let elapsed_s = outcome.measure_elapsed.as_secs_f64();
     let commits = outcome.measure.commits;
     let aborts = outcome.measure.aborts;
-    let disjoint = spec.scenario.disjoint_data(spec.threads);
+    let telemetry = &outcome.telemetry;
+    let false_aborts = telemetry.cause(AbortCause::FalseConflict);
+    let abort_causes: Vec<(String, u64)> = AbortCause::ALL
+        .iter()
+        .filter_map(|&cause| {
+            let count = telemetry.cause(cause);
+            (count > 0).then(|| (cause.as_str().to_string(), count))
+        })
+        .collect();
+    let (p50, p95, p99) = match telemetry.txn.p50_p95_p99() {
+        Some((a, b, c)) => (Some(a), Some(b), Some(c)),
+        None => (None, None, None),
+    };
+    // The empirical-vs-model cross-check: Eq. 8 at the *observed* operating
+    // point — measured W and α, the run's thread count, and the table's
+    // final live geometry (the starting geometry everywhere but adaptive).
+    let mean_write_footprint = outcome.measure.mean_write_footprint();
+    let mean_alpha = outcome.measure.mean_alpha();
+    let live_entries = extra
+        .final_table_entries
+        .unwrap_or(spec.table_entries as u64);
+    let predicted_false_conflicts_per_commit = (commits > 0).then(|| {
+        lockstep::conflict_likelihood(
+            spec.threads.max(2),
+            mean_write_footprint.round().max(1.0) as u32,
+            mean_alpha.max(0.0),
+            live_entries,
+        )
+        .min(1.0)
+    });
     RunResult {
         engine: spec.engine.name().to_string(),
         scenario: spec.scenario.name.clone(),
@@ -264,12 +341,19 @@ fn finish(spec: &RunSpec, outcome: DriveOutcome, extra: AdaptiveExtra) -> RunRes
             0.0
         },
         aborts_per_commit: aborts as f64 / commits.max(1) as f64,
-        false_conflict_aborts: disjoint.then_some(aborts),
-        false_conflicts_per_commit: disjoint.then(|| aborts as f64 / commits.max(1) as f64),
+        false_conflict_aborts: Some(false_aborts),
+        false_conflicts_per_commit: Some(false_aborts as f64 / commits.max(1) as f64),
         invariant_violations: outcome.violations,
         sim_false_conflicts_per_commit: sim_cross_check(spec),
         final_table_entries: extra.final_table_entries,
         resizes: extra.resizes,
+        latency_p50_ns: p50,
+        latency_p95_ns: p95,
+        latency_p99_ns: p99,
+        abort_causes,
+        mean_write_footprint,
+        mean_alpha,
+        predicted_false_conflicts_per_commit,
     }
 }
 
@@ -327,7 +411,18 @@ impl MatrixConfig {
 /// total cells, result of the finished cell).
 pub fn run_matrix(
     config: &MatrixConfig,
+    progress: impl FnMut(usize, usize, &RunResult),
+) -> HarnessReport {
+    run_matrix_traced(config, progress, |_, _| {})
+}
+
+/// [`run_matrix`], additionally handing each finished cell's telemetry
+/// snapshot to `telemetry_sink` — the hook `--trace-out` uses to stream
+/// flight-recorder events as JSONL.
+pub fn run_matrix_traced(
+    config: &MatrixConfig,
     mut progress: impl FnMut(usize, usize, &RunResult),
+    mut telemetry_sink: impl FnMut(&RunResult, &TelemetrySnapshot),
 ) -> HarnessReport {
     let cells: Vec<(EngineKind, Scenario)> = config
         .engines
@@ -347,8 +442,9 @@ pub fn run_matrix(
             warmup: config.warmup,
             measure: config.measure,
         };
-        let result = execute(&spec);
+        let (result, telemetry) = execute_traced(&spec);
         progress(i, total, &result);
+        telemetry_sink(&result, &telemetry);
         runs.push(result);
     }
     HarnessReport::new(config.fast, runs)
@@ -378,7 +474,26 @@ mod tests {
         assert_eq!(r.commits, 120);
         assert_eq!(r.invariant_violations, 0);
         assert!(r.throughput_txn_s > 0.0);
-        assert!(r.false_conflict_aborts.is_none());
+        // v3: telemetry rides along on every cell.
+        let attributed: u64 = r.abort_causes.iter().map(|(_, c)| c).sum();
+        assert_eq!(attributed, r.aborts, "causes must sum to aborts");
+        assert!(r.latency_p50_ns.is_some());
+        assert!(r.latency_p50_ns <= r.latency_p95_ns && r.latency_p95_ns <= r.latency_p99_ns);
+        assert!(r.mean_write_footprint > 0.0);
+        assert!(r.predicted_false_conflicts_per_commit.is_some());
+        // Tagged tables cannot alias distinct blocks: no false conflicts.
+        assert_eq!(r.false_conflict_aborts, Some(0));
+    }
+
+    #[test]
+    fn traced_execution_exposes_flight_recorder_events() {
+        let (r, telemetry) = execute_traced(&quick_spec(
+            EngineKind::EagerTagged,
+            Scenario::uniform_mixed(),
+        ));
+        assert_eq!(telemetry.txn.count(), r.commits);
+        assert!(!telemetry.events.is_empty());
+        assert!(telemetry.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
     }
 
     #[test]
@@ -393,8 +508,11 @@ mod tests {
     #[test]
     fn disjoint_scenario_reports_false_conflicts() {
         let r = execute(&quick_spec(EngineKind::EagerTagless, Scenario::disjoint()));
+        // Cause attribution must agree with the construction: on a
+        // data-disjoint workload every abort is a false conflict.
         assert_eq!(r.false_conflict_aborts, Some(r.aborts));
         assert!(r.sim_false_conflicts_per_commit.is_some());
+        assert!(r.predicted_false_conflicts_per_commit.is_some());
     }
 
     #[test]

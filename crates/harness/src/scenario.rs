@@ -317,9 +317,27 @@ impl Scenario {
         ]
     }
 
-    /// Look a standard scenario up by its report name.
+    /// Look a standard scenario up by its report name
+    /// (ASCII-case-insensitive, matching the `--engine` flag's behavior).
     pub fn by_name(name: &str) -> Option<Scenario> {
-        Self::standard_matrix().into_iter().find(|s| s.name == name)
+        Self::standard_matrix()
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Scenario::by_name`], but the error spells out every accepted
+    /// name — what CLI front-ends should print for a typo'd `--scenario`.
+    pub fn by_name_or_describe(name: &str) -> Result<Scenario, String> {
+        Self::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown scenario '{name}' (valid: {})",
+                Self::standard_matrix()
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
     }
 
     /// `true` when the workload's data is disjoint across `threads` workers
@@ -412,6 +430,17 @@ mod tests {
         let matrix = Scenario::standard_matrix();
         for s in &matrix {
             assert!(Scenario::by_name(&s.name).is_some(), "{}", s.name);
+            // Case-insensitive, like the engine lookup.
+            assert!(
+                Scenario::by_name(&s.name.to_uppercase()).is_some(),
+                "{} uppercased",
+                s.name
+            );
+        }
+        let err = Scenario::by_name_or_describe("bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        for s in &matrix {
+            assert!(err.contains(s.name.as_str()), "{err} missing {}", s.name);
         }
         let mut names: Vec<_> = matrix.iter().map(|s| s.name.clone()).collect();
         names.sort();

@@ -75,6 +75,15 @@ pub struct StructsRun {
 }
 
 /// Run warmup + measure phases of a structs workload and verify invariants.
+///
+/// `between_phases` runs at the quiescent point after warmup and before
+/// measurement — the place to reset telemetry windows so recorded
+/// histograms and abort causes cover exactly the measured phase.
+/// `after_measure` runs right after the measured phase's workers join and
+/// *before* the sequential conservation checks, which execute their own
+/// transactions on the engine — the place to snapshot telemetry so
+/// verification traffic does not pollute it.
+#[allow(clippy::too_many_arguments)]
 pub fn run_structs<E: TmEngine>(
     stm: &E,
     kind: StructsKind,
@@ -83,6 +92,8 @@ pub fn run_structs<E: TmEngine>(
     warmup: Phase,
     measure: Phase,
     seed: u64,
+    between_phases: impl Fn(),
+    after_measure: impl Fn(),
 ) -> StructsRun {
     let mut region = Region::new(0, heap_words as u64 * 8);
     match kind {
@@ -102,7 +113,9 @@ pub fn run_structs<E: TmEngine>(
                 })
             };
             let w = phase_fn(warmup, warmup_seed(seed));
+            between_phases();
             let m = phase_fn(measure, seed);
+            after_measure();
             let expected = w
                 .tallies
                 .iter()
@@ -151,7 +164,9 @@ pub fn run_structs<E: TmEngine>(
                 })
             };
             let w = phase_fn(warmup, warmup_seed(seed));
+            between_phases();
             let m = phase_fn(measure, seed);
+            after_measure();
             // Per thread: warmup expectations, overridden by measure-phase
             // ones (key ranges are disjoint across threads, so the merge is
             // exact).
@@ -198,7 +213,9 @@ pub fn run_structs<E: TmEngine>(
                 })
             };
             let w = phase_fn(warmup, warmup_seed(seed));
+            between_phases();
             let m = phase_fn(measure, seed);
+            after_measure();
             let violations = verify_container(
                 w.tallies.iter().chain(&m.tallies),
                 queue.len_now(stm, 0),
@@ -233,7 +250,9 @@ pub fn run_structs<E: TmEngine>(
                 })
             };
             let w = phase_fn(warmup, warmup_seed(seed));
+            between_phases();
             let m = phase_fn(measure, seed);
+            after_measure();
             let violations = verify_container(
                 w.tallies.iter().chain(&m.tallies),
                 stack.len_now(stm, 0),
@@ -288,7 +307,9 @@ pub fn run_structs<E: TmEngine>(
                 })
             };
             let w = phase_fn(warmup, warmup_seed(seed));
+            between_phases();
             let m = phase_fn(measure, seed);
+            after_measure();
             // Conservation: what the threads observed going in and out must
             // match the surviving list exactly — in count, in value sum, in
             // sorted-set shape, and in node-pool accounting (a leaked or
@@ -382,6 +403,8 @@ mod tests {
             Phase::Txns(30),
             Phase::Txns(120),
             0xC0FFEE,
+            || {},
+            || {},
         )
     }
 

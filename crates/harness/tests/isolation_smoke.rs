@@ -91,3 +91,53 @@ fn disjoint_aborts_are_all_false_conflicts_and_tagged_has_none() {
     assert_eq!(tagless.false_conflict_aborts, Some(tagless.aborts));
     assert_eq!(tagless.invariant_violations, 0);
 }
+
+#[test]
+fn disjoint_cause_attribution_matches_construction_on_every_engine() {
+    // Since schema v3 `false_conflict_aborts` is not derived from the
+    // scenario's shape — it is the count of aborts the abort sites
+    // themselves tagged `false-conflict`. On data-disjoint workloads the
+    // attribution must agree with the construction exactly: every abort a
+    // false conflict, on every aliasing engine (eager tagless, lazy TL2,
+    // and the adaptive table mid-resize alike).
+    let spec = |engine| RunSpec {
+        threads: 4,
+        warmup: Phase::Txns(10),
+        measure: Phase::Txns(150),
+        table_entries: 256,
+        heap_words: 1 << 14,
+        ..RunSpec::new(engine, Scenario::disjoint())
+    };
+    for engine in [
+        EngineKind::EagerTagless,
+        EngineKind::Lazy,
+        EngineKind::Adaptive,
+    ] {
+        let r = execute(&spec(engine));
+        assert_eq!(
+            r.false_conflict_aborts,
+            Some(r.aborts),
+            "{engine}: every disjoint abort must be cause-tagged false"
+        );
+        let attributed: u64 = r.abort_causes.iter().map(|(_, c)| c).sum();
+        assert_eq!(attributed, r.aborts, "{engine}: causes must sum to aborts");
+        assert_eq!(r.invariant_violations, 0, "{engine}");
+    }
+
+    // And the tagged table's attributed stream contains no false conflicts
+    // even on a contended (non-disjoint) workload: record tags make every
+    // conflict genuine.
+    let tagged = execute(&RunSpec {
+        threads: 4,
+        warmup: Phase::Txns(10),
+        measure: Phase::Txns(150),
+        table_entries: 256,
+        heap_words: 1 << 14,
+        ..RunSpec::new(EngineKind::EagerTagged, Scenario::hotspot())
+    });
+    assert_eq!(
+        tagged.false_conflict_aborts,
+        Some(0),
+        "tagged tables cannot alias distinct blocks"
+    );
+}

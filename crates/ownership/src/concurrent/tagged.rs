@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictClass, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, TableConfig};
 use crate::stats::TableStats;
 
@@ -196,10 +196,11 @@ impl ConcurrentTaggedTable {
 
     fn conflict(&self, kind: ConflictKind, with: Option<ThreadId>) -> AcquireOutcome {
         self.counters.on_conflict(kind);
+        // A tagged record matched the block, so the conflict is genuine.
         AcquireOutcome::Conflict(Conflict {
             kind,
             with,
-            known_false: false,
+            class: ConflictClass::KnownTrue,
         })
     }
 

@@ -11,9 +11,10 @@
 //! overhead" that makes the tagless design attractive and that the paper
 //! shows comes at the cost of false conflicts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictClass, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
 use crate::stats::TableStats;
 
@@ -52,6 +53,8 @@ struct Counters {
     write_after_read: AtomicU64,
     write_after_write: AtomicU64,
     releases: AtomicU64,
+    false_conflicts: AtomicU64,
+    true_conflicts: AtomicU64,
 }
 
 impl Counters {
@@ -65,6 +68,11 @@ impl Counters {
     }
 
     fn snapshot(&self) -> TableStats {
+        let total_conflicts = self.read_after_write.load(Ordering::Relaxed)
+            + self.write_after_read.load(Ordering::Relaxed)
+            + self.write_after_write.load(Ordering::Relaxed);
+        let false_conflicts = self.false_conflicts.load(Ordering::Relaxed);
+        let true_conflicts = self.true_conflicts.load(Ordering::Relaxed);
         TableStats {
             read_acquires: self.read_acquires.load(Ordering::Relaxed),
             write_acquires: self.write_acquires.load(Ordering::Relaxed),
@@ -75,12 +83,116 @@ impl Counters {
             write_after_read: self.write_after_read.load(Ordering::Relaxed),
             write_after_write: self.write_after_write.load(Ordering::Relaxed),
             releases: self.releases.load(Ordering::Relaxed),
-            // Classification needs the out-of-band oracle; the concurrent
-            // table reports all conflicts unclassified.
-            unclassified_conflicts: self.read_after_write.load(Ordering::Relaxed)
-                + self.write_after_read.load(Ordering::Relaxed)
-                + self.write_after_write.load(Ordering::Relaxed),
+            false_conflicts,
+            true_conflicts,
+            // Whatever the hint classifier could not settle (everything,
+            // when classification is disabled).
+            unclassified_conflicts: total_conflicts
+                .saturating_sub(false_conflicts + true_conflicts),
             ..TableStats::default()
+        }
+    }
+}
+
+/// Reserved hint value: no block published.
+const NO_HINT: u32 = 0;
+/// Reserved hint value: the block address did not fit the hint encoding.
+const HINT_SATURATED: u32 = u32::MAX;
+
+#[inline]
+fn encode_hint(block: BlockAddr) -> u32 {
+    if block >= (HINT_SATURATED - 1) as u64 {
+        HINT_SATURATED
+    } else {
+        block as u32 + 1
+    }
+}
+
+/// Advisory per-thread block hints for classifying conflicts at the abort
+/// site (true = same block, false = table aliasing between distinct blocks).
+///
+/// Each active thread owns one lazily-allocated row of `num_entries` hint
+/// slots; a grant *publishes* the block it covers into the granter's slot
+/// **before** the grant CAS (the CAS's release ordering makes the hint
+/// visible to any requester that observes the grant), and *withdraws* it
+/// before the entry-word release. A conflicting requester scans the other
+/// threads' slots at its entry: a matching block proves a true conflict, any
+/// saturated hint leaves the verdict unknown, and differing (or vanished)
+/// hints classify as false — exact on data-disjoint workloads, advisory
+/// elsewhere (the holder's hint names only the *first* block it was granted
+/// at that entry; the tagged table is ground truth for true conflicts).
+#[derive(Debug)]
+struct Classifier {
+    rows: Vec<OnceLock<Vec<AtomicU32>>>,
+    /// One past the highest thread id that ever published (bounds scans).
+    watermark: AtomicU32,
+    num_entries: usize,
+}
+
+impl Classifier {
+    fn new(num_entries: usize, max_threads: usize) -> Self {
+        let mut rows = Vec::with_capacity(max_threads);
+        rows.resize_with(max_threads, OnceLock::new);
+        Classifier {
+            rows,
+            watermark: AtomicU32::new(0),
+            num_entries,
+        }
+    }
+
+    fn row(&self, txn: ThreadId) -> Option<&[AtomicU32]> {
+        let slot = self.rows.get(txn as usize)?;
+        Some(slot.get_or_init(|| {
+            self.watermark.fetch_max(txn + 1, Ordering::AcqRel);
+            let mut v = Vec::with_capacity(self.num_entries);
+            v.resize_with(self.num_entries, || AtomicU32::new(NO_HINT));
+            v
+        }))
+    }
+
+    #[inline]
+    fn publish(&self, txn: ThreadId, e: EntryIndex, block: BlockAddr) {
+        if let Some(row) = self.row(txn) {
+            row[e].store(encode_hint(block), Ordering::Release);
+        }
+    }
+
+    #[inline]
+    fn withdraw(&self, txn: ThreadId, e: EntryIndex) {
+        if let Some(row) = self.rows.get(txn as usize).and_then(OnceLock::get) {
+            row[e].store(NO_HINT, Ordering::Release);
+        }
+    }
+
+    fn classify(&self, txn: ThreadId, e: EntryIndex, block: BlockAddr) -> ConflictClass {
+        let mine = encode_hint(block);
+        if mine == HINT_SATURATED {
+            return ConflictClass::Unknown;
+        }
+        let n = (self.watermark.load(Ordering::Acquire) as usize).min(self.rows.len());
+        let mut verdict = ConflictClass::KnownFalse;
+        for (t, slot) in self.rows[..n].iter().enumerate() {
+            if t == txn as usize {
+                continue;
+            }
+            let Some(row) = slot.get() else { continue };
+            match row[e].load(Ordering::Acquire) {
+                NO_HINT => {}
+                h if h == mine => return ConflictClass::KnownTrue,
+                HINT_SATURATED => verdict = ConflictClass::Unknown,
+                _ => {}
+            }
+        }
+        verdict
+    }
+
+    fn clear(&self) {
+        for slot in &self.rows {
+            if let Some(row) = slot.get() {
+                for hint in row {
+                    hint.store(NO_HINT, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -91,19 +203,27 @@ impl Counters {
 pub struct ConcurrentTaglessTable {
     cfg: TableConfig,
     entries: Vec<AtomicU64>,
+    classifier: Option<Classifier>,
     counters: Counters,
 }
 
 impl ConcurrentTaglessTable {
-    /// Build a table from `cfg` (classification flags are ignored: the
-    /// concurrent table has no oracle).
+    /// Build a table from `cfg`. When
+    /// [`TableConfig::with_conflict_classification`] is on, the table keeps
+    /// per-thread block hints (one lazily-allocated row of `num_entries`
+    /// `u32`s per active thread up to [`TableConfig::max_threads`]) and
+    /// classifies every reported conflict as true or false.
     pub fn new(cfg: TableConfig) -> Self {
         let n = cfg.num_entries();
         let mut entries = Vec::with_capacity(n);
         entries.resize_with(n, || AtomicU64::new(pack(MODE_FREE, 0)));
+        let classifier = cfg
+            .classify_conflicts()
+            .then(|| Classifier::new(n, cfg.max_threads()));
         Self {
             cfg,
             entries,
+            classifier,
             counters: Counters::default(),
         }
     }
@@ -138,7 +258,40 @@ impl ConcurrentTaglessTable {
         (mode_of(w) == MODE_WRITE).then(|| payload_of(w))
     }
 
-    fn try_read(&self, e: EntryIndex) -> AcquireOutcome {
+    /// Record a conflict, classifying it against the other threads' hints.
+    fn conflicted(
+        &self,
+        txn: ThreadId,
+        e: EntryIndex,
+        block: BlockAddr,
+        kind: ConflictKind,
+        with: Option<ThreadId>,
+    ) -> AcquireOutcome {
+        self.counters.on_conflict(kind);
+        let class = match &self.classifier {
+            Some(c) => c.classify(txn, e, block),
+            None => ConflictClass::Unknown,
+        };
+        match class {
+            ConflictClass::KnownFalse => {
+                self.counters
+                    .false_conflicts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            ConflictClass::KnownTrue => {
+                self.counters.true_conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+            ConflictClass::Unknown => {}
+        }
+        AcquireOutcome::Conflict(Conflict { kind, with, class })
+    }
+
+    fn try_read(&self, txn: ThreadId, e: EntryIndex, block: BlockAddr) -> AcquireOutcome {
+        // Publish before the grant CAS: its release ordering makes the hint
+        // visible to any requester that observes the granted word.
+        if let Some(c) = &self.classifier {
+            c.publish(txn, e, block);
+        }
         let cell = &self.entries[e];
         let mut cur = cell.load(Ordering::Acquire);
         loop {
@@ -146,13 +299,16 @@ impl ConcurrentTaglessTable {
                 MODE_FREE => pack(MODE_READ, 1),
                 MODE_READ => pack(MODE_READ, payload_of(cur) + 1),
                 _ => {
-                    let kind = ConflictKind::ReadAfterWrite;
-                    self.counters.on_conflict(kind);
-                    return AcquireOutcome::Conflict(Conflict {
-                        kind,
-                        with: Some(payload_of(cur)),
-                        known_false: false,
-                    });
+                    if let Some(c) = &self.classifier {
+                        c.withdraw(txn, e);
+                    }
+                    return self.conflicted(
+                        txn,
+                        e,
+                        block,
+                        ConflictKind::ReadAfterWrite,
+                        Some(payload_of(cur)),
+                    );
                 }
             };
             match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
@@ -165,7 +321,10 @@ impl ConcurrentTaglessTable {
         }
     }
 
-    fn try_write(&self, txn: ThreadId, e: EntryIndex) -> AcquireOutcome {
+    fn try_write(&self, txn: ThreadId, e: EntryIndex, block: BlockAddr) -> AcquireOutcome {
+        if let Some(c) = &self.classifier {
+            c.publish(txn, e, block);
+        }
         let cell = &self.entries[e];
         let mut cur = cell.load(Ordering::Acquire);
         loop {
@@ -185,22 +344,22 @@ impl ConcurrentTaglessTable {
                     }
                 }
                 MODE_READ => {
-                    let kind = ConflictKind::WriteAfterRead;
-                    self.counters.on_conflict(kind);
-                    return AcquireOutcome::Conflict(Conflict {
-                        kind,
-                        with: None,
-                        known_false: false,
-                    });
+                    if let Some(c) = &self.classifier {
+                        c.withdraw(txn, e);
+                    }
+                    return self.conflicted(txn, e, block, ConflictKind::WriteAfterRead, None);
                 }
                 _ => {
-                    let kind = ConflictKind::WriteAfterWrite;
-                    self.counters.on_conflict(kind);
-                    return AcquireOutcome::Conflict(Conflict {
-                        kind,
-                        with: Some(payload_of(cur)),
-                        known_false: false,
-                    });
+                    if let Some(c) = &self.classifier {
+                        c.withdraw(txn, e);
+                    }
+                    return self.conflicted(
+                        txn,
+                        e,
+                        block,
+                        ConflictKind::WriteAfterWrite,
+                        Some(payload_of(cur)),
+                    );
                 }
             }
         }
@@ -208,7 +367,12 @@ impl ConcurrentTaglessTable {
 
     /// Caller must hold a read unit on `e`. Succeeds only if it is the sole
     /// reader (Read with sharers == 1 ⇒ that reader is the caller).
-    fn try_upgrade(&self, txn: ThreadId, e: EntryIndex) -> AcquireOutcome {
+    fn try_upgrade(&self, txn: ThreadId, e: EntryIndex, block: BlockAddr) -> AcquireOutcome {
+        // Re-publish with the block being written; the caller keeps its read
+        // unit either way, so the hint is not withdrawn on failure.
+        if let Some(c) = &self.classifier {
+            c.publish(txn, e, block);
+        }
         let cell = &self.entries[e];
         match cell.compare_exchange(
             pack(MODE_READ, 1),
@@ -227,18 +391,17 @@ impl ConcurrentTaglessTable {
                     MODE_READ,
                     "caller holds a read unit, so the entry must be in Read mode"
                 );
-                let kind = ConflictKind::WriteAfterRead;
-                self.counters.on_conflict(kind);
-                AcquireOutcome::Conflict(Conflict {
-                    kind,
-                    with: None,
-                    known_false: false,
-                })
+                self.conflicted(txn, e, block, ConflictKind::WriteAfterRead, None)
             }
         }
     }
 
-    fn release_read(&self, e: EntryIndex) {
+    fn release_read(&self, txn: ThreadId, e: EntryIndex) {
+        // Withdraw before the entry-word release so no requester can observe
+        // the grant gone but the hint still standing.
+        if let Some(c) = &self.classifier {
+            c.withdraw(txn, e);
+        }
         let cell = &self.entries[e];
         let mut cur = cell.load(Ordering::Acquire);
         loop {
@@ -261,7 +424,9 @@ impl ConcurrentTaglessTable {
 
     fn release_write(&self, txn: ThreadId, e: EntryIndex) {
         debug_assert_eq!(self.owner_of(e), Some(txn), "release_write by non-owner");
-        let _ = txn;
+        if let Some(c) = &self.classifier {
+            c.withdraw(txn, e);
+        }
         self.entries[e].store(pack(MODE_FREE, 0), Ordering::Release);
         self.counters.releases.fetch_add(1, Ordering::Relaxed);
     }
@@ -296,9 +461,9 @@ impl ConcurrentTable for ConcurrentTaglessTable {
                 self.counters.already_held.fetch_add(1, Ordering::Relaxed);
                 AcquireOutcome::AlreadyHeld
             }
-            (Access::Read, Held::None) => self.try_read(e),
-            (Access::Write, Held::None) => self.try_write(txn, e),
-            (Access::Write, Held::Read) => self.try_upgrade(txn, e),
+            (Access::Read, Held::None) => self.try_read(txn, e, block),
+            (Access::Write, Held::None) => self.try_write(txn, e, block),
+            (Access::Write, Held::Read) => self.try_upgrade(txn, e, block),
         }
     }
 
@@ -306,7 +471,7 @@ impl ConcurrentTable for ConcurrentTaglessTable {
         let e = key as EntryIndex;
         match held {
             Held::None => {}
-            Held::Read => self.release_read(e),
+            Held::Read => self.release_read(txn, e),
             Held::Write => self.release_write(txn, e),
         }
     }
@@ -341,6 +506,9 @@ impl ConcurrentTable for ConcurrentTaglessTable {
     }
 
     fn drain_grants(&self) -> u64 {
+        if let Some(c) = &self.classifier {
+            c.clear();
+        }
         let mut dropped = 0u64;
         for cell in &self.entries {
             let word = cell.swap(pack(MODE_FREE, 0), Ordering::AcqRel);
@@ -438,6 +606,122 @@ mod tests {
         assert_eq!(s.grants, 2);
         assert_eq!(s.write_after_write, 2);
         assert_eq!(s.unclassified_conflicts, 2);
+    }
+
+    fn classifying_table(n: usize) -> ConcurrentTaglessTable {
+        ConcurrentTaglessTable::new(
+            TableConfig::new(n)
+                .with_hash(HashKind::Mask)
+                .with_conflict_classification(true),
+        )
+    }
+
+    #[test]
+    fn classifier_attributes_true_and_false_conflicts() {
+        let t = classifying_table(16);
+        assert!(t.acquire(0, 2, Access::Write, Held::None).is_ok());
+        // Same block: a true conflict.
+        let c = t
+            .acquire(1, 2, Access::Write, Held::None)
+            .conflict()
+            .unwrap();
+        assert!(c.class.is_known_true(), "{c}");
+        // Block 18 aliases entry 2: a false conflict.
+        let c = t
+            .acquire(1, 18, Access::Write, Held::None)
+            .conflict()
+            .unwrap();
+        assert!(c.class.is_known_false(), "{c}");
+        // Read-side: reader of 18 collides with writer of 2 at entry 2.
+        let c = t
+            .acquire(1, 18, Access::Read, Held::None)
+            .conflict()
+            .unwrap();
+        assert_eq!(c.kind, ConflictKind::ReadAfterWrite);
+        assert!(c.class.is_known_false(), "{c}");
+        let s = t.stats_snapshot();
+        assert_eq!(s.true_conflicts, 1);
+        assert_eq!(s.false_conflicts, 2);
+        assert_eq!(s.unclassified_conflicts, 0);
+    }
+
+    #[test]
+    fn classifier_hints_withdrawn_on_release() {
+        let t = classifying_table(16);
+        assert!(t.acquire(0, 2, Access::Write, Held::None).is_ok());
+        t.release(0, t.grant_key(2), Held::Write);
+        // Thread 0's hint is gone; a fresh writer of the aliasing block sees
+        // a free entry and is granted.
+        assert!(t.acquire(1, 18, Access::Write, Held::None).is_ok());
+        // Thread 0 writing block 2 again now conflicts *falsely* with 18.
+        let c = t
+            .acquire(0, 2, Access::Write, Held::None)
+            .conflict()
+            .unwrap();
+        assert!(c.class.is_known_false(), "{c}");
+    }
+
+    #[test]
+    fn classifier_read_sharing_true_conflict_on_upgrade_contention() {
+        let t = classifying_table(16);
+        assert!(t.acquire(0, 3, Access::Read, Held::None).is_ok());
+        assert!(t.acquire(1, 3, Access::Read, Held::None).is_ok());
+        // Thread 0's upgrade fails against another reader of the same block.
+        let c = t
+            .acquire(0, 3, Access::Write, Held::Read)
+            .conflict()
+            .unwrap();
+        assert_eq!(c.kind, ConflictKind::WriteAfterRead);
+        assert!(c.class.is_known_true(), "{c}");
+    }
+
+    #[test]
+    fn classification_disabled_reports_unknown() {
+        let t = table(16);
+        assert!(t.acquire(0, 2, Access::Write, Held::None).is_ok());
+        let c = t
+            .acquire(1, 2, Access::Write, Held::None)
+            .conflict()
+            .unwrap();
+        assert_eq!(c.class, ConflictClass::Unknown);
+        let s = t.stats_snapshot();
+        assert_eq!(s.unclassified_conflicts, 1);
+        assert_eq!(s.false_conflicts + s.true_conflicts, 0);
+    }
+
+    #[test]
+    fn classifier_disjoint_stress_all_false() {
+        // 4 threads, fully disjoint block sets, tiny table: every conflict
+        // must classify as false.
+        let t = std::sync::Arc::new(classifying_table(8));
+        let false_seen = std::sync::atomic::AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            for id in 0..4u32 {
+                let (t, false_seen) = (&t, &false_seen);
+                s.spawn(move |_| {
+                    for round in 0..2_000u64 {
+                        // Disjoint per-thread block ranges, all multiples of 8
+                        // so every block aliases to entry 0 of the 8-entry
+                        // table: maximal cross-thread aliasing, zero sharing.
+                        let block = id as u64 * 1000 + 8 * (round % 16);
+                        let key = t.grant_key(block);
+                        match t.acquire(id, block, Access::Write, Held::None) {
+                            AcquireOutcome::Conflict(c) => {
+                                assert!(c.class.is_known_false(), "disjoint workload produced {c}");
+                                false_seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            AcquireOutcome::Granted => t.release(id, key, Held::Write),
+                            AcquireOutcome::AlreadyHeld => {}
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = t.stats_snapshot();
+        assert_eq!(s.false_conflicts, false_seen.load(Ordering::Relaxed));
+        assert_eq!(s.true_conflicts, 0);
+        assert_eq!(s.unclassified_conflicts, 0);
     }
 
     #[test]

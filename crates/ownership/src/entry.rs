@@ -87,6 +87,42 @@ impl fmt::Display for ConflictKind {
     }
 }
 
+/// The table's verdict on whether a conflict was *false* (an alias between
+/// distinct blocks sharing one entry — the paper's central quantity) or
+/// *true* (a genuine collision on the same block).
+///
+/// Tagless tables can only classify when built with conflict classification
+/// enabled ([`crate::hashing::TableConfig::with_conflict_classification`]):
+/// sequential tables consult an out-of-band oracle; the concurrent table
+/// compares advisory per-thread block hints published alongside grants.
+/// Tagged tables never produce false conflicts by construction, so they
+/// always report [`ConflictClass::KnownTrue`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ConflictClass {
+    /// The table could not compare block identities (classification
+    /// disabled, or the evidence raced away before it could be read).
+    #[default]
+    Unknown,
+    /// Proven to involve the **same** block — inherent to the workload.
+    KnownTrue,
+    /// Proven to be an alias between **different** blocks.
+    KnownFalse,
+}
+
+impl ConflictClass {
+    /// `true` when proven to be an alias between distinct blocks.
+    #[inline]
+    pub fn is_known_false(self) -> bool {
+        matches!(self, ConflictClass::KnownFalse)
+    }
+
+    /// `true` when proven to involve the same block.
+    #[inline]
+    pub fn is_known_true(self) -> bool {
+        matches!(self, ConflictClass::KnownTrue)
+    }
+}
+
 /// A detected conflict, as reported by an acquire attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Conflict {
@@ -96,13 +132,9 @@ pub struct Conflict {
     /// [`ConflictKind::WriteAfterRead`] against multiple sharers has no
     /// single owner to report).
     pub with: Option<ThreadId>,
-    /// `true` when the table can prove the conflict is *false* — i.e. the
-    /// two parties accessed **different** cache blocks that merely alias in
-    /// the table. Tagless tables can only classify this when built with
-    /// conflict classification enabled (an out-of-band oracle the paper's
-    /// simulators use); tagged tables never produce false conflicts, so this
-    /// is always `false` for them.
-    pub known_false: bool,
+    /// The true/false classification verdict, when the table can produce
+    /// one (see [`ConflictClass`]).
+    pub class: ConflictClass,
 }
 
 impl fmt::Display for Conflict {
@@ -111,8 +143,10 @@ impl fmt::Display for Conflict {
         if let Some(t) = self.with {
             write!(f, " with thread {t}")?;
         }
-        if self.known_false {
-            write!(f, " (false/alias)")?;
+        match self.class {
+            ConflictClass::KnownFalse => write!(f, " (false/alias)")?,
+            ConflictClass::KnownTrue => write!(f, " (true/same-block)")?,
+            ConflictClass::Unknown => {}
         }
         Ok(())
     }
@@ -168,7 +202,7 @@ mod tests {
         let c = Conflict {
             kind: ConflictKind::WriteAfterWrite,
             with: Some(3),
-            known_false: true,
+            class: ConflictClass::KnownFalse,
         };
         let o = AcquireOutcome::Conflict(c);
         assert!(!o.is_ok());
@@ -183,14 +217,23 @@ mod tests {
         let c = Conflict {
             kind: ConflictKind::ReadAfterWrite,
             with: Some(7),
-            known_false: false,
+            class: ConflictClass::Unknown,
         };
         assert_eq!(c.to_string(), "read-after-write conflict with thread 7");
         let cf = Conflict {
             kind: ConflictKind::WriteAfterRead,
             with: None,
-            known_false: true,
+            class: ConflictClass::KnownFalse,
         };
         assert_eq!(cf.to_string(), "write-after-read conflict (false/alias)");
+        let ct = Conflict {
+            kind: ConflictKind::WriteAfterWrite,
+            with: Some(2),
+            class: ConflictClass::KnownTrue,
+        };
+        assert_eq!(
+            ct.to_string(),
+            "write-after-write conflict with thread 2 (true/same-block)"
+        );
     }
 }

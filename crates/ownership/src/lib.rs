@@ -63,13 +63,13 @@ pub(crate) mod util;
 pub mod versioned;
 
 pub use concurrent::{ConcurrentTaggedTable, ConcurrentTaglessTable, GrantSnapshot};
-pub use entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+pub use entry::{Access, AcquireOutcome, Conflict, ConflictClass, ConflictKind, Mode, ThreadId};
 pub use footprint::TxnFootprint;
 pub use hashing::{BlockAddr, BlockMapper, EntryIndex, HashKind, TableConfig};
 pub use smallmap::{FastHashState, SmallKey, SmallMap};
 pub use tagged::{Bucket, OwnershipRecord, TaggedTable};
 pub use tagless::TaglessTable;
-pub use versioned::{Stamp, VersionedStats, VersionedTable};
+pub use versioned::{fingerprint_of, Stamp, VersionedStats, VersionedTable, FP_NONE, FP_SATURATED};
 
 /// Common interface over sequential ownership-table organizations.
 ///

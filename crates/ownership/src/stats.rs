@@ -2,7 +2,7 @@
 //! classification, intra-transaction aliasing, table occupancy, and (for the
 //! tagged organization) chain-length behaviour.
 
-use crate::entry::ConflictKind;
+use crate::entry::{ConflictClass, ConflictKind};
 
 /// Counters accumulated by an ownership table.
 ///
@@ -69,18 +69,18 @@ impl TableStats {
         }
     }
 
-    /// Record a conflict outcome and its (optional) classification.
+    /// Record a conflict outcome and its classification verdict.
     #[inline]
-    pub(crate) fn on_conflict(&mut self, kind: ConflictKind, known_false: Option<bool>) {
+    pub(crate) fn on_conflict(&mut self, kind: ConflictKind, class: ConflictClass) {
         match kind {
             ConflictKind::ReadAfterWrite => self.read_after_write += 1,
             ConflictKind::WriteAfterRead => self.write_after_read += 1,
             ConflictKind::WriteAfterWrite => self.write_after_write += 1,
         }
-        match known_false {
-            Some(true) => self.false_conflicts += 1,
-            Some(false) => self.true_conflicts += 1,
-            None => self.unclassified_conflicts += 1,
+        match class {
+            ConflictClass::KnownFalse => self.false_conflicts += 1,
+            ConflictClass::KnownTrue => self.true_conflicts += 1,
+            ConflictClass::Unknown => self.unclassified_conflicts += 1,
         }
     }
 
@@ -153,7 +153,7 @@ mod tests {
         s.on_acquire(false);
         s.on_acquire(true);
         s.on_acquire(true);
-        s.on_conflict(ConflictKind::WriteAfterWrite, Some(true));
+        s.on_conflict(ConflictKind::WriteAfterWrite, ConflictClass::KnownFalse);
         assert_eq!(s.total_acquires(), 3);
         assert_eq!(s.total_conflicts(), 1);
         assert!((s.conflict_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
@@ -164,9 +164,9 @@ mod tests {
     #[test]
     fn conflict_kind_buckets() {
         let mut s = TableStats::default();
-        s.on_conflict(ConflictKind::ReadAfterWrite, None);
-        s.on_conflict(ConflictKind::WriteAfterRead, Some(false));
-        s.on_conflict(ConflictKind::WriteAfterWrite, None);
+        s.on_conflict(ConflictKind::ReadAfterWrite, ConflictClass::Unknown);
+        s.on_conflict(ConflictKind::WriteAfterRead, ConflictClass::KnownTrue);
+        s.on_conflict(ConflictKind::WriteAfterWrite, ConflictClass::Unknown);
         assert_eq!(s.read_after_write, 1);
         assert_eq!(s.write_after_read, 1);
         assert_eq!(s.write_after_write, 1);
@@ -204,7 +204,7 @@ mod tests {
     fn reset_zeroes_everything() {
         let mut s = TableStats::default();
         s.on_acquire(true);
-        s.on_conflict(ConflictKind::WriteAfterWrite, None);
+        s.on_conflict(ConflictKind::WriteAfterWrite, ConflictClass::Unknown);
         s.reset();
         assert_eq!(s, TableStats::default());
     }

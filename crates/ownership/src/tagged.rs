@@ -9,7 +9,7 @@
 //! indirection is rarely traversed; [`crate::stats::TableStats::chain_hist`]
 //! lets experiments confirm that.
 
-use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictClass, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
 use crate::smallmap::SmallMap;
 use crate::stats::TableStats;
@@ -229,11 +229,11 @@ impl TaggedTable {
 
     fn conflict(&mut self, kind: ConflictKind, with: Option<ThreadId>) -> AcquireOutcome {
         // Tagged conflicts are always genuine: the record matched the block.
-        self.stats.on_conflict(kind, Some(false));
+        self.stats.on_conflict(kind, ConflictClass::KnownTrue);
         AcquireOutcome::Conflict(Conflict {
             kind,
             with,
-            known_false: false,
+            class: ConflictClass::KnownTrue,
         })
     }
 
@@ -451,7 +451,7 @@ mod tests {
         let c = t.acquire(1, 3, Access::Write).conflict().unwrap();
         assert_eq!(c.kind, ConflictKind::WriteAfterWrite);
         assert_eq!(c.with, Some(0));
-        assert!(!c.known_false);
+        assert!(c.class.is_known_true());
         assert_eq!(t.stats().true_conflicts, 1);
         assert_eq!(t.stats().false_conflicts, 0);
     }

@@ -15,7 +15,7 @@
 
 use std::collections::HashSet;
 
-use crate::entry::{Access, AcquireOutcome, Conflict, ConflictKind, Mode, ThreadId};
+use crate::entry::{Access, AcquireOutcome, Conflict, ConflictClass, ConflictKind, Mode, ThreadId};
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
 use crate::stats::TableStats;
 use crate::util::BitSet;
@@ -306,13 +306,13 @@ impl TaglessTable {
         kind: ConflictKind,
         with: Option<ThreadId>,
     ) -> AcquireOutcome {
-        let classification = self.classify(e, txn, block, access);
-        self.stats.on_conflict(kind, classification);
-        AcquireOutcome::Conflict(Conflict {
-            kind,
-            with,
-            known_false: classification.unwrap_or(false),
-        })
+        let class = match self.classify(e, txn, block, access) {
+            Some(true) => ConflictClass::KnownFalse,
+            Some(false) => ConflictClass::KnownTrue,
+            None => ConflictClass::Unknown,
+        };
+        self.stats.on_conflict(kind, class);
+        AcquireOutcome::Conflict(Conflict { kind, with, class })
     }
 
     /// Release every entry `txn` holds (transaction commit or abort).
@@ -433,12 +433,15 @@ mod tests {
         let mut t = TaglessTable::new(cfg(16).with_conflict_classification(true));
         assert_eq!(t.acquire(0, 3, Access::Write), AcquireOutcome::Granted);
         let c = t.acquire(1, 19, Access::Write).conflict().unwrap();
-        assert!(c.known_false, "distinct blocks must classify as false");
+        assert!(
+            c.class.is_known_false(),
+            "distinct blocks must classify as false"
+        );
         assert_eq!(t.stats().false_conflicts, 1);
 
         // Same block: a true conflict.
         let c = t.acquire(2, 3, Access::Write).conflict().unwrap();
-        assert!(!c.known_false);
+        assert!(c.class.is_known_true());
         assert_eq!(t.stats().true_conflicts, 1);
     }
 

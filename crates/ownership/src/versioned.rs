@@ -22,12 +22,40 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::hashing::{BlockAddr, EntryIndex, TableConfig};
 
-/// Entry encoding: bit 0 = locked, bits 1..64 = version.
+/// Entry encoding: bit 0 = locked, bits 1..34 = version, bits 34..64 = the
+/// *fingerprint* of the block the last writer (or current locker) covered.
+///
+/// The fingerprint lets an aborting reader attribute its abort: if the
+/// version moved (or the entry is locked) and the recorded fingerprint names
+/// a *different* block than the one being read, the invalidation was pure
+/// table aliasing — a false conflict. Fingerprints are exact for block
+/// addresses below 2^30 − 2 (every workload in this workspace) and saturate
+/// above; 0 means "unknown". The version field wraps at 2^33 (~8.6 G
+/// writing commits), far beyond any run this repo performs.
 const LOCKED: u64 = 1;
+const VERSION_BITS: u32 = 33;
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+const FP_SHIFT: u32 = 1 + VERSION_BITS;
+
+/// Fingerprint value meaning "no information".
+pub const FP_NONE: u32 = 0;
+/// Fingerprint value meaning "block address out of encodable range".
+pub const FP_SATURATED: u32 = (1 << 30) - 1;
+
+/// The block fingerprint stored in an entry word: exact (`block + 1`) below
+/// the saturation bound, [`FP_SATURATED`] above it.
+#[inline]
+pub fn fingerprint_of(block: BlockAddr) -> u32 {
+    if block >= (FP_SATURATED - 1) as u64 {
+        FP_SATURATED
+    } else {
+        block as u32 + 1
+    }
+}
 
 #[inline]
-fn pack(version: u64, locked: bool) -> u64 {
-    (version << 1) | locked as u64
+fn pack(version: u64, locked: bool, fp: u32) -> u64 {
+    ((version & VERSION_MASK) << 1) | locked as u64 | ((fp as u64) << FP_SHIFT)
 }
 
 /// A snapshot of one entry's versioned lock word.
@@ -37,15 +65,28 @@ pub struct Stamp {
     pub version: u64,
     /// Whether the entry was write-locked.
     pub locked: bool,
+    /// Fingerprint of the block the last writer (or, while locked, the
+    /// locking writer) covered at this entry; [`FP_NONE`] when unknown.
+    pub fp: u32,
 }
 
 impl Stamp {
     #[inline]
     fn from_word(word: u64) -> Self {
         Stamp {
-            version: word >> 1,
+            version: (word >> 1) & VERSION_MASK,
             locked: word & LOCKED != 0,
+            fp: (word >> FP_SHIFT) as u32,
         }
+    }
+
+    /// Whether the stamp's fingerprint *proves* the covered block differs
+    /// from `block` (i.e. a conflict against this entry would be false).
+    /// Saturated or absent fingerprints prove nothing.
+    #[inline]
+    pub fn covers_other_block(&self, block: BlockAddr) -> bool {
+        let mine = fingerprint_of(block);
+        self.fp != FP_NONE && self.fp != FP_SATURATED && mine != FP_SATURATED && self.fp != mine
     }
 }
 
@@ -89,7 +130,7 @@ impl VersionedTable {
     pub fn new(cfg: TableConfig) -> Self {
         let n = cfg.num_entries();
         let mut entries = Vec::with_capacity(n);
-        entries.resize_with(n, || AtomicU64::new(pack(0, false)));
+        entries.resize_with(n, || AtomicU64::new(pack(0, false, FP_NONE)));
         Self {
             cfg,
             entries,
@@ -130,18 +171,35 @@ impl VersionedTable {
         s
     }
 
-    /// Attempt to write-lock `entry`, expecting it unlocked at `version`
-    /// (CAS). Returns whether the lock was obtained.
+    /// Attempt to write-lock `entry`, expecting it unlocked at `version`.
+    /// Returns whether the lock was obtained. Equivalent to
+    /// [`VersionedTable::try_lock_fp`] with no fingerprint.
     #[inline]
     pub fn try_lock(&self, entry: EntryIndex, version: u64) -> bool {
-        let ok = self.entries[entry]
-            .compare_exchange(
-                pack(version, false),
-                pack(version, true),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok();
+        self.try_lock_fp(entry, version, FP_NONE)
+    }
+
+    /// Attempt to write-lock `entry`, expecting it unlocked at `version`,
+    /// installing `fp` (the fingerprint of the block being written) in the
+    /// locked word so concurrent aborters can classify their conflicts
+    /// against this lock. Returns whether the lock was obtained.
+    #[inline]
+    pub fn try_lock_fp(&self, entry: EntryIndex, version: u64, fp: u32) -> bool {
+        // Load-check-CAS rather than a blind CAS: the stored word carries the
+        // previous writer's fingerprint, which the caller cannot know.
+        let cell = &self.entries[entry];
+        let cur = cell.load(Ordering::Acquire);
+        let s = Stamp::from_word(cur);
+        let ok = !s.locked
+            && s.version == version
+            && cell
+                .compare_exchange(
+                    cur,
+                    pack(version, true, fp),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok();
         if ok {
             self.counters.locks.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -151,24 +209,34 @@ impl VersionedTable {
     }
 
     /// Release a lock previously obtained with [`VersionedTable::try_lock`],
-    /// installing `new_version` (writer commit).
+    /// installing `new_version` (writer commit). The fingerprint installed
+    /// at lock time is preserved: the entry now names the block the
+    /// committing writer covered.
     #[inline]
     pub fn unlock_bump(&self, entry: EntryIndex, new_version: u64) {
-        debug_assert!(
-            Stamp::from_word(self.entries[entry].load(Ordering::Relaxed)).locked,
-            "unlock_bump on unlocked entry"
-        );
-        self.entries[entry].store(pack(new_version, false), Ordering::Release);
+        let s = Stamp::from_word(self.entries[entry].load(Ordering::Relaxed));
+        debug_assert!(s.locked, "unlock_bump on unlocked entry");
+        self.entries[entry].store(pack(new_version, false, s.fp), Ordering::Release);
     }
 
-    /// Release a lock restoring the pre-lock version (writer abort).
+    /// Release a lock restoring the pre-lock version (writer abort), with no
+    /// fingerprint information. Prefer [`VersionedTable::unlock_restore_fp`]
+    /// when the pre-lock stamp is at hand.
     #[inline]
     pub fn unlock_restore(&self, entry: EntryIndex, old_version: u64) {
+        self.unlock_restore_fp(entry, old_version, FP_NONE);
+    }
+
+    /// Release a lock restoring the pre-lock version *and* fingerprint
+    /// (writer abort): readers that later fail against this entry classify
+    /// against the original writer's block, not the aborted locker's.
+    #[inline]
+    pub fn unlock_restore_fp(&self, entry: EntryIndex, old_version: u64, old_fp: u32) {
         debug_assert!(
             Stamp::from_word(self.entries[entry].load(Ordering::Relaxed)).locked,
             "unlock_restore on unlocked entry"
         );
-        self.entries[entry].store(pack(old_version, false), Ordering::Release);
+        self.entries[entry].store(pack(old_version, false, old_fp), Ordering::Release);
     }
 
     /// Commit-time read validation: the entry must be unlocked and still at
@@ -218,7 +286,8 @@ mod tests {
             s,
             Stamp {
                 version: 0,
-                locked: false
+                locked: false,
+                fp: FP_NONE
             }
         );
 
@@ -233,9 +302,47 @@ mod tests {
             s,
             Stamp {
                 version: 7,
-                locked: false
+                locked: false,
+                fp: FP_NONE
             }
         );
+    }
+
+    #[test]
+    fn fingerprint_installed_preserved_and_restored() {
+        let t = table(16);
+        let e = 4;
+        // Lock with block 9's fingerprint; a bump preserves it.
+        assert!(t.try_lock_fp(e, 0, fingerprint_of(9)));
+        assert_eq!(t.sample(e).fp, fingerprint_of(9));
+        t.unlock_bump(e, 1);
+        let s = t.sample(e);
+        assert!(!s.locked);
+        assert_eq!(s.fp, fingerprint_of(9));
+        assert!(s.covers_other_block(10));
+        assert!(!s.covers_other_block(9));
+
+        // An aborting locker restores the previous writer's fingerprint.
+        assert!(t.try_lock_fp(e, 1, fingerprint_of(25)));
+        assert_eq!(t.sample(e).fp, fingerprint_of(25));
+        t.unlock_restore_fp(e, 1, s.fp);
+        let s = t.sample(e);
+        assert_eq!((s.version, s.locked, s.fp), (1, false, fingerprint_of(9)));
+
+        // Unknown and saturated fingerprints prove nothing.
+        assert!(!Stamp {
+            version: 0,
+            locked: false,
+            fp: FP_NONE
+        }
+        .covers_other_block(3));
+        assert!(!Stamp {
+            version: 0,
+            locked: false,
+            fp: FP_SATURATED
+        }
+        .covers_other_block(3));
+        assert_eq!(fingerprint_of(u64::MAX), FP_SATURATED);
     }
 
     #[test]

@@ -2,12 +2,16 @@
 //! machine-readable report, or diff two reports as a CI regression gate.
 //!
 //! ```text
-//! harness [--fast] [--out results.json] [--engine NAME]... [--scenario NAME]...
+//! harness [--fast] [--out results.json] [--trace-out events.jsonl]
+//!         [--engine NAME]... [--scenario NAME]...
 //!         [--threads N] [--table-entries N] [--seed N]
 //!         [--warmup-ms N] [--measure-ms N]
 //! harness compare <baseline.json> <candidate.json> [--tolerance-pct P]
 //! harness compare --baseline <path> --candidate <path> [--tolerance-pct P]
 //! ```
+//!
+//! `--trace-out` streams every cell's flight-recorder events as JSONL, one
+//! event per line, each tagged with the run key (`engine/scenario/tN`).
 //!
 //! `compare` exits 0 when the candidate is within tolerance of the baseline
 //! on every gated metric, non-zero otherwise — this is what CI gates on.
@@ -32,7 +36,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: harness [--fast] [--out FILE] [--engine NAME]... [--scenario NAME]...\n\
+        "usage: harness [--fast] [--out FILE] [--trace-out FILE]\n\
+         \x20              [--engine NAME]... [--scenario NAME]...\n\
          \x20              [--threads N] [--table-entries N] [--seed N]\n\
          \x20              [--warmup-ms N] [--measure-ms N]\n\
          \x20      harness compare <baseline> <candidate> [--tolerance-pct P]\n\
@@ -59,6 +64,7 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
     let mut engines: Vec<EngineKind> = Vec::new();
     let mut scenarios: Vec<Scenario> = Vec::new();
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -71,6 +77,12 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
             "--out" => {
                 out = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| usage("--out needs a path")),
+                ));
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
                 ));
             }
             "--engine" => {
@@ -86,13 +98,12 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
                 let name = it
                     .next()
                     .unwrap_or_else(|| usage("--scenario needs a name"));
-                if name == "all" {
+                if name.eq_ignore_ascii_case("all") {
                     scenarios = Scenario::standard_matrix();
                 } else {
-                    scenarios.push(
-                        Scenario::by_name(name)
-                            .unwrap_or_else(|| usage(&format!("unknown scenario '{name}'"))),
-                    );
+                    // Case-insensitive, and a typo lists every valid name.
+                    scenarios
+                        .push(Scenario::by_name_or_describe(name).unwrap_or_else(|e| usage(&e)));
                 }
             }
             "--threads" => config.threads = parse_num(&mut it, "--threads"),
@@ -113,18 +124,60 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
         config.scenarios = scenarios;
     }
 
-    let report = tm_harness::run_matrix(&config, |i, total, r| {
+    let mut trace = match &trace_out {
+        Some(path) => {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: creating {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            match std::fs::File::create(path) {
+                Ok(f) => Some(std::io::BufWriter::new(f)),
+                Err(e) => {
+                    eprintln!("error: creating {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let mut traced_events = 0u64;
+    let report = tm_harness::run_matrix_traced(
+        &config,
+        |i, total, r| {
+            eprintln!(
+                "[{}/{}] {}/{}: {} commits, {} aborts, {} txn/s",
+                i + 1,
+                total,
+                r.engine,
+                r.scenario,
+                r.commits,
+                r.aborts,
+                f3(r.throughput_txn_s),
+            );
+        },
+        |r, telemetry| {
+            if let Some(w) = trace.as_mut() {
+                use std::io::Write as _;
+                for event in &telemetry.events {
+                    let _ = writeln!(w, "{{\"run\":\"{}\",{}}}", r.key(), event.fields_json());
+                }
+                traced_events += telemetry.events.len() as u64;
+            }
+        },
+    );
+    if let Some(mut w) = trace {
+        use std::io::Write as _;
+        if let Err(e) = w.flush() {
+            eprintln!("error: writing trace: {e}");
+            return ExitCode::FAILURE;
+        }
         eprintln!(
-            "[{}/{}] {}/{}: {} commits, {} aborts, {} txn/s",
-            i + 1,
-            total,
-            r.engine,
-            r.scenario,
-            r.commits,
-            r.aborts,
-            f3(r.throughput_txn_s),
+            "wrote {} ({traced_events} events)",
+            trace_out.as_ref().expect("trace implies path").display(),
         );
-    });
+    }
 
     let mut table = Table::new(
         format!(
@@ -137,16 +190,27 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
             "engine",
             "scenario",
             "ktxn/s",
+            "p50/p95/p99 us",
             "aborts/commit",
             "false-conf/commit",
             "violations",
         ],
     );
+    let us = |ns: Option<u64>| {
+        ns.map(|ns| format!("{:.1}", ns as f64 / 1e3))
+            .unwrap_or_else(|| "-".into())
+    };
     for r in &report.runs {
         table.row(&[
             r.engine.clone(),
             r.scenario.clone(),
             f3(r.throughput_txn_s / 1e3),
+            format!(
+                "{}/{}/{}",
+                us(r.latency_p50_ns),
+                us(r.latency_p95_ns),
+                us(r.latency_p99_ns)
+            ),
             f3(r.aborts_per_commit),
             r.false_conflicts_per_commit
                 .map(f3)

@@ -1,0 +1,78 @@
+//! Property tests for the log-linear latency histogram: count conservation
+//! under insert and merge, percentile monotonicity, and merge
+//! order-independence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tm_telemetry::Histogram;
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Inserting n samples then merging k histograms conserves the total
+    /// count exactly.
+    #[test]
+    fn insert_and_merge_conserve_count(
+        parts in vec(vec(0u64..u64::MAX, 0..80), 1..6),
+    ) {
+        let expected: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(&build(part));
+        }
+        prop_assert_eq!(merged.count(), expected);
+    }
+
+    /// Percentiles are monotone in the quantile: p50 ≤ p95 ≤ p99, and more
+    /// generally any q ≤ q' gives percentile(q) ≤ percentile(q').
+    #[test]
+    fn percentiles_monotone(
+        samples in vec(0u64..1 << 48, 1..200),
+        q_lo in 0.0f64..1.0,
+        q_hi in 0.0f64..1.0,
+    ) {
+        let h = build(&samples);
+        let (p50, p95, p99) = h.p50_p95_p99().unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        let (lo, hi) = if q_lo <= q_hi { (q_lo, q_hi) } else { (q_hi, q_lo) };
+        prop_assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
+    }
+
+    /// Merging is order-independent: folding the same parts in any rotation
+    /// produces an identical histogram (same buckets, same percentiles).
+    #[test]
+    fn merge_order_independent(
+        parts in vec(vec(0u64..1 << 40, 0..60), 2..5),
+        rot in 0usize..4,
+    ) {
+        let mut forward = Histogram::new();
+        for part in &parts {
+            forward.merge(&build(part));
+        }
+        let mut rotated = Histogram::new();
+        let k = rot % parts.len();
+        for part in parts[k..].iter().chain(parts[..k].iter()) {
+            rotated.merge(&build(part));
+        }
+        prop_assert_eq!(&forward, &rotated);
+    }
+
+    /// A percentile never exceeds the largest sample and, for q = 1, never
+    /// undershoots the largest sample by more than the bucket width (6.25 %).
+    #[test]
+    fn percentile_bounded_by_extremes(samples in vec(1u64..1 << 40, 1..120)) {
+        let h = build(&samples);
+        let max = *samples.iter().max().unwrap();
+        let p100 = h.percentile(1.0).unwrap();
+        prop_assert!(p100 <= max);
+        prop_assert!((max - p100) as f64 <= max as f64 / 16.0 + 1.0);
+    }
+}

@@ -143,8 +143,14 @@ proptest! {
                             t != txn && b == block && (w || write)
                         });
                         prop_assert_eq!(
-                            c.known_false,
+                            c.class.is_known_false(),
                             !genuine,
+                            "block {} txn {}: {:?}",
+                            block, txn, c
+                        );
+                        prop_assert_eq!(
+                            c.class.is_known_true(),
+                            genuine,
                             "block {} txn {}: {:?}",
                             block, txn, c
                         );
