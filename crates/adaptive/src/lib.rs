@@ -68,21 +68,28 @@ use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
 use tm_stm::{Probe, Stm, StmBuilder};
 
 /// Terminal methods extending [`StmBuilder`] with the adaptive engines, so
-/// the one fluent constructor covers this crate too:
+/// the one fluent constructor covers this crate too. Like every other
+/// terminal, these are generic over the builder's probe axis: chain
+/// `.probe(recorder)` before the terminal to attach telemetry, and the
+/// controller reports executed resizes to it as `on_resize` events.
 ///
 /// ```
 /// use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
-/// use tm_stm::{StmBuilder, TmEngine, TxnOps};
+/// use tm_stm::{ReadOps, StmBuilder, TmEngine, TxnOps};
 ///
 /// let (stm, mut controller) = StmBuilder::new()
 ///     .heap_words(1 << 16)
 ///     .table_entries(256)
 ///     .build_adaptive(ResizePolicy::default(), 4);
 /// stm.run(0, |txn| txn.write(0, 7));
-/// assert_eq!(stm.heap().load(0), 7);
+/// assert_eq!(stm.run_read(0, |txn| txn.read(0)), 7);
 /// assert_eq!(controller.epochs(), 0);
 /// ```
 pub trait AdaptiveStmBuilder {
+    /// The probe type the built engine carries, inherited from the
+    /// builder's `.probe(..)` axis.
+    type Probe: Probe;
+
     /// An eager STM over an adaptively-sized **tagless** table, plus the
     /// controller that keeps the table sized to the workload. Call
     /// [`AdaptiveController::tick`] periodically (timer thread, batch
@@ -92,7 +99,7 @@ pub trait AdaptiveStmBuilder {
         policy: ResizePolicy,
         concurrency: u32,
     ) -> (
-        Stm<ResizableTable<ConcurrentTaglessTable>>,
+        Stm<ResizableTable<ConcurrentTaglessTable>, Self::Probe>,
         AdaptiveController,
     );
 
@@ -104,31 +111,20 @@ pub trait AdaptiveStmBuilder {
         policy: ResizePolicy,
         concurrency: u32,
     ) -> (
-        Stm<ResizableTable<ConcurrentTaggedTable>>,
-        AdaptiveController,
-    );
-
-    /// [`build_adaptive`](AdaptiveStmBuilder::build_adaptive) with an
-    /// attached telemetry probe; the controller reports executed resizes to
-    /// it as `on_resize` events.
-    fn build_adaptive_probed<P: Probe>(
-        &self,
-        policy: ResizePolicy,
-        concurrency: u32,
-        probe: P,
-    ) -> (
-        Stm<ResizableTable<ConcurrentTaglessTable>, P>,
+        Stm<ResizableTable<ConcurrentTaggedTable>, Self::Probe>,
         AdaptiveController,
     );
 }
 
-impl AdaptiveStmBuilder for StmBuilder {
+impl<P: Probe + Clone> AdaptiveStmBuilder for StmBuilder<P> {
+    type Probe = P;
+
     fn build_adaptive(
         &self,
         policy: ResizePolicy,
         concurrency: u32,
     ) -> (
-        Stm<ResizableTable<ConcurrentTaglessTable>>,
+        Stm<ResizableTable<ConcurrentTaglessTable>, P>,
         AdaptiveController,
     ) {
         let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaglessTable::new);
@@ -143,28 +139,12 @@ impl AdaptiveStmBuilder for StmBuilder {
         policy: ResizePolicy,
         concurrency: u32,
     ) -> (
-        Stm<ResizableTable<ConcurrentTaggedTable>>,
+        Stm<ResizableTable<ConcurrentTaggedTable>, P>,
         AdaptiveController,
     ) {
         let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaggedTable::new);
         (
             self.build_with_table(table),
-            AdaptiveController::new(policy, concurrency),
-        )
-    }
-
-    fn build_adaptive_probed<P: Probe>(
-        &self,
-        policy: ResizePolicy,
-        concurrency: u32,
-        probe: P,
-    ) -> (
-        Stm<ResizableTable<ConcurrentTaglessTable>, P>,
-        AdaptiveController,
-    ) {
-        let table = ResizableTable::with_factory(self.table_config(), ConcurrentTaglessTable::new);
-        (
-            self.build_with_table_probed(table, probe),
             AdaptiveController::new(policy, concurrency),
         )
     }

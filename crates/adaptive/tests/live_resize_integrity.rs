@@ -7,7 +7,7 @@ use std::sync::Arc;
 use tm_adaptive::{adaptive_stm, resizable_tagless, ResizePolicy};
 use tm_ownership::concurrent::{ConcurrentTable, Held};
 use tm_ownership::{Access, HashKind, TableConfig};
-use tm_stm::{TmEngine, TxnOps};
+use tm_stm::{ReadOps, TmEngine, TxnOps};
 
 /// Transactional counters stay exact while a background thread resizes the
 /// table through five geometries: a lost write grant would let increments

@@ -1,14 +1,18 @@
 //! Hot-path microbenchmark: per-attempt heap allocations and single-thread
 //! transaction latency for every engine family.
 //!
-//! Two bodies, each measured twice:
+//! Three bodies, each measured twice:
 //!
 //! * the **synthetic** body (4 uniform reads + 4 uniform RMW increments,
 //!   the paper's small-W regime) at the raw `TxnOps` level;
 //! * the **list-chase** body: one insert + one remove on a warmed `TList`
 //!   through the typed object layer — a full pointer-chasing traversal
 //!   plus a transactional node alloc *and* free per transaction, proving
-//!   the typed layer and `TxAlloc` add no per-attempt heap traffic.
+//!   the typed layer and `TxAlloc` add no per-attempt heap traffic;
+//! * the **read-only** body (8 plain reads, same footprint size) on the
+//!   wait-free `run_read` path — which additionally asserts the read
+//!   path's structural contract: zero ownership-table grants (eager) and
+//!   zero commit locks (lazy) across the entire run.
 //!
 //! 1. **Allocation count** — a counting global allocator tallies every
 //!    `alloc`/`realloc` while a warmed-up thread runs transactions. The
@@ -29,7 +33,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tm_stm::{Recorder, Region, StmBuilder, TmEngine, TxnOps};
+use tm_stm::{
+    ConcurrentTable, LazyStm, Probe, ReadOps, Recorder, Region, Stm, StmBuilder, TmEngine, TxnOps,
+};
 use tm_structs::TList;
 
 /// Global allocator shim that counts allocation events (not bytes: the
@@ -109,6 +115,73 @@ fn measure<E: TmEngine>(engine: &E) -> Outcome {
         allocs_per_txn: events as f64 / txns as f64,
         ns_per_txn: elapsed.as_nanos() as f64 / txns as f64,
     }
+}
+
+/// One read-only transaction on the wait-free path: the same footprint
+/// size as the standard body, all plain reads, via `run_read`.
+fn one_read_txn<E: TmEngine>(engine: &E, i: u64) {
+    engine.run_read(0, |txn| {
+        let mut sum = 0u64;
+        for k in 0..(READS + WRITES) as u64 {
+            sum = sum.wrapping_add(txn.read(((i + k) % WORKING_SET) * 64)?);
+        }
+        Ok(black_box(sum))
+    });
+}
+
+fn measure_read<E: TmEngine>(engine: &E) -> Outcome {
+    for i in 0..10_000u64 {
+        one_read_txn(engine, i);
+    }
+    let txns = 100_000u64;
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for i in 0..txns {
+        one_read_txn(engine, i);
+    }
+    let events = ALLOC_EVENTS.load(Ordering::Relaxed) - before;
+
+    let t0 = Instant::now();
+    for i in 0..txns {
+        one_read_txn(engine, black_box(i));
+    }
+    let elapsed = t0.elapsed();
+
+    Outcome {
+        allocs_per_txn: events as f64 / txns as f64,
+        ns_per_txn: elapsed.as_nanos() as f64 / txns as f64,
+    }
+}
+
+/// [`measure_read`] on an eager engine, also asserting the read path's
+/// structural contract: zero ownership-table grants across the whole run,
+/// and every transaction accounted on the read-only counter.
+fn measure_read_eager<T: ConcurrentTable, P: Probe>(stm: &Stm<T, P>) -> Outcome {
+    let grants_before = stm.table().stats_snapshot().grants;
+    let out = measure_read(stm);
+    assert_eq!(
+        stm.table().stats_snapshot().grants,
+        grants_before,
+        "read-only transactions must never acquire ownership-table grants"
+    );
+    let s = stm.stats();
+    assert_eq!(s.commits, 0, "read path must stay off the write counters");
+    assert_eq!(s.read_only_commits, 210_000);
+    out
+}
+
+/// [`measure_read`] on the lazy engine, asserting no commit locks taken.
+fn measure_read_lazy<P: Probe>(stm: &LazyStm<P>) -> Outcome {
+    let locks_before = stm.table_stats().locks;
+    let out = measure_read(stm);
+    assert_eq!(
+        stm.table_stats().locks,
+        locks_before,
+        "read-only transactions must never take commit locks"
+    );
+    let s = stm.stats();
+    assert_eq!(s.commits, 0);
+    assert_eq!(s.read_only_commits, 210_000);
+    out
 }
 
 /// Live elements the warmed list carries (even values; odd values churn).
@@ -205,25 +278,31 @@ fn main() {
         tolerate,
     );
 
+    // Read-only path: the same footprint, all plain reads, on `run_read`.
+    // Beyond the zero-allocation contract, the helpers assert the read
+    // path's structural promise — zero ownership-table grants (eager) and
+    // zero commit locks (lazy) over 210k read-only transactions.
+    let read_only: Vec<(&str, Outcome)> = vec![
+        (
+            "eager-tagless",
+            measure_read_eager(&builder.build_tagless()),
+        ),
+        ("eager-tagged", measure_read_eager(&builder.build_tagged())),
+        ("lazy-tl2", measure_read_lazy(&builder.build_lazy())),
+    ];
+    report("read-only: 8 reads via run_read", &read_only, tolerate);
+
     // Telemetry-on overhead: the same synthetic body with a live Recorder
     // probe (histograms + cause counters + flight-recorder ring). The
     // recorder preallocates everything, so the zero-allocation assertion
     // holds here too; the cost is clock reads and striped atomics, reported
     // as a percentage against the telemetry-off runs above.
     let recorder = Arc::new(Recorder::new());
+    let probed_builder = builder.clone().probe(Arc::clone(&recorder));
     let probed: Vec<(&str, Outcome)> = vec![
-        (
-            "eager-tagless",
-            measure(&builder.build_tagless_probed(Arc::clone(&recorder))),
-        ),
-        (
-            "eager-tagged",
-            measure(&builder.build_tagged_probed(Arc::clone(&recorder))),
-        ),
-        (
-            "lazy-tl2",
-            measure(&builder.build_lazy_probed(Arc::clone(&recorder))),
-        ),
+        ("eager-tagless", measure(&probed_builder.build_tagless())),
+        ("eager-tagged", measure(&probed_builder.build_tagged())),
+        ("lazy-tl2", measure(&probed_builder.build_lazy())),
     ];
     report(
         "4 reads + 4 RMW writes, Recorder attached",

@@ -34,7 +34,7 @@
 
 use std::marker::PhantomData;
 
-use crate::engine::TxnOps;
+use crate::engine::{ReadOps, TxnOps};
 use crate::heap::WORD_BYTES;
 use crate::stm::Aborted;
 use crate::typed::{CapacityError, TRef, TxLayout, TxResult, TxWord};
@@ -168,7 +168,7 @@ impl<T: TxLayout> TxAlloc<T> {
     /// bounded: a corrupt (e.g. double-freed) list is reported as a count
     /// exceeding [`capacity`](TxAlloc::capacity) rather than looping
     /// forever, so audits can flag it.
-    pub fn free_cells<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
+    pub fn free_cells<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         let mut listed = 0u64;
         let mut cur = self.free_head.get(txn)?;
         while let Some(cell) = cur {
@@ -184,7 +184,7 @@ impl<T: TxLayout> TxAlloc<T> {
 
     /// Cells currently allocated (capacity minus free), inside a
     /// transaction. Same cost caveats as [`free_cells`](TxAlloc::free_cells).
-    pub fn live_cells<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
+    pub fn live_cells<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         Ok(self.capacity.saturating_sub(self.free_cells(txn)?))
     }
 }
@@ -192,7 +192,7 @@ impl<T: TxLayout> TxAlloc<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{StmBuilder, TmEngine};
+    use crate::engine::{ReadOps, StmBuilder, TmEngine};
     use crate::Region;
 
     fn pool(cells: u64) -> (crate::Stm<crate::ConcurrentTaggedTable>, TxAlloc<u64>) {

@@ -8,24 +8,30 @@
 //! [`ConcurrentTable`]) and the lazy TL2-style engine — so every workload
 //! can be measured on every organization.
 //!
-//! * [`TxnOps`] is what a transaction body sees: `read`/`write`/`update`/
-//!   `retry` plus per-transaction counters. [`Txn`] and
-//!   [`LazyTxn`](crate::LazyTxn) implement it; `tm-structs` structures are
-//!   generic over it, so they compose into any engine's transactions.
+//! * [`ReadOps`] is the read-only operation surface — what a
+//!   [`TmEngine::run_read`] body sees. [`TxnOps`] extends it with the write
+//!   surface for read-write bodies. [`Txn`] and [`LazyTxn`](crate::LazyTxn)
+//!   implement both; the read-only [`ReadTxn`](crate::ReadTxn) and
+//!   [`LazyReadTxn`](crate::LazyReadTxn) implement only [`ReadOps`], so a
+//!   write inside a read-only body is a *compile error*, not a runtime
+//!   abort. `tm-structs` structures are generic over these traits, so they
+//!   compose into any engine's transactions.
 //! * [`TmEngine`] is what a driver sees: `run`/`try_run`/`run_with` under a
-//!   pluggable [`RetryPolicy`], the shared [`Heap`], and a unified
+//!   pluggable [`RetryPolicy`], the wait-free read-only path
+//!   ([`run_read`](TmEngine::run_read)), the shared [`Heap`], and a unified
 //!   [`EngineStats`] snapshot with `since()`/`abort_ratio()` that makes
 //!   cross-engine numbers commensurable.
 //! * [`StmBuilder`] replaces the ad-hoc constructor zoo: one fluent entry
-//!   point covering table geometry, contention policy, and retry policy,
-//!   with a typed terminal per engine (`build_tagless`, `build_tagged`,
-//!   `build_lazy`, and `build_with_table` for wrapped tables such as
-//!   `tm-adaptive`'s resizable one).
+//!   point covering table geometry, contention policy, retry policy,
+//!   read-path policy, and telemetry probe, with a typed terminal per
+//!   engine (`build_tagless`, `build_tagged`, `build_lazy`, and
+//!   `build_with_table` for wrapped tables such as `tm-adaptive`'s
+//!   resizable one).
 //!
 //! # The same closure on every engine
 //!
 //! ```
-//! use tm_stm::{StmBuilder, TmEngine, TxnOps};
+//! use tm_stm::{ReadOps, StmBuilder, TmEngine, TxnOps};
 //!
 //! // One workload, written against the traits...
 //! fn transfer<E: TmEngine>(stm: &E) -> u64 {
@@ -34,7 +40,9 @@
 //!         let a = txn.read(0)?;
 //!         txn.write(64, a / 2)?;
 //!         txn.update(0, |v| v / 2)
-//!     })
+//!     });
+//!     // Read it back without touching the ownership table at all.
+//!     stm.run_read(0, |txn| txn.read(0))
 //! }
 //!
 //! // ...runs identically on all three engine families.
@@ -48,15 +56,51 @@ use tm_ownership::concurrent::ConcurrentTable;
 use tm_ownership::{
     ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, TableConfig, ThreadId,
 };
-use tm_telemetry::Probe;
+use tm_telemetry::{NoopProbe, Probe};
 
 use crate::contention::{ContentionPolicy, RetryPolicy};
 use crate::heap::{Heap, WORD_BYTES};
 use crate::lazy::LazyStm;
+use crate::readpath::ReadPathPolicy;
 use crate::stats::EngineStats;
 use crate::stm::{Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
 
-/// The address-level operations a transaction body is written against.
+/// The read-only operation surface — everything a transaction body may do
+/// without writing.
+///
+/// This is the bound on [`TmEngine::ReadTxn`], so a body handed to
+/// [`TmEngine::run_read`] can read and voluntarily retry but has no write
+/// surface at all: a write inside a read-only transaction is rejected by
+/// the type system, not detected at runtime. It is also the supertrait of
+/// [`TxnOps`], so read-only helpers (struct `contains`/`get` queries,
+/// typed-layer `TRef::get`) written against `ReadOps` compose into both
+/// read-write and read-only transactions on every engine.
+///
+/// Object safety matches `TxnOps`: `read`/`read_count` are dispatchable
+/// through `&mut dyn ReadOps`; the generic convenience `retry` needs a
+/// sized receiver (spell it `Err(Aborted)` in `dyn` contexts).
+pub trait ReadOps {
+    /// Transactional read of the word at `addr`.
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted>;
+
+    /// Words read so far in this attempt (including write-buffer hits,
+    /// where the transaction has one).
+    fn read_count(&self) -> u64;
+
+    /// Voluntarily abort this attempt (e.g. a precondition failed and the
+    /// caller wants a clean retry). Equivalent to returning `Err(Aborted)`
+    /// from the body — which is also the spelling to use in `dyn` contexts,
+    /// where this generic convenience is not dispatchable.
+    fn retry<R>(&self) -> Result<R, Aborted>
+    where
+        Self: Sized,
+    {
+        Err(Aborted)
+    }
+}
+
+/// The full read-write operation surface a transaction body is written
+/// against: [`ReadOps`] plus the write side.
 ///
 /// Implemented by the eager [`Txn`] and the lazy
 /// [`LazyTxn`](crate::LazyTxn); code generic over `TxnOps` (or taking
@@ -64,16 +108,10 @@ use crate::stm::{Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
 /// are object-safe; the generic conveniences `update`/`retry` need a sized
 /// receiver) composes into either engine's transactions — this is the
 /// trait `tm-structs` structures build on.
-pub trait TxnOps {
-    /// Transactional read of the word at `addr`.
-    fn read(&mut self, addr: u64) -> Result<u64, Aborted>;
-
+pub trait TxnOps: ReadOps {
     /// Transactional write of `value` to the word at `addr` (buffered until
     /// commit).
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted>;
-
-    /// Words read so far in this attempt (including write-buffer hits).
-    fn read_count(&self) -> u64;
 
     /// Words written so far in this attempt.
     fn write_count(&self) -> u64;
@@ -100,19 +138,6 @@ pub trait TxnOps {
         let mut f = Some(f);
         self.update_with(addr, &mut |v| (f.take().expect("update runs once"))(v))
     }
-
-    /// Voluntarily abort this attempt (e.g. a precondition failed and the
-    /// caller wants a clean retry). Equivalent to returning `Err(Aborted)`
-    /// from the body — which is also the spelling to use in `dyn TxnOps`
-    /// contexts, where this generic convenience is not dispatchable (just
-    /// as [`update_with`](TxnOps::update_with) is the `dyn` spelling of
-    /// [`update`](TxnOps::update)).
-    fn retry<R>(&self) -> Result<R, Aborted>
-    where
-        Self: Sized,
-    {
-        Err(Aborted)
-    }
 }
 
 /// A transactional-memory engine the generic machinery (harness drivers,
@@ -128,6 +153,13 @@ pub trait TmEngine: Sync {
     where
         Self: 'e;
 
+    /// The in-flight **read-only** transaction handed to
+    /// [`run_read`](TmEngine::run_read) bodies. Bounded by [`ReadOps`]
+    /// only, so the write surface does not exist on it.
+    type ReadTxn<'e>: ReadOps
+    where
+        Self: 'e;
+
     /// Run `body` as a transaction for thread `me` under an explicit retry
     /// `policy`. Returns the body's result, or
     /// [`RetryLimitExceeded`] once a bounded policy's budget is spent.
@@ -140,6 +172,26 @@ pub trait TmEngine: Sync {
         me: ThreadId,
         policy: RetryPolicy,
         body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded>
+    where
+        Self: Sized;
+
+    /// Run `body` as a **read-only** transaction for thread `me` under an
+    /// explicit retry `policy`.
+    ///
+    /// The read path never touches the ownership table: the eager engines
+    /// serve reads from a publication-gate-validated heap snapshot, the
+    /// lazy engine from TL2 version sampling against its begin snapshot.
+    /// Read-only transactions therefore acquire no grants, stall no
+    /// writer, and sit entirely outside the paper's false-conflict budget;
+    /// their outcomes land in [`EngineStats::read_only_commits`] /
+    /// [`EngineStats::read_validation_retries`], never in the write-side
+    /// `commits`/`aborts`.
+    fn run_read_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        body: impl FnMut(&mut Self::ReadTxn<'s>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded>
     where
         Self: Sized;
@@ -168,6 +220,48 @@ pub trait TmEngine: Sync {
             Ok(r) => r,
             Err(_) => unreachable!("an unbounded policy cannot exhaust its budget"),
         }
+    }
+
+    /// Run a read-only `body` for thread `me`, retrying on validation
+    /// failure until it commits. Returns the closure's result.
+    ///
+    /// Writes are unrepresentable inside the body — this is a compile
+    /// error, not a runtime abort:
+    ///
+    /// ```compile_fail,E0599
+    /// use tm_stm::{ReadOps, StmBuilder, TmEngine};
+    ///
+    /// let stm = StmBuilder::new().heap_words(16).table_entries(16).build_tagless();
+    /// stm.run_read(0, |txn| {
+    ///     txn.write(0, 1)?; // ERROR: no `write` on a read-only transaction
+    ///     Ok(())
+    /// });
+    /// ```
+    fn run_read<'s, R>(
+        &'s self,
+        me: ThreadId,
+        body: impl FnMut(&mut Self::ReadTxn<'s>) -> Result<R, Aborted>,
+    ) -> R
+    where
+        Self: Sized,
+    {
+        match self.run_read_with(me, RetryPolicy::Unbounded, body) {
+            Ok(r) => r,
+            Err(_) => unreachable!("an unbounded policy cannot exhaust its budget"),
+        }
+    }
+
+    /// Run a read-only `body` under the engine's configured
+    /// [`retry_policy`](TmEngine::retry_policy).
+    fn run_read_configured<'s, R>(
+        &'s self,
+        me: ThreadId,
+        body: impl FnMut(&mut Self::ReadTxn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded>
+    where
+        Self: Sized,
+    {
+        self.run_read_with(me, self.retry_policy(), body)
     }
 
     /// Like [`run`](TmEngine::run) but giving up after `max_attempts`
@@ -214,6 +308,11 @@ impl<E: TmEngine + Send> TmEngine for std::sync::Arc<E> {
     where
         Self: 'e;
 
+    type ReadTxn<'e>
+        = E::ReadTxn<'e>
+    where
+        Self: 'e;
+
     fn run_with<'s, R>(
         &'s self,
         me: ThreadId,
@@ -221,6 +320,15 @@ impl<E: TmEngine + Send> TmEngine for std::sync::Arc<E> {
         body: impl FnMut(&mut Self::Txn<'s>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         (**self).run_with(me, policy, body)
+    }
+
+    fn run_read_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        body: impl FnMut(&mut Self::ReadTxn<'s>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        (**self).run_read_with(me, policy, body)
     }
 
     fn retry_policy(&self) -> RetryPolicy {
@@ -242,6 +350,11 @@ impl<T: ConcurrentTable, P: Probe> TmEngine for Stm<T, P> {
     where
         Self: 'e;
 
+    type ReadTxn<'e>
+        = crate::ReadTxn<'e, T, P>
+    where
+        Self: 'e;
+
     fn run_with<'s, R>(
         &'s self,
         me: ThreadId,
@@ -249,6 +362,15 @@ impl<T: ConcurrentTable, P: Probe> TmEngine for Stm<T, P> {
         mut body: impl FnMut(&mut Txn<'s, T, P>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         self.run_with_budget(me, policy.budget(), &mut body)
+    }
+
+    fn run_read_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut crate::ReadTxn<'s, T, P>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        self.run_read_with_budget(me, policy.budget(), &mut body)
     }
 
     fn retry_policy(&self) -> RetryPolicy {
@@ -270,6 +392,11 @@ impl<P: Probe> TmEngine for LazyStm<P> {
     where
         Self: 'e;
 
+    type ReadTxn<'e>
+        = crate::LazyReadTxn<'e, P>
+    where
+        Self: 'e;
+
     fn run_with<'s, R>(
         &'s self,
         me: ThreadId,
@@ -277,6 +404,15 @@ impl<P: Probe> TmEngine for LazyStm<P> {
         mut body: impl FnMut(&mut crate::LazyTxn<'s, P>) -> Result<R, Aborted>,
     ) -> Result<R, RetryLimitExceeded> {
         self.run_with_budget(me, policy.budget(), &mut body)
+    }
+
+    fn run_read_with<'s, R>(
+        &'s self,
+        me: ThreadId,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut crate::LazyReadTxn<'s, P>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        self.run_read_with_budget(me, policy.budget(), &mut body)
     }
 
     fn retry_policy(&self) -> RetryPolicy {
@@ -297,11 +433,16 @@ impl<P: Probe> TmEngine for LazyStm<P> {
 /// zoo (those remain as one-line shorthands over this builder).
 ///
 /// Axes: heap size × table geometry (entries, block bytes, hash kind,
-/// conflict classification) × [`ContentionPolicy`] × [`RetryPolicy`]. The
-/// engine kind is the typed terminal method, so each engine keeps its
-/// concrete type (no boxing on the hot path). The builder is `Clone` and
-/// terminals take `&self`, so one geometry can mint several engines for
-/// side-by-side comparison.
+/// conflict classification) × [`ContentionPolicy`] × [`RetryPolicy`] ×
+/// [`ReadPathPolicy`] × telemetry probe. The engine kind is the typed
+/// terminal method, so each engine keeps its concrete type (no boxing on
+/// the hot path). The builder is `Clone` and terminals take `&self`, so
+/// one geometry can mint several engines for side-by-side comparison.
+///
+/// The probe is a *type axis*: [`probe`](StmBuilder::probe) converts a
+/// `StmBuilder` into a `StmBuilder<Q>`, and every terminal then mints
+/// engines carrying that probe type — there is one set of terminals, not a
+/// plain/`_probed` pair per engine.
 ///
 /// ```
 /// use tm_stm::{ContentionPolicy, RetryPolicy, StmBuilder, TmEngine, TxnOps};
@@ -316,8 +457,25 @@ impl<P: Probe> TmEngine for LazyStm<P> {
 /// stm.run(0, |txn| txn.write(0, 7));
 /// assert_eq!(stm.heap().load(0), 7);
 /// ```
+///
+/// Attaching a probe (the engine type tracks it):
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_stm::{StmBuilder, TmEngine, TxnOps};
+/// use tm_telemetry::Recorder;
+///
+/// let recorder = Arc::new(Recorder::new());
+/// let stm = StmBuilder::new()
+///     .heap_words(64)
+///     .table_entries(64)
+///     .probe(Arc::clone(&recorder))
+///     .build_tagless();
+/// stm.run(0, |txn| txn.write(0, 1));
+/// assert_eq!(recorder.snapshot().txn.count(), 1);
+/// ```
 #[derive(Clone, Debug)]
-pub struct StmBuilder {
+pub struct StmBuilder<P: Probe = NoopProbe> {
     heap_words: usize,
     table_entries: usize,
     block_bytes: Option<usize>,
@@ -325,6 +483,8 @@ pub struct StmBuilder {
     classify_conflicts: Option<bool>,
     contention: ContentionPolicy,
     retry: RetryPolicy,
+    read_path: ReadPathPolicy,
+    probe: P,
 }
 
 impl Default for StmBuilder {
@@ -336,7 +496,7 @@ impl Default for StmBuilder {
 impl StmBuilder {
     /// A builder with the workspace's defaults: a 64k-word heap, a
     /// 4096-entry table of default geometry, suicide contention handling,
-    /// and unbounded retry.
+    /// unbounded retry, the default read-path spin budget, and no probe.
     pub fn new() -> Self {
         Self {
             heap_words: 1 << 16,
@@ -346,9 +506,13 @@ impl StmBuilder {
             classify_conflicts: None,
             contention: ContentionPolicy::default(),
             retry: RetryPolicy::default(),
+            read_path: ReadPathPolicy::default(),
+            probe: NoopProbe,
         }
     }
+}
 
+impl<P: Probe> StmBuilder<P> {
     /// Heap size in 64-bit words.
     pub fn heap_words(mut self, words: usize) -> Self {
         self.heap_words = words;
@@ -393,6 +557,33 @@ impl StmBuilder {
         self
     }
 
+    /// Tuning for the read-only path (see [`ReadPathPolicy`]): how long a
+    /// `run_read` attempt spins on an in-flight publication (eager) or a
+    /// commit-locked entry (lazy) before aborting into backoff.
+    pub fn read_path(mut self, policy: ReadPathPolicy) -> Self {
+        self.read_path = policy;
+        self
+    }
+
+    /// Attach a telemetry probe (e.g. [`tm_telemetry::Recorder`]), changing
+    /// the builder's probe *type*: every terminal afterwards mints engines
+    /// that carry `Q` statically, so an un-probed build keeps zero
+    /// telemetry cost. Terminals clone the probe into each engine, so an
+    /// `Arc<Recorder>` shared across engines fans out naturally.
+    pub fn probe<Q: Probe>(self, probe: Q) -> StmBuilder<Q> {
+        StmBuilder {
+            heap_words: self.heap_words,
+            table_entries: self.table_entries,
+            block_bytes: self.block_bytes,
+            hash: self.hash,
+            classify_conflicts: self.classify_conflicts,
+            contention: self.contention,
+            retry: self.retry,
+            read_path: self.read_path,
+            probe,
+        }
+    }
+
     /// The table geometry this builder currently describes.
     pub fn table_config(&self) -> TableConfig {
         let mut cfg = TableConfig::new(self.table_entries);
@@ -413,6 +604,7 @@ impl StmBuilder {
         StmConfig {
             contention: self.contention,
             retry: self.retry,
+            read_path: self.read_path,
         }
     }
 
@@ -421,57 +613,37 @@ impl StmBuilder {
     pub fn configured_heap_words(&self) -> usize {
         self.heap_words
     }
+}
 
+impl<P: Probe + Clone> StmBuilder<P> {
     /// An eager STM over a **tagless** table (paper Figure 1).
-    pub fn build_tagless(&self) -> Stm<ConcurrentTaglessTable> {
+    pub fn build_tagless(&self) -> Stm<ConcurrentTaglessTable, P> {
         self.build_with_table(ConcurrentTaglessTable::new(self.table_config()))
     }
 
     /// An eager STM over a **tagged** chained table (paper Figure 7).
-    pub fn build_tagged(&self) -> Stm<ConcurrentTaggedTable> {
+    pub fn build_tagged(&self) -> Stm<ConcurrentTaggedTable, P> {
         self.build_with_table(ConcurrentTaggedTable::new(self.table_config()))
     }
 
     /// A lazy TL2-style STM over the versioned tagless table.
-    pub fn build_lazy(&self) -> LazyStm {
-        LazyStm::with_config(self.heap_words, self.table_config()).with_retry(self.retry)
+    pub fn build_lazy(&self) -> LazyStm<P> {
+        LazyStm::with_config_probed(self.heap_words, self.table_config(), self.probe.clone())
+            .with_retry(self.retry)
+            .with_read_path(self.read_path)
     }
 
     /// An eager STM over a caller-supplied table — the extension point for
     /// wrapped organizations (`tm-adaptive`'s `ResizableTable`, custom
     /// instrumented tables). The table should be built from
     /// [`table_config`](StmBuilder::table_config) so geometry knobs apply.
-    pub fn build_with_table<T: ConcurrentTable>(&self, table: T) -> Stm<T> {
-        Stm::new(self.heap_words, table, self.stm_config())
-    }
-
-    /// [`build_tagless`](StmBuilder::build_tagless) with an attached
-    /// telemetry probe (e.g. [`tm_telemetry::Recorder`]).
-    pub fn build_tagless_probed<P: Probe>(&self, probe: P) -> Stm<ConcurrentTaglessTable, P> {
-        self.build_with_table_probed(ConcurrentTaglessTable::new(self.table_config()), probe)
-    }
-
-    /// [`build_tagged`](StmBuilder::build_tagged) with an attached
-    /// telemetry probe.
-    pub fn build_tagged_probed<P: Probe>(&self, probe: P) -> Stm<ConcurrentTaggedTable, P> {
-        self.build_with_table_probed(ConcurrentTaggedTable::new(self.table_config()), probe)
-    }
-
-    /// [`build_lazy`](StmBuilder::build_lazy) with an attached telemetry
-    /// probe.
-    pub fn build_lazy_probed<P: Probe>(&self, probe: P) -> LazyStm<P> {
-        LazyStm::with_config_probed(self.heap_words, self.table_config(), probe)
-            .with_retry(self.retry)
-    }
-
-    /// [`build_with_table`](StmBuilder::build_with_table) with an attached
-    /// telemetry probe.
-    pub fn build_with_table_probed<T: ConcurrentTable, P: Probe>(
-        &self,
-        table: T,
-        probe: P,
-    ) -> Stm<T, P> {
-        Stm::with_probe(self.heap_words, table, self.stm_config(), probe)
+    pub fn build_with_table<T: ConcurrentTable>(&self, table: T) -> Stm<T, P> {
+        Stm::with_probe(
+            self.heap_words,
+            table,
+            self.stm_config(),
+            self.probe.clone(),
+        )
     }
 }
 
@@ -479,12 +651,13 @@ impl StmBuilder {
 mod tests {
     use super::*;
 
-    /// One body, three engines — the API's reason to exist.
+    /// One body, three engines — the API's reason to exist. The final
+    /// read-back goes through the snapshot read path.
     fn count_to<E: TmEngine>(engine: &E, n: u64) -> u64 {
         for _ in 0..n {
             engine.run(0, |txn| txn.update_add(0, 1).map(|_| ()));
         }
-        engine.run(0, |txn| txn.read(0))
+        engine.run_read(0, |txn| txn.read(0))
     }
 
     #[test]
@@ -502,11 +675,77 @@ mod tests {
         let lazy = b.build_lazy();
         count_to(&eager, 3);
         count_to(&lazy, 3);
-        // `count_to` issues one extra read-only transaction at the end.
-        assert_eq!(eager.engine_stats().commits, 4);
-        assert_eq!(lazy.engine_stats().commits, 4);
-        assert_eq!(eager.engine_stats().abort_ratio(), 0.0);
-        assert_eq!(lazy.engine_stats().abort_ratio(), 0.0);
+        // `count_to` finishes with one read-only transaction; it must land
+        // in the read-side counters, never the write-side ones.
+        for stats in [eager.engine_stats(), lazy.engine_stats()] {
+            assert_eq!(stats.commits, 3);
+            assert_eq!(stats.read_only_commits, 1);
+            assert_eq!(stats.abort_ratio(), 0.0);
+        }
+    }
+
+    #[test]
+    fn run_read_observes_committed_state_on_every_engine() {
+        fn sum_two<E: TmEngine>(engine: &E) -> u64 {
+            engine.run(0, |txn| {
+                txn.write(0, 11)?;
+                txn.write(8, 31)
+            });
+            engine.run_read(1, |txn| {
+                let a = txn.read(0)?;
+                let b = txn.read(8)?;
+                Ok(a + b)
+            })
+        }
+        let b = StmBuilder::new().heap_words(64).table_entries(128);
+
+        let tagless = b.build_tagless();
+        assert_eq!(sum_two(&tagless), 42);
+        let tagged = b.build_tagged();
+        assert_eq!(sum_two(&tagged), 42);
+        let lazy = b.build_lazy();
+        assert_eq!(sum_two(&lazy), 42);
+
+        // Shared-ownership delegation covers the read path too.
+        let arced = std::sync::Arc::new(b.build_tagless());
+        assert_eq!(sum_two(&arced), 42);
+
+        for stats in [
+            tagless.engine_stats(),
+            tagged.engine_stats(),
+            lazy.engine_stats(),
+            arced.engine_stats(),
+        ] {
+            assert_eq!(stats.read_only_commits, 1);
+            assert_eq!(stats.read_validation_retries, 0);
+            assert_eq!(stats.commits, 1);
+        }
+    }
+
+    #[test]
+    fn read_only_retry_budget_is_honoured() {
+        let b = StmBuilder::new().heap_words(64).table_entries(64);
+        let stm = b.build_tagged();
+        let r: Result<(), _> =
+            stm.run_read_with(0, RetryPolicy::Bounded { max_attempts: 2 }, |txn| {
+                txn.retry()
+            });
+        assert_eq!(r, Err(RetryLimitExceeded { attempts: 2 }));
+        let stats = stm.engine_stats();
+        assert_eq!(stats.read_validation_retries, 2);
+        assert_eq!(stats.read_only_commits, 0);
+        assert_eq!(stats.aborts, 0);
+
+        let lazy = b.build_lazy();
+        let r: Result<(), _> =
+            lazy.run_read_with(0, RetryPolicy::Bounded { max_attempts: 2 }, |txn| {
+                txn.retry()
+            });
+        assert_eq!(r, Err(RetryLimitExceeded { attempts: 2 }));
+        let stats = lazy.engine_stats();
+        assert_eq!(stats.read_validation_retries, 2);
+        assert_eq!(stats.read_only_commits, 0);
+        assert_eq!(stats.aborts, 0);
     }
 
     #[test]

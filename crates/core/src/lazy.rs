@@ -29,8 +29,9 @@ use tm_ownership::{fingerprint_of, BlockMapper, TableConfig, ThreadId, FP_NONE, 
 use tm_telemetry::{AbortCause, NoopProbe, Probe};
 
 use crate::contention::{Backoff, RetryPolicy};
-use crate::engine::TxnOps;
+use crate::engine::{ReadOps, TxnOps};
 use crate::heap::Heap;
+use crate::readpath::ReadPathPolicy;
 use crate::scratch::ScratchGuard;
 use crate::stats::{EngineStats, Striped};
 use crate::stm::{elapsed_ns, Aborted, RetryLimitExceeded};
@@ -62,6 +63,8 @@ struct LazyCells {
     validation_aborts: AtomicU64,
     committed_write_blocks: AtomicU64,
     committed_grant_blocks: AtomicU64,
+    read_only_commits: AtomicU64,
+    read_validation_retries: AtomicU64,
 }
 
 type Counters = Striped<LazyCells>;
@@ -78,6 +81,7 @@ pub struct LazyStm<P: Probe = NoopProbe> {
     clock: AtomicU64,
     counters: Counters,
     retry: RetryPolicy,
+    read_path: ReadPathPolicy,
     probe: P,
 }
 
@@ -103,6 +107,7 @@ impl<P: Probe> LazyStm<P> {
             clock: AtomicU64::new(1),
             counters: Counters::default(),
             retry: RetryPolicy::default(),
+            read_path: ReadPathPolicy::default(),
             probe,
         }
     }
@@ -117,6 +122,13 @@ impl<P: Probe> LazyStm<P> {
     /// applies).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Set the read-only-path tuning (see [`ReadPathPolicy`]): how long a
+    /// `run_read` read spins on a commit-locked entry before aborting.
+    pub fn with_read_path(mut self, read_path: ReadPathPolicy) -> Self {
+        self.read_path = read_path;
         self
     }
 
@@ -146,6 +158,8 @@ impl<P: Probe> LazyStm<P> {
         let mut validation_aborts = 0u64;
         let mut committed_write_blocks = 0u64;
         let mut committed_grant_blocks = 0u64;
+        let mut read_only_commits = 0u64;
+        let mut read_validation_retries = 0u64;
         for stripe in self.counters.iter() {
             commits += stripe.commits.load(Ordering::Relaxed);
             read_aborts += stripe.read_aborts.load(Ordering::Relaxed);
@@ -153,6 +167,8 @@ impl<P: Probe> LazyStm<P> {
             validation_aborts += stripe.validation_aborts.load(Ordering::Relaxed);
             committed_write_blocks += stripe.committed_write_blocks.load(Ordering::Relaxed);
             committed_grant_blocks += stripe.committed_grant_blocks.load(Ordering::Relaxed);
+            read_only_commits += stripe.read_only_commits.load(Ordering::Relaxed);
+            read_validation_retries += stripe.read_validation_retries.load(Ordering::Relaxed);
         }
         EngineStats {
             commits,
@@ -163,6 +179,8 @@ impl<P: Probe> LazyStm<P> {
             stall_retries: 0,
             committed_write_blocks,
             committed_grant_blocks,
+            read_only_commits,
+            read_validation_retries,
         }
     }
 
@@ -223,6 +241,64 @@ impl<P: Probe> LazyStm<P> {
                 return Err(RetryLimitExceeded { attempts });
             }
             backoff.wait();
+        }
+    }
+
+    /// The retry loop behind
+    /// [`TmEngine::run_read_with`](crate::TmEngine::run_read_with): the TL2
+    /// read-only fast path.
+    ///
+    /// Each attempt samples the global clock into a fresh `rv` and serves
+    /// every read by version sampling alone — no read set, no scratch
+    /// checkout, no commit-time locking, nothing a writer ever waits on. A
+    /// read whose entry is locked or newer than `rv` aborts the attempt
+    /// (after a bounded spin on a transient lock) and retries here with a
+    /// fresh snapshot.
+    pub(crate) fn run_read_with_budget<'s, R>(
+        &'s self,
+        me: ThreadId,
+        max_attempts: u32,
+        body: &mut dyn FnMut(&mut LazyReadTxn<'s, P>) -> Result<R, Aborted>,
+    ) -> Result<R, RetryLimitExceeded> {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let mut backoff = Backoff::new(me as u64);
+        let mut attempts = 0u32;
+        let txn_start = P::ENABLED.then(Instant::now);
+        loop {
+            if P::ENABLED {
+                self.probe.on_read_begin(me);
+            }
+            let mut txn = LazyReadTxn {
+                stm: self,
+                rv: self.clock.load(Ordering::Acquire),
+                mapper: self.table.config().mapper(),
+                max_spins: self.read_path.max_spins,
+                reads: 0,
+            };
+            match body(&mut txn) {
+                Ok(r) => {
+                    let stripe = self.counters.stripe(me);
+                    stripe.read_only_commits.fetch_add(1, Ordering::Relaxed);
+                    if P::ENABLED {
+                        self.probe.on_read_commit(me, elapsed_ns(txn_start));
+                    }
+                    return Ok(r);
+                }
+                Err(Aborted) => {
+                    let stripe = self.counters.stripe(me);
+                    stripe
+                        .read_validation_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    if P::ENABLED {
+                        self.probe.on_read_validation_retry(me);
+                    }
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
+                    backoff.wait();
+                }
+            }
         }
     }
 }
@@ -441,14 +517,21 @@ impl<'s, P: Probe> LazyTxn<'s, P> {
     }
 }
 
-/// The lazy transaction's operation surface: reads validate against the
-/// snapshot clock (invisible readers); writes are buffered and only lock at
-/// commit time.
-impl<P: Probe> TxnOps for LazyTxn<'_, P> {
+/// The lazy transaction's read surface: reads validate against the
+/// snapshot clock (invisible readers).
+impl<P: Probe> ReadOps for LazyTxn<'_, P> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.read_validated(addr)
     }
 
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// The lazy transaction's write surface: writes are buffered and only lock
+/// at commit time.
+impl<P: Probe> TxnOps for LazyTxn<'_, P> {
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
         // Track distinct written blocks as we go (the model's observed W;
@@ -460,12 +543,67 @@ impl<P: Probe> TxnOps for LazyTxn<'_, P> {
         Ok(())
     }
 
-    fn read_count(&self) -> u64 {
-        self.reads
-    }
-
     fn write_count(&self) -> u64 {
         self.writes
+    }
+}
+
+/// An in-flight **read-only** TL2 transaction: the classic invisible-reader
+/// fast path. Five words on the stack — snapshot clock, cached mapper, spin
+/// budget — and *no read set*: because nothing is ever locked at commit,
+/// proving each read individually consistent at `rv` proves the whole
+/// transaction serializes at `rv`.
+#[derive(Debug)]
+pub struct LazyReadTxn<'s, P: Probe = NoopProbe> {
+    stm: &'s LazyStm<P>,
+    /// Global-clock sample this transaction serializes at.
+    rv: u64,
+    mapper: BlockMapper,
+    /// Per-read spin budget while an entry is commit-locked.
+    max_spins: u32,
+    reads: u64,
+}
+
+impl<P: Probe> ReadOps for LazyReadTxn<'_, P> {
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+        let block = self.mapper.block_of(addr);
+        let entry = self.stm.table.entry_of(block);
+        let mut spins = 0u32;
+        loop {
+            let pre = self.stm.table.sample(entry);
+            if pre.locked {
+                // Commit-time locks are held for a bounded publication
+                // window — spin briefly before giving the attempt up.
+                if spins >= self.max_spins {
+                    return Err(Aborted);
+                }
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if pre.version > self.rv {
+                // Newer than our snapshot: only a fresh `rv` can help.
+                return Err(Aborted);
+            }
+            let value = self.stm.heap.load(addr);
+            // Re-check: if the stamp moved during the read, the value may
+            // be torn.
+            let post = self.stm.table.sample(entry);
+            if post.locked || post.version != pre.version {
+                if spins >= self.max_spins {
+                    return Err(Aborted);
+                }
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            self.reads += 1;
+            return Ok(value);
+        }
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
     }
 }
 
@@ -600,6 +738,59 @@ mod tests {
         assert_eq!(attempt, 2, "first attempt must abort, second succeed");
         assert!(r.is_ok());
         assert!(stm.stats().read_aborts >= 1);
+    }
+
+    #[test]
+    fn read_path_serializes_at_snapshot() {
+        let stm = LazyStm::new(64, 256);
+        stm.heap().store(0, 7);
+        stm.heap().store(8, 35);
+        let before = stm.table_stats();
+        let v = stm.run_read(0, |txn| {
+            let a = txn.read(0)?;
+            let b = txn.read(8)?;
+            assert_eq!(txn.read_count(), 2);
+            Ok(a + b)
+        });
+        assert_eq!(v, 42);
+        // No locks taken, and the outcome lands only in the read counters.
+        assert_eq!(stm.table_stats().locks, before.locks);
+        let s = stm.stats();
+        assert_eq!(s.read_only_commits, 1);
+        assert_eq!(s.commits, 0);
+        assert_eq!(s.aborts, 0);
+    }
+
+    #[test]
+    fn read_path_snapshot_is_never_torn() {
+        // The writer keeps the pair equal transactionally; read-only
+        // snapshots must never observe a half-published commit.
+        let stm = std::sync::Arc::new(LazyStm::new(64, 1024));
+        let rounds = 2000u64;
+        crossbeam::scope(|s| {
+            let w = &stm;
+            s.spawn(move |_| {
+                for _ in 0..rounds {
+                    w.run(0, |t| {
+                        let v = t.read(0)?;
+                        t.write(0, v + 1)?;
+                        t.write(8, v + 1)
+                    });
+                }
+            });
+            for id in 1..3u32 {
+                let r = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..rounds {
+                        let (a, b) = r.run_read(id, |t| Ok((t.read(0)?, t.read(8)?)));
+                        assert_eq!(a, b, "torn read-only snapshot");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), rounds);
+        assert_eq!(stm.stats().read_only_commits, 2 * rounds);
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //!
 //! * [`TxnOps`] — what a transaction body does: `read`/`write`/`update`/
 //!   `retry` plus per-attempt counters. Data structures and workloads are
-//!   written once against it.
+//!   written once against it. Its supertrait [`ReadOps`] is the read-only
+//!   subset, and the bound on [`TmEngine::run_read`] bodies — so read-only
+//!   transactions cannot write *by construction*.
 //! * [`TmEngine`] — what runs bodies: `run`/`try_run`/`run_with` under a
-//!   pluggable [`RetryPolicy`], the shared [`Heap`], and a unified
+//!   pluggable [`RetryPolicy`], the wait-free read-only path (`run_read`,
+//!   tuned by [`ReadPathPolicy`]), the shared [`Heap`], and a unified
 //!   [`EngineStats`] snapshot (`since()`, `abort_ratio()`) that makes
 //!   cross-engine measurements commensurable.
 //!
@@ -52,7 +55,7 @@
 //! terminal. The same closure runs unchanged on all of them:
 //!
 //! ```
-//! use tm_stm::{StmBuilder, TmEngine, TxnOps};
+//! use tm_stm::{ReadOps, StmBuilder, TmEngine, TxnOps};
 //!
 //! // Transfer 30 from account A to account B, atomically.
 //! fn transfer<E: TmEngine>(stm: &E) -> (u64, u64) {
@@ -83,6 +86,7 @@ mod contention;
 mod engine;
 mod heap;
 pub mod lazy;
+pub mod readpath;
 mod region;
 pub mod scratch;
 mod stats;
@@ -91,13 +95,14 @@ pub mod typed;
 
 pub use alloc::TxAlloc;
 pub use contention::{Backoff, ContentionPolicy, RetryPolicy};
-pub use engine::{StmBuilder, TmEngine, TxnOps};
+pub use engine::{ReadOps, StmBuilder, TmEngine, TxnOps};
 pub use heap::{Heap, WORD_BYTES};
-pub use lazy::{LazyStm, LazyTxn};
+pub use lazy::{LazyReadTxn, LazyStm, LazyTxn};
+pub use readpath::ReadPathPolicy;
 pub use region::Region;
 pub use scratch::{SmallKey, SmallMap, TxnScratch};
 pub use stats::{EngineStats, StmStats, StmStatsSnapshot};
-pub use stm::{tagged_stm, tagless_stm, Aborted, RetryLimitExceeded, Stm, StmConfig, Txn};
+pub use stm::{tagged_stm, tagless_stm, Aborted, ReadTxn, RetryLimitExceeded, Stm, StmConfig, Txn};
 pub use typed::{CapacityError, TRef, TxLayout, TxResult, TxWord};
 
 // Re-export the table types users need to build custom configurations.

@@ -35,6 +35,15 @@ pub struct EngineStats {
     /// for the entry-keyed caveat); for the lazy engine, write-set blocks
     /// plus read-set entries.
     pub committed_grant_blocks: u64,
+    /// Read-only transactions committed through the snapshot read path
+    /// (`run_read`). Deliberately **not** folded into `commits`: read-only
+    /// transactions never touch the ownership table, so mixing them in
+    /// would skew every write-side ratio (`abort_ratio`, footprint means).
+    pub read_only_commits: u64,
+    /// Read-path attempts that failed snapshot/read validation and retried.
+    /// The read-path counterpart of `aborts`, kept separate for the same
+    /// reason as `read_only_commits`.
+    pub read_validation_retries: u64,
 }
 
 impl EngineStats {
@@ -90,6 +99,12 @@ impl EngineStats {
             committed_grant_blocks: self
                 .committed_grant_blocks
                 .saturating_sub(earlier.committed_grant_blocks),
+            read_only_commits: self
+                .read_only_commits
+                .saturating_sub(earlier.read_only_commits),
+            read_validation_retries: self
+                .read_validation_retries
+                .saturating_sub(earlier.read_validation_retries),
         }
     }
 }
@@ -102,6 +117,8 @@ impl From<StmStatsSnapshot> for EngineStats {
             stall_retries: s.stall_retries,
             committed_write_blocks: s.committed_write_blocks,
             committed_grant_blocks: s.committed_grant_blocks,
+            read_only_commits: s.read_only_commits,
+            read_validation_retries: s.read_validation_retries,
             ..EngineStats::default()
         }
     }
@@ -122,7 +139,7 @@ fn stripe_of(me: u32) -> usize {
 /// never false-share.
 #[derive(Debug, Default)]
 #[repr(align(128))]
-struct Padded<T>(T);
+pub(crate) struct Padded<T>(pub(crate) T);
 
 /// The one striped-counter mechanism both engines share: an array of
 /// [`STAT_STRIPES`] cache-line-padded cells, selected by thread id.
@@ -166,6 +183,8 @@ struct StatCells {
     strong_stalls: AtomicU64,
     committed_write_blocks: AtomicU64,
     committed_grant_blocks: AtomicU64,
+    read_only_commits: AtomicU64,
+    read_validation_retries: AtomicU64,
 }
 
 /// Atomic counters shared by all transactions of one [`crate::Stm`].
@@ -208,6 +227,11 @@ pub struct StmStatsSnapshot {
     /// block footprint; the adaptive controller only consumes it through
     /// block-keyed `ResizableTable`s, where it is exact.
     pub committed_grant_blocks: u64,
+    /// Read-only transactions committed via the snapshot read path. Kept
+    /// out of `commits` so write-side ratios stay exact.
+    pub read_only_commits: u64,
+    /// Read-path attempts that failed snapshot validation and retried.
+    pub read_validation_retries: u64,
 }
 
 impl StmStatsSnapshot {
@@ -260,6 +284,12 @@ impl StmStatsSnapshot {
             committed_grant_blocks: self
                 .committed_grant_blocks
                 .saturating_sub(earlier.committed_grant_blocks),
+            read_only_commits: self
+                .read_only_commits
+                .saturating_sub(earlier.read_only_commits),
+            read_validation_retries: self
+                .read_validation_retries
+                .saturating_sub(earlier.read_validation_retries),
         }
     }
 }
@@ -304,6 +334,18 @@ impl StmStats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_read_commit(&self, me: u32) {
+        self.stripe(me)
+            .read_only_commits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_read_validation_retry(&self, me: u32) {
+        self.stripe(me)
+            .read_validation_retries
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn on_commit_footprint(&self, me: u32, write_blocks: u64, grant_blocks: u64) {
         let stripe = self.stripe(me);
         stripe
@@ -327,6 +369,8 @@ impl StmStats {
             s.strong_stalls += stripe.strong_stalls.load(Ordering::Relaxed);
             s.committed_write_blocks += stripe.committed_write_blocks.load(Ordering::Relaxed);
             s.committed_grant_blocks += stripe.committed_grant_blocks.load(Ordering::Relaxed);
+            s.read_only_commits += stripe.read_only_commits.load(Ordering::Relaxed);
+            s.read_validation_retries += stripe.read_validation_retries.load(Ordering::Relaxed);
         }
         s
     }
@@ -346,6 +390,9 @@ mod tests {
         s.on_strong(4, true);
         s.on_strong(5, false);
         s.on_strong_stall(6);
+        s.on_read_commit(7);
+        s.on_read_commit(7);
+        s.on_read_validation_retry(8);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -353,6 +400,9 @@ mod tests {
         assert_eq!(snap.strong_writes, 1);
         assert_eq!(snap.strong_reads, 1);
         assert_eq!(snap.strong_stalls, 1);
+        assert_eq!(snap.read_only_commits, 2);
+        assert_eq!(snap.read_validation_retries, 1);
+        // Read-only traffic must not leak into the write-side ratios.
         assert_eq!(snap.abort_ratio(), 0.5);
     }
 

@@ -21,8 +21,9 @@ use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable};
 use tm_telemetry::{AbortCause, NoopProbe, Probe};
 
 use crate::contention::{Backoff, ContentionPolicy, RetryPolicy};
-use crate::engine::TxnOps;
+use crate::engine::{ReadOps, TxnOps};
 use crate::heap::Heap;
+use crate::readpath::{PublishGate, ReadPathPolicy};
 use crate::scratch::ScratchGuard;
 use crate::stats::{StmStats, StmStatsSnapshot};
 
@@ -45,7 +46,8 @@ pub(crate) fn cause_of_class(class: ConflictClass) -> AbortCause {
 
 /// Marker error: the current transaction attempt must be abandoned.
 ///
-/// Returned by [`TxnOps::read`]/[`TxnOps::write`] on conflict; user code
+/// Returned by [`ReadOps::read`](crate::ReadOps::read)/[`TxnOps::write`]
+/// on conflict; user code
 /// propagates it with `?` and [`TmEngine::run`](crate::TmEngine::run)
 /// retries the whole closure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +80,9 @@ impl std::error::Error for RetryLimitExceeded {}
 /// The transaction-body callback `run_with_budget` drives across attempts.
 type BodyFn<'b, 's, T, P, R> = &'b mut dyn FnMut(&mut Txn<'s, T, P>) -> Result<R, Aborted>;
 
+/// The read-only-body callback `run_read_with_budget` drives.
+type ReadBodyFn<'b, 's, T, P, R> = &'b mut dyn FnMut(&mut ReadTxn<'s, T, P>) -> Result<R, Aborted>;
+
 /// STM-wide configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StmConfig {
@@ -86,6 +91,8 @@ pub struct StmConfig {
     /// Default whole-transaction retry budget (see
     /// [`TmEngine::run_configured`](crate::TmEngine::run_configured)).
     pub retry: RetryPolicy,
+    /// Read-only-path tuning (see [`ReadPathPolicy`]).
+    pub read_path: ReadPathPolicy,
 }
 
 /// A software transactional memory over a shared [`Heap`], generic in the
@@ -95,14 +102,16 @@ pub struct StmConfig {
 /// nothing — no clock reads, no event bookkeeping — so the telemetry layer
 /// costs exactly zero unless a real probe (e.g.
 /// [`Recorder`](tm_telemetry::Recorder)) is attached via
-/// [`StmBuilder::build_tagless_probed`](crate::StmBuilder::build_tagless_probed)
-/// and friends.
+/// [`StmBuilder::probe`](crate::StmBuilder::probe).
 #[derive(Debug)]
 pub struct Stm<T: ConcurrentTable, P: Probe = NoopProbe> {
     heap: Heap,
     table: T,
     config: StmConfig,
     stats: StmStats,
+    /// Seqlock-style gate between commit-time publication and the
+    /// table-free read-only path (see [`crate::readpath`]).
+    publish_gate: PublishGate,
     probe: P,
 }
 
@@ -142,6 +151,7 @@ impl<T: ConcurrentTable, P: Probe> Stm<T, P> {
             table,
             config,
             stats: StmStats::default(),
+            publish_gate: PublishGate::default(),
             probe,
         }
     }
@@ -214,6 +224,73 @@ impl<T: ConcurrentTable, P: Probe> Stm<T, P> {
                     self.stats.on_abort(me);
                     if P::ENABLED {
                         self.probe.on_abort(me, cause, elapsed_ns(attempt_start));
+                    }
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return Err(RetryLimitExceeded { attempts });
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// The retry loop behind
+    /// [`TmEngine::run_read_with`](crate::TmEngine::run_read_with): the
+    /// wait-free read-only path.
+    ///
+    /// An attempt spins (up to [`ReadPathPolicy::max_spins`]) for a
+    /// quiescent publication-gate epoch, runs the body against the bare
+    /// heap with per-read gate validation, and retries through backoff on
+    /// validation failure. No scratch is checked out, no ownership-table
+    /// grant is ever acquired, and nothing allocates — readers impose zero
+    /// table footprint on writers.
+    pub(crate) fn run_read_with_budget<'s, R>(
+        &'s self,
+        me: ThreadId,
+        max_attempts: u32,
+        body: ReadBodyFn<'_, 's, T, P, R>,
+    ) -> Result<R, RetryLimitExceeded> {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let mut backoff = Backoff::new(me as u64);
+        let mut attempts = 0u32;
+        let txn_start = P::ENABLED.then(Instant::now);
+        loop {
+            if P::ENABLED {
+                self.probe.on_read_begin(me);
+            }
+            // Wait out any in-flight publication; windows are a handful of
+            // relaxed stores, so the spin budget almost always suffices.
+            let mut epoch = self.publish_gate.reader_epoch();
+            let mut spins = 0u32;
+            while epoch.is_none() && spins < self.config.read_path.max_spins {
+                spins += 1;
+                std::hint::spin_loop();
+                epoch = self.publish_gate.reader_epoch();
+            }
+            let outcome = match epoch {
+                Some(epoch) => {
+                    let mut txn = ReadTxn {
+                        stm: self,
+                        epoch,
+                        reads: 0,
+                    };
+                    body(&mut txn)
+                }
+                None => Err(Aborted),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.stats.on_read_commit(me);
+                    if P::ENABLED {
+                        self.probe.on_read_commit(me, elapsed_ns(txn_start));
+                    }
+                    return Ok(r);
+                }
+                Err(Aborted) => {
+                    self.stats.on_read_validation_retry(me);
+                    if P::ENABLED {
+                        self.probe.on_read_validation_retry(me);
                     }
                     attempts += 1;
                     if attempts >= max_attempts {
@@ -394,10 +471,18 @@ impl<'s, T: ConcurrentTable, P: Probe> Txn<'s, T, P> {
 
         // Publish buffered writes, then release ownership. The table's
         // Release/Acquire transitions order the (relaxed) heap stores before
-        // any subsequent reader's loads.
+        // any subsequent reader's loads. The publish gate brackets the
+        // stores so the table-free read-only path can detect (and wait out)
+        // an in-flight publication; read-only transactions skip it
+        // entirely, so a writer only ever bumps its own gate shard —
+        // writers never stall on readers.
         let stm = self.stm;
-        for (addr, value) in self.scratch.wbuf.iter() {
-            stm.heap.store(addr, value);
+        if !self.scratch.wbuf.is_empty() {
+            stm.publish_gate.publish_begin(self.id);
+            for (addr, value) in self.scratch.wbuf.iter() {
+                stm.heap.store(addr, value);
+            }
+            stm.publish_gate.publish_end(self.id);
         }
         self.finish();
     }
@@ -432,9 +517,9 @@ impl<'s, T: ConcurrentTable, P: Probe> Txn<'s, T, P> {
     }
 }
 
-/// The eager transaction's operation surface: reads and writes acquire
-/// block ownership eagerly; writes stay buffered until commit.
-impl<T: ConcurrentTable, P: Probe> TxnOps for Txn<'_, T, P> {
+/// The eager transaction's read surface: reads acquire block ownership
+/// eagerly (write-buffer hits are served locally).
+impl<T: ConcurrentTable, P: Probe> ReadOps for Txn<'_, T, P> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         self.reads += 1;
         if let Some(v) = self.scratch.wbuf.get(addr) {
@@ -444,6 +529,14 @@ impl<T: ConcurrentTable, P: Probe> TxnOps for Txn<'_, T, P> {
         Ok(self.stm.heap.load(addr))
     }
 
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// The eager transaction's write surface: writes acquire block ownership
+/// eagerly and stay buffered until commit.
+impl<T: ConcurrentTable, P: Probe> TxnOps for Txn<'_, T, P> {
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.writes += 1;
         let block = self.mapper.block_of(addr);
@@ -453,12 +546,42 @@ impl<T: ConcurrentTable, P: Probe> TxnOps for Txn<'_, T, P> {
         Ok(())
     }
 
-    fn read_count(&self) -> u64 {
-        self.reads
-    }
-
     fn write_count(&self) -> u64 {
         self.writes
+    }
+}
+
+/// An in-flight **read-only** transaction on the eager engine: three words
+/// on the stack, no scratch checkout, no ownership-table access.
+///
+/// Each read loads the heap word directly and then validates against the
+/// publication gate (see the `readpath` module docs): if no commit-time
+/// publication has started since this
+/// transaction's begin epoch, every value read so far belongs to one
+/// quiescent heap snapshot — the same guarantee the write path's ownership
+/// grants provide, at none of the cost, and invisible to writers.
+#[derive(Debug)]
+pub struct ReadTxn<'s, T: ConcurrentTable, P: Probe = NoopProbe> {
+    stm: &'s Stm<T, P>,
+    /// The publication-gate epoch observed at begin.
+    epoch: u64,
+    reads: u64,
+}
+
+impl<T: ConcurrentTable, P: Probe> ReadOps for ReadTxn<'_, T, P> {
+    fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
+        let value = self.stm.heap.load(addr);
+        // Load first, fence, then re-check the gate: if any publication
+        // started since begin, the value may be torn — abort and retry.
+        if !self.stm.publish_gate.still_at(self.epoch) {
+            return Err(Aborted);
+        }
+        self.reads += 1;
+        Ok(value)
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
     }
 }
 
@@ -690,6 +813,7 @@ mod tests {
         let config = StmConfig {
             contention: ContentionPolicy::Stall { max_spins: 200 },
             retry: RetryPolicy::Unbounded,
+            read_path: ReadPathPolicy::default(),
         };
         let stm = std::sync::Arc::new(Stm::new(
             64,
@@ -711,6 +835,58 @@ mod tests {
         let s = stm.stats();
         // The policy must have spun at least sometimes under this contention.
         assert!(s.stall_retries > 0 || s.aborts == 0);
+    }
+
+    #[test]
+    fn read_only_txns_touch_no_table_state() {
+        let stm = tagged_stm(64, 256);
+        stm.heap().store(0, 5);
+        let before = stm.table().stats_snapshot();
+        let v = stm.run_read(0, |txn| {
+            let v = txn.read(0)?;
+            assert_eq!(txn.read_count(), 1);
+            Ok(v)
+        });
+        assert_eq!(v, 5);
+        let after = stm.table().stats_snapshot();
+        assert_eq!(before.grants, after.grants, "read path must not acquire");
+        let s = stm.stats();
+        assert_eq!(s.read_only_commits, 1);
+        assert_eq!(s.commits, 0, "read-only commits stay off the write side");
+    }
+
+    #[test]
+    fn read_only_snapshot_is_never_torn() {
+        // A writer keeps two words equal inside each transaction; readers
+        // using the table-free path must never observe the pair mid-publish.
+        let stm = std::sync::Arc::new(tagged_stm(64, 1024));
+        let rounds = 2000u64;
+        crossbeam::scope(|s| {
+            let w = &stm;
+            s.spawn(move |_| {
+                for _ in 0..rounds {
+                    w.run(0, |t| {
+                        let v = t.read(0)?;
+                        t.write(0, v + 1)?;
+                        t.write(8, v + 1)
+                    });
+                }
+            });
+            for id in 1..3u32 {
+                let r = &stm;
+                s.spawn(move |_| {
+                    for _ in 0..rounds {
+                        let (a, b) = r.run_read(id, |t| Ok((t.read(0)?, t.read(8)?)));
+                        assert_eq!(a, b, "torn read-only snapshot");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(stm.heap().load(0), rounds);
+        let s = stm.stats();
+        assert_eq!(s.read_only_commits, 2 * rounds);
+        assert_eq!(s.commits, rounds);
     }
 
     #[test]

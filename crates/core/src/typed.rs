@@ -30,7 +30,7 @@
 //! # Example: a user struct laid out per field
 //!
 //! ```
-//! use tm_stm::{Aborted, StmBuilder, TmEngine, TxLayout, TxWord, TxnOps};
+//! use tm_stm::{Aborted, ReadOps, StmBuilder, TmEngine, TxLayout, TxWord, TxnOps};
 //!
 //! #[derive(Clone, Copy, Debug, PartialEq)]
 //! struct Account {
@@ -40,7 +40,7 @@
 //!
 //! impl TxLayout for Account {
 //!     const WORDS: u64 = 2;
-//!     fn read_from<O: TxnOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
+//!     fn read_from<O: ReadOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
 //!         Ok(Self {
 //!             balance: u64::read_from(txn, base)?,
 //!             frozen: bool::read_from(txn, base + 8)?,
@@ -56,7 +56,9 @@
 //! let mut region = tm_stm::Region::new(0, 64 * 8);
 //! let acct = region.alloc_ref::<Account>();
 //! stm.run(0, |txn| acct.set(txn, Account { balance: 100, frozen: false }));
-//! let a = stm.run(0, |txn| acct.get(txn));
+//! // Decoding only needs the read surface, so reads can use the
+//! // table-free snapshot path.
+//! let a = stm.run_read(0, |txn| acct.get(txn));
 //! assert_eq!(a, Account { balance: 100, frozen: false });
 //! ```
 
@@ -64,7 +66,7 @@ use std::marker::PhantomData;
 
 use tm_ownership::ThreadId;
 
-use crate::engine::{TmEngine, TxnOps};
+use crate::engine::{ReadOps, TmEngine, TxnOps};
 use crate::heap::{Heap, WORD_BYTES};
 use crate::stm::Aborted;
 
@@ -161,7 +163,9 @@ pub trait TxLayout: Sized {
     const WORDS: u64;
 
     /// Read a value rooted at byte address `base` inside a transaction.
-    fn read_from<O: TxnOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted>;
+    /// Decoding needs only the read surface, so it composes into read-only
+    /// transactions ([`TmEngine::run_read`]) as well as read-write ones.
+    fn read_from<O: ReadOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted>;
 
     /// Write the value rooted at byte address `base` inside a transaction.
     fn write_to<O: TxnOps + ?Sized>(&self, txn: &mut O, base: u64) -> Result<(), Aborted>;
@@ -170,7 +174,7 @@ pub trait TxLayout: Sized {
 impl<W: TxWord> TxLayout for W {
     const WORDS: u64 = 1;
 
-    fn read_from<O: TxnOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
+    fn read_from<O: ReadOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
         Ok(W::from_word(txn.read(base)?))
     }
 
@@ -185,7 +189,7 @@ macro_rules! tuple_layout {
             const WORDS: u64 = 0 $(+ $name::WORDS)+;
 
             #[allow(unused_assignments)] // the final field's offset bump is dead
-            fn read_from<O: TxnOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
+            fn read_from<O: ReadOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
                 let mut offset = 0u64;
                 Ok(($(
                     {
@@ -278,8 +282,10 @@ impl<T> TRef<T> {
 }
 
 impl<T: TxLayout> TRef<T> {
-    /// Read the value inside a transaction.
-    pub fn get<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<T, Aborted> {
+    /// Read the value inside a transaction. Bounded by [`ReadOps`], so it
+    /// composes into both read-write bodies and read-only
+    /// ([`TmEngine::run_read`]) bodies.
+    pub fn get<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<T, Aborted> {
         T::read_from(txn, self.addr)
     }
 
@@ -303,6 +309,14 @@ impl<T: TxLayout> TRef<T> {
     /// Auto-committing read on any engine.
     pub fn get_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> T {
         stm.run(me, |txn| self.get(txn))
+    }
+
+    /// Auto-committing read through the engine's wait-free read-only path
+    /// ([`TmEngine::run_read`]): no ownership-table traffic, no writer
+    /// aborts induced, and the decoded multi-word value is still guaranteed
+    /// un-torn.
+    pub fn get_read<E: TmEngine>(&self, stm: &E, me: ThreadId) -> T {
+        stm.run_read(me, |txn| self.get(txn))
     }
 
     /// Auto-committing write on any engine.
@@ -345,16 +359,19 @@ impl<T: TxLayout> TRef<T> {
 /// meaningful per-attempt counters).
 struct DirectHeap<'h>(&'h Heap);
 
-impl TxnOps for DirectHeap<'_> {
+impl ReadOps for DirectHeap<'_> {
     fn read(&mut self, addr: u64) -> Result<u64, Aborted> {
         Ok(self.0.load(addr))
     }
+    fn read_count(&self) -> u64 {
+        0
+    }
+}
+
+impl TxnOps for DirectHeap<'_> {
     fn write(&mut self, addr: u64, value: u64) -> Result<(), Aborted> {
         self.0.store(addr, value);
         Ok(())
-    }
-    fn read_count(&self) -> u64 {
-        0
     }
     fn write_count(&self) -> u64 {
         0

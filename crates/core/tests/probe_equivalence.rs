@@ -1,14 +1,16 @@
 //! Telemetry must be observation-only: an engine driven with the
 //! batteries-included `Recorder` probe must produce *exactly* the same
 //! `EngineStats` as the same deterministic workload on a `NoopProbe`
-//! engine — attaching telemetry may cost time, never semantics.
+//! engine — attaching telemetry may cost time, never semantics. The
+//! workload exercises both the write path (`run`) and the wait-free
+//! read-only path (`run_read`) so the read-side hooks are covered too.
 
 use std::sync::Arc;
 
-use tm_stm::{AbortCause, EngineStats, Recorder, StmBuilder, TmEngine, TxnOps};
+use tm_stm::{AbortCause, EngineStats, ReadOps, Recorder, StmBuilder, TmEngine, TxnOps};
 
 /// A deterministic single-threaded workload with commits, voluntary
-/// retries, reads, and multi-block writes.
+/// retries, reads, multi-block writes, and read-only transactions.
 fn drive<E: TmEngine>(stm: &E) -> EngineStats {
     for round in 0..50u64 {
         let mut first = true;
@@ -24,6 +26,14 @@ fn drive<E: TmEngine>(stm: &E) -> EngineStats {
             txn.write(base + 512, round)?;
             Ok(())
         });
+        // Every other round takes the read-only path over the same blocks.
+        if round % 2 == 0 {
+            let (a, b) = stm.run_read(0, |txn| {
+                let base = (round % 8) * 64;
+                Ok((txn.read(base)?, txn.read(base + 512)?))
+            });
+            assert!(a > 0 && b == round);
+        }
     }
     stm.engine_stats()
 }
@@ -36,7 +46,7 @@ fn builder() -> StmBuilder {
 fn recorder_probe_does_not_change_tagless_stats() {
     let plain = drive(&builder().build_tagless());
     let recorder = Arc::new(Recorder::new());
-    let probed = drive(&builder().build_tagless_probed(Arc::clone(&recorder)));
+    let probed = drive(&builder().probe(Arc::clone(&recorder)).build_tagless());
     assert_eq!(plain, probed);
 
     let snap = recorder.snapshot();
@@ -44,12 +54,15 @@ fn recorder_probe_does_not_change_tagless_stats() {
     assert_eq!(snap.cause(AbortCause::ExplicitRetry), probed.aborts);
     assert_eq!(snap.txn.count(), probed.commits);
     assert_eq!(snap.attempt.count(), probed.commits + probed.aborts);
+    // Read-only commits land in the dedicated histogram, never in `txn`.
+    assert_eq!(snap.read_txn.count(), probed.read_only_commits);
+    assert_eq!(probed.read_only_commits, 25);
 }
 
 #[test]
 fn recorder_probe_does_not_change_tagged_stats() {
     let plain = drive(&builder().build_tagged());
-    let probed = drive(&builder().build_tagged_probed(Arc::new(Recorder::new())));
+    let probed = drive(&builder().probe(Arc::new(Recorder::new())).build_tagged());
     assert_eq!(plain, probed);
 }
 
@@ -57,17 +70,30 @@ fn recorder_probe_does_not_change_tagged_stats() {
 fn recorder_probe_does_not_change_lazy_stats() {
     let plain = drive(&builder().build_lazy());
     let recorder = Arc::new(Recorder::new());
-    let probed = drive(&builder().build_lazy_probed(Arc::clone(&recorder)));
+    let probed = drive(&builder().probe(Arc::clone(&recorder)).build_lazy());
     assert_eq!(plain, probed);
 
     let snap = recorder.snapshot();
     assert_eq!(snap.total_aborts(), probed.aborts);
+    assert_eq!(snap.read_txn.count(), probed.read_only_commits);
+}
+
+#[test]
+fn read_path_never_touches_write_side_stats() {
+    for stats in [
+        drive(&builder().build_tagless()),
+        drive(&builder().build_tagged()),
+        drive(&builder().build_lazy()),
+    ] {
+        assert_eq!(stats.commits, 50);
+        assert_eq!(stats.read_only_commits, 25);
+    }
 }
 
 #[test]
 fn probed_percentiles_are_ordered() {
     let recorder = Arc::new(Recorder::new());
-    drive(&builder().build_tagged_probed(Arc::clone(&recorder)));
+    drive(&builder().probe(Arc::clone(&recorder)).build_tagged());
     let snap = recorder.snapshot();
     let (p50, p95, p99) = snap.txn.p50_p95_p99().expect("50 committed txns");
     assert!(p50 <= p95 && p95 <= p99);

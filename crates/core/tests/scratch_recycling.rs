@@ -20,7 +20,7 @@
 
 use proptest::prelude::*;
 
-use tm_stm::{ConcurrentTable, StmBuilder, TmEngine, TxnOps};
+use tm_stm::{ConcurrentTable, ReadOps, StmBuilder, TmEngine, TxnOps};
 
 const HEAP_WORDS: usize = 1 << 12;
 const WORDS: u64 = 64;
@@ -142,7 +142,7 @@ proptest! {
 /// property tests rely on, plus pool behaviour under nesting.
 mod deterministic {
     use tm_stm::scratch::pooled_on_this_thread;
-    use tm_stm::{StmBuilder, TmEngine, TxnOps};
+    use tm_stm::{ReadOps, StmBuilder, TmEngine, TxnOps};
 
     #[test]
     fn retry_attempt_starts_with_empty_log_and_wbuf() {

@@ -16,11 +16,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use tm_traces::filter::BlockAccess;
 
-use crate::engine::{EngineStats, TmEngine, TxnOps};
+use crate::engine::{EngineStats, ReadOps, TmEngine, TxnOps};
 use crate::scenario::{BlockSampler, ReplaySpec, SyntheticSpec};
 
 /// How long one phase runs.
@@ -131,6 +131,13 @@ pub fn phase_loop(stop: &AtomicBool, budget: Option<u64>, mut body: impl FnMut(u
 /// `writes_per_txn` RMW increments at sampled block addresses. Because
 /// writes are increments, `Σ heap == Σ committed_write_ops` is a whole-run
 /// isolation invariant the caller can verify.
+///
+/// When `spec.read_fraction > 0`, that percentage of transactions (chosen
+/// per-transaction from the thread's deterministic RNG stream) run as
+/// **read-only** transactions on the engine's wait-free read path
+/// ([`TmEngine::run_read`]) instead: same footprint size, all plain reads,
+/// no ownership acquired, counted in `EngineStats::read_only_commits`
+/// rather than `commits`.
 pub fn run_synthetic_phase<E: TmEngine>(
     engine: &E,
     spec: &SyntheticSpec,
@@ -151,6 +158,26 @@ pub fn run_synthetic_phase<E: TmEngine>(
         let mut reads: Vec<u64> = Vec::with_capacity(spec.reads_per_txn as usize);
         let mut writes: Vec<u64> = Vec::with_capacity(spec.writes_per_txn as usize);
         phase_loop(stop, budget, |_| {
+            // Read-only draw first, so a `read_fraction: 0` spec consumes
+            // the RNG stream exactly as it did before the axis existed.
+            if spec.read_fraction > 0 && rng.gen_range(0..100) < spec.read_fraction {
+                // Same footprint size as the update mix, all plain reads,
+                // on the wait-free path: no ownership, no write-side
+                // counters, no contribution to the heap checksum.
+                reads.clear();
+                reads.extend(
+                    (0..spec.reads_per_txn + spec.writes_per_txn)
+                        .map(|_| sampler.sample(&mut rng) * 64),
+                );
+                engine.run_read(id, |txn| {
+                    for &addr in &reads {
+                        txn.read(addr)?;
+                    }
+                    Ok(())
+                });
+                tally.committed_txns += 1;
+                return;
+            }
             // Sample the footprint outside the transaction so retries replay
             // the identical access set (as a real program would).
             reads.clear();
@@ -291,6 +318,7 @@ mod tests {
             pattern: AccessPattern::Uniform,
             disjoint: false,
             yield_per_op: false,
+            read_fraction: 0,
         }
     }
 
@@ -317,6 +345,97 @@ mod tests {
         let r = run_synthetic_phase(&stm, &spec(), 1 << 12, 2, Phase::DurationMs(30), 3);
         assert!(r.counters.commits > 0);
         assert!(r.elapsed >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn read_fraction_splits_commit_counters() {
+        let stm = tm_stm::tagged_stm(1 << 12, 1024);
+        let mut s = spec();
+        s.read_fraction = 100;
+        let r = run_synthetic_phase(&stm, &s, 1 << 12, 2, Phase::Txns(50), 7);
+        // All transactions took the read path: the write-side counters and
+        // the heap stay untouched.
+        assert_eq!(r.counters.commits, 0);
+        assert_eq!(r.counters.read_only_commits, 100);
+        assert_eq!(r.counters.aborts, 0);
+        assert_eq!(crate::engine::TmEngine::heap_sum(&stm, 1 << 12), 0);
+        assert_eq!(r.tallies.iter().map(|t| t.committed_txns).sum::<u64>(), 100);
+        assert_eq!(
+            r.tallies.iter().map(|t| t.committed_write_ops).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn readers_never_abort_disjoint_writers() {
+        // Tagged table (no false conflicts) + disjoint per-thread
+        // partitions: writers can only abort on genuine conflicts, of which
+        // there are none — and readers acquire no ownership, so mixing half
+        // the transactions onto the read path must leave writer aborts at
+        // exactly zero.
+        let stm = tm_stm::tagged_stm(1 << 14, 4096);
+        let s = SyntheticSpec {
+            writes_per_txn: 4,
+            reads_per_txn: 4,
+            pattern: AccessPattern::Uniform,
+            disjoint: true,
+            yield_per_op: false,
+            read_fraction: 50,
+        };
+        let r = run_synthetic_phase(&stm, &s, 1 << 14, 4, Phase::Txns(200), 13);
+        assert_eq!(r.counters.aborts, 0, "readers must not abort writers");
+        assert!(r.counters.read_only_commits > 0);
+        assert_eq!(r.counters.commits + r.counters.read_only_commits, 800);
+        let expected: u64 = r.tallies.iter().map(|t| t.committed_write_ops).sum();
+        assert_eq!(crate::engine::TmEngine::heap_sum(&stm, 1 << 14), expected);
+    }
+
+    #[test]
+    fn readers_never_abort_writers_on_overlapping_data() {
+        // Stronger than the disjoint case: readers deliberately hammer the
+        // very words the writers are incrementing. The read path never
+        // stalls a writer and never takes a grant, so writer aborts stay
+        // zero on the tagged table even under full overlap.
+        let stm = tm_stm::tagged_stm(1 << 12, 2048);
+        let stop = AtomicBool::new(false);
+        crossbeam::scope(|s| {
+            let (stm, stop) = (&stm, &stop);
+            // Writers own disjoint 64-block lanes (no writer/writer
+            // conflicts); readers span both lanes (full reader/writer
+            // overlap).
+            for w in 0..2u32 {
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        let block = w as u64 * 64 + i % 64;
+                        stm.run(w, |txn| txn.update_add(block * 64, 1).map(|_| ()));
+                    }
+                    stop.store(true, Ordering::Release);
+                });
+            }
+            for rt in 2..4u32 {
+                s.spawn(move |_| {
+                    // Check-then-read (not read-then-check): every reader
+                    // performs at least one scan even if the writers finish
+                    // before this thread is scheduled.
+                    let mut done = false;
+                    while !done {
+                        done = stop.load(Ordering::Acquire);
+                        stm.run_read(rt, |txn| {
+                            let mut sum = 0u64;
+                            for b in 0..128u64 {
+                                sum = sum.wrapping_add(txn.read(b * 64)?);
+                            }
+                            Ok(sum)
+                        });
+                    }
+                });
+            }
+        })
+        .expect("overlap scope");
+        let stats = stm.engine_stats();
+        assert_eq!(stats.commits, 1000);
+        assert_eq!(stats.aborts, 0, "readers aborted a writer");
+        assert!(stats.read_only_commits > 0);
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //!
 //! The driving surface itself lives in `tm-stm` now: [`TmEngine`] runs one
 //! transaction and exposes unified [`EngineStats`]; [`TxnOps`] is the
-//! address-level operation surface scenario bodies are written against.
+//! address-level operation surface scenario bodies are written against,
+//! and its supertrait [`ReadOps`] is the read-only subset that
+//! `TmEngine::run_read` bodies are bounded by.
 //! Every engine implements both, so the harness needs no per-engine
 //! adapter layer and **every scenario runs on every engine** — including
 //! the `tm-structs` workloads on the lazy engine, the matrix cells the old
 //! per-harness trait could not express.
 
-pub use tm_stm::{EngineStats, TmEngine, TxnOps};
+pub use tm_stm::{EngineStats, ReadOps, TmEngine, TxnOps};
 
 /// Engine selection axis of the run matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -59,7 +59,7 @@ pub use driver::{
     build_replay_streams, phase_loop, run_phase_threads, run_replay_phase, run_synthetic_phase,
     warmup_seed, Phase, PhaseResult, ThreadTally,
 };
-pub use engine::{EngineKind, EngineStats, TmEngine, TxnOps};
+pub use engine::{EngineKind, EngineStats, ReadOps, TmEngine, TxnOps};
 pub use report::{HarnessReport, RunResult, SCHEMA_VERSION};
 pub use run::{execute, execute_traced, run_matrix, run_matrix_traced, MatrixConfig, RunSpec};
 pub use scenario::{

@@ -17,6 +17,16 @@ use crate::json::{self, obj, s, unum, Json};
 
 /// Current report schema version.
 ///
+/// v4: the wait-free read-only path landed. Every run carries
+/// `read_only_commits` (transactions committed on `TmEngine::run_read`,
+/// never counted in `commits`) and `read_validation_retries` (read-path
+/// snapshot-validation retries). Breaking semantic change:
+/// `throughput_txn_s` is now **total** committed transactions per second —
+/// write-path commits plus read-only commits — so read-mixed scenarios
+/// (e.g. `read-heavy-ro`, or any cell run with `--read-fraction`) report
+/// their real transaction rate. Cells with no read-only traffic are
+/// numerically unchanged.
+///
 /// v3: every run now carries telemetry — whole-transaction latency
 /// percentiles (`latency_p50_ns`/`p95`/`p99`), an `abort_causes` breakdown
 /// attributed at the abort site, the observed model parameters
@@ -32,7 +42,7 @@ use crate::json::{self, obj, s, unum, Json};
 /// changed), and `final_table_entries` now reports the adaptive table's
 /// *live* geometry (`ResizableTable::live_config`) rather than a raw entry
 /// count read racily off the wrapper — a semantic change of a gated field.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One (engine, scenario, threads) measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,10 +65,18 @@ pub struct RunResult {
     pub measure: String,
     /// Measured-phase wall-clock seconds.
     pub elapsed_s: f64,
-    /// Transactions committed in the measured phase.
+    /// Write-path transactions committed in the measured phase.
     pub commits: u64,
     /// Aborts (all kinds) in the measured phase.
     pub aborts: u64,
+    /// Transactions committed on the wait-free read-only path
+    /// (`TmEngine::run_read`) in the measured phase. Deliberately not
+    /// folded into `commits`: the read path acquires no ownership, so
+    /// mixing it in would skew every write-side ratio.
+    pub read_only_commits: u64,
+    /// Read-path snapshot-validation retries in the measured phase (eager:
+    /// publication observed mid-snapshot; lazy: TL2 read validation failed).
+    pub read_validation_retries: u64,
     /// Lazy engine: read-time aborts.
     pub read_aborts: u64,
     /// Lazy engine: commit-lock aborts.
@@ -67,7 +85,8 @@ pub struct RunResult {
     pub validation_aborts: u64,
     /// Eager engines: stall-policy acquire retries.
     pub stall_retries: u64,
-    /// Commits per second over the measured phase.
+    /// Committed transactions per second over the measured phase —
+    /// write-path commits plus read-only commits (since v4).
     pub throughput_txn_s: f64,
     /// Aborts per commit.
     pub aborts_per_commit: f64,
@@ -128,6 +147,11 @@ impl RunResult {
             ("elapsed_s", Json::Num(self.elapsed_s)),
             ("commits", unum(self.commits)),
             ("aborts", unum(self.aborts)),
+            ("read_only_commits", unum(self.read_only_commits)),
+            (
+                "read_validation_retries",
+                unum(self.read_validation_retries),
+            ),
             ("read_aborts", unum(self.read_aborts)),
             ("lock_aborts", unum(self.lock_aborts)),
             ("validation_aborts", unum(self.validation_aborts)),
@@ -201,6 +225,8 @@ impl RunResult {
             elapsed_s: f64_field("elapsed_s")?,
             commits: u64_field("commits")?,
             aborts: u64_field("aborts")?,
+            read_only_commits: u64_field("read_only_commits")?,
+            read_validation_retries: u64_field("read_validation_retries")?,
             read_aborts: u64_field("read_aborts")?,
             lock_aborts: u64_field("lock_aborts")?,
             validation_aborts: u64_field("validation_aborts")?,
@@ -340,6 +366,8 @@ pub(crate) fn sample_run(engine: &str, scenario: &str, throughput: f64) -> RunRe
         elapsed_s: 0.25,
         commits: (throughput * 0.25) as u64,
         aborts: 10,
+        read_only_commits: 0,
+        read_validation_retries: 0,
         read_aborts: 0,
         lock_aborts: 0,
         validation_aborts: 0,

@@ -92,30 +92,16 @@ pub fn execute_traced(spec: &RunSpec) -> (RunResult, TelemetrySnapshot) {
     let builder = StmBuilder::new()
         .heap_words(spec.heap_words)
         .table_entries(spec.table_entries)
-        .classify_conflicts(true);
+        .classify_conflicts(true)
+        .probe(Arc::clone(&recorder));
     let mut extra = AdaptiveExtra::default();
     let outcome = match spec.engine {
-        EngineKind::EagerTagless => drive(
-            &builder.build_tagless_probed(Arc::clone(&recorder)),
-            spec,
-            &recorder,
-        ),
-        EngineKind::EagerTagged => drive(
-            &builder.build_tagged_probed(Arc::clone(&recorder)),
-            spec,
-            &recorder,
-        ),
-        EngineKind::Lazy => drive(
-            &builder.build_lazy_probed(Arc::clone(&recorder)),
-            spec,
-            &recorder,
-        ),
+        EngineKind::EagerTagless => drive(&builder.build_tagless(), spec, &recorder),
+        EngineKind::EagerTagged => drive(&builder.build_tagged(), spec, &recorder),
+        EngineKind::Lazy => drive(&builder.build_lazy(), spec, &recorder),
         EngineKind::Adaptive => {
-            let (stm, mut controller) = builder.build_adaptive_probed(
-                ResizePolicy::default(),
-                spec.threads,
-                Arc::clone(&recorder),
-            );
+            let (stm, mut controller) =
+                builder.build_adaptive(ResizePolicy::default(), spec.threads);
             let stop = AtomicBool::new(false);
             let mut outcome = None;
             crossbeam::scope(|s| {
@@ -331,12 +317,14 @@ fn finish(spec: &RunSpec, outcome: &DriveOutcome, extra: AdaptiveExtra) -> RunRe
         elapsed_s,
         commits,
         aborts,
+        read_only_commits: outcome.measure.read_only_commits,
+        read_validation_retries: outcome.measure.read_validation_retries,
         read_aborts: outcome.measure.read_aborts,
         lock_aborts: outcome.measure.lock_aborts,
         validation_aborts: outcome.measure.validation_aborts,
         stall_retries: outcome.measure.stall_retries,
         throughput_txn_s: if elapsed_s > 0.0 {
-            commits as f64 / elapsed_s
+            (commits + outcome.measure.read_only_commits) as f64 / elapsed_s
         } else {
             0.0
         },
@@ -494,6 +482,28 @@ mod tests {
         assert_eq!(telemetry.txn.count(), r.commits);
         assert!(!telemetry.events.is_empty());
         assert!(telemetry.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn read_heavy_ro_cell_splits_commit_counters() {
+        let r = execute(&quick_spec(
+            EngineKind::EagerTagged,
+            Scenario::read_heavy_ro(),
+        ));
+        // Every transaction commits exactly once — on one path or the other.
+        assert_eq!(r.commits + r.read_only_commits, 120);
+        assert!(r.read_only_commits > 0, "90% of txns take the read path");
+        assert!(r.commits > 0, "the update slice still runs");
+        assert_eq!(r.invariant_violations, 0);
+        assert!(r.throughput_txn_s > 0.0);
+    }
+
+    #[test]
+    fn read_path_counters_ride_on_the_lazy_engine_too() {
+        let r = execute(&quick_spec(EngineKind::Lazy, Scenario::read_heavy_ro()));
+        assert_eq!(r.commits + r.read_only_commits, 120);
+        assert!(r.read_only_commits > 0);
+        assert_eq!(r.invariant_violations, 0);
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub struct SyntheticSpec {
     /// Yield after each operation so partial footprints interleave even on
     /// boxes with fewer cores than threads (the paper's lockstep overlap).
     pub yield_per_op: bool,
+    /// Percent (0–100) of transactions issued as **read-only** transactions
+    /// on the engine's wait-free read path (`TmEngine::run_read`). A
+    /// read-only transaction performs `reads_per_txn + writes_per_txn`
+    /// plain reads (same footprint size as the update mix) and commits
+    /// without acquiring any ownership, so it never appears in the
+    /// write-side `commits`/`aborts` counters — see
+    /// `EngineStats::read_only_commits`.
+    pub read_fraction: u32,
 }
 
 /// Block-address distribution of a synthetic workload.
@@ -142,6 +150,7 @@ impl Scenario {
                 pattern: AccessPattern::Uniform,
                 disjoint: false,
                 yield_per_op: false,
+                read_fraction: 0,
             },
         )
     }
@@ -156,6 +165,26 @@ impl Scenario {
                 pattern: AccessPattern::Uniform,
                 disjoint: false,
                 yield_per_op: false,
+                read_fraction: 0,
+            },
+        )
+    }
+
+    /// Read-dominated with 90% of transactions on the **wait-free
+    /// read-only path**: the remaining 10% are the `read-heavy` update mix
+    /// (1 increment + 15 reads). The scenario the read-path redesign is
+    /// for — readers never acquire ownership, so on engines without false
+    /// conflicts the writers see zero reader-induced aborts.
+    pub fn read_heavy_ro() -> Self {
+        Self::synthetic(
+            "read-heavy-ro",
+            SyntheticSpec {
+                writes_per_txn: 1,
+                reads_per_txn: 15,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+                read_fraction: 90,
             },
         )
     }
@@ -170,6 +199,7 @@ impl Scenario {
                 pattern: AccessPattern::Uniform,
                 disjoint: false,
                 yield_per_op: false,
+                read_fraction: 0,
             },
         )
     }
@@ -184,6 +214,7 @@ impl Scenario {
                 pattern: AccessPattern::Zipf { exponent: 0.8 },
                 disjoint: false,
                 yield_per_op: false,
+                read_fraction: 0,
             },
         )
     }
@@ -201,6 +232,7 @@ impl Scenario {
                 },
                 disjoint: false,
                 yield_per_op: false,
+                read_fraction: 0,
             },
         )
     }
@@ -216,6 +248,7 @@ impl Scenario {
                 pattern: AccessPattern::Uniform,
                 disjoint: true,
                 yield_per_op: false,
+                read_fraction: 0,
             },
         )
     }
@@ -232,6 +265,7 @@ impl Scenario {
                 pattern: AccessPattern::Uniform,
                 disjoint: false,
                 yield_per_op: true,
+                read_fraction: 0,
             },
         )
     }
@@ -303,6 +337,7 @@ impl Scenario {
         vec![
             Self::uniform_mixed(),
             Self::read_heavy(),
+            Self::read_heavy_ro(),
             Self::write_heavy(),
             Self::zipf(),
             Self::hotspot(),
@@ -363,6 +398,22 @@ impl Scenario {
             ScenarioKind::Synthetic(spec) => Some(*spec),
             _ => None,
         }
+    }
+
+    /// Override the read-only fraction (percent, clamped to 100) of a
+    /// synthetic scenario — the `--read-fraction` CLI axis. The name gains
+    /// a `+roPCT` suffix so an overridden run never shares a report key
+    /// (and hence a baseline row) with the unmodified scenario. Returns
+    /// `None` for non-synthetic scenarios, where the axis has no meaning.
+    pub fn with_read_fraction(&self, pct: u32) -> Option<Scenario> {
+        let ScenarioKind::Synthetic(mut spec) = self.kind.clone() else {
+            return None;
+        };
+        spec.read_fraction = pct.min(100);
+        Some(Self {
+            name: format!("{}+ro{}", self.name, spec.read_fraction),
+            kind: ScenarioKind::Synthetic(spec),
+        })
     }
 }
 
@@ -456,6 +507,7 @@ mod tests {
             pattern: AccessPattern::Uniform,
             disjoint: true,
             yield_per_op: false,
+            read_fraction: 0,
         };
         let universe = 1024;
         let mut seen = Vec::new();
@@ -485,6 +537,7 @@ mod tests {
             },
             disjoint: false,
             yield_per_op: false,
+            read_fraction: 0,
         };
         let sampler = BlockSampler::new(&spec, 4096, 0, 1);
         let mut rng = StdRng::seed_from_u64(42);
@@ -503,6 +556,30 @@ mod tests {
         assert!(!Scenario::replay_jbb().disjoint_data(8));
         assert!(!Scenario::uniform_mixed().disjoint_data(4));
         assert!(!Scenario::counter().disjoint_data(4));
+    }
+
+    #[test]
+    fn read_fraction_axis() {
+        assert_eq!(
+            Scenario::read_heavy_ro()
+                .synthetic_spec()
+                .unwrap()
+                .read_fraction,
+            90
+        );
+        // The update mixes never touch the read path by default.
+        assert_eq!(
+            Scenario::uniform_mixed()
+                .synthetic_spec()
+                .unwrap()
+                .read_fraction,
+            0
+        );
+        // CLI override clamps to 100% and refuses non-synthetic scenarios.
+        let overridden = Scenario::uniform_mixed().with_read_fraction(250).unwrap();
+        assert_eq!(overridden.synthetic_spec().unwrap().read_fraction, 100);
+        assert_eq!(overridden.name, "uniform-mixed+ro100");
+        assert!(Scenario::counter().with_read_fraction(50).is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! harness [--fast] [--out results.json] [--trace-out events.jsonl]
-//!         [--engine NAME]... [--scenario NAME]...
+//!         [--engine NAME]... [--scenario NAME]... [--read-fraction PCT]
 //!         [--threads N] [--table-entries N] [--seed N]
 //!         [--warmup-ms N] [--measure-ms N]
 //! harness compare <baseline.json> <candidate.json> [--tolerance-pct P]
@@ -38,9 +38,12 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: harness [--fast] [--out FILE] [--trace-out FILE]\n\
          \x20              [--engine NAME]... [--scenario NAME]...\n\
-         \x20              [--threads N] [--table-entries N] [--seed N]\n\
-         \x20              [--warmup-ms N] [--measure-ms N]\n\
+         \x20              [--read-fraction PCT] [--threads N] [--table-entries N]\n\
+         \x20              [--seed N] [--warmup-ms N] [--measure-ms N]\n\
          \x20      harness compare <baseline> <candidate> [--tolerance-pct P]\n\
+         --read-fraction runs PCT% of each synthetic scenario's transactions\n\
+         as wait-free read-only transactions (run_read); the scenario gains a\n\
+         '+roPCT' name suffix. Non-synthetic scenarios are left unchanged.\n\
          engines:   {}  (or 'all')\n\
          scenarios: {}  (or 'all')",
         EngineKind::all().map(|e| e.name()).join(", "),
@@ -65,6 +68,7 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
     let mut scenarios: Vec<Scenario> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut read_fraction: Option<u32> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -106,6 +110,7 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
                         .push(Scenario::by_name_or_describe(name).unwrap_or_else(|e| usage(&e)));
                 }
             }
+            "--read-fraction" => read_fraction = Some(parse_num(&mut it, "--read-fraction")),
             "--threads" => config.threads = parse_num(&mut it, "--threads"),
             "--table-entries" => config.table_entries = parse_num(&mut it, "--table-entries"),
             "--seed" => config.seed = parse_num(&mut it, "--seed"),
@@ -122,6 +127,15 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
     }
     if !scenarios.is_empty() {
         config.scenarios = scenarios;
+    }
+    if let Some(pct) = read_fraction {
+        // Synthetic scenarios gain the read-only axis; trace replays and
+        // structure workloads have no read-only variant and run unchanged.
+        config.scenarios = config
+            .scenarios
+            .iter()
+            .map(|s| s.with_read_fraction(pct).unwrap_or_else(|| s.clone()))
+            .collect();
     }
 
     let mut trace = match &trace_out {

@@ -10,7 +10,7 @@
 
 use tm_repro::{f3, Options, Table};
 use tm_stm::lazy::LazyStm;
-use tm_stm::{TmEngine, TxnOps};
+use tm_stm::{ReadOps, TmEngine, TxnOps};
 
 const THREADS: u32 = 4;
 const WRITES_PER_TXN: u64 = 8;

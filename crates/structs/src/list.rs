@@ -17,8 +17,8 @@ use std::marker::PhantomData;
 
 use tm_ownership::ThreadId;
 use tm_stm::{
-    Aborted, CapacityError, Region, TRef, TmEngine, TxAlloc, TxLayout, TxResult, TxWord, TxnOps,
-    WORD_BYTES,
+    Aborted, CapacityError, ReadOps, Region, TRef, TmEngine, TxAlloc, TxLayout, TxResult, TxWord,
+    TxnOps, WORD_BYTES,
 };
 
 /// One list cell: the value word followed by a nullable next pointer.
@@ -30,7 +30,7 @@ struct ListNode<T> {
 impl<T: TxWord> TxLayout for ListNode<T> {
     const WORDS: u64 = 2;
 
-    fn read_from<O: TxnOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
+    fn read_from<O: ReadOps + ?Sized>(txn: &mut O, base: u64) -> Result<Self, Aborted> {
         Ok(Self {
             value: T::read_from(txn, base)?,
             next: Option::<TRef<ListNode<T>>>::read_from(txn, base + WORD_BYTES)?,
@@ -141,8 +141,9 @@ impl<T: TxWord + Ord + Copy> TList<T> {
         Ok(false)
     }
 
-    /// Membership test, inside a transaction.
-    pub fn contains<O: TxnOps + ?Sized>(&self, txn: &mut O, value: T) -> Result<bool, Aborted> {
+    /// Membership test, inside a transaction. Only needs [`ReadOps`], so it
+    /// also composes into [`TmEngine::run_read`] bodies.
+    pub fn contains<O: ReadOps + ?Sized>(&self, txn: &mut O, value: T) -> Result<bool, Aborted> {
         let mut cur = self.head.get(txn)?;
         while let Some(node) = cur {
             let n = node.get(txn)?;
@@ -155,8 +156,8 @@ impl<T: TxWord + Ord + Copy> TList<T> {
         Ok(false)
     }
 
-    /// Live elements, inside a transaction (walks the list).
-    pub fn len<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
+    /// Live elements, inside a transaction (walks the list). Read-only.
+    pub fn len<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         let mut n = 0u64;
         let mut cur = self.head.get(txn)?;
         while let Some(node) = cur {
@@ -170,13 +171,13 @@ impl<T: TxWord + Ord + Copy> TList<T> {
     /// inside a transaction. With `len`, the leak detector:
     /// `len + free_nodes == capacity` must hold whenever the list is the
     /// pool's only client.
-    pub fn free_nodes<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
+    pub fn free_nodes<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<u64, Aborted> {
         self.pool.free_cells(txn)
     }
 
     /// Collect the contents in order, inside a transaction (a consistent
     /// snapshot). Allocates — verification/diagnostics, not a hot path.
-    pub fn snapshot<O: TxnOps + ?Sized>(&self, txn: &mut O) -> Result<Vec<T>, Aborted> {
+    pub fn snapshot<O: ReadOps + ?Sized>(&self, txn: &mut O) -> Result<Vec<T>, Aborted> {
         let mut out = Vec::new();
         let mut cur = self.head.get(txn)?;
         while let Some(node) = cur {
@@ -207,9 +208,22 @@ impl<T: TxWord + Ord + Copy> TList<T> {
         stm.run(me, |txn| self.contains(txn, value))
     }
 
+    /// Wait-free membership test on the read-only path
+    /// ([`TmEngine::run_read`]): never acquires ownership, never aborts a
+    /// writer. The traversal sees one consistent committed snapshot.
+    pub fn contains_read<E: TmEngine>(&self, stm: &E, me: ThreadId, value: T) -> bool {
+        stm.run_read(me, |txn| self.contains(txn, value))
+    }
+
     /// Auto-committing length.
     pub fn len_now<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
         stm.run(me, |txn| self.len(txn))
+    }
+
+    /// Wait-free length on the read-only path (see
+    /// [`contains_read`](TList::contains_read)).
+    pub fn len_read<E: TmEngine>(&self, stm: &E, me: ThreadId) -> u64 {
+        stm.run_read(me, |txn| self.len(txn))
     }
 
     /// Auto-committing snapshot.
@@ -226,7 +240,7 @@ impl<T: TxWord + Ord + Copy> TList<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_stm::{tagged_stm, LazyStm, TxnOps};
+    use tm_stm::{tagged_stm, LazyStm};
 
     fn setup(cap: u64) -> (tm_stm::Stm<tm_stm::ConcurrentTaggedTable>, TList) {
         let stm = tagged_stm(1 << 14, 1024);

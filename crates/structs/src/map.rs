@@ -16,7 +16,7 @@ use std::marker::PhantomData;
 
 use tm_ownership::ThreadId;
 use tm_stm::{
-    Aborted, CapacityError, Region, TRef, TmEngine, TxLayout, TxResult, TxnOps, WORD_BYTES,
+    Aborted, CapacityError, ReadOps, Region, TRef, TmEngine, TxLayout, TxResult, TxnOps, WORD_BYTES,
 };
 
 const EMPTY: u64 = 0;
@@ -121,8 +121,9 @@ impl<V: TxLayout> TMap<V> {
         Ok(Err(CapacityError))
     }
 
-    /// Look up inside a transaction.
-    pub fn get<O: TxnOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<V>, Aborted> {
+    /// Look up inside a transaction. Only needs [`ReadOps`], so it also
+    /// composes into [`TmEngine::run_read`] bodies.
+    pub fn get<O: ReadOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<Option<V>, Aborted> {
         assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
         let start = self.slot_of(key);
         for i in 0..self.capacity {
@@ -136,6 +137,24 @@ impl<V: TxLayout> TMap<V> {
             }
         }
         Ok(None)
+    }
+
+    /// Membership test inside a transaction: like [`get`](TMap::get) but
+    /// skips decoding the value, so probe chains cost one read per slot.
+    pub fn contains<O: ReadOps + ?Sized>(&self, txn: &mut O, key: u64) -> Result<bool, Aborted> {
+        assert_ne!(key, EMPTY, "key 0 is reserved as the empty marker");
+        let start = self.slot_of(key);
+        for i in 0..self.capacity {
+            let slot = (start + i) % self.capacity;
+            let k = self.key_slot(slot).get(txn)?;
+            if k == key {
+                return Ok(true);
+            }
+            if k == EMPTY {
+                return Ok(false);
+            }
+        }
+        Ok(false)
     }
 
     /// Remove inside a transaction; returns the removed value. Uses
@@ -204,6 +223,25 @@ impl<V: TxLayout> TMap<V> {
     /// Auto-committing lookup.
     pub fn get_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<V> {
         stm.run(me, |txn| self.get(txn, key))
+    }
+
+    /// Wait-free lookup on the read-only path ([`TmEngine::run_read`]):
+    /// never acquires ownership, never aborts a writer. The probe walk sees
+    /// one consistent committed snapshot, so backward-shift deletions can
+    /// never tear a cluster mid-lookup.
+    pub fn get_read<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> Option<V> {
+        stm.run_read(me, |txn| self.get(txn, key))
+    }
+
+    /// Auto-committing membership test.
+    pub fn contains_now<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> bool {
+        stm.run(me, |txn| self.contains(txn, key))
+    }
+
+    /// Wait-free membership test on the read-only path (see
+    /// [`get_read`](TMap::get_read)).
+    pub fn contains_read<E: TmEngine>(&self, stm: &E, me: ThreadId, key: u64) -> bool {
+        stm.run_read(me, |txn| self.contains(txn, key))
     }
 
     /// Auto-committing removal.

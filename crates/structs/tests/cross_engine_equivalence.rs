@@ -17,7 +17,7 @@
 use proptest::prelude::*;
 
 use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
-use tm_stm::{StmBuilder, TmEngine, TxnOps};
+use tm_stm::{ReadOps, StmBuilder, TmEngine, TxnOps};
 use tm_structs::{Region, TCounter, TList, TMap, TQueue, TStack};
 
 const HEAP_WORDS: usize = 1 << 14;

@@ -322,6 +322,19 @@ pub trait Probe: Send + Sync {
     /// The adaptive controller resized the ownership table.
     #[inline]
     fn on_resize(&self, from_entries: u64, to_entries: u64) {}
+
+    /// A read-only transaction started an attempt on the snapshot read path
+    /// (`TmEngine::run_read`).
+    #[inline]
+    fn on_read_begin(&self, thread: u32) {}
+
+    /// A read-only attempt failed snapshot/read validation and will retry.
+    #[inline]
+    fn on_read_validation_retry(&self, thread: u32) {}
+
+    /// A read-only transaction committed after `txn_ns` (all attempts).
+    #[inline]
+    fn on_read_commit(&self, thread: u32, txn_ns: u64) {}
 }
 
 /// The default probe: disabled, every hook empty, zero cost.
@@ -358,6 +371,18 @@ impl<P: Probe> Probe for std::sync::Arc<P> {
     #[inline]
     fn on_resize(&self, from_entries: u64, to_entries: u64) {
         (**self).on_resize(from_entries, to_entries);
+    }
+    #[inline]
+    fn on_read_begin(&self, thread: u32) {
+        (**self).on_read_begin(thread);
+    }
+    #[inline]
+    fn on_read_validation_retry(&self, thread: u32) {
+        (**self).on_read_validation_retry(thread);
+    }
+    #[inline]
+    fn on_read_commit(&self, thread: u32, txn_ns: u64) {
+        (**self).on_read_commit(thread, txn_ns);
     }
 }
 
@@ -397,6 +422,15 @@ pub enum EventKind {
         /// Entries after.
         to_entries: u64,
     },
+    /// A read-only transaction began an attempt (snapshot read path).
+    ReadBegin,
+    /// A read-only attempt failed validation and retried.
+    ReadRetry,
+    /// A read-only transaction committed.
+    ReadCommit {
+        /// Whole-transaction duration including validation retries.
+        txn_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -409,6 +443,9 @@ impl EventKind {
             EventKind::Abort { .. } => "abort",
             EventKind::Commit { .. } => "commit",
             EventKind::Resize { .. } => "resize",
+            EventKind::ReadBegin => "read-begin",
+            EventKind::ReadRetry => "read-retry",
+            EventKind::ReadCommit { .. } => "read-commit",
         }
     }
 }
@@ -436,7 +473,14 @@ impl TxnEvent {
             self.kind.as_str()
         );
         match self.kind {
-            EventKind::Begin | EventKind::Grant | EventKind::Stall => {}
+            EventKind::Begin
+            | EventKind::Grant
+            | EventKind::Stall
+            | EventKind::ReadBegin
+            | EventKind::ReadRetry => {}
+            EventKind::ReadCommit { txn_ns } => {
+                s.push_str(&format!(",\"txn_ns\":{txn_ns}"));
+            }
             EventKind::Abort { cause, attempt_ns } => {
                 s.push_str(&format!(
                     ",\"cause\":\"{}\",\"attempt_ns\":{attempt_ns}",
@@ -492,7 +536,10 @@ struct EventRing {
 struct Stripe {
     attempt: AtomicHistogram,
     txn: AtomicHistogram,
+    read_txn: AtomicHistogram,
     causes: [AtomicU64; AbortCause::COUNT],
+    read_begins: AtomicU64,
+    read_retries: AtomicU64,
     events: Mutex<EventRing>,
 }
 
@@ -501,7 +548,10 @@ impl Stripe {
         Stripe {
             attempt: AtomicHistogram::new(),
             txn: AtomicHistogram::new(),
+            read_txn: AtomicHistogram::new(),
             causes: Default::default(),
+            read_begins: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
             events: Mutex::new(EventRing {
                 buf: VecDeque::with_capacity(ring_capacity),
                 dropped: 0,
@@ -517,8 +567,15 @@ pub struct TelemetrySnapshot {
     pub attempt: Histogram,
     /// Whole-transaction latency (committed transactions).
     pub txn: Histogram,
+    /// Whole-transaction latency of committed *read-only* transactions
+    /// (`run_read`); its count is the read-only commit count.
+    pub read_txn: Histogram,
     /// Abort counts indexed by [`AbortCause::index`].
     pub abort_causes: [u64; AbortCause::COUNT],
+    /// Read-only attempts begun on the snapshot read path.
+    pub read_begins: u64,
+    /// Read-only attempts that failed snapshot/read validation and retried.
+    pub read_validation_retries: u64,
     /// Flight-recorder contents, sorted by `t_ns`.
     pub events: Vec<TxnEvent>,
     /// Events evicted from the bounded rings.
@@ -623,9 +680,12 @@ impl Recorder {
         for stripe in &self.stripes {
             stripe.attempt.reset();
             stripe.txn.reset();
+            stripe.read_txn.reset();
             for c in &stripe.causes {
                 c.store(0, Ordering::Relaxed);
             }
+            stripe.read_begins.store(0, Ordering::Relaxed);
+            stripe.read_retries.store(0, Ordering::Relaxed);
             let mut ring = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
             ring.buf.clear();
             ring.dropped = 0;
@@ -636,15 +696,21 @@ impl Recorder {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut attempt = Histogram::new();
         let mut txn = Histogram::new();
+        let mut read_txn = Histogram::new();
         let mut abort_causes = [0u64; AbortCause::COUNT];
+        let mut read_begins = 0;
+        let mut read_validation_retries = 0;
         let mut events = Vec::new();
         let mut dropped_events = 0;
         for stripe in &self.stripes {
             attempt.merge(&stripe.attempt.snapshot());
             txn.merge(&stripe.txn.snapshot());
+            read_txn.merge(&stripe.read_txn.snapshot());
             for (i, c) in stripe.causes.iter().enumerate() {
                 abort_causes[i] += c.load(Ordering::Relaxed);
             }
+            read_begins += stripe.read_begins.load(Ordering::Relaxed);
+            read_validation_retries += stripe.read_retries.load(Ordering::Relaxed);
             let ring = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
             events.extend(ring.buf.iter().copied());
             dropped_events += ring.dropped;
@@ -653,7 +719,10 @@ impl Recorder {
         TelemetrySnapshot {
             attempt,
             txn,
+            read_txn,
             abort_causes,
+            read_begins,
+            read_validation_retries,
             events,
             dropped_events,
         }
@@ -710,6 +779,28 @@ impl Probe for Recorder {
                 to_entries,
             },
         );
+    }
+
+    #[inline]
+    fn on_read_begin(&self, thread: u32) {
+        self.stripe(thread)
+            .read_begins
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(thread, EventKind::ReadBegin);
+    }
+
+    #[inline]
+    fn on_read_validation_retry(&self, thread: u32) {
+        self.stripe(thread)
+            .read_retries
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(thread, EventKind::ReadRetry);
+    }
+
+    #[inline]
+    fn on_read_commit(&self, thread: u32, txn_ns: u64) {
+        self.stripe(thread).read_txn.record(txn_ns);
+        self.push_event(thread, EventKind::ReadCommit { txn_ns });
     }
 }
 
@@ -835,6 +926,38 @@ mod tests {
         assert!(line.contains("\"cause\":\"unknown-conflict\""));
         let resize = snap.events.iter().find(|e| e.thread == u32::MAX).unwrap();
         assert!(resize.fields_json().contains("\"to_entries\":8192"));
+    }
+
+    #[test]
+    fn read_path_hooks_are_counted_and_traced() {
+        let r = Recorder::new();
+        r.on_read_begin(2);
+        r.on_read_begin(2);
+        r.on_read_validation_retry(2);
+        r.on_read_commit(2, 640);
+        let snap = r.snapshot();
+        assert_eq!(snap.read_begins, 2);
+        assert_eq!(snap.read_validation_retries, 1);
+        assert_eq!(snap.read_txn.count(), 1);
+        // Read-path events never touch the write-side instruments.
+        assert_eq!(snap.txn.count(), 0);
+        assert_eq!(snap.attempt.count(), 0);
+        assert_eq!(snap.total_aborts(), 0);
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.as_str()).collect();
+        for k in ["read-begin", "read-retry", "read-commit"] {
+            assert!(kinds.contains(&k), "missing {k}");
+        }
+        let commit = snap
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::ReadCommit { .. }))
+            .unwrap();
+        assert!(commit.to_json_line().contains("\"txn_ns\":640"));
+        r.reset_window();
+        let snap = r.snapshot();
+        assert_eq!(snap.read_begins, 0);
+        assert_eq!(snap.read_validation_retries, 0);
+        assert!(snap.read_txn.is_empty());
     }
 
     #[test]

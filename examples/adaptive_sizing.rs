@@ -14,7 +14,7 @@
 
 use tm_birthday::adaptive::{adaptive_stm, ControlReport, ResizePolicy};
 use tm_birthday::model::lockstep;
-use tm_birthday::prelude::{TmEngine, TxnOps};
+use tm_birthday::prelude::{ReadOps, TmEngine, TxnOps};
 
 fn main() {
     // A 64 Ki-word heap over a 256-entry tagless table — fine for tiny

@@ -66,8 +66,17 @@ fn run_bank<T: ConcurrentTable>(label: &str, stm: &Stm<T>) {
     })
     .unwrap();
 
-    // Money is conserved: the defining invariant of atomicity.
-    let total: u64 = accounts.iter().map(|a| a.peek(stm.heap())).sum();
+    // Money is conserved: the defining invariant of atomicity. The audit
+    // is a read-only transaction — `run_read` takes the wait-free path
+    // (no ownership acquired, a consistent snapshot even with writers
+    // still in flight), and its `ReadOps` body can't accidentally write.
+    let total: u64 = stm.run_read(0, |txn| {
+        let mut sum = 0;
+        for account in accounts.iter() {
+            sum += account.get(txn)?;
+        }
+        Ok(sum)
+    });
     assert_eq!(total, ACCOUNTS as u64 * INITIAL, "{label}: money leaked!");
 
     let s = stm.stats();

@@ -16,9 +16,9 @@
 //! | [`structs`] | `tm-structs` | Transactional data structures |
 //!
 //! The [`prelude`] re-exports the unified transaction API (the `TmEngine`/
-//! `TxnOps` traits, the `StmBuilder`), the typed object layer (`TRef`,
-//! the `TxWord`/`TxLayout` codecs, `Region`, `TxAlloc`), and the data
-//! structures in one import.
+//! `TxnOps`/`ReadOps` traits, the `StmBuilder`), the typed object layer
+//! (`TRef`, the `TxWord`/`TxLayout` codecs, `Region`, `TxAlloc`), and the
+//! data structures in one import.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment map.
 
@@ -27,7 +27,10 @@
 ///
 /// Code is written against typed handles — a [`Region`](tm_stm::Region)
 /// allocates [`TRef<T>`](tm_stm::TRef) cells, and the same closure runs on
-/// every engine the builder can mint. Eager tagless (paper Figure 1):
+/// every engine the builder can mint. Updates go through `run`; **reads go
+/// through `run_read`**, the wait-free read-only path whose bodies are
+/// bounded by `ReadOps` so a stray write is a compile error, not a runtime
+/// abort. Eager tagless (paper Figure 1):
 ///
 /// ```
 /// use tm_birthday::prelude::*;
@@ -37,6 +40,9 @@
 /// let cell: TRef<u64> = region.alloc_ref();
 /// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
+/// // Reads take the epoch-snapshot path: no ownership acquired, writers
+/// // never stalled.
+/// assert_eq!(stm.run_read(0, |txn| cell.get(txn)), 41);
 /// ```
 ///
 /// Eager tagged (paper Figure 7):
@@ -49,9 +55,11 @@
 /// let cell: TRef<u64> = region.alloc_ref();
 /// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
+/// assert_eq!(cell.get_read(&stm, 0), 41); // TRef shorthand for run_read
 /// ```
 ///
-/// Lazy TL2-style:
+/// Lazy TL2-style (read-only transactions validate against the global
+/// version clock instead of keeping a read set):
 ///
 /// ```
 /// use tm_birthday::prelude::*;
@@ -61,9 +69,11 @@
 /// let cell: TRef<u64> = region.alloc_ref();
 /// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
+/// assert_eq!(stm.run_read(0, |txn| cell.get(txn)), 41);
 /// ```
 ///
-/// Adaptive (online-resizable table driven by the sizing model):
+/// Adaptive (online-resizable table driven by the sizing model; the read
+/// path rides the eager engine's publication gate unchanged):
 ///
 /// ```
 /// use tm_birthday::prelude::*;
@@ -76,6 +86,7 @@
 /// let cell: TRef<u64> = region.alloc_ref();
 /// let n = stm.run(0, |txn| cell.update(txn, |v| v + 41));
 /// assert_eq!(n, 41);
+/// assert_eq!(stm.run_read(0, |txn| cell.get(txn)), 41);
 /// ```
 ///
 /// Dynamic structures allocate nodes *inside* transactions through
@@ -90,12 +101,16 @@
 /// assert_eq!(list.insert_now(&stm, 0, 7), Ok(true));
 /// assert_eq!(list.insert_now(&stm, 0, 3), Ok(true));
 /// assert_eq!(list.snapshot_now(&stm, 0), vec![3, 7]);
+/// // Membership tests are read-only: use the wait-free variants.
+/// assert!(list.contains_read(&stm, 0, 7));
+/// assert_eq!(list.len_read(&stm, 0), 2);
 /// ```
 pub mod prelude {
     pub use tm_adaptive::{AdaptiveController, AdaptiveStmBuilder, ResizePolicy};
     pub use tm_stm::{
-        Aborted, CapacityError, ContentionPolicy, EngineStats, LazyStm, Region, RetryLimitExceeded,
-        RetryPolicy, Stm, StmBuilder, TRef, TmEngine, TxAlloc, TxLayout, TxResult, TxWord, TxnOps,
+        Aborted, CapacityError, ContentionPolicy, EngineStats, LazyStm, ReadOps, ReadPathPolicy,
+        Region, RetryLimitExceeded, RetryPolicy, Stm, StmBuilder, TRef, TmEngine, TxAlloc,
+        TxLayout, TxResult, TxWord, TxnOps,
     };
     pub use tm_structs::{TCounter, TList, TMap, TQueue, TStack};
 }

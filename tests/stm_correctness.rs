@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tm_birthday::ownership::TableConfig;
 use tm_birthday::stm::{
-    tagged_stm, tagless_stm, ConcurrentTable, ContentionPolicy, RetryPolicy, Stm, StmConfig,
-    TmEngine, TxnOps,
+    tagged_stm, tagless_stm, ConcurrentTable, ContentionPolicy, ReadOps, ReadPathPolicy,
+    RetryPolicy, Stm, StmConfig, TmEngine, TxnOps,
 };
 
 const THREADS: u32 = 4;
@@ -76,6 +76,7 @@ fn conservation_under_stall_policy() {
         StmConfig {
             contention: ContentionPolicy::Stall { max_spins: 64 },
             retry: RetryPolicy::Unbounded,
+            read_path: ReadPathPolicy::default(),
         },
     );
     conservation(&stm, 128, 1_000);
@@ -123,7 +124,7 @@ fn read_snapshot_is_consistent_pairwise() {
         for rid in 2..4u32 {
             s.spawn(move |_| {
                 for _ in 0..2_000 {
-                    let (a, b) = stm.run(rid, |txn| Ok((txn.read(0)?, txn.read(64)?)));
+                    let (a, b) = stm.run_read(rid, |txn| Ok((txn.read(0)?, txn.read(64)?)));
                     if a != b {
                         violations.fetch_add(1, Ordering::Relaxed);
                     }

@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use tm_birthday::stm::lazy::LazyStm;
-use tm_birthday::stm::{tagged_stm, tagless_stm, Aborted, ConcurrentTable, Stm, TmEngine, TxnOps};
+use tm_birthday::stm::{
+    tagged_stm, tagless_stm, Aborted, ConcurrentTable, ReadOps, Stm, TmEngine, TxnOps,
+};
 
 /// One step of a transaction script.
 #[derive(Clone, Copy, Debug)]
