@@ -63,6 +63,7 @@ pub use engine::{EngineKind, EngineStats, ReadOps, TmEngine, TxnOps};
 pub use report::{HarnessReport, RunResult, SCHEMA_VERSION};
 pub use run::{execute, execute_traced, run_matrix, run_matrix_traced, MatrixConfig, RunSpec};
 pub use scenario::{
-    AccessPattern, ListKeyMix, ReplaySpec, Scenario, ScenarioKind, StructsKind, SyntheticSpec,
+    AccessPattern, BlockSampler, ListKeyMix, ReplaySpec, Scenario, ScenarioKind, StructsKind,
+    SyntheticSpec,
 };
 pub use structs_load::{run_structs, StructsRun, StructsTally};

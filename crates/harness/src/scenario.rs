@@ -449,6 +449,25 @@ impl BlockSampler {
         }
     }
 
+    /// Build an **unpartitioned** sampler for a bare access pattern over
+    /// `universe` blocks — for consumers outside the worker matrix (the
+    /// `tm-server` load generator draws its request keys this way) that
+    /// want the same pattern vocabulary without a full [`SyntheticSpec`]
+    /// or per-thread disjoint slicing.
+    pub fn for_pattern(pattern: AccessPattern, universe: u64) -> Self {
+        let span = universe.max(1);
+        let zipf = match pattern {
+            AccessPattern::Zipf { exponent } => Some(Zipf::new(span as usize, exponent)),
+            _ => None,
+        };
+        Self {
+            base: 0,
+            span,
+            pattern,
+            zipf,
+        }
+    }
+
     /// Draw a block address.
     pub fn sample(&self, rng: &mut StdRng) -> u64 {
         let offset = match &self.pattern {
@@ -580,6 +599,25 @@ mod tests {
         assert_eq!(overridden.synthetic_spec().unwrap().read_fraction, 100);
         assert_eq!(overridden.name, "uniform-mixed+ro100");
         assert!(Scenario::counter().with_read_fraction(50).is_none());
+    }
+
+    #[test]
+    fn pattern_sampler_spans_whole_universe() {
+        // The unpartitioned constructor covers [0, universe) regardless of
+        // pattern, and a Zipf pattern skews toward low ranks.
+        let uniform = BlockSampler::for_pattern(AccessPattern::Uniform, 512);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut max_seen = 0;
+        for _ in 0..4000 {
+            let b = uniform.sample(&mut rng);
+            assert!(b < 512);
+            max_seen = max_seen.max(b);
+        }
+        assert!(max_seen >= 384, "upper range exercised, max {max_seen}");
+
+        let zipf = BlockSampler::for_pattern(AccessPattern::Zipf { exponent: 0.9 }, 512);
+        let low = (0..4000).filter(|_| zipf.sample(&mut rng) < 16).count() as f64 / 4000.0;
+        assert!(low > 0.2, "zipf head share {low}");
     }
 
     #[test]

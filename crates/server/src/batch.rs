@@ -1,0 +1,357 @@
+//! Group commit: coalescing compatible writes from different sessions into
+//! one transaction.
+//!
+//! Every committed transaction pays fixed costs — ownership acquisition,
+//! commit publication, stats — on top of its per-word work, and every
+//! *extra* transaction in flight raises the paper's false-conflict
+//! probability (Eq. 8 is quadratic in footprint but also `C(C−1)` in the
+//! number of concurrent transactions). Group commit amortizes the fixed
+//! cost and shrinks effective concurrency: a shard folds adjacent write
+//! requests — possibly from different sessions — into one engine
+//! transaction when their footprints are **compatible**.
+//!
+//! The compatibility rule is deliberately conservative:
+//!
+//! 1. **key-disjoint** — a request joins a group only if none of its
+//!    canonical keys is already in the group. Disjointness makes every
+//!    request's result independent of its position inside the batch, so
+//!    batching can never change an individual response.
+//! 2. **bounded footprint** — the group's total distinct-key count stays
+//!    ≤ [`BatchPolicy::max_footprint`]. The abort probability of the merged
+//!    transaction grows quadratically with its footprint (the paper's `W²`
+//!    law), so unbounded merging would trade fixed-cost savings for
+//!    retried *work*, which is the worse side of the trade.
+//! 3. **bounded latency** — the first enqueued request starts a
+//!    [`BatchPolicy::latency_budget`] timer; at the deadline the batcher
+//!    flushes whatever it has. Group commit trades a bounded amount of
+//!    added latency for throughput, never an unbounded amount.
+//!
+//! Requests that fail rule 1 or 2 against the *open* group seal it and
+//! start a new one; groups flush in FIFO order, so per-session request
+//! order is preserved (a session's later write can never land in an
+//! earlier group than its predecessor).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// A write operation with canonicalized keys, ready to fold into a group.
+#[derive(Clone, Debug)]
+pub struct PendingWrite {
+    /// Session that issued it (responses route back here).
+    pub session: u64,
+    /// Correlation id echoed in the response.
+    pub id: u64,
+    /// The operation itself.
+    pub op: WriteOp,
+}
+
+/// The mutating operations, post-canonicalization (keys already reduced
+/// modulo the store's key universe).
+#[derive(Clone, Debug)]
+pub enum WriteOp {
+    /// Overwrite `key` with `value`.
+    Put {
+        /// Canonical key.
+        key: u64,
+        /// Stored value.
+        value: u64,
+    },
+    /// `key += delta` (wrapping); response carries the new value.
+    Add {
+        /// Canonical key.
+        key: u64,
+        /// Added amount.
+        delta: u64,
+    },
+    /// `k += delta` for every key, atomically.
+    MultiAdd {
+        /// Canonical keys (may repeat; repeats apply repeatedly).
+        keys: Vec<u64>,
+        /// Added amount per key.
+        delta: u64,
+    },
+}
+
+impl WriteOp {
+    /// The keys the operation touches.
+    pub fn keys(&self) -> &[u64] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Add { key, .. } => std::slice::from_ref(key),
+            WriteOp::MultiAdd { keys, .. } => keys,
+        }
+    }
+}
+
+/// Group-commit policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Maximum requests folded into one transaction. `1` disables group
+    /// commit entirely (every write is its own transaction).
+    pub max_ops: usize,
+    /// Maximum distinct keys a merged transaction may touch (the `W` cap;
+    /// see the module docs for why this is bounded).
+    pub max_footprint: usize,
+    /// How long the oldest enqueued request may wait before the batcher
+    /// flushes regardless of fill.
+    pub latency_budget: Duration,
+}
+
+impl BatchPolicy {
+    /// One transaction per request — the baseline group commit is measured
+    /// against.
+    pub fn unbatched() -> Self {
+        Self {
+            max_ops: 1,
+            max_footprint: usize::MAX,
+            latency_budget: Duration::ZERO,
+        }
+    }
+
+    /// A moderate default: up to 32 requests or 128 keys per transaction,
+    /// flushed within 500 µs.
+    pub fn grouped() -> Self {
+        Self {
+            max_ops: 32,
+            max_footprint: 128,
+            latency_budget: Duration::from_micros(500),
+        }
+    }
+}
+
+/// One sealed-or-open group: the requests that will run as one transaction.
+#[derive(Debug, Default)]
+pub struct Group {
+    /// Folded requests, in arrival order.
+    pub ops: Vec<PendingWrite>,
+    keys: HashSet<u64>,
+}
+
+impl Group {
+    /// Distinct keys across the group.
+    pub fn footprint(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn accepts(&self, op: &WriteOp, policy: &BatchPolicy) -> bool {
+        if self.ops.len() >= policy.max_ops {
+            return false;
+        }
+        let fresh: HashSet<u64> = op.keys().iter().copied().collect();
+        if fresh.iter().any(|k| self.keys.contains(k)) {
+            return false; // rule 1: key-disjoint
+        }
+        self.keys.len() + fresh.len() <= policy.max_footprint // rule 2
+    }
+
+    fn push(&mut self, op: PendingWrite) {
+        self.keys.extend(op.op.keys().iter().copied());
+        self.ops.push(op);
+    }
+}
+
+/// The per-shard write coalescer. Single-threaded by design: each shard
+/// owns one, so no locking — cross-session coalescing happens because one
+/// shard serves many sessions.
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    groups: Vec<Group>,
+    oldest: Option<Instant>,
+    /// Requests folded so far (monotone; for coalescing-factor reporting).
+    pub ops_batched: u64,
+    /// Groups flushed so far (monotone).
+    pub groups_flushed: u64,
+}
+
+impl Batcher {
+    /// New empty batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            groups: Vec::new(),
+            oldest: None,
+            ops_batched: 0,
+            groups_flushed: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Enqueue a write. Joins the open (last) group when compatible,
+    /// otherwise seals it and opens a new one.
+    pub fn push(&mut self, op: PendingWrite, now: Instant) {
+        self.oldest.get_or_insert(now);
+        self.ops_batched += 1;
+        match self.groups.last_mut() {
+            Some(g) if g.accepts(&op.op, &self.policy) => g.push(op),
+            _ => {
+                let mut g = Group::default();
+                g.push(op);
+                self.groups.push(g);
+            }
+        }
+    }
+
+    /// Nothing enqueued?
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Does any pending group hold a write from `session`? Reads from that
+    /// session must flush first to preserve per-session response order and
+    /// read-your-writes (groups are small, so the scan is cheap).
+    pub fn has_session(&self, session: u64) -> bool {
+        self.groups
+            .iter()
+            .any(|g| g.ops.iter().any(|op| op.session == session))
+    }
+
+    /// When the latency budget forces a flush, if anything is enqueued.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.oldest.map(|t| t + self.policy.latency_budget)
+    }
+
+    /// Should the shard flush now? True when any group is full or the
+    /// oldest request's latency budget has expired.
+    pub fn should_flush(&self, now: Instant) -> bool {
+        if self.groups.is_empty() {
+            return false;
+        }
+        self.groups
+            .iter()
+            .any(|g| g.ops.len() >= self.policy.max_ops)
+            || self.deadline().is_some_and(|d| now >= d)
+    }
+
+    /// Take every pending group, FIFO, resetting the latency timer.
+    pub fn drain(&mut self) -> Vec<Group> {
+        self.oldest = None;
+        self.groups_flushed += self.groups.len() as u64;
+        std::mem::take(&mut self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(session: u64, id: u64, key: u64) -> PendingWrite {
+        PendingWrite {
+            session,
+            id,
+            op: WriteOp::Add { key, delta: 1 },
+        }
+    }
+
+    fn policy(max_ops: usize, max_footprint: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_ops,
+            max_footprint,
+            latency_budget: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn disjoint_ops_coalesce_into_one_group() {
+        let mut b = Batcher::new(policy(8, 64));
+        let t = Instant::now();
+        for k in 0..5 {
+            b.push(add(k, k, k), t);
+        }
+        let groups = b.drain();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].ops.len(), 5);
+        assert_eq!(groups[0].footprint(), 5);
+    }
+
+    #[test]
+    fn key_overlap_seals_the_group() {
+        let mut b = Batcher::new(policy(8, 64));
+        let t = Instant::now();
+        b.push(add(0, 0, 7), t);
+        b.push(add(1, 1, 8), t);
+        b.push(add(2, 2, 7), t); // same key as op 0 → new group
+        let groups = b.drain();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].ops.len(), 2);
+        assert_eq!(groups[1].ops.len(), 1);
+    }
+
+    #[test]
+    fn footprint_cap_seals_the_group() {
+        let mut b = Batcher::new(policy(8, 4));
+        let t = Instant::now();
+        b.push(
+            PendingWrite {
+                session: 0,
+                id: 0,
+                op: WriteOp::MultiAdd {
+                    keys: vec![0, 1, 2],
+                    delta: 1,
+                },
+            },
+            t,
+        );
+        b.push(
+            PendingWrite {
+                session: 1,
+                id: 1,
+                op: WriteOp::MultiAdd {
+                    keys: vec![3, 4],
+                    delta: 1,
+                },
+            },
+            t,
+        ); // 3 + 2 > 4 → sealed
+        assert_eq!(b.drain().len(), 2);
+    }
+
+    #[test]
+    fn max_ops_triggers_flush_and_unbatched_never_groups() {
+        let mut b = Batcher::new(policy(2, 64));
+        let t = Instant::now();
+        b.push(add(0, 0, 0), t);
+        assert!(!b.should_flush(t));
+        b.push(add(1, 1, 1), t);
+        assert!(b.should_flush(t), "full group must flush");
+
+        let mut u = Batcher::new(BatchPolicy::unbatched());
+        u.push(add(0, 0, 0), t);
+        u.push(add(1, 1, 1), t);
+        let groups = u.drain();
+        assert_eq!(groups.len(), 2, "max_ops=1 means one txn per request");
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn latency_budget_forces_flush() {
+        let mut b = Batcher::new(policy(64, 1024));
+        let t = Instant::now();
+        b.push(add(0, 0, 0), t);
+        assert!(!b.should_flush(t));
+        assert!(b.should_flush(t + Duration::from_millis(11)));
+        b.drain();
+        assert_eq!(b.deadline(), None, "drain resets the timer");
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_groups() {
+        // A session's second write lands in a later group than its first
+        // even when the second would fit an earlier-sealed group.
+        let mut b = Batcher::new(policy(8, 64));
+        let t = Instant::now();
+        b.push(add(0, 0, 1), t);
+        b.push(add(0, 1, 1), t); // overlaps → seals group 0
+        b.push(add(0, 2, 2), t); // joins group 1 (disjoint with key 1)
+        let groups = b.drain();
+        assert_eq!(groups.len(), 2);
+        let order: Vec<u64> = groups
+            .iter()
+            .flat_map(|g| g.ops.iter().map(|o| o.id))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

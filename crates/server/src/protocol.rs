@@ -1,0 +1,714 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame — request or response — has the same envelope:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [id: u64 LE] [tag: u8] [payload ...]
+//! ```
+//!
+//! `len` counts everything after itself (version through payload), so a
+//! stream reader needs only four bytes to know how much to buffer. `id` is
+//! a client-chosen correlation number: sessions pipeline requests, the
+//! server answers in order, and the id lets a client match responses to
+//! requests without assuming anything about interleaving with *other*
+//! sessions. The encoding is hand-rolled (no serde): every variant
+//! round-trips bit-exactly, and every malformed input maps to a typed
+//! [`DecodeError`] — never a panic — which the protocol proptests enforce.
+//!
+//! Versioning: [`PROTOCOL_VERSION`] is checked on decode and rejected with
+//! [`DecodeError::BadVersion`], so a future v2 server can dispatch per
+//! frame rather than per connection.
+
+/// Current protocol version, first byte after the length prefix.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard upper bound on `len` (1 MiB). Anything larger is rejected before
+/// buffering, so a hostile or corrupt length prefix cannot make the server
+/// allocate unboundedly.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Hard upper bound on the key count of `MultiGet`/`MultiAdd`/`Values`.
+/// Checked *before* the `Vec` allocation, so a corrupt count field cannot
+/// request gigabytes.
+pub const MAX_KEYS_PER_REQUEST: usize = 4096;
+
+/// Envelope bytes before the payload: length prefix, version, id, tag.
+const HEADER_BYTES: usize = 4 + 1 + 8 + 1;
+
+/// A client-to-server operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`] immediately.
+    Ping,
+    /// Read one key on the wait-free read path.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Overwrite one key.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value stored verbatim.
+        value: u64,
+    },
+    /// Read-modify-write add (wrapping); answers with the new value.
+    Add {
+        /// Key to bump.
+        key: u64,
+        /// Amount added.
+        delta: u64,
+    },
+    /// Read several keys in **one consistent snapshot** (one read-only
+    /// transaction, so the values are mutually consistent).
+    MultiGet {
+        /// Keys to read, in answer order.
+        keys: Vec<u64>,
+    },
+    /// Add `delta` to every key in **one transaction** (all-or-nothing).
+    MultiAdd {
+        /// Keys to bump.
+        keys: Vec<u64>,
+        /// Amount added to each.
+        delta: u64,
+    },
+    /// Graceful goodbye: the server completes the session's earlier writes,
+    /// answers [`Response::Closed`], and forgets the session.
+    Close,
+}
+
+/// A server-to-client answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Get`].
+    Value(
+        /// The word read.
+        u64,
+    ),
+    /// Answer to [`Request::MultiGet`], in request key order.
+    Values(
+        /// The words read, one consistent snapshot.
+        Vec<u64>,
+    ),
+    /// Answer to [`Request::Put`].
+    Written,
+    /// Answer to [`Request::Add`]: the post-add value.
+    Added(
+        /// The new value.
+        u64,
+    ),
+    /// Answer to [`Request::MultiAdd`].
+    MultiAdded {
+        /// Number of keys bumped (the request's key count).
+        applied: u32,
+    },
+    /// Load shed: admission control refused the write. The operation was
+    /// **not** applied; the client may retry later.
+    Busy,
+    /// Answer to [`Request::Close`].
+    Closed,
+    /// The request could not be served; see the code.
+    Error(
+        /// Why.
+        ErrorCode,
+    ),
+}
+
+/// Why a request was answered with [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame decoded as no known request.
+    Malformed,
+    /// The operation is recognized but not available.
+    Unsupported,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+/// Typed decode failure. Total: any byte string maps to a frame or to one
+/// of these — decoding never panics and never allocates proportionally to
+/// untrusted length fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the declared frame does.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge,
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(
+        /// The version seen.
+        u8,
+    ),
+    /// The tag byte names no variant (in this direction).
+    BadTag(
+        /// The tag seen.
+        u8,
+    ),
+    /// A key count exceeds [`MAX_KEYS_PER_REQUEST`].
+    CountTooLarge,
+    /// The payload continues past the variant's last field.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::FrameTooLarge => write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes"),
+            DecodeError::BadVersion(v) => {
+                write!(f, "protocol version {v} (want {PROTOCOL_VERSION})")
+            }
+            DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            DecodeError::CountTooLarge => write!(f, "key count exceeds {MAX_KEYS_PER_REQUEST}"),
+            DecodeError::TrailingBytes => write!(f, "bytes after last field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A request with its correlation id — the unit a client sends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub request: Request,
+}
+
+/// A response with the correlation id of the request it answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// Correlation id copied from the request (0 when the request's id was
+    /// undecodable).
+    pub id: u64,
+    /// The answer.
+    pub response: Response,
+}
+
+// ---- primitive writers/readers ------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a payload; every read is bounds-checked into
+/// [`DecodeError::Truncated`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u32` count followed by that many `u64`s, with the count vetted
+    /// against [`MAX_KEYS_PER_REQUEST`] *and* the remaining payload before
+    /// allocating.
+    fn u64_list(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count > MAX_KEYS_PER_REQUEST {
+            return Err(DecodeError::CountTooLarge);
+        }
+        if self.buf.len().saturating_sub(self.pos) < count * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+/// Encode the shared envelope and return the buffer with the length prefix
+/// back-patched.
+fn encode_frame(id: u64, tag: u8, payload: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + 16);
+    put_u32(&mut out, 0); // patched below
+    out.push(PROTOCOL_VERSION);
+    put_u64(&mut out, id);
+    out.push(tag);
+    payload(&mut out);
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Decode the shared envelope of a complete frame; returns `(id, tag,
+/// payload)`.
+fn decode_frame(bytes: &[u8]) -> Result<(u64, u8, &[u8]), DecodeError> {
+    let mut r = Reader::new(bytes);
+    let len = r.u32()? as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(DecodeError::FrameTooLarge);
+    }
+    if bytes.len() < 4 + len {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes.len() > 4 + len {
+        return Err(DecodeError::TrailingBytes);
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    Ok((id, tag, &bytes[r.pos..]))
+}
+
+/// Best-effort correlation id of a frame whose payload may be garbage —
+/// what the server echoes in a `Malformed` error so the client can still
+/// match it. `None` when even the envelope is unreadable.
+pub fn peek_id(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 13 || bytes[4] != PROTOCOL_VERSION {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[5..13].try_into().ok()?))
+}
+
+impl RequestFrame {
+    /// Serialize to a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, req) = (self.request.tag(), &self.request);
+        encode_frame(self.id, tag, |out| match req {
+            Request::Ping | Request::Close => {}
+            Request::Get { key } => put_u64(out, *key),
+            Request::Put { key, value } => {
+                put_u64(out, *key);
+                put_u64(out, *value);
+            }
+            Request::Add { key, delta } => {
+                put_u64(out, *key);
+                put_u64(out, *delta);
+            }
+            Request::MultiGet { keys } => {
+                put_u32(out, keys.len() as u32);
+                keys.iter().for_each(|k| put_u64(out, *k));
+            }
+            Request::MultiAdd { keys, delta } => {
+                put_u32(out, keys.len() as u32);
+                keys.iter().for_each(|k| put_u64(out, *k));
+                put_u64(out, *delta);
+            }
+        })
+    }
+
+    /// Parse a complete frame. The buffer must hold exactly one frame
+    /// (stream readers use [`FrameBuf`] to slice those out first).
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (id, tag, payload) = decode_frame(bytes)?;
+        let mut r = Reader::new(payload);
+        let request = match tag {
+            0 => Request::Ping,
+            1 => Request::Get { key: r.u64()? },
+            2 => Request::Put {
+                key: r.u64()?,
+                value: r.u64()?,
+            },
+            3 => Request::Add {
+                key: r.u64()?,
+                delta: r.u64()?,
+            },
+            4 => Request::MultiGet {
+                keys: r.u64_list()?,
+            },
+            5 => Request::MultiAdd {
+                keys: r.u64_list()?,
+                delta: r.u64()?,
+            },
+            6 => Request::Close,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(Self { id, request })
+    }
+}
+
+impl Request {
+    fn tag(&self) -> u8 {
+        match self {
+            Request::Ping => 0,
+            Request::Get { .. } => 1,
+            Request::Put { .. } => 2,
+            Request::Add { .. } => 3,
+            Request::MultiGet { .. } => 4,
+            Request::MultiAdd { .. } => 5,
+            Request::Close => 6,
+        }
+    }
+
+    /// Whether this operation mutates the store (and therefore passes
+    /// through admission control and the group-commit batcher).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }
+        )
+    }
+
+    /// Admission cost: the number of heap words the operation touches.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Request::Ping | Request::Close => 0,
+            Request::Get { .. } | Request::Put { .. } | Request::Add { .. } => 1,
+            Request::MultiGet { keys } => keys.len() as u64,
+            Request::MultiAdd { keys, .. } => keys.len() as u64,
+        }
+    }
+}
+
+impl ResponseFrame {
+    /// Serialize to a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let resp = &self.response;
+        encode_frame(self.id, resp.tag(), |out| match resp {
+            Response::Pong | Response::Written | Response::Busy | Response::Closed => {}
+            Response::Value(v) | Response::Added(v) => put_u64(out, *v),
+            Response::Values(vs) => {
+                put_u32(out, vs.len() as u32);
+                vs.iter().for_each(|v| put_u64(out, *v));
+            }
+            Response::MultiAdded { applied } => put_u32(out, *applied),
+            Response::Error(code) => out.push(code.code()),
+        })
+    }
+
+    /// Parse a complete frame (see [`RequestFrame::decode`]).
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (id, tag, payload) = decode_frame(bytes)?;
+        let mut r = Reader::new(payload);
+        let response = match tag {
+            0 => Response::Pong,
+            1 => Response::Value(r.u64()?),
+            2 => Response::Values(r.u64_list()?),
+            3 => Response::Written,
+            4 => Response::Added(r.u64()?),
+            5 => Response::MultiAdded { applied: r.u32()? },
+            6 => Response::Busy,
+            7 => Response::Closed,
+            8 => Response::Error(ErrorCode::decode(r.u8()?)?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(Self { id, response })
+    }
+}
+
+impl Response {
+    fn tag(&self) -> u8 {
+        match self {
+            Response::Pong => 0,
+            Response::Value(_) => 1,
+            Response::Values(_) => 2,
+            Response::Written => 3,
+            Response::Added(_) => 4,
+            Response::MultiAdded { .. } => 5,
+            Response::Busy => 6,
+            Response::Closed => 7,
+            Response::Error(_) => 8,
+        }
+    }
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0,
+            ErrorCode::Unsupported => 1,
+            ErrorCode::ShuttingDown => 2,
+        }
+    }
+
+    fn decode(b: u8) -> Result<Self, DecodeError> {
+        match b {
+            0 => Ok(ErrorCode::Malformed),
+            1 => Ok(ErrorCode::Unsupported),
+            2 => Ok(ErrorCode::ShuttingDown),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// Incremental frame extraction from a byte stream (the TCP read path).
+///
+/// Push raw socket bytes in with [`FrameBuf::extend`]; pop complete frames
+/// out with [`FrameBuf::next_frame`]. An oversized length prefix surfaces
+/// as [`DecodeError::FrameTooLarge`] *before* the bytes are buffered, so a
+/// hostile peer cannot balloon the buffer.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes read from the peer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` when more bytes are needed.
+    /// After `Err(FrameTooLarge)` the stream is unrecoverable (framing is
+    /// lost) and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DecodeError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(DecodeError::FrameTooLarge);
+        }
+        let total = 4 + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf[..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+
+    /// Buffered byte count (diagnostics).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let frames = [
+            RequestFrame {
+                id: 0,
+                request: Request::Ping,
+            },
+            RequestFrame {
+                id: 7,
+                request: Request::Get { key: 42 },
+            },
+            RequestFrame {
+                id: u64::MAX,
+                request: Request::Put { key: 1, value: 2 },
+            },
+            RequestFrame {
+                id: 9,
+                request: Request::Add {
+                    key: 3,
+                    delta: u64::MAX,
+                },
+            },
+            RequestFrame {
+                id: 1,
+                request: Request::MultiGet { keys: vec![] },
+            },
+            RequestFrame {
+                id: 2,
+                request: Request::MultiAdd {
+                    keys: vec![5, 5, 9],
+                    delta: 1,
+                },
+            },
+            RequestFrame {
+                id: 3,
+                request: Request::Close,
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(RequestFrame::decode(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let frames = [
+            ResponseFrame {
+                id: 0,
+                response: Response::Pong,
+            },
+            ResponseFrame {
+                id: 1,
+                response: Response::Value(77),
+            },
+            ResponseFrame {
+                id: 2,
+                response: Response::Values(vec![1, 2, 3]),
+            },
+            ResponseFrame {
+                id: 3,
+                response: Response::Written,
+            },
+            ResponseFrame {
+                id: 4,
+                response: Response::Added(5),
+            },
+            ResponseFrame {
+                id: 5,
+                response: Response::MultiAdded { applied: 12 },
+            },
+            ResponseFrame {
+                id: 6,
+                response: Response::Busy,
+            },
+            ResponseFrame {
+                id: 7,
+                response: Response::Closed,
+            },
+            ResponseFrame {
+                id: 8,
+                response: Response::Error(ErrorCode::ShuttingDown),
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(ResponseFrame::decode(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        // Truncation at every prefix length of a valid frame.
+        let full = RequestFrame {
+            id: 5,
+            request: Request::MultiAdd {
+                keys: vec![1, 2],
+                delta: 3,
+            },
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(RequestFrame::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+        // Bad version.
+        let mut bad = full.clone();
+        bad[4] = 99;
+        assert_eq!(RequestFrame::decode(&bad), Err(DecodeError::BadVersion(99)));
+        // Bad tag.
+        let mut bad = full.clone();
+        bad[13] = 200;
+        assert_eq!(RequestFrame::decode(&bad), Err(DecodeError::BadTag(200)));
+        // Oversized declared length.
+        let mut huge = full.clone();
+        huge[..4].copy_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert_eq!(RequestFrame::decode(&huge), Err(DecodeError::FrameTooLarge));
+        // Hostile count: claims 2^32-ish keys with no bytes behind it. Must
+        // refuse before allocating.
+        let hostile = encode_frame(1, 4, |out| put_u32(out, u32::MAX));
+        assert_eq!(
+            RequestFrame::decode(&hostile),
+            Err(DecodeError::CountTooLarge)
+        );
+        // Trailing garbage after a complete variant.
+        let padded = encode_frame(1, 0, |out| out.push(0xEE));
+        assert_eq!(
+            RequestFrame::decode(&padded),
+            Err(DecodeError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_stream() {
+        let a = RequestFrame {
+            id: 1,
+            request: Request::Get { key: 9 },
+        }
+        .encode();
+        let b = RequestFrame {
+            id: 2,
+            request: Request::Ping,
+        }
+        .encode();
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+
+        // Feed one byte at a time; exactly two frames must pop out, intact.
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        for &byte in &stream {
+            fb.extend(&[byte]);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, vec![a, b]);
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_oversize_before_buffering() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(DecodeError::FrameTooLarge));
+    }
+
+    #[test]
+    fn peek_id_recovers_correlation() {
+        let f = RequestFrame {
+            id: 0xDEAD,
+            request: Request::Ping,
+        }
+        .encode();
+        assert_eq!(peek_id(&f), Some(0xDEAD));
+        assert_eq!(peek_id(&f[..6]), None);
+    }
+
+    #[test]
+    fn cost_and_write_classification() {
+        assert!(!Request::Ping.is_write());
+        assert!(!Request::Get { key: 0 }.is_write());
+        assert!(Request::Put { key: 0, value: 0 }.is_write());
+        assert!(Request::MultiAdd {
+            keys: vec![1, 2, 3],
+            delta: 1
+        }
+        .is_write());
+        assert_eq!(
+            Request::MultiAdd {
+                keys: vec![1, 2, 3],
+                delta: 1
+            }
+            .cost(),
+            3
+        );
+        assert_eq!(Request::Close.cost(), 0);
+    }
+}

@@ -1,0 +1,533 @@
+//! The service core: a router thread fanning frames out to shard threads
+//! that execute transactions on the shared engine.
+//!
+//! # Threading model
+//!
+//! ```text
+//! transports ──ingress──▶ router ──┬──▶ shard 0 ──▶ engine (ThreadId 0)
+//!                                  ├──▶ shard 1 ──▶ engine (ThreadId 1)
+//!                                  └──▶ ...
+//! ```
+//!
+//! Sessions are pinned to shards (`session % shards`), which buys three
+//! properties at once:
+//!
+//! * **per-session ordering** — one shard processes one session's frames
+//!   in arrival order, so pipelined requests are answered in order;
+//! * **lock-free coalescing** — each shard owns a private [`Batcher`], and
+//!   cross-session group commit happens because one shard serves many
+//!   sessions, not because shards share state;
+//! * **bounded engine concurrency** — the engine sees exactly `shards`
+//!   writer identities (`ThreadId` = shard index), so the paper's `C` is a
+//!   deployment knob rather than an emergent property of client count.
+//!
+//! Reads bypass the batcher: `Get`/`MultiGet` run inline on the engine's
+//! wait-free read path ([`TmEngine::run_read`]), acquiring no ownership and
+//! stalling no writer; a `MultiGet` is one read-only transaction, so its
+//! values are a consistent snapshot. The one coupling point is ordering: a
+//! read from a session with writes still pending in the batcher flushes
+//! them first, so pipelined responses stay FIFO per session and every read
+//! observes the session's own earlier writes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tm_stm::{ReadOps, TmEngine, TxnOps, WORD_BYTES};
+
+use crate::backpressure::{Admission, AdmissionPolicy};
+use crate::batch::{BatchPolicy, Batcher, Group, PendingWrite, WriteOp};
+use crate::protocol::{peek_id, ErrorCode, Request, RequestFrame, Response};
+use crate::session::{ServerMsg, SessionId, SessionRegistry};
+
+/// How long an idle shard sleeps between wakeups when no flush deadline is
+/// pending.
+const IDLE_TICK: Duration = Duration::from_millis(2);
+
+/// Write ops between admission-controller observations (shard 0 only).
+const OBSERVE_EVERY: u64 = 256;
+
+/// Deployment knobs of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Commit worker threads — the engine's writer concurrency `C`. The
+    /// engine must have been built to tolerate at least this many distinct
+    /// `ThreadId`s.
+    pub shards: u32,
+    /// Number of distinct keys the store exposes; client keys are
+    /// canonicalized modulo this, and the engine heap must hold at least
+    /// this many words.
+    pub key_universe: u64,
+    /// Group-commit policy (see [`BatchPolicy`]).
+    pub batch: BatchPolicy,
+    /// Admission-control policy (see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
+    /// Yield between transactional operations inside write bodies. On
+    /// machines with fewer cores than shards this interleaves partial
+    /// footprints the way the harness's `yield_per_op` does — the
+    /// cross-check tests rely on it; production configs leave it off.
+    pub yield_in_txn: bool,
+}
+
+impl ServerConfig {
+    /// A small default: 4 shards, 64Ki keys, grouped commit, default
+    /// admission.
+    pub fn new(key_universe: u64) -> Self {
+        Self {
+            shards: 4,
+            key_universe,
+            batch: BatchPolicy::grouped(),
+            admission: AdmissionPolicy::default(),
+            yield_in_txn: false,
+        }
+    }
+}
+
+/// Monotone service counters, shared across shards.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    reads: AtomicU64,
+    writes_enqueued: AtomicU64,
+    busy: AtomicU64,
+    malformed: AtomicU64,
+    groups_committed: AtomicU64,
+    ops_committed: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Frames decoded into requests.
+    pub requests: u64,
+    /// Read-path operations served (`Ping`, `Get`, `MultiGet`).
+    pub reads: u64,
+    /// Write operations admitted into the batcher.
+    pub writes_enqueued: u64,
+    /// Write operations refused with `Busy`.
+    pub busy: u64,
+    /// Frames that failed to decode.
+    pub malformed: u64,
+    /// Write transactions committed (groups).
+    pub groups_committed: u64,
+    /// Write operations committed (across all groups).
+    pub ops_committed: u64,
+}
+
+impl ServerStatsSnapshot {
+    /// Mean requests per committed write transaction — the group-commit
+    /// coalescing factor (1.0 means no coalescing happened).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.groups_committed == 0 {
+            0.0
+        } else {
+            self.ops_committed as f64 / self.groups_committed as f64
+        }
+    }
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes_enqueued: self.writes_enqueued.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            groups_committed: self.groups_committed.load(Ordering::Relaxed),
+            ops_committed: self.ops_committed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server: its ingress plane and worker threads. Dropping the
+/// handle shuts the server down (see [`ServerHandle::shutdown`] for the
+/// orderly spelling).
+pub struct ServerHandle {
+    ingress: Sender<ServerMsg>,
+    next_session: Arc<AtomicU64>,
+    stats: Arc<ServerStats>,
+    admission: Arc<Admission>,
+    router: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+/// Start a server over `engine` with `config`. The engine is shared — the
+/// caller keeps its own `Arc` for invariant checks (`heap_sum`) and stats.
+pub fn start<E>(engine: Arc<E>, config: ServerConfig) -> ServerHandle
+where
+    E: TmEngine + Send + Sync + 'static,
+{
+    assert!(config.shards >= 1, "need at least one shard");
+    assert!(config.key_universe >= 1, "need at least one key");
+    assert!(
+        engine.heap().len() as u64 >= config.key_universe,
+        "engine heap smaller than the key universe"
+    );
+
+    let stats = Arc::new(ServerStats::default());
+    let admission = Arc::new(Admission::new(config.admission));
+    let (ingress, router_rx) = channel::<ServerMsg>();
+
+    let mut shard_txs = Vec::with_capacity(config.shards as usize);
+    let mut shard_handles = Vec::with_capacity(config.shards as usize);
+    for shard_id in 0..config.shards {
+        let (tx, rx) = channel::<ServerMsg>();
+        shard_txs.push(tx);
+        let engine = Arc::clone(&engine);
+        let stats = Arc::clone(&stats);
+        let admission = Arc::clone(&admission);
+        let config = config.clone();
+        shard_handles.push(
+            std::thread::Builder::new()
+                .name(format!("tm-server-shard-{shard_id}"))
+                .spawn(move || shard_loop(shard_id, rx, engine, config, stats, admission))
+                .expect("spawn shard thread"),
+        );
+    }
+
+    let shards = config.shards as u64;
+    let router = std::thread::Builder::new()
+        .name("tm-server-router".into())
+        .spawn(move || router_loop(router_rx, shard_txs, shards))
+        .expect("spawn router thread");
+
+    ServerHandle {
+        ingress,
+        next_session: Arc::new(AtomicU64::new(1)),
+        stats,
+        admission,
+        router: Some(router),
+        shards: shard_handles,
+    }
+}
+
+impl ServerHandle {
+    /// A clone of the ingress sender (what transports feed).
+    pub(crate) fn ingress(&self) -> Sender<ServerMsg> {
+        self.ingress.clone()
+    }
+
+    /// Allocate a fresh session id.
+    pub(crate) fn alloc_session(&self) -> SessionId {
+        self.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shared session-id allocator (transports running on their own
+    /// threads clone this).
+    pub(crate) fn session_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.next_session)
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The admission gauge (budget, inflight, shed count).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Drain pending batches, answer everything accepted so far, stop all
+    /// threads, and wait for them. Frames still in transport buffers after
+    /// this returns are dropped.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // A failed send means the router is already gone (idempotent).
+        let _ = self.ingress.send(ServerMsg::Shutdown);
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Route each message to its session's shard; fan `Shutdown` out to every
+/// shard (after all previously forwarded frames — channel FIFO makes the
+/// drain ordering trivial) and exit.
+fn router_loop(rx: Receiver<ServerMsg>, shard_txs: Vec<Sender<ServerMsg>>, shards: u64) {
+    let shard_of = |session: SessionId| (session % shards) as usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Connect { session, sink } => {
+                let _ = shard_txs[shard_of(session)].send(ServerMsg::Connect { session, sink });
+            }
+            ServerMsg::Frame { session, bytes } => {
+                let _ = shard_txs[shard_of(session)].send(ServerMsg::Frame { session, bytes });
+            }
+            ServerMsg::Disconnect { session } => {
+                let _ = shard_txs[shard_of(session)].send(ServerMsg::Disconnect { session });
+            }
+            ServerMsg::Shutdown => {
+                for tx in &shard_txs {
+                    let _ = tx.send(ServerMsg::Shutdown);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// One shard: decode, serve reads inline, batch writes, flush on fill or
+/// deadline, observe abort ratio into the admission budget.
+fn shard_loop<E: TmEngine>(
+    shard_id: u32,
+    rx: Receiver<ServerMsg>,
+    engine: Arc<E>,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    admission: Arc<Admission>,
+) {
+    let mut registry = SessionRegistry::new();
+    let mut batcher = Batcher::new(config.batch);
+    let mut last_engine = engine.engine_stats();
+    let mut writes_since_observe = 0u64;
+
+    loop {
+        let timeout = batcher
+            .deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_TICK);
+        match rx.recv_timeout(timeout) {
+            Ok(ServerMsg::Connect { session, sink }) => registry.connect(session, sink),
+            Ok(ServerMsg::Disconnect { session }) => registry.disconnect(session),
+            Ok(ServerMsg::Frame { session, bytes }) => {
+                handle_frame(
+                    shard_id,
+                    session,
+                    &bytes,
+                    &engine,
+                    &config,
+                    &stats,
+                    &admission,
+                    &mut registry,
+                    &mut batcher,
+                    &mut writes_since_observe,
+                );
+            }
+            Ok(ServerMsg::Shutdown) => {
+                flush(
+                    shard_id,
+                    &engine,
+                    &config,
+                    &stats,
+                    &admission,
+                    &mut registry,
+                    &mut batcher,
+                );
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                flush(
+                    shard_id,
+                    &engine,
+                    &config,
+                    &stats,
+                    &admission,
+                    &mut registry,
+                    &mut batcher,
+                );
+                return;
+            }
+        }
+        if batcher.should_flush(Instant::now()) {
+            flush(
+                shard_id,
+                &engine,
+                &config,
+                &stats,
+                &admission,
+                &mut registry,
+                &mut batcher,
+            );
+        }
+        // Shard 0 periodically folds the windowed abort ratio into the
+        // shared admission budget (one observer keeps windows disjoint).
+        if shard_id == 0 && writes_since_observe >= OBSERVE_EVERY {
+            let now_stats = engine.engine_stats();
+            admission.observe(now_stats.since(&last_engine).abort_ratio());
+            last_engine = now_stats;
+            writes_since_observe = 0;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // shard-local state threaded explicitly
+fn handle_frame<E: TmEngine>(
+    shard_id: u32,
+    session: SessionId,
+    bytes: &[u8],
+    engine: &Arc<E>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    admission: &Admission,
+    registry: &mut SessionRegistry,
+    batcher: &mut Batcher,
+    writes_since_observe: &mut u64,
+) {
+    let frame = match RequestFrame::decode(bytes) {
+        Ok(frame) => frame,
+        Err(_) => {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            let id = peek_id(bytes).unwrap_or(0);
+            registry.respond(session, id, Response::Error(ErrorCode::Malformed));
+            return;
+        }
+    };
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let id = frame.id;
+    let canon = |key: u64| key % config.key_universe;
+    let addr = |key: u64| canon(key) * WORD_BYTES;
+
+    // Inline-answered requests must not overtake the same session's batched
+    // writes: flush first so per-session responses stay FIFO and reads see
+    // the session's own writes (other sessions' groups ride along — the
+    // batcher drains whole, which only shortens their latency).
+    if !frame.request.is_write() && batcher.has_session(session) {
+        flush(
+            shard_id, engine, config, stats, admission, registry, batcher,
+        );
+    }
+
+    match frame.request {
+        Request::Ping => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            registry.respond(session, id, Response::Pong);
+        }
+        Request::Get { key } => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            let v = engine.run_read(shard_id, |txn| txn.read(addr(key)));
+            registry.respond(session, id, Response::Value(v));
+        }
+        Request::MultiGet { keys } => {
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            // One read-only transaction: the vector is one consistent
+            // snapshot of all requested keys.
+            let values = engine.run_read(shard_id, |txn| {
+                keys.iter()
+                    .map(|&k| txn.read(addr(k)))
+                    .collect::<Result<Vec<_>, _>>()
+            });
+            registry.respond(session, id, Response::Values(values));
+        }
+        Request::Close => {
+            // Complete the session's earlier writes before saying goodbye,
+            // so Closed acknowledges a fully applied history.
+            flush(
+                shard_id, engine, config, stats, admission, registry, batcher,
+            );
+            registry.respond(session, id, Response::Closed);
+            registry.disconnect(session);
+        }
+        req @ (Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }) => {
+            let cost = req.cost();
+            if !admission.try_admit(cost) {
+                stats.busy.fetch_add(1, Ordering::Relaxed);
+                registry.respond(session, id, Response::Busy);
+                return;
+            }
+            stats.writes_enqueued.fetch_add(1, Ordering::Relaxed);
+            *writes_since_observe += 1;
+            let op = match req {
+                Request::Put { key, value } => WriteOp::Put {
+                    key: canon(key),
+                    value,
+                },
+                Request::Add { key, delta } => WriteOp::Add {
+                    key: canon(key),
+                    delta,
+                },
+                Request::MultiAdd { keys, delta } => WriteOp::MultiAdd {
+                    keys: keys.into_iter().map(canon).collect(),
+                    delta,
+                },
+                _ => unreachable!("matched write variants above"),
+            };
+            batcher.push(PendingWrite { session, id, op }, Instant::now());
+        }
+    }
+}
+
+/// Execute every pending group, one engine transaction per group, then
+/// answer and release admission cost.
+fn flush<E: TmEngine>(
+    shard_id: u32,
+    engine: &Arc<E>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    admission: &Admission,
+    registry: &mut SessionRegistry,
+    batcher: &mut Batcher,
+) {
+    for group in batcher.drain() {
+        run_group(shard_id, engine, config, stats, admission, registry, &group);
+    }
+}
+
+fn run_group<E: TmEngine>(
+    shard_id: u32,
+    engine: &Arc<E>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    admission: &Admission,
+    registry: &mut SessionRegistry,
+    group: &Group,
+) {
+    let yield_in_txn = config.yield_in_txn;
+    // The body reruns from scratch on abort, so responses are rebuilt per
+    // attempt and only the committed attempt's vector escapes.
+    let responses = engine.run(shard_id, |txn| {
+        let mut out = Vec::with_capacity(group.ops.len());
+        for pw in &group.ops {
+            let resp = match &pw.op {
+                WriteOp::Put { key, value } => {
+                    txn.write(key * WORD_BYTES, *value)?;
+                    Response::Written
+                }
+                WriteOp::Add { key, delta } => {
+                    Response::Added(txn.update_add(key * WORD_BYTES, *delta)?)
+                }
+                WriteOp::MultiAdd { keys, delta } => {
+                    for k in keys {
+                        txn.update_add(k * WORD_BYTES, *delta)?;
+                        if yield_in_txn {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Response::MultiAdded {
+                        applied: keys.len() as u32,
+                    }
+                }
+            };
+            out.push(resp);
+            if yield_in_txn {
+                std::thread::yield_now();
+            }
+        }
+        Ok(out)
+    });
+
+    stats.groups_committed.fetch_add(1, Ordering::Relaxed);
+    stats
+        .ops_committed
+        .fetch_add(group.ops.len() as u64, Ordering::Relaxed);
+    for (pw, response) in group.ops.iter().zip(responses) {
+        admission.release(pw.op.keys().len() as u64);
+        registry.respond(pw.session, pw.id, response);
+    }
+}

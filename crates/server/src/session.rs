@@ -1,0 +1,143 @@
+//! Per-connection session state and the server's internal message plane.
+//!
+//! A **session** is one client connection: a stable id, an outbound sink
+//! of encoded response frames, and an ordering guarantee. Sessions are
+//! sharded by `session_id % shards` and a shard processes its sessions'
+//! frames in arrival order, so each session sees its own requests answered
+//! in the order it sent them — pipelining (many requests in flight before
+//! reading responses) is safe without any client-side windowing protocol.
+//!
+//! Transports (TCP, in-process channel) reduce to the same three-message
+//! lifecycle on the ingress plane: [`ServerMsg::Connect`] registers the
+//! sink, [`ServerMsg::Frame`] carries one complete encoded request frame,
+//! [`ServerMsg::Disconnect`] abandons the session (uncommitted batched
+//! writes still flush — they were acknowledged into the batcher).
+//! [`ServerMsg::Shutdown`] drains everything: the router forwards it to
+//! every shard *after* all previously accepted frames, so a shard that
+//! sees it has already answered everything ahead of it.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+
+use crate::protocol::{Response, ResponseFrame};
+
+/// Stable identifier of one client connection.
+pub type SessionId = u64;
+
+/// One message on the server's ingress plane (transport → router → shard).
+#[derive(Debug)]
+pub enum ServerMsg {
+    /// A new session with its outbound frame sink.
+    Connect {
+        /// The new session's id (allocated by the transport).
+        session: SessionId,
+        /// Where encoded [`ResponseFrame`]s for this session go.
+        sink: Sender<Vec<u8>>,
+    },
+    /// One complete encoded request frame from a session.
+    Frame {
+        /// Originating session.
+        session: SessionId,
+        /// The frame, length prefix included.
+        bytes: Vec<u8>,
+    },
+    /// The session's connection is gone; forget it.
+    Disconnect {
+        /// The departed session.
+        session: SessionId,
+    },
+    /// Drain pending work and exit (router fans this out to every shard).
+    Shutdown,
+}
+
+/// A shard's view of its live sessions. Single-threaded (each shard owns
+/// one), so plain `HashMap` and no locking.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: HashMap<SessionId, Sender<Vec<u8>>>,
+}
+
+impl SessionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a session's outbound sink.
+    pub fn connect(&mut self, session: SessionId, sink: Sender<Vec<u8>>) {
+        self.sessions.insert(session, sink);
+    }
+
+    /// Forget a session. Responses already queued on its sink are
+    /// unaffected; later sends are dropped.
+    pub fn disconnect(&mut self, session: SessionId) {
+        self.sessions.remove(&session);
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// No live sessions?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Encode and send one response to a session. A send to a departed
+    /// session (client hung up between request and response) is silently
+    /// dropped — the disconnect path owns cleanup.
+    pub fn respond(&mut self, session: SessionId, id: u64, response: Response) {
+        if let Some(sink) = self.sessions.get(&session) {
+            let frame = ResponseFrame { id, response }.encode();
+            if sink.send(frame).is_err() {
+                // Receiver dropped without a Disconnect (abrupt client
+                // death); reclaim the slot now rather than on every send.
+                self.sessions.remove(&session);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn respond_routes_encoded_frames() {
+        let mut reg = SessionRegistry::new();
+        let (tx, rx) = channel();
+        reg.connect(7, tx);
+        assert_eq!(reg.len(), 1);
+
+        reg.respond(7, 99, Response::Value(5));
+        let frame = rx.recv().unwrap();
+        let decoded = ResponseFrame::decode(&frame).unwrap();
+        assert_eq!(decoded.id, 99);
+        assert_eq!(decoded.response, Response::Value(5));
+
+        // Unknown session: dropped, not panicked.
+        reg.respond(8, 1, Response::Pong);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dead_sink_is_reaped_on_send() {
+        let mut reg = SessionRegistry::new();
+        let (tx, rx) = channel();
+        reg.connect(3, tx);
+        drop(rx);
+        reg.respond(3, 1, Response::Pong);
+        assert!(reg.is_empty(), "dead session reclaimed");
+    }
+
+    #[test]
+    fn disconnect_forgets_the_session() {
+        let mut reg = SessionRegistry::new();
+        let (tx, _rx) = channel();
+        reg.connect(1, tx);
+        reg.disconnect(1);
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Transports: how encoded frames reach the ingress plane.
+//!
+//! Two implementations share one contract (deliver complete encoded
+//! request frames as [`ServerMsg::Frame`], carry encoded response frames
+//! back):
+//!
+//! * **channel** — an in-process transport over `mpsc` channels. Frames
+//!   are *fully encoded and decoded* on both directions, so the wire
+//!   format is exercised end to end, but no sockets are involved: CI,
+//!   tests, and the load generator run hermetically.
+//! * **tcp** — a `std::net` listener with one reader and one writer thread
+//!   per connection, reassembling the byte stream through
+//!   [`FrameBuf`]. Functional but deliberately minimal; the channel transport is the measurement surface.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{DecodeError, FrameBuf, Request, RequestFrame, ResponseFrame};
+use crate::server::ServerHandle;
+use crate::session::{ServerMsg, SessionId};
+
+impl ServerHandle {
+    /// Open an in-process connection: a fresh session over the channel
+    /// transport. Panics if the server has already shut down.
+    pub fn connect(&self) -> ChannelConn {
+        let session = self.alloc_session();
+        let (sink, rx) = channel();
+        let ingress = self.ingress();
+        ingress
+            .send(ServerMsg::Connect { session, sink })
+            .expect("server is running");
+        ChannelConn {
+            ingress,
+            session,
+            rx,
+            next_id: 1,
+        }
+    }
+}
+
+/// One client connection over the in-process channel transport.
+///
+/// Pipelining is the intended use: issue many [`ChannelConn::send`]s, then
+/// drain responses — the server answers a session's requests in order, and
+/// the returned correlation ids let the client match them up regardless.
+pub struct ChannelConn {
+    ingress: Sender<ServerMsg>,
+    session: SessionId,
+    rx: Receiver<Vec<u8>>,
+    next_id: u64,
+}
+
+impl ChannelConn {
+    /// This connection's session id.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Encode and send one request; returns its correlation id.
+    pub fn send(&mut self, request: Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = RequestFrame { id, request }.encode();
+        self.send_raw(bytes);
+        id
+    }
+
+    /// Send pre-encoded frame bytes (tests use this to deliver malformed
+    /// frames). Dropped silently if the server is gone.
+    pub fn send_raw(&self, bytes: Vec<u8>) {
+        let _ = self.ingress.send(ServerMsg::Frame {
+            session: self.session,
+            bytes,
+        });
+    }
+
+    /// Non-blocking poll for the next response.
+    pub fn try_recv(&self) -> Option<ResponseFrame> {
+        self.rx
+            .try_recv()
+            .ok()
+            .map(|bytes| ResponseFrame::decode(&bytes).expect("server emits valid frames"))
+    }
+
+    /// Wait up to `timeout` for the next response.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ResponseFrame> {
+        self.rx
+            .recv_timeout(timeout)
+            .ok()
+            .map(|bytes| ResponseFrame::decode(&bytes).expect("server emits valid frames"))
+    }
+
+    /// Convenience round-trip: send `request`, wait up to `timeout` for
+    /// its response (asserting in-order answering: the next response must
+    /// carry this request's id).
+    pub fn request(&mut self, request: Request, timeout: Duration) -> Option<ResponseFrame> {
+        let id = self.send(request);
+        let resp = self.recv_timeout(timeout)?;
+        assert_eq!(resp.id, id, "session responses must arrive in order");
+        Some(resp)
+    }
+}
+
+impl Drop for ChannelConn {
+    fn drop(&mut self) {
+        let _ = self.ingress.send(ServerMsg::Disconnect {
+            session: self.session,
+        });
+    }
+}
+
+/// A running TCP front-end for a server.
+pub struct TcpTransport {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Serve `handle` over TCP on `bind` (e.g. `"127.0.0.1:0"`). Returns the
+/// transport whose [`TcpTransport::local_addr`] carries the actual port.
+pub fn serve_tcp(handle: &ServerHandle, bind: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+    let listener = TcpListener::bind(bind)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let ingress = handle.ingress();
+    let sessions = handle.session_counter();
+
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("tm-server-tcp-accept".into())
+        .spawn(move || accept_loop(listener, ingress, sessions, stop2))
+        .expect("spawn accept thread");
+
+    Ok(TcpTransport {
+        local_addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl TcpTransport {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting new connections. Established connections live until
+    /// their clients hang up.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ingress: Sender<ServerMsg>,
+    sessions: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session = sessions.fetch_add(1, Ordering::Relaxed);
+                if spawn_connection(stream, session, &ingress).is_err() {
+                    // Setup failed (clone/spawn); drop the connection.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Wire one accepted socket into the ingress plane: a writer thread drains
+/// the session sink into the socket, a reader thread reassembles frames
+/// and forwards them.
+fn spawn_connection(
+    stream: TcpStream,
+    session: SessionId,
+    ingress: &Sender<ServerMsg>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let (sink, sink_rx) = channel::<Vec<u8>>();
+    if ingress.send(ServerMsg::Connect { session, sink }).is_err() {
+        return Ok(()); // server already gone
+    }
+
+    std::thread::Builder::new()
+        .name(format!("tm-server-tcp-w-{session}"))
+        .spawn(move || writer_loop(write_half, sink_rx))?;
+
+    let ingress = ingress.clone();
+    std::thread::Builder::new()
+        .name(format!("tm-server-tcp-r-{session}"))
+        .spawn(move || reader_loop(stream, session, ingress))?;
+    Ok(())
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    while let Ok(frame) = rx.recv() {
+        if stream.write_all(&frame).is_err() {
+            return;
+        }
+    }
+    // Session dropped server-side: signal EOF to the client.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+fn reader_loop(mut stream: TcpStream, session: SessionId, ingress: Sender<ServerMsg>) {
+    let mut fb = FrameBuf::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break, // EOF or error: hang up
+            Ok(n) => {
+                fb.extend(&buf[..n]);
+                loop {
+                    match fb.next_frame() {
+                        Ok(Some(frame)) => {
+                            if ingress
+                                .send(ServerMsg::Frame {
+                                    session,
+                                    bytes: frame,
+                                })
+                                .is_err()
+                            {
+                                return; // server gone
+                            }
+                        }
+                        Ok(None) => break,
+                        // Framing lost (oversized prefix): unrecoverable.
+                        Err(_) => {
+                            let _ = ingress.send(ServerMsg::Disconnect { session });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = ingress.send(ServerMsg::Disconnect { session });
+}
+
+/// A client connection over TCP (the counterpart of [`ChannelConn`]).
+pub struct TcpConn {
+    stream: TcpStream,
+    fb: FrameBuf,
+    next_id: u64,
+}
+
+impl TcpConn {
+    /// Connect to a served address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            fb: FrameBuf::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Encode and send one request; returns its correlation id.
+    pub fn send(&mut self, request: Request) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = RequestFrame { id, request }.encode();
+        self.stream.write_all(&bytes)?;
+        Ok(id)
+    }
+
+    /// Wait up to `timeout` for the next response frame.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> std::io::Result<Option<ResponseFrame>> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.fb.next_frame() {
+                Ok(Some(frame)) => {
+                    let decoded = ResponseFrame::decode(&frame).map_err(decode_to_io)?;
+                    return Ok(Some(decoded));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(decode_to_io(e)),
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None), // server hung up
+                Ok(n) => self.fb.extend(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn decode_to_io(e: DecodeError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}

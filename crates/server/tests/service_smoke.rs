@@ -1,0 +1,332 @@
+//! End-to-end service tests over both transports: request/response
+//! semantics, pipelining order, busy shedding, graceful shutdown, and the
+//! acceptance-scale fleet (4096 sessions) with the conservation invariant.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tm_harness::AccessPattern;
+use tm_server::loadgen::{run_loadgen, ArrivalProcess, LoadgenConfig};
+use tm_server::protocol::{ErrorCode, Request, Response};
+use tm_server::server::{start, ServerConfig};
+use tm_server::transport::{serve_tcp, TcpConn};
+use tm_server::{AdmissionPolicy, BatchPolicy};
+use tm_stm::{ConcurrentTaglessTable, HashKind, Stm, StmBuilder, TmEngine};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn engine(heap_words: usize) -> Arc<Stm<ConcurrentTaglessTable>> {
+    Arc::new(
+        StmBuilder::new()
+            .heap_words(heap_words)
+            .table_entries(1 << 12)
+            .hash(HashKind::Multiplicative)
+            .build_tagless(),
+    )
+}
+
+#[test]
+fn basic_ops_round_trip() {
+    let eng = engine(1024);
+    let server = start(Arc::clone(&eng), ServerConfig::new(1024));
+    let mut conn = server.connect();
+
+    assert_eq!(
+        conn.request(Request::Ping, TIMEOUT).unwrap().response,
+        Response::Pong
+    );
+    assert_eq!(
+        conn.request(Request::Add { key: 5, delta: 3 }, TIMEOUT)
+            .unwrap()
+            .response,
+        Response::Added(3)
+    );
+    assert_eq!(
+        conn.request(Request::Put { key: 6, value: 40 }, TIMEOUT)
+            .unwrap()
+            .response,
+        Response::Written
+    );
+    assert_eq!(
+        conn.request(Request::Get { key: 5 }, TIMEOUT)
+            .unwrap()
+            .response,
+        Response::Value(3)
+    );
+    assert_eq!(
+        conn.request(
+            Request::MultiAdd {
+                keys: vec![5, 6, 7],
+                delta: 2
+            },
+            TIMEOUT
+        )
+        .unwrap()
+        .response,
+        Response::MultiAdded { applied: 3 }
+    );
+    // One consistent snapshot of all three keys.
+    assert_eq!(
+        conn.request(
+            Request::MultiGet {
+                keys: vec![5, 6, 7]
+            },
+            TIMEOUT
+        )
+        .unwrap()
+        .response,
+        Response::Values(vec![5, 42, 2])
+    );
+    // Keys canonicalize modulo the universe: key 5 + 1024 is key 5.
+    assert_eq!(
+        conn.request(Request::Get { key: 5 + 1024 }, TIMEOUT)
+            .unwrap()
+            .response,
+        Response::Value(5)
+    );
+    assert_eq!(
+        conn.request(Request::Close, TIMEOUT).unwrap().response,
+        Response::Closed
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let eng = engine(1024);
+    let server = start(Arc::clone(&eng), ServerConfig::new(1024));
+    let mut conn = server.connect();
+
+    // Mix reads and writes so ordering crosses the read-inline/write-batch
+    // boundary: a later Get must still be answered after an earlier Add.
+    let mut ids = Vec::new();
+    for k in 0..32u64 {
+        ids.push(conn.send(Request::Add { key: k, delta: 1 }));
+        ids.push(conn.send(Request::Get { key: k }));
+    }
+    for expected in ids {
+        let frame = conn.recv_timeout(TIMEOUT).expect("response");
+        assert_eq!(frame.id, expected, "in-order answering");
+        if frame.id.is_multiple_of(2) {
+            // Every Get sees its session's preceding Add already applied.
+            assert_eq!(frame.response, Response::Value(1));
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors() {
+    let eng = engine(256);
+    let server = start(Arc::clone(&eng), ServerConfig::new(256));
+    let mut conn = server.connect();
+
+    // A structurally valid envelope with a bogus tag: the server can still
+    // recover the correlation id.
+    let mut bad = tm_server::RequestFrame {
+        id: 77,
+        request: Request::Ping,
+    }
+    .encode();
+    bad[13] = 250; // tag byte
+    conn.send_raw(bad);
+    let resp = conn.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(resp.id, 77);
+    assert_eq!(resp.response, Response::Error(ErrorCode::Malformed));
+
+    // Total garbage: answered with id 0.
+    conn.send_raw(vec![9, 0, 0, 0, 42, 1, 2, 3, 4, 5, 6, 7, 8]);
+    let resp = conn.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(resp.id, 0);
+    assert_eq!(resp.response, Response::Error(ErrorCode::Malformed));
+
+    // The session survives malformed frames.
+    assert_eq!(
+        conn.request(Request::Ping, TIMEOUT).unwrap().response,
+        Response::Pong
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tiny_admission_budget_sheds_with_busy() {
+    let eng = engine(1 << 12);
+    let mut cfg = ServerConfig::new(1 << 12);
+    cfg.batch = BatchPolicy::grouped();
+    cfg.admission = AdmissionPolicy {
+        base_inflight: 16,
+        min_inflight: 8,
+        slope: 4.0,
+    };
+    let server = start(Arc::clone(&eng), cfg);
+    let mut conn = server.connect();
+
+    // Pipeline far more write cost than the budget admits. Each MultiAdd
+    // costs 8; at most two fit before a flush releases them.
+    let n = 64u64;
+    for i in 0..n {
+        let keys: Vec<u64> = (0..8).map(|j| i * 8 + j).collect();
+        conn.send(Request::MultiAdd { keys, delta: 1 });
+    }
+    let mut busy = 0u64;
+    let mut applied = 0u64;
+    for _ in 0..n {
+        match conn
+            .recv_timeout(TIMEOUT)
+            .expect("every request is answered")
+            .response
+        {
+            Response::MultiAdded { applied: a } => applied += u64::from(a),
+            Response::Busy => busy += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(busy > 0, "overload must shed");
+    assert!(applied > 0, "some writes must land");
+    // A shed write applied nothing; an acked write applied exactly once.
+    assert_eq!(eng.heap_sum(1 << 12), applied);
+    assert_eq!(server.stats().busy, busy);
+    assert_eq!(server.admission().shed_count(), busy);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_flushes_pending_batches() {
+    let eng = engine(1024);
+    let mut cfg = ServerConfig::new(1024);
+    // A latency budget far beyond the test: only shutdown can flush.
+    cfg.batch = BatchPolicy {
+        max_ops: 1024,
+        max_footprint: 4096,
+        latency_budget: Duration::from_secs(600),
+    };
+    let server = start(Arc::clone(&eng), cfg);
+    let mut conn = server.connect();
+    for k in 0..10u64 {
+        conn.send(Request::Add { key: k, delta: 1 });
+    }
+    // Nothing can have committed yet (budget is 10 minutes)...
+    server.shutdown();
+    // ...but shutdown drains the batcher before the shards exit.
+    let mut acked = 0;
+    while let Some(frame) = conn.try_recv() {
+        assert!(matches!(frame.response, Response::Added(1)), "{frame:?}");
+        acked += 1;
+    }
+    assert_eq!(acked, 10, "graceful shutdown answers pending writes");
+    assert_eq!(eng.heap_sum(1024), 10);
+}
+
+#[test]
+fn acceptance_fleet_4k_sessions_conserves() {
+    // The acceptance criterion: ≥ 4096 concurrent simulated sessions over
+    // the channel transport, zero isolation-invariant violations.
+    let universe: u64 = 1 << 16;
+    let eng = engine(universe as usize);
+    let mut cfg = ServerConfig::new(universe);
+    cfg.batch = BatchPolicy::grouped();
+    cfg.admission = AdmissionPolicy::unlimited();
+    let server = start(Arc::clone(&eng), cfg);
+
+    let fleet = LoadgenConfig {
+        sessions: 4096,
+        driver_threads: 4,
+        requests_per_session: 2,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 500.0 },
+        write_fraction: 0.7,
+        keys_per_op: 4,
+        pattern: AccessPattern::Uniform,
+        key_universe: universe,
+        pipeline_window: 2,
+        seed: 0x4096,
+    };
+    let report = run_loadgen(&server, &fleet);
+
+    assert_eq!(report.sent, 4096 * 2);
+    assert_eq!(report.unanswered, 0, "every request answered");
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.conservation_holds(&*eng, universe),
+        "heap sum {} != acknowledged increments {}",
+        eng.heap_sum(universe as usize),
+        report.applied_delta
+    );
+    // Group commit must actually coalesce across sessions at this scale.
+    let stats = server.stats();
+    assert!(
+        stats.coalescing_factor() > 1.2,
+        "coalescing factor {:.2}",
+        stats.coalescing_factor()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bursty_fleet_conserves() {
+    let universe: u64 = 1 << 14;
+    let eng = engine(universe as usize);
+    let mut cfg = ServerConfig::new(universe);
+    cfg.admission = AdmissionPolicy::default();
+    let server = start(Arc::clone(&eng), cfg);
+
+    let fleet = LoadgenConfig {
+        sessions: 256,
+        driver_threads: 2,
+        requests_per_session: 8,
+        arrivals: ArrivalProcess::Bursty {
+            rate_hz: 150.0,
+            burst: 4,
+        },
+        write_fraction: 1.0,
+        keys_per_op: 2,
+        pattern: AccessPattern::Zipf { exponent: 0.8 },
+        key_universe: universe,
+        pipeline_window: 8,
+        seed: 0xb0b,
+    };
+    let report = run_loadgen(&server, &fleet);
+    assert_eq!(report.unanswered, 0);
+    assert!(report.conservation_holds(&*eng, universe));
+    server.shutdown();
+}
+
+#[test]
+fn tcp_transport_round_trip() {
+    let eng = engine(1024);
+    let server = start(Arc::clone(&eng), ServerConfig::new(1024));
+    let transport = match serve_tcp(&server, "127.0.0.1:0") {
+        Ok(t) => t,
+        Err(e) => {
+            // Sandboxes without loopback: the channel-transport tests carry
+            // the coverage; don't fail the suite on environment.
+            eprintln!("skipping TCP test: bind failed: {e}");
+            server.shutdown();
+            return;
+        }
+    };
+    let addr = transport.local_addr();
+
+    let mut conn = TcpConn::connect(addr).expect("connect to loopback");
+    // Pipeline three requests over the socket, then drain in order.
+    let a = conn.send(Request::Add { key: 1, delta: 10 }).unwrap();
+    let b = conn.send(Request::Get { key: 1 }).unwrap();
+    let c = conn.send(Request::Ping).unwrap();
+    let ra = conn.recv_timeout(TIMEOUT).unwrap().expect("response a");
+    let rb = conn.recv_timeout(TIMEOUT).unwrap().expect("response b");
+    let rc = conn.recv_timeout(TIMEOUT).unwrap().expect("response c");
+    assert_eq!((ra.id, ra.response), (a, Response::Added(10)));
+    assert_eq!((rb.id, rb.response), (b, Response::Value(10)));
+    assert_eq!((rc.id, rc.response), (c, Response::Pong));
+
+    // A second concurrent connection gets its own session.
+    let mut conn2 = TcpConn::connect(addr).expect("second connection");
+    conn2.send(Request::Add { key: 1, delta: 1 }).unwrap();
+    let r = conn2.recv_timeout(TIMEOUT).unwrap().expect("response");
+    assert_eq!(r.response, Response::Added(11));
+
+    drop(conn);
+    drop(conn2);
+    transport.stop();
+    server.shutdown();
+    assert_eq!(eng.heap_sum(1024), 11);
+}

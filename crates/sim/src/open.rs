@@ -47,6 +47,32 @@ impl Default for OpenSystemParams {
     }
 }
 
+impl OpenSystemParams {
+    /// Parameters describing a *measured* operating point — the cross-check
+    /// constructor used by empirical front-ends (`tm-server`'s loadgen, the
+    /// harness) that observed `concurrency` writers with `write_footprint`
+    /// distinct written blocks and `alpha` extra read blocks per write on a
+    /// table of `table_entries`, and want the simulator's conflict rate at
+    /// exactly that point. Run count is fixed high enough (4000) that the
+    /// Monte-Carlo error (σ ≈ √(p/runs)) is well below the comparison
+    /// tolerances such cross-checks use.
+    pub fn at_operating_point(
+        concurrency: u32,
+        write_footprint: u32,
+        alpha: u32,
+        table_entries: usize,
+    ) -> Self {
+        Self {
+            concurrency,
+            write_footprint,
+            alpha,
+            table_entries,
+            runs: 4000,
+            seed: 0x0b5e,
+        }
+    }
+}
+
 /// Aggregated outcome of the runs at one data point.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OpenSystemResult {
@@ -59,6 +85,29 @@ pub struct OpenSystemResult {
     /// Fraction of block additions that aliased *within* their own
     /// transaction (folded into an already-held entry).
     pub intra_alias_rate: f64,
+}
+
+impl OpenSystemResult {
+    /// The abort-to-commit ratio an abort-and-retry engine operating at
+    /// this point should measure: if each attempt independently conflicts
+    /// with probability `p = conflict_rate`, the expected number of aborted
+    /// attempts per eventual commit is the geometric tail `p / (1 − p)`.
+    ///
+    /// This is the bridge between the lockstep simulation (which reports a
+    /// per-*run* conflict likelihood) and live measurements from `tm-stm`
+    /// engines (which report `EngineStats::abort_ratio`, aborts per
+    /// commit). The mapping is approximate — a real engine's attempts are
+    /// not independent (backoff decorrelates them, stalls serialize them) —
+    /// so cross-checks against it use band tolerances, not equality; see
+    /// `tm-server`'s `open_system_crosscheck` test for the calibrated
+    /// bands. Saturates at `f64::INFINITY` when every run conflicted.
+    pub fn implied_aborts_per_commit(&self) -> f64 {
+        if self.conflict_rate >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.conflict_rate / (1.0 - self.conflict_rate)
+        }
+    }
 }
 
 /// Execute the open-system experiment for one parameter point.
@@ -248,5 +297,37 @@ mod tests {
     #[should_panic(expected = "two transactions")]
     fn rejects_c1() {
         point(1, 8, 512, 10);
+    }
+
+    #[test]
+    fn operating_point_constructor_and_implied_ratio() {
+        // The cross-check constructor pins the run count high enough for a
+        // tight estimate and otherwise passes the operating point through.
+        let p = OpenSystemParams::at_operating_point(4, 8, 0, 4096);
+        assert_eq!(p.concurrency, 4);
+        assert_eq!(p.write_footprint, 8);
+        assert_eq!(p.alpha, 0);
+        assert_eq!(p.table_entries, 4096);
+        assert!(p.runs >= 4000);
+
+        let r = run_open_system(&p);
+        // Model at this point: 4·3·1·64/(2·4096) ≈ 0.094.
+        assert!(
+            (0.05..0.16).contains(&r.conflict_rate),
+            "{}",
+            r.conflict_rate
+        );
+        // Geometric implication p/(1−p): slightly above p, finite, and
+        // consistent with the direct formula.
+        let implied = r.implied_aborts_per_commit();
+        assert!(implied > r.conflict_rate && implied.is_finite());
+        let direct = r.conflict_rate / (1.0 - r.conflict_rate);
+        assert!((implied - direct).abs() < 1e-12);
+
+        let saturated = OpenSystemResult {
+            conflict_rate: 1.0,
+            ..OpenSystemResult::default()
+        };
+        assert!(saturated.implied_aborts_per_commit().is_infinite());
     }
 }

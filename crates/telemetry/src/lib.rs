@@ -222,6 +222,14 @@ impl Histogram {
             self.percentile(0.99)?,
         ))
     }
+
+    /// The 99.9th percentile, or `None` when empty — the tail quantile
+    /// service-level reporting (`tm-server` SLOs) gates on, where p99 is
+    /// too coarse: at thousands of requests per second the 99.9th
+    /// percentile is what a per-minute SLO breach actually looks like.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
+    }
 }
 
 /// A thread-safe histogram with the same bucket scheme as [`Histogram`].
@@ -845,6 +853,10 @@ mod tests {
         // p50 of 10..=1000 step 10 is the 50th sample = 500, quantized down.
         assert!((440..=500).contains(&p50), "p50 = {p50}");
         assert!((890..=990).contains(&p99), "p99 = {p99}");
+        // With 100 samples the 99.9th percentile is the last sample (1000),
+        // quantized down by at most one bucket width.
+        let p999 = h.p999().unwrap();
+        assert!(p99 <= p999 && (930..=1000).contains(&p999), "p999 = {p999}");
     }
 
     #[test]

@@ -42,6 +42,12 @@ proptest! {
         let h = build(&samples);
         let (p50, p95, p99) = h.p50_p95_p99().unwrap();
         prop_assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        // The SLO tail accessor sits between p99 and the maximum and is
+        // exactly the generic percentile at q = 0.999.
+        let p999 = h.p999().unwrap();
+        prop_assert!(p99 <= p999, "p99 {p99} p999 {p999}");
+        prop_assert!(p999 <= h.percentile(1.0).unwrap());
+        prop_assert_eq!(Some(p999), h.percentile(0.999));
         let (lo, hi) = if q_lo <= q_hi { (q_lo, q_hi) } else { (q_hi, q_lo) };
         prop_assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
     }

@@ -14,6 +14,8 @@
 //! | [`model`] | `tm-model` | Analytical conflict-likelihood model |
 //! | [`sim`] | `tm-sim` | Monte-Carlo simulators |
 //! | [`structs`] | `tm-structs` | Transactional data structures |
+//! | [`telemetry`] | `tm-telemetry` | Tracing, abort attribution, latency histograms |
+//! | [`server`] | `tm-server` | Networked keyed-store service with group commit |
 //!
 //! The [`prelude`] re-exports the unified transaction API (the `TmEngine`/
 //! `TxnOps`/`ReadOps` traits, the `StmBuilder`), the typed object layer
@@ -119,7 +121,9 @@ pub use tm_adaptive as adaptive;
 pub use tm_cache_sim as cache_sim;
 pub use tm_model as model;
 pub use tm_ownership as ownership;
+pub use tm_server as server;
 pub use tm_sim as sim;
 pub use tm_stm as stm;
 pub use tm_structs as structs;
+pub use tm_telemetry as telemetry;
 pub use tm_traces as traces;
