@@ -34,6 +34,7 @@ fn run_burst<E: TmEngine>(engine: &E, policy: BatchPolicy) {
             PendingWrite {
                 session: i % 8,
                 id: i,
+                token: None,
                 op: WriteOp::Add {
                     key: i % HEAP_WORDS as u64,
                     delta: 1,

@@ -185,6 +185,13 @@ pub fn run_synthetic_phase<E: TmEngine>(
             writes.clear();
             writes.extend((0..spec.writes_per_txn).map(|_| sampler.sample(&mut rng) * 64));
             engine.run(id, |txn| {
+                // Abort-storm coin, tossed per *attempt* (a forced retry
+                // redraws it, so the storm ends for every transaction
+                // eventually). Behind the `> 0` gate so storm-free specs
+                // consume the RNG stream exactly as they always did.
+                if spec.forced_abort_pct > 0 && rng.gen_range(0..100) < spec.forced_abort_pct {
+                    return txn.retry();
+                }
                 for &addr in &reads {
                     txn.read(addr)?;
                     if spec.yield_per_op {
@@ -319,6 +326,7 @@ mod tests {
             disjoint: false,
             yield_per_op: false,
             read_fraction: 0,
+            forced_abort_pct: 0,
         }
     }
 
@@ -367,6 +375,25 @@ mod tests {
     }
 
     #[test]
+    fn forced_abort_storm_reaches_ratio_and_conserves() {
+        let stm = tm_stm::tagged_stm(1 << 12, 4096);
+        let spec = crate::scenario::Scenario::abort_storm()
+            .synthetic_spec()
+            .expect("abort-storm is synthetic");
+        let r = run_synthetic_phase(&stm, &spec, 1 << 12, 2, Phase::Txns(200), 17);
+        // Every transaction still commits (forced aborts retry), and the
+        // heap checksum balances — a forced abort rolls back completely.
+        assert_eq!(r.counters.commits, 400);
+        let expected: u64 = r.tallies.iter().map(|t| t.committed_write_ops).sum();
+        assert_eq!(crate::engine::TmEngine::heap_sum(&stm, 1 << 12), expected);
+        // At a 60% per-attempt coin the expected abort ratio is 0.6; with
+        // 400 commits the ≥0.5 floor has wide margin, and genuine
+        // conflicts only push it higher.
+        let ratio = r.counters.aborts as f64 / (r.counters.commits + r.counters.aborts) as f64;
+        assert!(ratio >= 0.5, "forced abort ratio {ratio:.3} below 0.5");
+    }
+
+    #[test]
     fn readers_never_abort_disjoint_writers() {
         // Tagged table (no false conflicts) + disjoint per-thread
         // partitions: writers can only abort on genuine conflicts, of which
@@ -381,6 +408,7 @@ mod tests {
             disjoint: true,
             yield_per_op: false,
             read_fraction: 50,
+            forced_abort_pct: 0,
         };
         let r = run_synthetic_phase(&stm, &s, 1 << 14, 4, Phase::Txns(200), 13);
         assert_eq!(r.counters.aborts, 0, "readers must not abort writers");

@@ -63,6 +63,14 @@ pub struct SyntheticSpec {
     /// write-side `commits`/`aborts` counters — see
     /// `EngineStats::read_only_commits`.
     pub read_fraction: u32,
+    /// Percent (0–100) of update-transaction **attempts** aborted on
+    /// purpose (an explicit `retry()` drawn at the top of the body). The
+    /// coin is tossed per attempt, so at `p` percent the expected abort
+    /// ratio is `p/100` *before* any genuine conflicts — an abort-storm
+    /// stressor for contention managers and abort-path accounting. `0`
+    /// tosses no coin at all, leaving the RNG streams of pre-existing
+    /// scenarios untouched.
+    pub forced_abort_pct: u32,
 }
 
 /// Block-address distribution of a synthetic workload.
@@ -151,6 +159,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -166,6 +175,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -185,6 +195,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 90,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -200,6 +211,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -215,6 +227,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -233,6 +246,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -249,6 +263,27 @@ impl Scenario {
                 disjoint: true,
                 yield_per_op: false,
                 read_fraction: 0,
+                forced_abort_pct: 0,
+            },
+        )
+    }
+
+    /// Abort storm: the `uniform-mixed` shape with ~60% of update attempts
+    /// forced to abort (explicit retry). Exercises the abort/rollback path
+    /// and contention-manager behavior at a ratio no organic workload in
+    /// the matrix reaches; the heap checksum still must balance, since a
+    /// forced abort rolls back like any other.
+    pub fn abort_storm() -> Self {
+        Self::synthetic(
+            "abort-storm",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+                read_fraction: 0,
+                forced_abort_pct: 60,
             },
         )
     }
@@ -266,6 +301,7 @@ impl Scenario {
                 disjoint: false,
                 yield_per_op: true,
                 read_fraction: 0,
+                forced_abort_pct: 0,
             },
         )
     }
@@ -342,6 +378,7 @@ impl Scenario {
             Self::zipf(),
             Self::hotspot(),
             Self::disjoint(),
+            Self::abort_storm(),
             Self::counter(),
             Self::map(),
             Self::queue(),
@@ -527,6 +564,7 @@ mod tests {
             disjoint: true,
             yield_per_op: false,
             read_fraction: 0,
+            forced_abort_pct: 0,
         };
         let universe = 1024;
         let mut seen = Vec::new();
@@ -557,6 +595,7 @@ mod tests {
             disjoint: false,
             yield_per_op: false,
             read_fraction: 0,
+            forced_abort_pct: 0,
         };
         let sampler = BlockSampler::new(&spec, 4096, 0, 1);
         let mut rng = StdRng::seed_from_u64(42);

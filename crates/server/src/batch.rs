@@ -32,7 +32,10 @@
 //! earlier group than its predecessor).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::fault::{CrashPoint, FaultState};
 
 /// A write operation with canonicalized keys, ready to fold into a group.
 #[derive(Clone, Debug)]
@@ -41,6 +44,9 @@ pub struct PendingWrite {
     pub session: u64,
     /// Correlation id echoed in the response.
     pub id: u64,
+    /// Idempotency token, when the request carried one (recovery and the
+    /// response path use it to complete or abandon the dedup entry).
+    pub token: Option<u64>,
     /// The operation itself.
     pub op: WriteOp,
 }
@@ -157,6 +163,8 @@ pub struct Batcher {
     policy: BatchPolicy,
     groups: Vec<Group>,
     oldest: Option<Instant>,
+    /// Armed fault plan, when chaos testing injects crashes here.
+    faults: Option<Arc<FaultState>>,
     /// Requests folded so far (monotone; for coalescing-factor reporting).
     pub ops_batched: u64,
     /// Groups flushed so far (monotone).
@@ -166,10 +174,17 @@ pub struct Batcher {
 impl Batcher {
     /// New empty batcher under `policy`.
     pub fn new(policy: BatchPolicy) -> Self {
+        Self::with_faults(policy, None)
+    }
+
+    /// New empty batcher whose `push` evaluates the
+    /// [`CrashPoint::BatchEnqueue`] crash point against `faults`.
+    pub fn with_faults(policy: BatchPolicy, faults: Option<Arc<FaultState>>) -> Self {
         Self {
             policy,
             groups: Vec::new(),
             oldest: None,
+            faults,
             ops_batched: 0,
             groups_flushed: 0,
         }
@@ -182,7 +197,14 @@ impl Batcher {
 
     /// Enqueue a write. Joins the open (last) group when compatible,
     /// otherwise seals it and opens a new one.
+    ///
+    /// Crash point: an injected panic fires *before* the write is
+    /// enqueued, modeling a failure between admission and the batcher —
+    /// recovery must release the admission budget and poison the caller.
     pub fn push(&mut self, op: PendingWrite, now: Instant) {
+        if let Some(f) = &self.faults {
+            f.crash_point(CrashPoint::BatchEnqueue);
+        }
         self.oldest.get_or_insert(now);
         self.ops_batched += 1;
         match self.groups.last_mut() {
@@ -242,6 +264,7 @@ mod tests {
         PendingWrite {
             session,
             id,
+            token: None,
             op: WriteOp::Add { key, delta: 1 },
         }
     }
@@ -288,6 +311,7 @@ mod tests {
             PendingWrite {
                 session: 0,
                 id: 0,
+                token: None,
                 op: WriteOp::MultiAdd {
                     keys: vec![0, 1, 2],
                     delta: 1,
@@ -299,6 +323,7 @@ mod tests {
             PendingWrite {
                 session: 1,
                 id: 1,
+                token: None,
                 op: WriteOp::MultiAdd {
                     keys: vec![3, 4],
                     delta: 1,
@@ -335,6 +360,30 @@ mod tests {
         assert!(b.should_flush(t + Duration::from_millis(11)));
         b.drain();
         assert_eq!(b.deadline(), None, "drain resets the timer");
+    }
+
+    #[test]
+    fn push_crash_point_fires_before_enqueue() {
+        use crate::fault::{CrashSchedule, FaultPlan, FrameFaults};
+        let plan = FaultPlan {
+            seed: 0,
+            frame: FrameFaults::default(),
+            crashes: vec![CrashSchedule {
+                point: CrashPoint::BatchEnqueue,
+                at_hit: 2,
+            }],
+            abort_storm_per_mille: 0,
+        };
+        let mut b = Batcher::with_faults(policy(8, 64), Some(plan.arm()));
+        let t = Instant::now();
+        b.push(add(0, 0, 0), t);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.push(add(1, 1, 1), t)));
+        assert!(r.is_err(), "second push must hit the scheduled crash");
+        // The crash fired before enqueue: the write is NOT in the batcher.
+        let groups = b.drain();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].ops.len(), 1);
+        assert_eq!(groups[0].ops[0].id, 0);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Client-side retry: exponential backoff with jitter, `Busy`-awareness,
+//! and idempotency tokens so a retried write applies exactly once.
+//!
+//! The failure mode this closes: a client sends a write, the server
+//! applies it, and the *response* is lost. Without tokens the client's
+//! only safe move is "outcome unknown"; retrying would double-apply.
+//! [`RetryClient`] tags every write with a per-session monotone token
+//! ([`Request::Idempotent`]), so the server's dedup window recognizes a
+//! resend of an already-applied write and replays the original answer —
+//! the retry loop can then be aggressive without breaking conservation.
+//!
+//! Each *attempt* gets a fresh correlation id (the transport may deliver
+//! late responses to earlier attempts; the client accepts any of them),
+//! while the *token* stays fixed across attempts of one logical write —
+//! ids name deliveries, tokens name intents.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::FaultyConn;
+use crate::protocol::{ErrorCode, Request, Response};
+
+/// Exponential backoff with jitter, plus a per-attempt response deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// How long one attempt waits for its response before retrying.
+    pub deadline: Duration,
+    /// Backoff before the second attempt.
+    pub base: Duration,
+    /// Backoff cap.
+    pub max: Duration,
+    /// Per-retry multiplier (2.0 = classic doubling).
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: the drawn delay is scaled uniformly
+    /// into `[1 - jitter, 1 + jitter]` (then clamped to `max`), decorrelating
+    /// retry herds.
+    pub jitter: f64,
+    /// Total attempts (first send included). At least 1.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    /// A service-ish default: 100 ms deadlines, 5 ms → 1 s doubling
+    /// backoff with 30% jitter, 8 attempts.
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_millis(100),
+            base: Duration::from_millis(5),
+            max: Duration::from_secs(1),
+            multiplier: 2.0,
+            jitter: 0.3,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Tight timings for hermetic tests: 10 ms deadlines, 1 ms → 8 ms
+    /// backoff, 8 attempts.
+    pub fn fast_test() -> Self {
+        Self {
+            deadline: Duration::from_millis(10),
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            multiplier: 2.0,
+            jitter: 0.3,
+            max_attempts: 8,
+        }
+    }
+
+    /// The jittered delay before attempt `attempt` (2-based: the first
+    /// retry). Deterministic given the rng state.
+    pub fn delay_before(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = attempt.saturating_sub(2);
+        let raw = self.base.as_secs_f64() * self.multiplier.powi(exp as i32);
+        let capped = raw.min(self.max.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let scale = if jitter > 0.0 {
+            1.0 - jitter + rng.gen::<f64>() * 2.0 * jitter
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * scale).min(self.max.as_secs_f64()))
+    }
+}
+
+/// Outcome of one logical (possibly multi-attempt) call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// The operation was acknowledged; the final response is attached.
+    /// For writes this means **applied exactly once**, even if earlier
+    /// attempts were duplicates.
+    Acked(Response),
+    /// Every attempt was answered with a definitive not-applied error
+    /// (`Busy` shed, `ShardRestarted` poison, or `Malformed` after a frame
+    /// fault): the write definitely did **not** apply.
+    NotApplied,
+    /// The token fell out of the server's dedup window: the outcome is
+    /// unknowable (applied long ago, or never).
+    Expired,
+    /// All attempts timed out without a definitive answer: the write may
+    /// or may not have been applied (the caller must treat its delta as
+    /// unknown).
+    Unknown,
+}
+
+/// What a [`RetryClient`] did across its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts sent (first sends + retries).
+    pub attempts: u64,
+    /// Retries after a response deadline elapsed.
+    pub retries_timeout: u64,
+    /// Retries after a `Busy` shed.
+    pub retries_busy: u64,
+    /// Retries after a `ShardRestarted` poison (the write vanished).
+    pub retries_restart: u64,
+    /// Retries after a `Malformed` answer (a fault garbled the attempt).
+    pub retries_malformed: u64,
+    /// Writes acknowledged as applied.
+    pub acked_writes: u64,
+    /// Total increment acknowledged as applied (`Added` = +1,
+    /// `MultiAdded{applied}` = +applied). With increment-only traffic this
+    /// is the client's side of the conservation ledger.
+    pub acked_delta: u64,
+    /// Calls that ended [`CallOutcome::Unknown`].
+    pub unknown: u64,
+    /// Upper bound on the increment an `Unknown` call may have applied.
+    pub unknown_max_delta: u64,
+    /// Stale responses (earlier attempts answered late) that were
+    /// recognized and discarded without double-counting.
+    pub stale_responses: u64,
+}
+
+/// A sequential client that drives writes through [`FaultyConn`] with
+/// deadlines, backoff, and idempotency tokens.
+///
+/// One call is in flight at a time (the chaos harness runs many clients in
+/// parallel instead of pipelining one), which keeps the bookkeeping
+/// auditable: every response must answer an id this client issued.
+pub struct RetryClient {
+    conn: FaultyConn,
+    policy: BackoffPolicy,
+    rng: StdRng,
+    next_token: u64,
+    /// Ids issued but never answered (candidates for late stale answers).
+    open_ids: Vec<u64>,
+    /// Accounting across all calls.
+    pub stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Wrap `conn`; draws jitter from `seed` deterministically.
+    pub fn new(conn: FaultyConn, policy: BackoffPolicy, seed: u64) -> Self {
+        assert!(policy.max_attempts >= 1);
+        Self {
+            conn,
+            policy,
+            rng: StdRng::seed_from_u64(seed ^ 0xc11e_47f0_bac0_ff5e),
+            next_token: 1,
+            open_ids: Vec::new(),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// The wrapped connection's session id.
+    pub fn session(&self) -> u64 {
+        self.conn.session()
+    }
+
+    /// The wrapped connection (fault accounting lives there).
+    pub fn conn(&self) -> &FaultyConn {
+        &self.conn
+    }
+
+    /// Issue one write with retries. `op` must be a plain write; its delta
+    /// (for the unknown-bound ledger) is `delta_bound`.
+    pub fn call_write(&mut self, op: Request) -> CallOutcome {
+        let delta_bound = match &op {
+            Request::Add { .. } => 1,
+            Request::MultiAdd { keys, .. } => keys.len() as u64,
+            Request::Put { .. } => 0,
+            other => panic!("call_write needs a write, got {other:?}"),
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        let req = Request::idempotent(token, op);
+
+        // Ids of this call's attempts: a late answer to any of them
+        // settles the call (they all carry the same token).
+        let mut attempt_ids: Vec<u64> = Vec::new();
+        let mut call_timed_out = false;
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                let delay = self.policy.delay_before(attempt, &mut self.rng);
+                std::thread::sleep(delay);
+            }
+            let id = self.conn.send(req.clone());
+            attempt_ids.push(id);
+            self.stats.attempts += 1;
+            self.conn.flush_held();
+
+            let deadline = std::time::Instant::now() + self.policy.deadline;
+            'wait: loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    self.stats.retries_timeout += 1;
+                    call_timed_out = true;
+                    break 'wait;
+                }
+                let Some(frame) = self.conn.recv_timeout(remaining) else {
+                    self.stats.retries_timeout += 1;
+                    call_timed_out = true;
+                    break 'wait;
+                };
+                if !attempt_ids.contains(&frame.id) {
+                    // A late answer to some earlier call: account it as
+                    // stale (its call already settled) and keep waiting.
+                    let known = self.open_ids.iter().position(|&i| i == frame.id);
+                    assert!(
+                        known.is_some(),
+                        "response {} answers an id this session never sent",
+                        frame.id
+                    );
+                    self.open_ids.swap_remove(known.unwrap());
+                    self.stats.stale_responses += 1;
+                    continue 'wait;
+                }
+                match frame.response {
+                    Response::Busy => {
+                        self.stats.retries_busy += 1;
+                        break 'wait;
+                    }
+                    Response::Error(ErrorCode::ShardRestarted) => {
+                        // The write vanished without applying: retry.
+                        self.stats.retries_restart += 1;
+                        break 'wait;
+                    }
+                    Response::Error(ErrorCode::Malformed) => {
+                        // A frame fault garbled this attempt before the
+                        // server could read it: nothing was applied.
+                        self.stats.retries_malformed += 1;
+                        break 'wait;
+                    }
+                    Response::Error(ErrorCode::Expired) => {
+                        self.settle(&attempt_ids);
+                        return CallOutcome::Expired;
+                    }
+                    resp @ (Response::Added(_)
+                    | Response::MultiAdded { .. }
+                    | Response::Written) => {
+                        self.stats.acked_writes += 1;
+                        self.stats.acked_delta += match resp {
+                            Response::Added(_) => 1,
+                            Response::MultiAdded { applied } => u64::from(applied),
+                            _ => 0,
+                        };
+                        self.settle(&attempt_ids);
+                        return CallOutcome::Acked(resp);
+                    }
+                    other => {
+                        panic!("write answered with {other:?}")
+                    }
+                }
+            }
+            if self.conn.is_severed() {
+                break;
+            }
+        }
+        // Unanswered attempts stay open; a late definitive answer to one of
+        // them would be a server-side duplicate the dedup window failed to
+        // swallow — `drain_stale` treats any such ack as corroborating the
+        // unknown bound, never as a second count.
+        self.open_ids.extend(attempt_ids);
+        if !call_timed_out && !self.conn.is_severed() {
+            // Every attempt was answered, and every answer (Busy /
+            // ShardRestarted / Malformed) means "not applied": the write
+            // definitively did not land. Any unanswered attempt instead
+            // means it *might* have, so the conservative answer is Unknown.
+            return CallOutcome::NotApplied;
+        }
+        self.stats.unknown += 1;
+        self.stats.unknown_max_delta += delta_bound;
+        CallOutcome::Unknown
+    }
+
+    /// Issue one read (no token — reads are naturally idempotent),
+    /// retrying on timeout/`Busy` like writes.
+    pub fn call_read(&mut self, op: Request) -> Option<Response> {
+        assert!(!op.is_write(), "call_read needs a read");
+        let mut attempt_ids: Vec<u64> = Vec::new();
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                let delay = self.policy.delay_before(attempt, &mut self.rng);
+                std::thread::sleep(delay);
+            }
+            let id = self.conn.send(op.clone());
+            attempt_ids.push(id);
+            self.stats.attempts += 1;
+            self.conn.flush_held();
+            let deadline = std::time::Instant::now() + self.policy.deadline;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    self.stats.retries_timeout += 1;
+                    break;
+                }
+                let Some(frame) = self.conn.recv_timeout(remaining) else {
+                    self.stats.retries_timeout += 1;
+                    break;
+                };
+                if !attempt_ids.contains(&frame.id) {
+                    if let Some(pos) = self.open_ids.iter().position(|&i| i == frame.id) {
+                        self.open_ids.swap_remove(pos);
+                        self.stats.stale_responses += 1;
+                    }
+                    continue;
+                }
+                match frame.response {
+                    Response::Busy => {
+                        self.stats.retries_busy += 1;
+                        break;
+                    }
+                    Response::Error(ErrorCode::Malformed) => {
+                        self.stats.retries_malformed += 1;
+                        break;
+                    }
+                    resp => {
+                        self.settle(&attempt_ids);
+                        return Some(resp);
+                    }
+                }
+            }
+            if self.conn.is_severed() {
+                break;
+            }
+        }
+        self.open_ids.extend(attempt_ids);
+        None
+    }
+
+    /// Move a settled call's unanswered attempt ids into the open set (the
+    /// server may still answer them late — those answers are duplicates by
+    /// construction and must not be re-counted).
+    fn settle(&mut self, attempt_ids: &[u64]) {
+        // Every id except the one that settled may still get an answer.
+        self.open_ids.extend_from_slice(attempt_ids);
+    }
+
+    /// Drain any late responses still in flight (call after the last
+    /// request; bounds the open-id set before final accounting).
+    pub fn drain_stale(&mut self, window: Duration) {
+        while let Some(frame) = self.conn.recv_timeout(window) {
+            if let Some(pos) = self.open_ids.iter().position(|&i| i == frame.id) {
+                self.open_ids.swap_remove(pos);
+                self.stats.stale_responses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = BackoffPolicy {
+            deadline: Duration::from_millis(10),
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(50),
+            multiplier: 2.0,
+            jitter: 0.0,
+            max_attempts: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(policy.delay_before(2, &mut rng), Duration::from_millis(2));
+        assert_eq!(policy.delay_before(3, &mut rng), Duration::from_millis(4));
+        assert_eq!(policy.delay_before(4, &mut rng), Duration::from_millis(8));
+        // Attempt 8 would be 128 ms; capped at 50.
+        assert_eq!(policy.delay_before(8, &mut rng), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let policy = BackoffPolicy {
+            jitter: 0.5,
+            ..BackoffPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = policy.base.as_secs_f64();
+        for _ in 0..1000 {
+            let d = policy.delay_before(2, &mut rng).as_secs_f64();
+            assert!(
+                (base * 0.5..=base * 1.5).contains(&d),
+                "jittered delay {d} out of band"
+            );
+        }
+    }
+}

@@ -24,7 +24,16 @@
 //!   (same frames, no sockets) that CI and tests run on;
 //! * [`loadgen`] — a client fleet simulating thousands of sessions with
 //!   Poisson or bursty arrivals, latency capture via `tm-telemetry`, and
-//!   a built-in conservation invariant.
+//!   a built-in conservation invariant;
+//! * [`fault`] — seed-deterministic fault injection: frame drop / delay /
+//!   truncation / corruption, scheduled disconnects, injected crashes at
+//!   named points in the write pipeline, and forced-abort storms;
+//! * [`client`] — a retrying client with exponential backoff and
+//!   per-session idempotency tokens, so a retried write after a lost
+//!   response applies exactly once;
+//! * [`chaos`] — the chaos harness: runs a seeded fault schedule against
+//!   a real server and checks conservation, FIFO, and exactly-once
+//!   invariants afterwards.
 //!
 //! # Quickstart
 //!
@@ -59,6 +68,9 @@
 
 pub mod backpressure;
 pub mod batch;
+pub mod chaos;
+pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
@@ -68,6 +80,9 @@ pub mod transport;
 pub use backpressure::{Admission, AdmissionPolicy};
 // Re-exported so loadgen configs can be built from this crate alone.
 pub use batch::{BatchPolicy, Batcher, PendingWrite, WriteOp};
+pub use chaos::{run_chaos_case, ChaosCase, ChaosOutcome};
+pub use client::{BackoffPolicy, CallOutcome, RetryClient, RetryStats};
+pub use fault::{CrashPoint, CrashSchedule, FaultPlan, FaultState, FaultyConn, FrameFaults};
 pub use loadgen::{run_loadgen, ArrivalProcess, LoadReport, LoadgenConfig};
 pub use protocol::{
     DecodeError, ErrorCode, FrameBuf, Request, RequestFrame, Response, ResponseFrame,

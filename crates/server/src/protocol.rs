@@ -75,6 +75,19 @@ pub enum Request {
     /// Graceful goodbye: the server completes the session's earlier writes,
     /// answers [`Response::Closed`], and forgets the session.
     Close,
+    /// A write tagged with a per-session idempotency token so it can be
+    /// retried safely: the server remembers the token in a bounded
+    /// [dedup window](crate::session::DedupWindow) and a resend of an
+    /// already-applied token replays the original answer instead of
+    /// applying the write again. Only write operations may be wrapped —
+    /// decoding rejects anything else with [`DecodeError::BadInner`].
+    Idempotent {
+        /// Per-session token; clients issue them monotonically so the
+        /// server can bound the window with an eviction floor.
+        token: u64,
+        /// The wrapped write (`Put`/`Add`/`MultiAdd`).
+        op: Box<Request>,
+    },
 }
 
 /// A server-to-client answer.
@@ -125,6 +138,16 @@ pub enum ErrorCode {
     Unsupported,
     /// The server is draining; no new work is accepted.
     ShuttingDown,
+    /// The idempotency token fell below the session's dedup-window floor
+    /// before the request arrived. The write was **not** applied by this
+    /// request, but the client can no longer distinguish "never applied"
+    /// from "applied long ago" — it must treat the operation's outcome as
+    /// unknown rather than retry.
+    Expired,
+    /// A shard thread panicked while this write was pending; the write
+    /// **vanished without applying** (its group never committed). Safe to
+    /// retry — with an idempotency token the retry applies exactly once.
+    ShardRestarted,
 }
 
 /// Typed decode failure. Total: any byte string maps to a frame or to one
@@ -150,6 +173,12 @@ pub enum DecodeError {
     CountTooLarge,
     /// The payload continues past the variant's last field.
     TrailingBytes,
+    /// The operation wrapped by an idempotent frame is not a plain write
+    /// (reads need no idempotency; nesting is meaningless).
+    BadInner(
+        /// The inner tag seen.
+        u8,
+    ),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -163,6 +192,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
             DecodeError::CountTooLarge => write!(f, "key count exceeds {MAX_KEYS_PER_REQUEST}"),
             DecodeError::TrailingBytes => write!(f, "bytes after last field"),
+            DecodeError::BadInner(t) => {
+                write!(f, "idempotent frame wraps non-write tag {t}")
+            }
         }
     }
 }
@@ -300,30 +332,82 @@ pub fn peek_id(bytes: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(bytes[5..13].try_into().ok()?))
 }
 
+/// Serialize one request's payload (everything after the tag byte).
+/// `Idempotent` nests its inner op's tag + payload after the token, with no
+/// second envelope.
+fn put_request_payload(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Ping | Request::Close => {}
+        Request::Get { key } => put_u64(out, *key),
+        Request::Put { key, value } => {
+            put_u64(out, *key);
+            put_u64(out, *value);
+        }
+        Request::Add { key, delta } => {
+            put_u64(out, *key);
+            put_u64(out, *delta);
+        }
+        Request::MultiGet { keys } => {
+            put_u32(out, keys.len() as u32);
+            keys.iter().for_each(|k| put_u64(out, *k));
+        }
+        Request::MultiAdd { keys, delta } => {
+            put_u32(out, keys.len() as u32);
+            keys.iter().for_each(|k| put_u64(out, *k));
+            put_u64(out, *delta);
+        }
+        Request::Idempotent { token, op } => {
+            put_u64(out, *token);
+            out.push(op.tag());
+            put_request_payload(out, op);
+        }
+    }
+}
+
+/// Parse one request's payload given its tag.
+fn read_request_payload(tag: u8, r: &mut Reader<'_>) -> Result<Request, DecodeError> {
+    Ok(match tag {
+        0 => Request::Ping,
+        1 => Request::Get { key: r.u64()? },
+        2 => Request::Put {
+            key: r.u64()?,
+            value: r.u64()?,
+        },
+        3 => Request::Add {
+            key: r.u64()?,
+            delta: r.u64()?,
+        },
+        4 => Request::MultiGet {
+            keys: r.u64_list()?,
+        },
+        5 => Request::MultiAdd {
+            keys: r.u64_list()?,
+            delta: r.u64()?,
+        },
+        6 => Request::Close,
+        7 => {
+            let token = r.u64()?;
+            let inner_tag = r.u8()?;
+            // Only plain writes may be wrapped: reads need no idempotency
+            // and nested wrappers are meaningless.
+            if !matches!(inner_tag, 2 | 3 | 5) {
+                return Err(DecodeError::BadInner(inner_tag));
+            }
+            let op = read_request_payload(inner_tag, r)?;
+            Request::Idempotent {
+                token,
+                op: Box::new(op),
+            }
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
 impl RequestFrame {
     /// Serialize to a complete frame (length prefix included).
     pub fn encode(&self) -> Vec<u8> {
-        let (tag, req) = (self.request.tag(), &self.request);
-        encode_frame(self.id, tag, |out| match req {
-            Request::Ping | Request::Close => {}
-            Request::Get { key } => put_u64(out, *key),
-            Request::Put { key, value } => {
-                put_u64(out, *key);
-                put_u64(out, *value);
-            }
-            Request::Add { key, delta } => {
-                put_u64(out, *key);
-                put_u64(out, *delta);
-            }
-            Request::MultiGet { keys } => {
-                put_u32(out, keys.len() as u32);
-                keys.iter().for_each(|k| put_u64(out, *k));
-            }
-            Request::MultiAdd { keys, delta } => {
-                put_u32(out, keys.len() as u32);
-                keys.iter().for_each(|k| put_u64(out, *k));
-                put_u64(out, *delta);
-            }
+        encode_frame(self.id, self.request.tag(), |out| {
+            put_request_payload(out, &self.request)
         })
     }
 
@@ -332,27 +416,7 @@ impl RequestFrame {
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
         let (id, tag, payload) = decode_frame(bytes)?;
         let mut r = Reader::new(payload);
-        let request = match tag {
-            0 => Request::Ping,
-            1 => Request::Get { key: r.u64()? },
-            2 => Request::Put {
-                key: r.u64()?,
-                value: r.u64()?,
-            },
-            3 => Request::Add {
-                key: r.u64()?,
-                delta: r.u64()?,
-            },
-            4 => Request::MultiGet {
-                keys: r.u64_list()?,
-            },
-            5 => Request::MultiAdd {
-                keys: r.u64_list()?,
-                delta: r.u64()?,
-            },
-            6 => Request::Close,
-            t => return Err(DecodeError::BadTag(t)),
-        };
+        let request = read_request_payload(tag, &mut r)?;
         r.finish()?;
         Ok(Self { id, request })
     }
@@ -368,6 +432,39 @@ impl Request {
             Request::MultiGet { .. } => 4,
             Request::MultiAdd { .. } => 5,
             Request::Close => 6,
+            Request::Idempotent { .. } => 7,
+        }
+    }
+
+    /// Wrap a write with an idempotency token. Panics if `op` is not a
+    /// plain write (the wire format rejects such frames on decode anyway).
+    pub fn idempotent(token: u64, op: Request) -> Request {
+        assert!(
+            matches!(
+                op,
+                Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }
+            ),
+            "only plain writes can carry an idempotency token"
+        );
+        Request::Idempotent {
+            token,
+            op: Box::new(op),
+        }
+    }
+
+    /// The idempotency token, if this request carries one.
+    pub fn token(&self) -> Option<u64> {
+        match self {
+            Request::Idempotent { token, .. } => Some(*token),
+            _ => None,
+        }
+    }
+
+    /// The operation itself, unwrapped from any idempotency envelope.
+    pub fn op(&self) -> &Request {
+        match self {
+            Request::Idempotent { op, .. } => op,
+            other => other,
         }
     }
 
@@ -375,7 +472,7 @@ impl Request {
     /// through admission control and the group-commit batcher).
     pub fn is_write(&self) -> bool {
         matches!(
-            self,
+            self.op(),
             Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }
         )
     }
@@ -387,6 +484,7 @@ impl Request {
             Request::Get { .. } | Request::Put { .. } | Request::Add { .. } => 1,
             Request::MultiGet { keys } => keys.len() as u64,
             Request::MultiAdd { keys, .. } => keys.len() as u64,
+            Request::Idempotent { op, .. } => op.cost(),
         }
     }
 }
@@ -450,6 +548,8 @@ impl ErrorCode {
             ErrorCode::Malformed => 0,
             ErrorCode::Unsupported => 1,
             ErrorCode::ShuttingDown => 2,
+            ErrorCode::Expired => 3,
+            ErrorCode::ShardRestarted => 4,
         }
     }
 
@@ -458,6 +558,8 @@ impl ErrorCode {
             0 => Ok(ErrorCode::Malformed),
             1 => Ok(ErrorCode::Unsupported),
             2 => Ok(ErrorCode::ShuttingDown),
+            3 => Ok(ErrorCode::Expired),
+            4 => Ok(ErrorCode::ShardRestarted),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -552,6 +654,24 @@ mod tests {
                 id: 3,
                 request: Request::Close,
             },
+            RequestFrame {
+                id: 4,
+                request: Request::idempotent(99, Request::Add { key: 3, delta: 1 }),
+            },
+            RequestFrame {
+                id: 5,
+                request: Request::idempotent(
+                    u64::MAX,
+                    Request::MultiAdd {
+                        keys: vec![1, 2, 3],
+                        delta: 7,
+                    },
+                ),
+            },
+            RequestFrame {
+                id: 6,
+                request: Request::idempotent(0, Request::Put { key: 9, value: 1 }),
+            },
         ];
         for f in frames {
             let bytes = f.encode();
@@ -644,6 +764,51 @@ mod tests {
             RequestFrame::decode(&padded),
             Err(DecodeError::TrailingBytes)
         );
+    }
+
+    #[test]
+    fn idempotent_wrapper_semantics() {
+        let req = Request::idempotent(42, Request::Add { key: 5, delta: 1 });
+        assert!(req.is_write());
+        assert_eq!(req.token(), Some(42));
+        assert_eq!(req.cost(), 1);
+        assert_eq!(req.op(), &Request::Add { key: 5, delta: 1 });
+        assert_eq!(Request::Ping.token(), None);
+
+        // An idempotent frame wrapping a read is rejected on decode with
+        // the dedicated error, not BadTag.
+        let bad = encode_frame(1, 7, |out| {
+            put_u64(out, 3); // token
+            out.push(1); // Get
+            put_u64(out, 0);
+        });
+        assert_eq!(RequestFrame::decode(&bad), Err(DecodeError::BadInner(1)));
+
+        // Nested wrappers are rejected the same way.
+        let nested = encode_frame(1, 7, |out| {
+            put_u64(out, 3);
+            out.push(7);
+            put_u64(out, 4);
+            out.push(3);
+            put_u64(out, 0);
+            put_u64(out, 1);
+        });
+        assert_eq!(RequestFrame::decode(&nested), Err(DecodeError::BadInner(7)));
+
+        // New error codes round-trip.
+        for code in [ErrorCode::Expired, ErrorCode::ShardRestarted] {
+            let f = ResponseFrame {
+                id: 1,
+                response: Response::Error(code),
+            };
+            assert_eq!(ResponseFrame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only plain writes")]
+    fn idempotent_rejects_reads_at_construction() {
+        let _ = Request::idempotent(1, Request::Get { key: 0 });
     }
 
     #[test]

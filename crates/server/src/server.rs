@@ -29,18 +29,20 @@
 //! them first, so pipelined responses stay FIFO per session and every read
 //! observes the session's own earlier writes.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tm_stm::{ReadOps, TmEngine, TxnOps, WORD_BYTES};
+use tm_stm::{Aborted, ReadOps, TmEngine, TxnOps, WORD_BYTES};
 
 use crate::backpressure::{Admission, AdmissionPolicy};
 use crate::batch::{BatchPolicy, Batcher, Group, PendingWrite, WriteOp};
+use crate::fault::{CrashPoint, FaultState};
 use crate::protocol::{peek_id, ErrorCode, Request, RequestFrame, Response};
-use crate::session::{ServerMsg, SessionId, SessionRegistry};
+use crate::session::{DedupVerdict, ServerMsg, SessionId, SessionRegistry, DEFAULT_DEDUP_WINDOW};
 
 /// How long an idle shard sleeps between wakeups when no flush deadline is
 /// pending.
@@ -69,6 +71,18 @@ pub struct ServerConfig {
     /// footprints the way the harness's `yield_per_op` does — the
     /// cross-check tests rely on it; production configs leave it off.
     pub yield_in_txn: bool,
+    /// Per-session idempotency dedup window (tokens remembered). `0`
+    /// disables deduplication — a deliberately broken configuration that
+    /// exists only so the chaos suite can prove it catches the resulting
+    /// double-applies.
+    pub dedup_window: usize,
+    /// Armed fault plan; `None` (production) evaluates no crash points and
+    /// no abort storm.
+    pub faults: Option<Arc<FaultState>>,
+    /// Audit `heap_sum == applied_delta` during single-shard crash
+    /// recovery (valid only for increment-only traffic; a `Put` disables
+    /// the check). Chaos configs turn this on.
+    pub audit_increments: bool,
 }
 
 impl ServerConfig {
@@ -81,6 +95,9 @@ impl ServerConfig {
             batch: BatchPolicy::grouped(),
             admission: AdmissionPolicy::default(),
             yield_in_txn: false,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
+            faults: None,
+            audit_increments: false,
         }
     }
 }
@@ -95,6 +112,14 @@ pub struct ServerStats {
     malformed: AtomicU64,
     groups_committed: AtomicU64,
     ops_committed: AtomicU64,
+    duplicates: AtomicU64,
+    expired: AtomicU64,
+    shard_restarts: AtomicU64,
+    poisoned_writes: AtomicU64,
+    sessions_closed: AtomicU64,
+    applied_delta: AtomicU64,
+    put_writes: AtomicU64,
+    audit_failures: AtomicU64,
 }
 
 /// Point-in-time copy of [`ServerStats`].
@@ -114,6 +139,29 @@ pub struct ServerStatsSnapshot {
     pub groups_committed: u64,
     /// Write operations committed (across all groups).
     pub ops_committed: u64,
+    /// Idempotent retries recognized by the dedup window (replays of a
+    /// recorded answer plus in-flight duplicates swallowed).
+    pub duplicates: u64,
+    /// Idempotent requests refused because their token fell below a
+    /// session's dedup-window floor.
+    pub expired: u64,
+    /// Shard-thread panics contained and recovered.
+    pub shard_restarts: u64,
+    /// Writes poisoned with `ShardRestarted` (vanished without applying).
+    pub poisoned_writes: u64,
+    /// Sessions closed because a frame's envelope was unreadable (no
+    /// correlation id to answer under).
+    pub sessions_closed: u64,
+    /// Sum of increments applied by committed groups (`Add` deltas plus
+    /// `MultiAdd` deltas × keys) — the server's side of the conservation
+    /// ledger.
+    pub applied_delta: u64,
+    /// `Put` operations committed. Overwrites break increment-only
+    /// accounting, so any nonzero count disables the recovery audit.
+    pub put_writes: u64,
+    /// Recovery audits that found `heap_sum != applied_delta`. Anything
+    /// nonzero means exactly-once accounting was violated.
+    pub audit_failures: u64,
 }
 
 impl ServerStatsSnapshot {
@@ -138,6 +186,14 @@ impl ServerStats {
             malformed: self.malformed.load(Ordering::Relaxed),
             groups_committed: self.groups_committed.load(Ordering::Relaxed),
             ops_committed: self.ops_committed.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            poisoned_writes: self.poisoned_writes.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            applied_delta: self.applied_delta.load(Ordering::Relaxed),
+            put_writes: self.put_writes.load(Ordering::Relaxed),
+            audit_failures: self.audit_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -183,7 +239,7 @@ where
         shard_handles.push(
             std::thread::Builder::new()
                 .name(format!("tm-server-shard-{shard_id}"))
-                .spawn(move || shard_loop(shard_id, rx, engine, config, stats, admission))
+                .spawn(move || shard_thread(shard_id, rx, engine, config, stats, admission))
                 .expect("spawn shard thread"),
         );
     }
@@ -233,9 +289,12 @@ impl ServerHandle {
 
     /// Drain pending batches, answer everything accepted so far, stop all
     /// threads, and wait for them. Frames still in transport buffers after
-    /// this returns are dropped.
-    pub fn shutdown(mut self) {
+    /// this returns are dropped. Returns the final counters (the drain can
+    /// still commit groups, so this is the only snapshot that accounts
+    /// everything).
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
         self.shutdown_inner();
+        self.stats.snapshot()
     }
 
     fn shutdown_inner(&mut self) {
@@ -282,9 +341,43 @@ fn router_loop(rx: Receiver<ServerMsg>, shard_txs: Vec<Sender<ServerMsg>>, shard
     }
 }
 
-/// One shard: decode, serve reads inline, batch writes, flush on fill or
-/// deadline, observe abort ratio into the admission budget.
-fn shard_loop<E: TmEngine>(
+/// A write caught between admission and the batcher: the window where the
+/// [`CrashPoint::BatchEnqueue`] crash point can strand admitted cost.
+struct ProcessingWrite {
+    session: SessionId,
+    id: u64,
+    token: Option<u64>,
+    cost: u64,
+}
+
+/// The group currently running its engine transaction. `committed` flips
+/// from `None` to `Some` the instant the transaction has committed —
+/// recovery uses it to decide between "deliver the acks anyway" and "the
+/// group vanished".
+struct InFlightGroup {
+    group: Group,
+    committed: Option<Vec<Response>>,
+}
+
+/// Everything a shard owns that must survive a contained panic. It lives
+/// in the supervisor's frame, *outside* `catch_unwind`, so recovery can
+/// audit and repair it after an unwind.
+struct ShardState {
+    registry: SessionRegistry,
+    batcher: Batcher,
+    /// Write mid-handoff into the batcher (see [`ProcessingWrite`]).
+    processing: Option<ProcessingWrite>,
+    /// Group mid-commit (see [`InFlightGroup`]).
+    current: Option<InFlightGroup>,
+}
+
+/// Shard supervisor: run the shard loop under `catch_unwind`; on a panic,
+/// repair the shard's state (poison lost writes, release stranded
+/// admission cost, audit the engine) and restart the loop. The engine
+/// itself never unwinds mid-transaction — every crash point sits outside
+/// `TmEngine::run` — so containment is a server-state problem, which is
+/// exactly what [`recover_shard`] repairs.
+fn shard_thread<E: TmEngine>(
     shard_id: u32,
     rx: Receiver<ServerMsg>,
     engine: Arc<E>,
@@ -292,69 +385,77 @@ fn shard_loop<E: TmEngine>(
     stats: Arc<ServerStats>,
     admission: Arc<Admission>,
 ) {
-    let mut registry = SessionRegistry::new();
-    let mut batcher = Batcher::new(config.batch);
+    let mut state = ShardState {
+        registry: SessionRegistry::new(config.dedup_window),
+        batcher: Batcher::with_faults(config.batch, config.faults.clone()),
+        processing: None,
+        current: None,
+    };
+    loop {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shard_loop(
+                shard_id, &rx, &engine, &config, &stats, &admission, &mut state,
+            )
+        }));
+        match result {
+            Ok(()) => return, // orderly shutdown
+            Err(_panic) => {
+                recover_shard(&engine, &config, &stats, &admission, &mut state);
+            }
+        }
+    }
+}
+
+/// One shard: decode, serve reads inline, batch writes, flush on fill or
+/// deadline, observe abort ratio into the admission budget.
+fn shard_loop<E: TmEngine>(
+    shard_id: u32,
+    rx: &Receiver<ServerMsg>,
+    engine: &Arc<E>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    admission: &Admission,
+    state: &mut ShardState,
+) {
     let mut last_engine = engine.engine_stats();
     let mut writes_since_observe = 0u64;
 
     loop {
-        let timeout = batcher
+        let timeout = state
+            .batcher
             .deadline()
             .map(|d| d.saturating_duration_since(Instant::now()))
             .unwrap_or(IDLE_TICK);
         match rx.recv_timeout(timeout) {
-            Ok(ServerMsg::Connect { session, sink }) => registry.connect(session, sink),
-            Ok(ServerMsg::Disconnect { session }) => registry.disconnect(session),
+            Ok(ServerMsg::Connect { session, sink }) => state.registry.connect(session, sink),
+            Ok(ServerMsg::Disconnect { session }) => state.registry.disconnect(session),
             Ok(ServerMsg::Frame { session, bytes }) => {
                 handle_frame(
                     shard_id,
                     session,
                     &bytes,
-                    &engine,
-                    &config,
-                    &stats,
-                    &admission,
-                    &mut registry,
-                    &mut batcher,
+                    engine,
+                    config,
+                    stats,
+                    admission,
+                    state,
                     &mut writes_since_observe,
                 );
             }
             Ok(ServerMsg::Shutdown) => {
-                flush(
-                    shard_id,
-                    &engine,
-                    &config,
-                    &stats,
-                    &admission,
-                    &mut registry,
-                    &mut batcher,
-                );
+                // Graceful drain: in-flight groups fully commit (their acks
+                // go out) and nothing new is accepted after this message.
+                flush(shard_id, engine, config, stats, admission, state);
                 return;
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
-                flush(
-                    shard_id,
-                    &engine,
-                    &config,
-                    &stats,
-                    &admission,
-                    &mut registry,
-                    &mut batcher,
-                );
+                flush(shard_id, engine, config, stats, admission, state);
                 return;
             }
         }
-        if batcher.should_flush(Instant::now()) {
-            flush(
-                shard_id,
-                &engine,
-                &config,
-                &stats,
-                &admission,
-                &mut registry,
-                &mut batcher,
-            );
+        if state.batcher.should_flush(Instant::now()) {
+            flush(shard_id, engine, config, stats, admission, state);
         }
         // Shard 0 periodically folds the windowed abort ratio into the
         // shared admission budget (one observer keeps windows disjoint).
@@ -367,6 +468,85 @@ fn shard_loop<E: TmEngine>(
     }
 }
 
+/// Repair a shard after a contained panic:
+///
+/// 1. A group that had already **committed** still delivers its acks —
+///    the heap moved, so suppressing the acks would break `heap_sum ==
+///    acked increments` from the clients' side.
+/// 2. A group that had **not** committed vanishes whole: every op's
+///    admission cost is released, its dedup token abandoned (a retry must
+///    be allowed to apply), and its session poisoned with
+///    [`ErrorCode::ShardRestarted`].
+/// 3. A write stranded between admission and the batcher is poisoned the
+///    same way.
+/// 4. Everything still pending in the batcher vanishes like (2).
+/// 5. With `audit_increments` on a single-shard server (the one case with
+///    no concurrent writers), cross-check `heap_sum` against the applied
+///    ledger and count any divergence in `audit_failures`.
+fn recover_shard<E: TmEngine>(
+    engine: &Arc<E>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    admission: &Admission,
+    state: &mut ShardState,
+) {
+    stats.shard_restarts.fetch_add(1, Ordering::Relaxed);
+
+    if let Some(ifg) = state.current.take() {
+        if ifg.committed.is_some() {
+            state.current = Some(ifg);
+            deliver_current(admission, state);
+        } else {
+            vanish_group(ifg.group, stats, admission, &mut state.registry);
+        }
+    }
+    if let Some(p) = state.processing.take() {
+        admission.release(p.cost);
+        if let Some(token) = p.token {
+            state.registry.dedup_abandon(p.session, token);
+        }
+        stats.poisoned_writes.fetch_add(1, Ordering::Relaxed);
+        state
+            .registry
+            .respond(p.session, p.id, Response::Error(ErrorCode::ShardRestarted));
+    }
+    for group in state.batcher.drain() {
+        vanish_group(group, stats, admission, &mut state.registry);
+    }
+
+    if config.audit_increments
+        && config.shards == 1
+        && stats.put_writes.load(Ordering::Relaxed) == 0
+    {
+        let heap = engine.heap_sum(config.key_universe as usize);
+        let applied = stats.applied_delta.load(Ordering::Relaxed);
+        if heap != applied {
+            stats.audit_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Poison every op of a group that vanished without committing.
+fn vanish_group(
+    group: Group,
+    stats: &ServerStats,
+    admission: &Admission,
+    registry: &mut SessionRegistry,
+) {
+    for pw in group.ops {
+        admission.release(pw.op.keys().len() as u64);
+        if let Some(token) = pw.token {
+            registry.dedup_abandon(pw.session, token);
+        }
+        stats.poisoned_writes.fetch_add(1, Ordering::Relaxed);
+        registry.respond(
+            pw.session,
+            pw.id,
+            Response::Error(ErrorCode::ShardRestarted),
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // shard-local state threaded explicitly
 fn handle_frame<E: TmEngine>(
     shard_id: u32,
@@ -376,21 +556,76 @@ fn handle_frame<E: TmEngine>(
     config: &ServerConfig,
     stats: &ServerStats,
     admission: &Admission,
-    registry: &mut SessionRegistry,
-    batcher: &mut Batcher,
+    state: &mut ShardState,
     writes_since_observe: &mut u64,
 ) {
+    // Frames addressed to a session this shard already closed are
+    // discarded unread — exactly like bytes arriving after a TCP reset.
+    // Processing them would resurrect the session without its dedup
+    // window, so a still-in-flight retry of an enqueued idempotent write
+    // would classify as `New` and apply twice.
+    if !state.registry.contains(session) {
+        return;
+    }
+    // Crash point: before any processing — an injected panic here makes
+    // the frame vanish entirely (never applied, never answered).
+    if let Some(f) = &config.faults {
+        f.crash_point(CrashPoint::FrameIngress);
+    }
     let frame = match RequestFrame::decode(bytes) {
         Ok(frame) => frame,
         Err(_) => {
             stats.malformed.fetch_add(1, Ordering::Relaxed);
-            let id = peek_id(bytes).unwrap_or(0);
-            registry.respond(session, id, Response::Error(ErrorCode::Malformed));
+            match peek_id(bytes) {
+                // The envelope was readable: answer under the frame's own
+                // correlation id so the client can match the error.
+                Some(id) => {
+                    state
+                        .registry
+                        .respond(session, id, Response::Error(ErrorCode::Malformed));
+                }
+                // No recoverable id. Answering under a fabricated id would
+                // desynchronize the client's pipeline (it would attribute
+                // the error to a request it never made), so close the
+                // session instead: dropping the sink surfaces as EOF.
+                None => {
+                    stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    state.registry.disconnect(session);
+                }
+            }
             return;
         }
     };
     stats.requests.fetch_add(1, Ordering::Relaxed);
     let id = frame.id;
+
+    // Unwrap the idempotency envelope through the session's dedup window.
+    let (token, request) = match frame.request {
+        Request::Idempotent { token, op } => match state.registry.dedup_begin(session, token) {
+            DedupVerdict::New => (Some(token), *op),
+            DedupVerdict::InFlight => {
+                // The original delivery is still working; it will answer.
+                stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            DedupVerdict::Done(resp) => {
+                // Applied already: replay the recorded answer under the
+                // retry's id, apply nothing.
+                stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                state.registry.respond(session, id, resp);
+                return;
+            }
+            DedupVerdict::Expired => {
+                stats.expired.fetch_add(1, Ordering::Relaxed);
+                state
+                    .registry
+                    .respond(session, id, Response::Error(ErrorCode::Expired));
+                return;
+            }
+        },
+        other => (None, other),
+    };
+
     let canon = |key: u64| key % config.key_universe;
     let addr = |key: u64| canon(key) * WORD_BYTES;
 
@@ -398,21 +633,19 @@ fn handle_frame<E: TmEngine>(
     // writes: flush first so per-session responses stay FIFO and reads see
     // the session's own writes (other sessions' groups ride along — the
     // batcher drains whole, which only shortens their latency).
-    if !frame.request.is_write() && batcher.has_session(session) {
-        flush(
-            shard_id, engine, config, stats, admission, registry, batcher,
-        );
+    if !request.is_write() && state.batcher.has_session(session) {
+        flush(shard_id, engine, config, stats, admission, state);
     }
 
-    match frame.request {
+    match request {
         Request::Ping => {
             stats.reads.fetch_add(1, Ordering::Relaxed);
-            registry.respond(session, id, Response::Pong);
+            state.registry.respond(session, id, Response::Pong);
         }
         Request::Get { key } => {
             stats.reads.fetch_add(1, Ordering::Relaxed);
             let v = engine.run_read(shard_id, |txn| txn.read(addr(key)));
-            registry.respond(session, id, Response::Value(v));
+            state.registry.respond(session, id, Response::Value(v));
         }
         Request::MultiGet { keys } => {
             stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -423,22 +656,27 @@ fn handle_frame<E: TmEngine>(
                     .map(|&k| txn.read(addr(k)))
                     .collect::<Result<Vec<_>, _>>()
             });
-            registry.respond(session, id, Response::Values(values));
+            state
+                .registry
+                .respond(session, id, Response::Values(values));
         }
         Request::Close => {
             // Complete the session's earlier writes before saying goodbye,
             // so Closed acknowledges a fully applied history.
-            flush(
-                shard_id, engine, config, stats, admission, registry, batcher,
-            );
-            registry.respond(session, id, Response::Closed);
-            registry.disconnect(session);
+            flush(shard_id, engine, config, stats, admission, state);
+            state.registry.respond(session, id, Response::Closed);
+            state.registry.disconnect(session);
         }
         req @ (Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }) => {
             let cost = req.cost();
             if !admission.try_admit(cost) {
                 stats.busy.fetch_add(1, Ordering::Relaxed);
-                registry.respond(session, id, Response::Busy);
+                if let Some(token) = token {
+                    // The write was not applied; a retry must be allowed
+                    // to apply it.
+                    state.registry.dedup_abandon(session, token);
+                }
+                state.registry.respond(session, id, Response::Busy);
                 return;
             }
             stats.writes_enqueued.fetch_add(1, Ordering::Relaxed);
@@ -458,7 +696,29 @@ fn handle_frame<E: TmEngine>(
                 },
                 _ => unreachable!("matched write variants above"),
             };
-            batcher.push(PendingWrite { session, id, op }, Instant::now());
+            // Bracket the admission→batcher handoff so recovery can repair
+            // a crash inside `push` (the BatchEnqueue crash point).
+            state.processing = Some(ProcessingWrite {
+                session,
+                id,
+                token,
+                cost,
+            });
+            state.batcher.push(
+                PendingWrite {
+                    session,
+                    id,
+                    token,
+                    op,
+                },
+                Instant::now(),
+            );
+            state.processing = None;
+        }
+        Request::Idempotent { .. } => {
+            // Decode rejects nested wrappers; `dedup_begin` already
+            // unwrapped one level.
+            unreachable!("idempotent envelope unwrapped above")
         }
     }
 }
@@ -471,27 +731,49 @@ fn flush<E: TmEngine>(
     config: &ServerConfig,
     stats: &ServerStats,
     admission: &Admission,
-    registry: &mut SessionRegistry,
-    batcher: &mut Batcher,
+    state: &mut ShardState,
 ) {
-    for group in batcher.drain() {
-        run_group(shard_id, engine, config, stats, admission, registry, &group);
+    for group in state.batcher.drain() {
+        state.current = Some(InFlightGroup {
+            group,
+            committed: None,
+        });
+        run_current_group(shard_id, engine, config, stats, admission, state);
     }
 }
 
-fn run_group<E: TmEngine>(
+/// Run `state.current` through one engine transaction and deliver its
+/// acks. The commit handoff is deliberately tight: the responses (and the
+/// applied-delta ledger) are recorded into `state.current` immediately
+/// after `TmEngine::run` returns, with no crash point in between, so a
+/// panic can never lose the fact that the heap moved.
+fn run_current_group<E: TmEngine>(
     shard_id: u32,
     engine: &Arc<E>,
     config: &ServerConfig,
     stats: &ServerStats,
     admission: &Admission,
-    registry: &mut SessionRegistry,
-    group: &Group,
+    state: &mut ShardState,
 ) {
+    // Crash point: the group is out of the batcher but not yet committed —
+    // it must vanish whole.
+    if let Some(f) = &config.faults {
+        f.crash_point(CrashPoint::BeforeGroupCommit);
+    }
     let yield_in_txn = config.yield_in_txn;
+    let faults = config.faults.clone();
+    let ifg = state.current.as_mut().expect("flush set the group");
+    let group = &ifg.group;
     // The body reruns from scratch on abort, so responses are rebuilt per
     // attempt and only the committed attempt's vector escapes.
     let responses = engine.run(shard_id, |txn| {
+        // The abort-storm fault probe: a forced voluntary abort, retried
+        // like any real conflict (attributed ExplicitRetry in telemetry).
+        if let Some(f) = &faults {
+            if f.force_abort() {
+                return Err(Aborted);
+            }
+        }
         let mut out = Vec::with_capacity(group.ops.len());
         for pw in &group.ops {
             let resp = match &pw.op {
@@ -522,12 +804,49 @@ fn run_group<E: TmEngine>(
         Ok(out)
     });
 
+    // Committed: record the ledger and the responses before anything can
+    // panic, so recovery still delivers the acks.
+    let mut delta = 0u64;
+    let mut puts = 0u64;
+    for pw in &group.ops {
+        match &pw.op {
+            WriteOp::Put { .. } => puts += 1,
+            WriteOp::Add { delta: d, .. } => delta += *d,
+            WriteOp::MultiAdd { keys, delta: d } => delta += *d * keys.len() as u64,
+        }
+    }
     stats.groups_committed.fetch_add(1, Ordering::Relaxed);
     stats
         .ops_committed
         .fetch_add(group.ops.len() as u64, Ordering::Relaxed);
-    for (pw, response) in group.ops.iter().zip(responses) {
+    stats.applied_delta.fetch_add(delta, Ordering::Relaxed);
+    stats.put_writes.fetch_add(puts, Ordering::Relaxed);
+    ifg.committed = Some(responses);
+
+    // Crash point: committed but unacknowledged — recovery must deliver
+    // the recorded acks or conservation breaks from the client's side.
+    if let Some(f) = &config.faults {
+        f.crash_point(CrashPoint::AfterGroupCommit);
+    }
+    deliver_current(admission, state);
+}
+
+/// Deliver the committed group's acks: release admission cost, record
+/// dedup outcomes, respond. Shared by the normal path and crash recovery.
+fn deliver_current(admission: &Admission, state: &mut ShardState) {
+    let Some(ifg) = state.current.take() else {
+        return;
+    };
+    let responses = ifg
+        .committed
+        .expect("deliver_current needs a committed group");
+    for (pw, response) in ifg.group.ops.into_iter().zip(responses) {
         admission.release(pw.op.keys().len() as u64);
-        registry.respond(pw.session, pw.id, response);
+        if let Some(token) = pw.token {
+            state
+                .registry
+                .dedup_complete(pw.session, token, response.clone());
+        }
+        state.registry.respond(pw.session, pw.id, response);
     }
 }

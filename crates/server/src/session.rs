@@ -16,13 +16,122 @@
 //! every shard *after* all previously accepted frames, so a shard that
 //! sees it has already answered everything ahead of it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 
 use crate::protocol::{Response, ResponseFrame};
 
 /// Stable identifier of one client connection.
 pub type SessionId = u64;
+
+/// Default per-session dedup-window capacity (tokens remembered).
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
+/// What the dedup window says about an incoming idempotency token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DedupVerdict {
+    /// Never seen: proceed, the window now tracks it as in flight.
+    New,
+    /// An earlier delivery of this token is still being processed — drop
+    /// this duplicate silently (the original will answer).
+    InFlight,
+    /// Already applied: replay the recorded answer, do not re-apply.
+    Done(Response),
+    /// The token fell below the eviction floor; its outcome is forgotten.
+    Expired,
+}
+
+/// Bounded per-session idempotency window: token → outcome, evicting
+/// oldest-first with a monotone floor.
+///
+/// Exactly-once depends on two properties working together: a token that
+/// was *applied* replays its recorded response instead of re-applying
+/// ([`DedupVerdict::Done`]), and a token evicted from the bounded cache is
+/// *refused* ([`DedupVerdict::Expired`]) rather than treated as new —
+/// forgetting must never silently turn into re-applying. Clients issue
+/// tokens monotonically per session, so the floor (highest evicted token)
+/// cleanly separates "too old to know" from "genuinely new".
+///
+/// Capacity 0 disables deduplication entirely — every token looks new.
+/// That configuration exists *only* so the chaos suite can prove it
+/// notices the resulting double-applies (the mutation check).
+#[derive(Debug)]
+pub struct DedupWindow {
+    capacity: usize,
+    entries: HashMap<u64, Option<Response>>,
+    /// Insertion order for eviction (tokens, oldest first).
+    order: VecDeque<u64>,
+    /// Highest evicted token; lower absent tokens are `Expired`, not new.
+    floor: u64,
+}
+
+impl DedupWindow {
+    /// Window remembering up to `capacity` tokens.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            floor: 0,
+        }
+    }
+
+    /// Classify `token` and (when new) start tracking it as in flight.
+    pub fn begin(&mut self, token: u64) -> DedupVerdict {
+        if self.capacity == 0 {
+            return DedupVerdict::New; // dedup disabled (mutation-check mode)
+        }
+        match self.entries.get(&token) {
+            Some(Some(resp)) => return DedupVerdict::Done(resp.clone()),
+            Some(None) => return DedupVerdict::InFlight,
+            None => {}
+        }
+        if token <= self.floor {
+            return DedupVerdict::Expired;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict oldest until there is room (abandoned tokens may have
+            // left the order queue stale; skip entries already gone).
+            while self.entries.len() >= self.capacity {
+                let Some(old) = self.order.pop_front() else {
+                    break;
+                };
+                if self.entries.remove(&old).is_some() {
+                    self.floor = self.floor.max(old);
+                }
+            }
+        }
+        self.entries.insert(token, None);
+        self.order.push_back(token);
+        DedupVerdict::New
+    }
+
+    /// Record the applied outcome of an in-flight token.
+    pub fn complete(&mut self, token: u64, response: Response) {
+        if let Some(slot) = self.entries.get_mut(&token) {
+            *slot = Some(response);
+        }
+    }
+
+    /// Forget an in-flight token whose write did **not** apply (`Busy`
+    /// shed, shard crash): a retry must be allowed to apply it.
+    pub fn abandon(&mut self, token: u64) {
+        if matches!(self.entries.get(&token), Some(None)) {
+            self.entries.remove(&token);
+            // Its slot in `order` goes stale and is skipped at eviction.
+        }
+    }
+
+    /// Tokens currently tracked (in flight + done).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Nothing tracked?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// One message on the server's ingress plane (transport → router → shard).
 #[derive(Debug)]
@@ -50,28 +159,67 @@ pub enum ServerMsg {
     Shutdown,
 }
 
+/// One live session's shard-local state.
+#[derive(Debug)]
+struct SessionState {
+    sink: Sender<Vec<u8>>,
+    dedup: DedupWindow,
+}
+
 /// A shard's view of its live sessions. Single-threaded (each shard owns
 /// one), so plain `HashMap` and no locking.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SessionRegistry {
-    sessions: HashMap<SessionId, Sender<Vec<u8>>>,
+    sessions: HashMap<SessionId, SessionState>,
+    dedup_window: usize,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_DEDUP_WINDOW)
+    }
 }
 
 impl SessionRegistry {
-    /// Empty registry.
-    pub fn new() -> Self {
-        Self::default()
+    /// Empty registry whose sessions each get a dedup window of
+    /// `dedup_window` tokens (0 disables dedup — test-only).
+    pub fn new(dedup_window: usize) -> Self {
+        Self {
+            sessions: HashMap::new(),
+            dedup_window,
+        }
     }
 
     /// Register a session's outbound sink.
     pub fn connect(&mut self, session: SessionId, sink: Sender<Vec<u8>>) {
-        self.sessions.insert(session, sink);
+        self.sessions.insert(
+            session,
+            SessionState {
+                sink,
+                dedup: DedupWindow::new(self.dedup_window),
+            },
+        );
     }
 
     /// Forget a session. Responses already queued on its sink are
-    /// unaffected; later sends are dropped.
+    /// unaffected; later sends are dropped. Its dedup window dies with it
+    /// (tokens are per-connection; a reconnect is a new session).
     pub fn disconnect(&mut self, session: SessionId) {
         self.sessions.remove(&session);
+    }
+
+    /// Is this session still registered?
+    ///
+    /// The ingress plane uses this to discard frames addressed to a
+    /// session that has already been closed (by a [`disconnect`] or an
+    /// unattributable malformed frame). Processing such a frame would
+    /// resurrect a dedup-less ghost of the session: a retried idempotent
+    /// write whose first delivery is still in the batcher would classify
+    /// as `New` and apply a second time.
+    ///
+    /// [`disconnect`]: SessionRegistry::disconnect
+    pub fn contains(&self, session: SessionId) -> bool {
+        self.sessions.contains_key(&session)
     }
 
     /// Live session count.
@@ -84,13 +232,38 @@ impl SessionRegistry {
         self.sessions.is_empty()
     }
 
+    /// Classify an idempotency token for a session (see
+    /// [`DedupWindow::begin`]). Unknown sessions get `New`: their writes
+    /// still flush (PR semantics: accepted writes apply even after a
+    /// disconnect), and with no live window there is nothing to replay to.
+    pub fn dedup_begin(&mut self, session: SessionId, token: u64) -> DedupVerdict {
+        match self.sessions.get_mut(&session) {
+            Some(state) => state.dedup.begin(token),
+            None => DedupVerdict::New,
+        }
+    }
+
+    /// Record an in-flight token's applied outcome.
+    pub fn dedup_complete(&mut self, session: SessionId, token: u64, response: Response) {
+        if let Some(state) = self.sessions.get_mut(&session) {
+            state.dedup.complete(token, response);
+        }
+    }
+
+    /// Forget an in-flight token whose write did not apply.
+    pub fn dedup_abandon(&mut self, session: SessionId, token: u64) {
+        if let Some(state) = self.sessions.get_mut(&session) {
+            state.dedup.abandon(token);
+        }
+    }
+
     /// Encode and send one response to a session. A send to a departed
     /// session (client hung up between request and response) is silently
     /// dropped — the disconnect path owns cleanup.
     pub fn respond(&mut self, session: SessionId, id: u64, response: Response) {
-        if let Some(sink) = self.sessions.get(&session) {
+        if let Some(state) = self.sessions.get(&session) {
             let frame = ResponseFrame { id, response }.encode();
-            if sink.send(frame).is_err() {
+            if state.sink.send(frame).is_err() {
                 // Receiver dropped without a Disconnect (abrupt client
                 // death); reclaim the slot now rather than on every send.
                 self.sessions.remove(&session);
@@ -106,7 +279,7 @@ mod tests {
 
     #[test]
     fn respond_routes_encoded_frames() {
-        let mut reg = SessionRegistry::new();
+        let mut reg = SessionRegistry::default();
         let (tx, rx) = channel();
         reg.connect(7, tx);
         assert_eq!(reg.len(), 1);
@@ -124,7 +297,7 @@ mod tests {
 
     #[test]
     fn dead_sink_is_reaped_on_send() {
-        let mut reg = SessionRegistry::new();
+        let mut reg = SessionRegistry::default();
         let (tx, rx) = channel();
         reg.connect(3, tx);
         drop(rx);
@@ -134,10 +307,82 @@ mod tests {
 
     #[test]
     fn disconnect_forgets_the_session() {
-        let mut reg = SessionRegistry::new();
+        let mut reg = SessionRegistry::default();
         let (tx, _rx) = channel();
         reg.connect(1, tx);
         reg.disconnect(1);
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn dedup_lifecycle_new_inflight_done() {
+        let mut w = DedupWindow::new(8);
+        assert_eq!(w.begin(1), DedupVerdict::New);
+        assert_eq!(w.begin(1), DedupVerdict::InFlight, "duplicate in flight");
+        w.complete(1, Response::Added(5));
+        assert_eq!(
+            w.begin(1),
+            DedupVerdict::Done(Response::Added(5)),
+            "applied token replays its answer"
+        );
+        // Abandon releases an in-flight token for a clean retry.
+        assert_eq!(w.begin(2), DedupVerdict::New);
+        w.abandon(2);
+        assert_eq!(w.begin(2), DedupVerdict::New, "abandoned token retries");
+        // Abandon must not erase a completed outcome.
+        w.abandon(1);
+        assert_eq!(w.begin(1), DedupVerdict::Done(Response::Added(5)));
+    }
+
+    #[test]
+    fn dedup_eviction_floor_expires_old_tokens() {
+        let mut w = DedupWindow::new(4);
+        for t in 1..=4u64 {
+            assert_eq!(w.begin(t), DedupVerdict::New);
+            w.complete(t, Response::Added(t));
+        }
+        // Token 5 evicts token 1; the floor rises to 1.
+        assert_eq!(w.begin(5), DedupVerdict::New);
+        assert_eq!(w.len(), 4);
+        assert_eq!(
+            w.begin(1),
+            DedupVerdict::Expired,
+            "evicted tokens must be refused, not re-applied"
+        );
+        // Still-resident tokens replay.
+        assert_eq!(w.begin(3), DedupVerdict::Done(Response::Added(3)));
+    }
+
+    #[test]
+    fn dedup_capacity_zero_forgets_everything() {
+        let mut w = DedupWindow::new(0);
+        assert_eq!(w.begin(1), DedupVerdict::New);
+        w.complete(1, Response::Added(1));
+        assert_eq!(
+            w.begin(1),
+            DedupVerdict::New,
+            "disabled window is the deliberately broken mutation-check mode"
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn registry_dedup_routes_per_session() {
+        let mut reg = SessionRegistry::new(8);
+        let (tx_a, _rx_a) = channel();
+        let (tx_b, _rx_b) = channel();
+        reg.connect(1, tx_a);
+        reg.connect(2, tx_b);
+        assert_eq!(reg.dedup_begin(1, 7), DedupVerdict::New);
+        assert_eq!(
+            reg.dedup_begin(2, 7),
+            DedupVerdict::New,
+            "tokens are per-session"
+        );
+        reg.dedup_complete(1, 7, Response::Written);
+        assert_eq!(reg.dedup_begin(1, 7), DedupVerdict::Done(Response::Written));
+        assert_eq!(reg.dedup_begin(2, 7), DedupVerdict::InFlight);
+        // Unknown session: New (nothing to replay to).
+        assert_eq!(reg.dedup_begin(99, 1), DedupVerdict::New);
     }
 }

@@ -16,7 +16,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -104,6 +104,16 @@ impl ChannelConn {
         assert_eq!(resp.id, id, "session responses must arrive in order");
         Some(resp)
     }
+
+    /// Tell the server this session hung up, without dropping the
+    /// connection object. Fault injection uses this to model an abrupt
+    /// peer disconnect mid-conversation; any responses already queued can
+    /// still be drained from the local receiver.
+    pub fn disconnect(&self) {
+        let _ = self.ingress.send(ServerMsg::Disconnect {
+            session: self.session,
+        });
+    }
 }
 
 impl Drop for ChannelConn {
@@ -119,6 +129,7 @@ pub struct TcpTransport {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 /// Serve `handle` over TCP on `bind` (e.g. `"127.0.0.1:0"`). Returns the
@@ -130,17 +141,20 @@ pub fn serve_tcp(handle: &ServerHandle, bind: impl ToSocketAddrs) -> std::io::Re
     let stop = Arc::new(AtomicBool::new(false));
     let ingress = handle.ingress();
     let sessions = handle.session_counter();
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let stop2 = Arc::clone(&stop);
+    let conns2 = Arc::clone(&conns);
     let accept_thread = std::thread::Builder::new()
         .name("tm-server-tcp-accept".into())
-        .spawn(move || accept_loop(listener, ingress, sessions, stop2))
+        .spawn(move || accept_loop(listener, ingress, sessions, stop2, conns2))
         .expect("spawn accept thread");
 
     Ok(TcpTransport {
         local_addr,
         stop,
         accept_thread: Some(accept_thread),
+        conns,
     })
 }
 
@@ -154,6 +168,34 @@ impl TcpTransport {
     /// their clients hang up.
     pub fn stop(mut self) {
         self.stop_inner();
+    }
+
+    /// Wait up to `timeout` for every per-connection reader/writer thread
+    /// spawned so far to exit. Returns `true` if they all joined in time.
+    ///
+    /// Threads only exit once their exit condition holds (peer hung up,
+    /// or the server shut down and the writer closed the socket) — this
+    /// does not force them out, it verifies teardown actually completes.
+    pub fn join_connections(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let handle = {
+                let mut conns = self.conns.lock().expect("conns lock");
+                conns.pop()
+            };
+            let Some(handle) = handle else { return true };
+            // `JoinHandle` has no timed join: poll `is_finished` so one
+            // stuck thread can't hang the caller forever.
+            while !handle.is_finished() {
+                if Instant::now() >= deadline {
+                    // Put it back so a later call can retry.
+                    self.conns.lock().expect("conns lock").push(handle);
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = handle.join();
+        }
     }
 
     fn stop_inner(&mut self) {
@@ -175,12 +217,13 @@ fn accept_loop(
     ingress: Sender<ServerMsg>,
     sessions: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let session = sessions.fetch_add(1, Ordering::Relaxed);
-                if spawn_connection(stream, session, &ingress).is_err() {
+                if spawn_connection(stream, session, &ingress, &conns).is_err() {
                     // Setup failed (clone/spawn); drop the connection.
                 }
             }
@@ -199,6 +242,7 @@ fn spawn_connection(
     stream: TcpStream,
     session: SessionId,
     ingress: &Sender<ServerMsg>,
+    conns: &Mutex<Vec<JoinHandle<()>>>,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let write_half = stream.try_clone()?;
@@ -207,14 +251,18 @@ fn spawn_connection(
         return Ok(()); // server already gone
     }
 
-    std::thread::Builder::new()
+    let writer = std::thread::Builder::new()
         .name(format!("tm-server-tcp-w-{session}"))
         .spawn(move || writer_loop(write_half, sink_rx))?;
 
     let ingress = ingress.clone();
-    std::thread::Builder::new()
+    let reader = std::thread::Builder::new()
         .name(format!("tm-server-tcp-r-{session}"))
         .spawn(move || reader_loop(stream, session, ingress))?;
+
+    let mut conns = conns.lock().expect("conns lock");
+    conns.push(writer);
+    conns.push(reader);
     Ok(())
 }
 
@@ -224,8 +272,10 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
             return;
         }
     }
-    // Session dropped server-side: signal EOF to the client.
-    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Session dropped server-side: signal EOF to the client, and shut the
+    // read half too so our own reader thread unblocks and exits instead
+    // of waiting for the peer to hang up.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn reader_loop(mut stream: TcpStream, session: SessionId, ingress: Sender<ServerMsg>) {

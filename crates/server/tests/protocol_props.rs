@@ -6,16 +6,28 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use tm_server::protocol::{ErrorCode, FrameBuf, Request, RequestFrame, Response, ResponseFrame};
 
+/// Plain write requests — the only ops allowed inside an idempotency
+/// envelope.
+fn write_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(key, value)| Request::Put { key, value }),
+        (any::<u64>(), any::<u64>()).prop_map(|(key, delta)| Request::Add { key, delta }),
+        (vec(any::<u64>(), 0..24), any::<u64>())
+            .prop_map(|(keys, delta)| Request::MultiAdd { keys, delta }),
+    ]
+}
+
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Ping),
         any::<u64>().prop_map(|key| Request::Get { key }),
-        (any::<u64>(), any::<u64>()).prop_map(|(key, value)| Request::Put { key, value }),
-        (any::<u64>(), any::<u64>()).prop_map(|(key, delta)| Request::Add { key, delta }),
+        write_strategy(),
         vec(any::<u64>(), 0..24).prop_map(|keys| Request::MultiGet { keys }),
-        (vec(any::<u64>(), 0..24), any::<u64>())
-            .prop_map(|(keys, delta)| Request::MultiAdd { keys, delta }),
         Just(Request::Close),
+        (any::<u64>(), write_strategy()).prop_map(|(token, op)| Request::Idempotent {
+            token,
+            op: Box::new(op)
+        }),
     ]
 }
 
@@ -32,6 +44,8 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         Just(Response::Error(ErrorCode::Malformed)),
         Just(Response::Error(ErrorCode::Unsupported)),
         Just(Response::Error(ErrorCode::ShuttingDown)),
+        Just(Response::Error(ErrorCode::Expired)),
+        Just(Response::Error(ErrorCode::ShardRestarted)),
     ]
 }
 

@@ -134,15 +134,32 @@ fn malformed_frames_get_typed_errors() {
     assert_eq!(resp.id, 77);
     assert_eq!(resp.response, Response::Error(ErrorCode::Malformed));
 
-    // Total garbage: answered with id 0.
-    conn.send_raw(vec![9, 0, 0, 0, 42, 1, 2, 3, 4, 5, 6, 7, 8]);
-    let resp = conn.recv_timeout(TIMEOUT).unwrap();
-    assert_eq!(resp.id, 0);
-    assert_eq!(resp.response, Response::Error(ErrorCode::Malformed));
-
-    // The session survives malformed frames.
+    // The session survives a malformed frame whose envelope was readable.
     assert_eq!(
         conn.request(Request::Ping, TIMEOUT).unwrap().response,
+        Response::Pong
+    );
+
+    // Total garbage (no recoverable correlation id): the server must NOT
+    // invent an id — a fabricated `id 0` answer would desynchronize the
+    // client's pipeline. Instead the session is closed.
+    conn.send_raw(vec![9, 0, 0, 0, 42, 1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(
+        conn.recv_timeout(Duration::from_millis(300)),
+        None,
+        "an unattributable frame must never be answered"
+    );
+    // The session is gone: later valid requests go unanswered too.
+    conn.send(Request::Ping);
+    assert_eq!(conn.recv_timeout(Duration::from_millis(300)), None);
+    let stats = server.stats();
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.malformed, 2);
+
+    // Other sessions are unaffected.
+    let mut conn2 = server.connect();
+    assert_eq!(
+        conn2.request(Request::Ping, TIMEOUT).unwrap().response,
         Response::Pong
     );
     server.shutdown();
@@ -239,6 +256,7 @@ fn acceptance_fleet_4k_sessions_conserves() {
         key_universe: universe,
         pipeline_window: 2,
         seed: 0x4096,
+        busy_retry: None,
     };
     let report = run_loadgen(&server, &fleet);
 
@@ -283,6 +301,7 @@ fn bursty_fleet_conserves() {
         key_universe: universe,
         pipeline_window: 8,
         seed: 0xb0b,
+        busy_retry: None,
     };
     let report = run_loadgen(&server, &fleet);
     assert_eq!(report.unanswered, 0);
