@@ -185,6 +185,7 @@ pub fn run_chaos_case(case: &ChaosCase) -> ChaosOutcome {
     cfg.faults = Some(Arc::clone(&faults));
     cfg.audit_increments = true;
     let server = start(Arc::clone(&engine), cfg);
+    let admission = server.admission_handle();
 
     // The client fleet: each worker owns a faulty connection and a retry
     // client, issues increment-only writes, and reports its ledgers.
@@ -302,6 +303,17 @@ pub fn run_chaos_case(case: &ChaosCase) -> ChaosOutcome {
             "phantom applies: heap_sum {} > acked {} + unknown bound {} \
              (a retried write applied more than once)",
             heap_sum, retry.acked_delta, retry.unknown_max_delta
+        ));
+    }
+    // Every admitted write must release its cost exactly once — delivered,
+    // vanished, or poisoned. Residual inflight after the drain means some
+    // group was dropped without recovery seeing it: a permanent budget
+    // leak that would eventually answer everything `Busy`.
+    let inflight = admission.inflight();
+    if inflight != 0 {
+        violations.push(format!(
+            "admission budget leaked: {inflight} words still inflight after \
+             the drain (a lost group never released its cost)"
         ));
     }
     if server_stats.audit_failures != 0 {

@@ -245,7 +245,7 @@ impl RetryClient {
                         break 'wait;
                     }
                     Response::Error(ErrorCode::Expired) => {
-                        self.settle(&attempt_ids);
+                        self.settle(&attempt_ids, frame.id);
                         return CallOutcome::Expired;
                     }
                     resp @ (Response::Added(_)
@@ -257,7 +257,7 @@ impl RetryClient {
                             Response::MultiAdded { applied } => u64::from(applied),
                             _ => 0,
                         };
-                        self.settle(&attempt_ids);
+                        self.settle(&attempt_ids, frame.id);
                         return CallOutcome::Acked(resp);
                     }
                     other => {
@@ -328,7 +328,7 @@ impl RetryClient {
                         break;
                     }
                     resp => {
-                        self.settle(&attempt_ids);
+                        self.settle(&attempt_ids, frame.id);
                         return Some(resp);
                     }
                 }
@@ -343,10 +343,12 @@ impl RetryClient {
 
     /// Move a settled call's unanswered attempt ids into the open set (the
     /// server may still answer them late — those answers are duplicates by
-    /// construction and must not be re-counted).
-    fn settle(&mut self, attempt_ids: &[u64]) {
-        // Every id except the one that settled may still get an answer.
-        self.open_ids.extend_from_slice(attempt_ids);
+    /// construction and must not be re-counted). The id that settled is
+    /// excluded: it was just answered, so keeping it would grow `open_ids`
+    /// forever and miscount a late duplicate answer to it as benign.
+    fn settle(&mut self, attempt_ids: &[u64], settled: u64) {
+        self.open_ids
+            .extend(attempt_ids.iter().copied().filter(|&i| i != settled));
     }
 
     /// Drain any late responses still in flight (call after the last

@@ -29,6 +29,7 @@
 //! them first, so pipelined responses stay FIFO per session and every read
 //! observes the session's own earlier writes.
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -287,6 +288,13 @@ impl ServerHandle {
         &self.admission
     }
 
+    /// A clone of the shared admission gauge. It outlives the handle, so
+    /// post-shutdown audits (the chaos runner) can verify every admitted
+    /// write — delivered, vanished, or poisoned — released its cost.
+    pub fn admission_handle(&self) -> Arc<Admission> {
+        Arc::clone(&self.admission)
+    }
+
     /// Drain pending batches, answer everything accepted so far, stop all
     /// threads, and wait for them. Frames still in transport buffers after
     /// this returns are dropped. Returns the final counters (the drain can
@@ -367,6 +375,12 @@ struct ShardState {
     batcher: Batcher,
     /// Write mid-handoff into the batcher (see [`ProcessingWrite`]).
     processing: Option<ProcessingWrite>,
+    /// Groups drained out of the batcher but not yet run. They live here —
+    /// not in a flush-local temporary — so a panic partway through a
+    /// multi-group flush leaves the remainder reachable for recovery to
+    /// vanish (release cost, abandon tokens, poison sessions) instead of
+    /// silently leaking it.
+    pending_groups: VecDeque<Group>,
     /// Group mid-commit (see [`InFlightGroup`]).
     current: Option<InFlightGroup>,
 }
@@ -389,6 +403,7 @@ fn shard_thread<E: TmEngine>(
         registry: SessionRegistry::new(config.dedup_window),
         batcher: Batcher::with_faults(config.batch, config.faults.clone()),
         processing: None,
+        pending_groups: VecDeque::new(),
         current: None,
     };
     loop {
@@ -477,9 +492,12 @@ fn shard_loop<E: TmEngine>(
 ///    admission cost is released, its dedup token abandoned (a retry must
 ///    be allowed to apply), and its session poisoned with
 ///    [`ErrorCode::ShardRestarted`].
-/// 3. A write stranded between admission and the batcher is poisoned the
-///    same way.
-/// 4. Everything still pending in the batcher vanishes like (2).
+/// 3. Groups drained for a flush but not yet run, then everything still
+///    pending in the batcher, vanish like (2) — in that order, which is
+///    pipeline order (drained groups are older than batched ones).
+/// 4. A write stranded between admission and the batcher — the newest
+///    accepted write, so poisoned last to keep per-session responses
+///    FIFO — is poisoned the same way.
 /// 5. With `audit_increments` on a single-shard server (the one case with
 ///    no concurrent writers), cross-check `heap_sum` against the applied
 ///    ledger and count any divergence in `audit_failures`.
@@ -500,6 +518,12 @@ fn recover_shard<E: TmEngine>(
             vanish_group(ifg.group, stats, admission, &mut state.registry);
         }
     }
+    for group in state.pending_groups.drain(..) {
+        vanish_group(group, stats, admission, &mut state.registry);
+    }
+    for group in state.batcher.drain() {
+        vanish_group(group, stats, admission, &mut state.registry);
+    }
     if let Some(p) = state.processing.take() {
         admission.release(p.cost);
         if let Some(token) = p.token {
@@ -509,9 +533,6 @@ fn recover_shard<E: TmEngine>(
         state
             .registry
             .respond(p.session, p.id, Response::Error(ErrorCode::ShardRestarted));
-    }
-    for group in state.batcher.drain() {
-        vanish_group(group, stats, admission, &mut state.registry);
     }
 
     if config.audit_increments
@@ -724,7 +745,10 @@ fn handle_frame<E: TmEngine>(
 }
 
 /// Execute every pending group, one engine transaction per group, then
-/// answer and release admission cost.
+/// answer and release admission cost. Drained groups park in
+/// `state.pending_groups` and move into `state.current` one at a time, so
+/// a panic anywhere in here leaves every undelivered group reachable for
+/// [`recover_shard`] — nothing is stranded in a stack-local.
 fn flush<E: TmEngine>(
     shard_id: u32,
     engine: &Arc<E>,
@@ -733,7 +757,8 @@ fn flush<E: TmEngine>(
     admission: &Admission,
     state: &mut ShardState,
 ) {
-    for group in state.batcher.drain() {
+    state.pending_groups.extend(state.batcher.drain());
+    while let Some(group) = state.pending_groups.pop_front() {
         state.current = Some(InFlightGroup {
             group,
             committed: None,

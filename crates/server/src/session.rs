@@ -90,8 +90,9 @@ impl DedupWindow {
             return DedupVerdict::Expired;
         }
         if self.entries.len() >= self.capacity {
-            // Evict oldest until there is room (abandoned tokens may have
-            // left the order queue stale; skip entries already gone).
+            // Evict oldest until there is room. `order` and `entries` hold
+            // exactly the same tokens (`abandon` removes from both), so
+            // every pop frees one slot.
             while self.entries.len() >= self.capacity {
                 let Some(old) = self.order.pop_front() else {
                     break;
@@ -118,7 +119,13 @@ impl DedupWindow {
     pub fn abandon(&mut self, token: u64) {
         if matches!(self.entries.get(&token), Some(None)) {
             self.entries.remove(&token);
-            // Its slot in `order` goes stale and is skipped at eviction.
+            // Drop its order slot too. A stale slot would let a retry of
+            // this token occupy a second one; eviction would then pop the
+            // stale slot, delete the *live* entry, and raise the floor to
+            // a recent token — prematurely expiring replayable answers.
+            if let Some(pos) = self.order.iter().position(|&t| t == token) {
+                self.order.remove(pos);
+            }
         }
     }
 
@@ -351,6 +358,25 @@ mod tests {
         );
         // Still-resident tokens replay.
         assert_eq!(w.begin(3), DedupVerdict::Done(Response::Added(3)));
+    }
+
+    #[test]
+    fn abandoned_token_leaves_no_stale_order_slot() {
+        let mut w = DedupWindow::new(2);
+        assert_eq!(w.begin(1), DedupVerdict::New);
+        w.abandon(1); // e.g. a Busy shed
+        assert_eq!(w.begin(2), DedupVerdict::New);
+        assert_eq!(w.begin(1), DedupVerdict::New, "abandoned token retries");
+        w.complete(1, Response::Added(7));
+        // Evicting for token 3 must pop token 2 (the true oldest), not the
+        // stale slot token 1's abandon would have left at the front.
+        assert_eq!(w.begin(3), DedupVerdict::New);
+        assert_eq!(
+            w.begin(1),
+            DedupVerdict::Done(Response::Added(7)),
+            "the re-inserted live entry must survive eviction and replay"
+        );
+        assert_eq!(w.begin(2), DedupVerdict::Expired, "token 2 was evicted");
     }
 
     #[test]
