@@ -18,7 +18,9 @@ import sys
 
 
 def key(run):
-    return (run["engine"], run["scenario"], run["threads"])
+    # `shards` joined the report in schema v5; default to 1 so the script
+    # still merges any pre-v5 reports kept around locally.
+    return (run["engine"], run["scenario"], run["threads"], run.get("shards", 1))
 
 
 def main(out_path, paths):

@@ -98,8 +98,22 @@ impl AdaptiveController {
         &mut self,
         stm: &Stm<ResizableTable<T>, P>,
     ) -> ControlReport {
+        self.tick_with(stm.table(), stm.stats(), stm.probe())
+    }
+
+    /// Close one control epoch against an explicit table and counter
+    /// snapshot — the engine-agnostic core [`tick`](Self::tick) delegates
+    /// to. Sharded engines (`tm-shard`) tick one controller per shard,
+    /// feeding each that shard's `ResizableTable` and
+    /// `StmStatsSnapshot`, so every shard's geometry tracks its own
+    /// workload slice independently.
+    pub fn tick_with<T: ConcurrentTable, P: Probe>(
+        &mut self,
+        table: &ResizableTable<T>,
+        snap: StmStatsSnapshot,
+        probe: &P,
+    ) -> ControlReport {
         self.epochs += 1;
-        let snap = stm.stats();
         let window = snap.since(&self.last);
 
         // Keep accumulating below the evidence threshold: advancing the
@@ -118,7 +132,7 @@ impl AdaptiveController {
             alpha: window.mean_alpha(),
             commits: window.commits,
         };
-        let current = stm.table().live_entries();
+        let current = table.live_entries();
         let predicted_conflict = lockstep::conflict_likelihood(
             observation.concurrency.max(2),
             observation.write_footprint.round().max(1.0) as u32,
@@ -132,11 +146,10 @@ impl AdaptiveController {
                 observation,
                 predicted_conflict,
             },
-            Decision::Resize(entries) => match stm.table().resize_to(entries) {
+            Decision::Resize(entries) => match table.resize_to(entries) {
                 Ok(report) => {
                     if P::ENABLED {
-                        stm.probe()
-                            .on_resize(report.from_entries as u64, report.to_entries as u64);
+                        probe.on_resize(report.from_entries as u64, report.to_entries as u64);
                     }
                     ControlReport::Resized {
                         observation,

@@ -7,8 +7,7 @@
 //! must size its table to the workload it is actually running. This crate
 //! turns that diagnosis into a cure:
 //!
-//! * [`ResizableTable`] wraps any
-//!   [`ConcurrentTable`](tm_ownership::concurrent::ConcurrentTable) in an
+//! * [`ResizableTable`] wraps any [`ConcurrentTable`] in an
 //!   active/standby
 //!   pair behind sharded [`epoch`] guards: a resize builds a standby table
 //!   of the new geometry, waits out in-flight operations, replays every
@@ -64,7 +63,9 @@ pub use epoch::{EpochGate, EpochGuard};
 pub use policy::{Decision, Observation, ResizePolicy};
 pub use resizable::{ResizableTable, ResizeError, ResizeReport, ResizeStats};
 
+use tm_ownership::concurrent::ConcurrentTable;
 use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, TableConfig};
+use tm_shard::{ShardedStm, ShardedStmBuilder};
 use tm_stm::{Probe, Stm, StmBuilder};
 
 /// Terminal methods extending [`StmBuilder`] with the adaptive engines, so
@@ -114,6 +115,26 @@ pub trait AdaptiveStmBuilder {
         Stm<ResizableTable<ConcurrentTaggedTable>, Self::Probe>,
         AdaptiveController,
     );
+
+    /// A **sharded** eager STM (`tm-shard`) whose per-shard tables are
+    /// each adaptively sized by their own controller — shard `i`'s
+    /// geometry tracks shard `i`'s workload slice, so a skewed workload
+    /// grows only the hot shard's table. Tick the controllers together
+    /// via [`tick_shards`].
+    ///
+    /// The builder's `table_entries` is the total initial budget (split
+    /// per shard as in
+    /// [`shard_table_config`](StmBuilder::shard_table_config));
+    /// `concurrency` is the expected worker-thread count, passed to every
+    /// controller (any thread can transact in any shard).
+    fn build_sharded_adaptive(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        ShardedStm<ResizableTable<ConcurrentTaglessTable>, Self::Probe>,
+        Vec<AdaptiveController>,
+    );
 }
 
 impl<P: Probe + Clone> AdaptiveStmBuilder for StmBuilder<P> {
@@ -148,6 +169,49 @@ impl<P: Probe + Clone> AdaptiveStmBuilder for StmBuilder<P> {
             AdaptiveController::new(policy, concurrency),
         )
     }
+
+    fn build_sharded_adaptive(
+        &self,
+        policy: ResizePolicy,
+        concurrency: u32,
+    ) -> (
+        ShardedStm<ResizableTable<ConcurrentTaglessTable>, P>,
+        Vec<AdaptiveController>,
+    ) {
+        let shards = self.configured_shards();
+        let tables = (0..shards)
+            .map(|_| {
+                ResizableTable::with_factory(self.shard_table_config(), ConcurrentTaglessTable::new)
+            })
+            .collect();
+        let controllers = (0..shards)
+            .map(|_| AdaptiveController::new(policy, concurrency))
+            .collect();
+        (self.build_sharded_with_tables(tables), controllers)
+    }
+}
+
+/// Close one control epoch on **every shard** of a sharded adaptive
+/// engine: controller `i` observes shard `i`'s statistics window and
+/// resizes shard `i`'s table if its slice of the workload demands it.
+/// Returns the per-shard reports, by shard index.
+///
+/// `controllers.len()` must equal `stm.shard_count()` (as produced by
+/// [`AdaptiveStmBuilder::build_sharded_adaptive`]).
+pub fn tick_shards<T: ConcurrentTable, P: Probe>(
+    stm: &ShardedStm<ResizableTable<T>, P>,
+    controllers: &mut [AdaptiveController],
+) -> Vec<ControlReport> {
+    assert_eq!(
+        controllers.len(),
+        stm.shard_count(),
+        "one controller per shard required"
+    );
+    controllers
+        .iter_mut()
+        .enumerate()
+        .map(|(i, c)| c.tick_with(stm.shard_table(i), stm.shard_stats(i), stm.probe()))
+        .collect()
 }
 
 /// Shorthand for [`StmBuilder`]`::new().heap_words(..).table_entries(..)
@@ -206,5 +270,52 @@ mod tests {
 
         let t = resizable_tagless(TableConfig::new(64));
         assert_eq!(ConcurrentTable::num_entries(&t), 64);
+    }
+
+    #[test]
+    fn sharded_adaptive_ticks_each_shard_independently() {
+        use tm_stm::{TmEngine, TxnOps};
+
+        let (stm, mut controllers) = StmBuilder::new()
+            .heap_words(1 << 16)
+            .table_entries(1 << 10)
+            .shards(4)
+            .build_sharded_adaptive(ResizePolicy::default(), 8);
+        assert_eq!(stm.shard_count(), 4);
+        assert_eq!(controllers.len(), 4);
+        // Total budget split per shard: 1024 / 4 = 256 entries each.
+        for i in 0..4 {
+            assert_eq!(stm.shard_table(i).live_entries(), 256);
+        }
+
+        // Footprint-heavy traffic confined to shard 0's block span.
+        let span = stm.shard_map().block_range(0);
+        let blocks = span.end - span.start;
+        for t in 0..200u64 {
+            stm.run(0, |txn| {
+                for w in 0..24 {
+                    txn.write(((t * 24 + w) % blocks) * 64, w)?;
+                }
+                Ok(())
+            });
+        }
+
+        let reports = tick_shards(&stm, &mut controllers);
+        assert_eq!(reports.len(), 4);
+        // The hot shard grew; the idle shards had nothing to act on.
+        match &reports[0] {
+            ControlReport::Resized { report, .. } => {
+                assert!(report.to_entries > 256, "grew to {}", report.to_entries);
+                assert_eq!(stm.shard_table(0).live_entries(), report.to_entries);
+            }
+            other => panic!("expected hot shard to resize, got {other:?}"),
+        }
+        for (i, r) in reports.iter().enumerate().skip(1) {
+            assert!(
+                matches!(r, ControlReport::InsufficientEvidence { .. }),
+                "idle shard {i} should lack evidence, got {r:?}"
+            );
+            assert_eq!(stm.shard_table(i).live_entries(), 256);
+        }
     }
 }

@@ -478,6 +478,7 @@ impl<P: Probe> TmEngine for LazyStm<P> {
 pub struct StmBuilder<P: Probe = NoopProbe> {
     heap_words: usize,
     table_entries: usize,
+    shards: usize,
     block_bytes: Option<usize>,
     hash: Option<HashKind>,
     classify_conflicts: Option<bool>,
@@ -501,6 +502,7 @@ impl StmBuilder {
         Self {
             heap_words: 1 << 16,
             table_entries: 4096,
+            shards: 1,
             block_bytes: None,
             hash: None,
             classify_conflicts: None,
@@ -520,8 +522,24 @@ impl<P: Probe> StmBuilder<P> {
     }
 
     /// First-level ownership-table entries (the paper's `N`).
+    ///
+    /// For sharded engines this is the **total** entry budget: a sharded
+    /// terminal divides it evenly, giving each shard
+    /// `ceil(entries / shards)` entries, so sharded and single-table
+    /// engines built from one builder compare at equal table memory.
     pub fn table_entries(mut self, entries: usize) -> Self {
         self.table_entries = entries;
+        self
+    }
+
+    /// Number of shards a sharded terminal partitions the engine into
+    /// (default 1). The single-table terminals (`build_tagless`,
+    /// `build_tagged`, `build_lazy`) ignore this axis; `tm-shard`'s
+    /// `ShardedStmBuilder` terminals consume it via
+    /// [`configured_shards`](StmBuilder::configured_shards).
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -574,6 +592,7 @@ impl<P: Probe> StmBuilder<P> {
         StmBuilder {
             heap_words: self.heap_words,
             table_entries: self.table_entries,
+            shards: self.shards,
             block_bytes: self.block_bytes,
             hash: self.hash,
             classify_conflicts: self.classify_conflicts,
@@ -613,9 +632,46 @@ impl<P: Probe> StmBuilder<P> {
     pub fn configured_heap_words(&self) -> usize {
         self.heap_words
     }
+
+    /// The configured shard count (see [`shards`](StmBuilder::shards); 1
+    /// unless set). Consumed by `tm-shard`'s sharded terminals.
+    pub fn configured_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard table geometry at the configured shard count: the
+    /// total entry budget divided evenly (ceiling, then rounded up to the
+    /// tables' power-of-two requirement), all other geometry knobs
+    /// unchanged. At one shard this is exactly
+    /// [`table_config`](StmBuilder::table_config); at power-of-two shard
+    /// counts over power-of-two budgets the split is exact.
+    pub fn shard_table_config(&self) -> TableConfig {
+        let per_shard = self
+            .table_entries
+            .div_ceil(self.shards)
+            .max(1)
+            .next_power_of_two();
+        let mut cfg = TableConfig::new(per_shard);
+        if let Some(bytes) = self.block_bytes {
+            cfg = cfg.with_block_bytes(bytes);
+        }
+        if let Some(hash) = self.hash {
+            cfg = cfg.with_hash(hash);
+        }
+        if let Some(on) = self.classify_conflicts {
+            cfg = cfg.with_conflict_classification(on);
+        }
+        cfg
+    }
 }
 
 impl<P: Probe + Clone> StmBuilder<P> {
+    /// A clone of the configured probe (for extension builders that
+    /// construct their own engine, e.g. `tm-shard`'s sharded terminals).
+    pub fn configured_probe(&self) -> P {
+        self.probe.clone()
+    }
+
     /// An eager STM over a **tagless** table (paper Figure 1).
     pub fn build_tagless(&self) -> Stm<ConcurrentTaglessTable, P> {
         self.build_with_table(ConcurrentTaglessTable::new(self.table_config()))

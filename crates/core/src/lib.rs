@@ -98,7 +98,7 @@ pub use contention::{Backoff, ContentionPolicy, RetryPolicy};
 pub use engine::{ReadOps, StmBuilder, TmEngine, TxnOps};
 pub use heap::{Heap, WORD_BYTES};
 pub use lazy::{LazyReadTxn, LazyStm, LazyTxn};
-pub use readpath::ReadPathPolicy;
+pub use readpath::{PublishGate, ReadPathPolicy};
 pub use region::Region;
 pub use scratch::{SmallKey, SmallMap, TxnScratch};
 pub use stats::{EngineStats, StmStats, StmStatsSnapshot};
@@ -113,5 +113,6 @@ pub use tm_ownership::{ConcurrentTaggedTable, ConcurrentTaglessTable, HashKind, 
 // default `NoopProbe` compiles the instrumentation away, and `Recorder`
 // is the batteries-included histogram/abort-cause/flight-recorder probe.
 pub use tm_telemetry::{
-    AbortCause, EventKind, Histogram, NoopProbe, Probe, Recorder, TelemetrySnapshot, TxnEvent,
+    AbortCause, EventKind, Histogram, NoopProbe, Probe, Recorder, ShardStats, TelemetrySnapshot,
+    TxnEvent,
 };

@@ -85,8 +85,17 @@ struct GateShard {
 }
 
 /// The sharded seqlock described in the module docs.
+///
+/// Public because engine crates outside `tm-stm` (the sharded engine in
+/// `tm-shard`) implement the same publication protocol: writers bracket
+/// their buffered heap stores with [`publish_begin`](PublishGate::publish_begin)/
+/// [`publish_end`](PublishGate::publish_end), and the table-free read path
+/// validates with [`reader_epoch`](PublishGate::reader_epoch)/
+/// [`still_at`](PublishGate::still_at). One gate instance covers one heap:
+/// a multi-shard commit publishing under a single bracket is atomic to
+/// every reader of that heap.
 #[derive(Debug)]
-pub(crate) struct PublishGate {
+pub struct PublishGate {
     shards: Box<[Padded<GateShard>]>,
 }
 
@@ -109,14 +118,14 @@ impl PublishGate {
     /// the heap stores in between. Wait-free: one uncontended-by-readers
     /// RMW plus a fence.
     #[inline]
-    pub(crate) fn publish_begin(&self, me: u32) {
+    pub fn publish_begin(&self, me: u32) {
         self.shard(me).ingress.fetch_add(1, Ordering::Relaxed);
         fence(Ordering::Release);
     }
 
     /// Writer epilogue: the publication is complete.
     #[inline]
-    pub(crate) fn publish_end(&self, me: u32) {
+    pub fn publish_end(&self, me: u32) {
         self.shard(me).egress.fetch_add(1, Ordering::Release);
     }
 
@@ -124,7 +133,7 @@ impl PublishGate {
     /// when one is (caller spins or aborts). Egress is summed first — see
     /// the module docs for why that order is load-bearing.
     #[inline]
-    pub(crate) fn reader_epoch(&self) -> Option<u64> {
+    pub fn reader_epoch(&self) -> Option<u64> {
         let mut egress = 0u64;
         for shard in self.shards.iter() {
             egress += shard.0.egress.load(Ordering::Acquire);
@@ -140,7 +149,7 @@ impl PublishGate {
     /// epoch was taken, i.e. every load so far came from one quiescent
     /// snapshot.
     #[inline]
-    pub(crate) fn still_at(&self, epoch: u64) -> bool {
+    pub fn still_at(&self, epoch: u64) -> bool {
         fence(Ordering::Acquire);
         let mut ingress = 0u64;
         for shard in self.shards.iter() {

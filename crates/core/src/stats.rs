@@ -300,18 +300,20 @@ impl StmStats {
         self.stripes.stripe(me)
     }
 
-    pub(crate) fn on_commit(&self, me: u32) {
+    /// Count one committed transaction for thread `me`.
+    pub fn on_commit(&self, me: u32) {
         self.stripe(me).commits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_abort(&self, me: u32) {
+    /// Count one aborted attempt for thread `me`.
+    pub fn on_abort(&self, me: u32) {
         self.stripe(me).aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fold a whole attempt's stall-retry count in at once. The per-spin
     /// counter lives in the attempt's scratch and is flushed here exactly
     /// once per attempt, so the spin loop itself touches no shared line.
-    pub(crate) fn add_stall_retries(&self, me: u32, n: u64) {
+    pub fn add_stall_retries(&self, me: u32, n: u64) {
         if n > 0 {
             self.stripe(me)
                 .stall_retries
@@ -334,19 +336,23 @@ impl StmStats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_read_commit(&self, me: u32) {
+    /// Count one read-only commit (snapshot read path) for thread `me`.
+    pub fn on_read_commit(&self, me: u32) {
         self.stripe(me)
             .read_only_commits
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_read_validation_retry(&self, me: u32) {
+    /// Count one failed read-path validation (and retry) for thread `me`.
+    pub fn on_read_validation_retry(&self, me: u32) {
         self.stripe(me)
             .read_validation_retries
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_commit_footprint(&self, me: u32, write_blocks: u64, grant_blocks: u64) {
+    /// Fold one committed transaction's footprint in: distinct written
+    /// blocks (the model's `W`) and total grants held (`(1+α)·W`).
+    pub fn on_commit_footprint(&self, me: u32, write_blocks: u64, grant_blocks: u64) {
         let stripe = self.stripe(me);
         stripe
             .committed_write_blocks

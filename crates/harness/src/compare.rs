@@ -303,6 +303,20 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cells_gate_on_their_shard_axis_key() {
+        let mut base_run = sample_run("sharded", "disjoint", 1000.0);
+        base_run.shards = 4;
+        let base = report(vec![base_run.clone()]);
+        let mut slow = base_run;
+        slow.throughput_txn_s = 100.0;
+        let c = compare(&base, &report(vec![slow]), &Tolerance::default());
+        assert!(!c.passed());
+        // The verdict names the full four-part key, shard axis included.
+        assert_eq!(c.regressions[0].key, "sharded/disjoint/t4/s4");
+        assert!(c.render().contains("/s4"), "{}", c.render());
+    }
+
+    #[test]
     fn fast_vs_full_refused() {
         let base = HarnessReport::new(true, vec![sample_run("e", "s", 100.0)]);
         let cand = HarnessReport::new(false, vec![sample_run("e", "s", 100.0)]);

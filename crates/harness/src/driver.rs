@@ -178,6 +178,31 @@ pub fn run_synthetic_phase<E: TmEngine>(
                 tally.committed_txns += 1;
                 return;
             }
+            // Transfer draw next (same stream-preservation rule): a
+            // transfer is two RMW increments, one in each half of the heap
+            // — on a sharded engine the halves land in disjoint shard sets
+            // (even shard counts), driving the ordered cross-shard commit.
+            if spec.cross_shard_pct > 0
+                && universe >= 2
+                && rng.gen_range(0..100) < spec.cross_shard_pct
+            {
+                let half = universe / 2;
+                let debit = rng.gen_range(0..half) * 64;
+                let credit = rng.gen_range(half..universe) * 64;
+                reads.clear();
+                reads.extend((0..spec.reads_per_txn).map(|_| sampler.sample(&mut rng) * 64));
+                engine.run(id, |txn| {
+                    for &addr in &reads {
+                        txn.read(addr)?;
+                    }
+                    txn.update_add(debit, 1)?;
+                    txn.update_add(credit, 1)?;
+                    Ok(())
+                });
+                tally.committed_txns += 1;
+                tally.committed_write_ops += 2;
+                return;
+            }
             // Sample the footprint outside the transaction so retries replay
             // the identical access set (as a real program would).
             reads.clear();
@@ -327,7 +352,29 @@ mod tests {
             yield_per_op: false,
             read_fraction: 0,
             forced_abort_pct: 0,
+            cross_shard_pct: 0,
         }
+    }
+
+    #[test]
+    fn cross_shard_transfers_checksum_and_commit() {
+        use tm_shard::ShardedStmBuilder;
+        let stm = tm_stm::StmBuilder::new()
+            .heap_words(1 << 12)
+            .table_entries(1024)
+            .shards(4)
+            .build_sharded_tagless();
+        let mut s = spec();
+        s.cross_shard_pct = 100;
+        let r = run_synthetic_phase(&stm, &s, 1 << 12, 2, Phase::Txns(50), 7);
+        // Every transaction is a transfer: two RMW increments each.
+        assert_eq!(r.counters.commits, 100);
+        let expected: u64 = r.tallies.iter().map(|t| t.committed_write_ops).sum();
+        assert_eq!(expected, 200);
+        assert_eq!(crate::engine::TmEngine::heap_sum(&stm, 1 << 12), expected);
+        // Heap halves map to disjoint shard sets at 4 shards: every
+        // transfer takes the ordered cross-shard commit.
+        assert_eq!(stm.cross_shard_commits(), 100);
     }
 
     #[test]
@@ -409,6 +456,7 @@ mod tests {
             yield_per_op: false,
             read_fraction: 50,
             forced_abort_pct: 0,
+            cross_shard_pct: 0,
         };
         let r = run_synthetic_phase(&stm, &s, 1 << 14, 4, Phase::Txns(200), 13);
         assert_eq!(r.counters.aborts, 0, "readers must not abort writers");

@@ -25,16 +25,27 @@ pub enum EngineKind {
     /// Eager STM over `tm-adaptive`'s resizable tagless table with a live
     /// controller resizing it mid-run.
     Adaptive,
+    /// `tm-shard`'s sharded multi-table engine over tagless shards: the
+    /// eager fast path for single-shard transactions, ordered two-phase
+    /// grant acquisition for cross-shard commits. Honors the run's
+    /// `shards` axis.
+    Sharded,
+    /// The sharded engine with one `tm-adaptive` resizable table **per
+    /// shard**, each driven by its own live controller — skewed cells grow
+    /// only their hot shard's table.
+    ShardedAdaptive,
 }
 
 impl EngineKind {
     /// All engines, in report order.
-    pub fn all() -> [EngineKind; 4] {
+    pub fn all() -> [EngineKind; 6] {
         [
             EngineKind::EagerTagless,
             EngineKind::EagerTagged,
             EngineKind::Lazy,
             EngineKind::Adaptive,
+            EngineKind::Sharded,
+            EngineKind::ShardedAdaptive,
         ]
     }
 
@@ -45,7 +56,15 @@ impl EngineKind {
             EngineKind::EagerTagged => "eager-tagged",
             EngineKind::Lazy => "lazy-tl2",
             EngineKind::Adaptive => "adaptive",
+            EngineKind::Sharded => "sharded",
+            EngineKind::ShardedAdaptive => "sharded-adaptive",
         }
+    }
+
+    /// `true` for the `tm-shard` engines, whose cells honor (and are keyed
+    /// by) the run's `shards` axis.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, EngineKind::Sharded | EngineKind::ShardedAdaptive)
     }
 
     /// Parse a CLI/report name: every [`EngineKind::name`] string plus a
@@ -56,6 +75,8 @@ impl EngineKind {
             "eager-tagged" | "tagged" => Some(EngineKind::EagerTagged),
             "lazy-tl2" | "lazy" | "tl2" => Some(EngineKind::Lazy),
             "adaptive" => Some(EngineKind::Adaptive),
+            "sharded" | "shard" | "sharded-tagless" => Some(EngineKind::Sharded),
+            "sharded-adaptive" => Some(EngineKind::ShardedAdaptive),
             _ => None,
         }
     }

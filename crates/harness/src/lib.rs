@@ -10,12 +10,16 @@
 //! * the eager STM over **tagless** and **tagged** tables (`tm-stm`),
 //! * the lazy TL2-style engine (`tm_stm::lazy`),
 //! * the **adaptive** resizable-table STM with its live controller
-//!   (`tm-adaptive`).
+//!   (`tm-adaptive`),
+//! * the **sharded** engines (`tm-shard`): S-way partitioned conflict
+//!   detection, plain and adaptive, driven over the `--shards` axis with
+//!   per-shard telemetry and cross-shard commit counters in the report.
 //!
 //! One declarative [`Scenario`] matrix covers uniform/Zipf/hotspot access,
 //! read-/write-heavy mixes, disjoint partitions (where every abort is a
 //! false conflict), `tm-structs` data-structure workloads with
-//! linearizability-style conservation checks, and `tm-traces` replay —
+//! linearizability-style conservation checks, shard-locality scenarios
+//! (`shard-hot`/`shard-uniform`/`cross-shard-mix`), and `tm-traces` replay —
 //! and because the workloads are written against `tm-stm`'s [`TxnOps`]/
 //! [`TmEngine`] traits, **every cell of the engine × scenario cross
 //! product runs**, structs-on-lazy included. Every

@@ -17,6 +17,18 @@ use crate::json::{self, obj, s, unum, Json};
 
 /// Current report schema version.
 ///
+/// v5: the sharded engine (`tm-shard`) landed. Every run carries a
+/// `shards` field (the shard-count axis; `1` on engines that do not shard)
+/// and sharded cells carry `cross_shard_commits`/`cross_shard_aborts`
+/// (measured-phase counts of ordered two-phase commits spanning ≥ 2
+/// shards, and of commit-phase cross-shard aborts). Breaking semantic
+/// change: the run identity **key** gains a `/sN` component when
+/// `shards > 1` (e.g. `sharded/disjoint/t8/s4`), so a v4 reader would
+/// mis-match sharded cells against unsharded baselines; unsharded rows
+/// keep their v4 keys. The engine axis gains `sharded` and
+/// `sharded-adaptive`; the scenario matrix gains `shard-hot`,
+/// `shard-uniform`, and `cross-shard-mix`.
+///
 /// v4: the wait-free read-only path landed. Every run carries
 /// `read_only_commits` (transactions committed on `TmEngine::run_read`,
 /// never counted in `commits`) and `read_validation_retries` (read-path
@@ -42,7 +54,7 @@ use crate::json::{self, obj, s, unum, Json};
 /// changed), and `final_table_entries` now reports the adaptive table's
 /// *live* geometry (`ResizableTable::live_config`) rather than a raw entry
 /// count read racily off the wrapper — a semantic change of a gated field.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One (engine, scenario, threads) measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,7 +65,18 @@ pub struct RunResult {
     pub scenario: String,
     /// Worker OS threads.
     pub threads: u32,
-    /// Ownership-table entries (starting size for the adaptive engine).
+    /// Shard count of the engine under test (`1` on unsharded engines,
+    /// whatever `--shards` requested on the `tm-shard` engines). Part of
+    /// the run identity when > 1.
+    pub shards: u32,
+    /// Sharded engines: measured-phase commits whose footprint spanned
+    /// ≥ 2 shards (the ordered two-phase commit path). `None` elsewhere.
+    pub cross_shard_commits: Option<u64>,
+    /// Sharded engines: measured-phase cross-shard commit attempts that
+    /// aborted (acquisition budget or commit-time validation).
+    pub cross_shard_aborts: Option<u64>,
+    /// Ownership-table entries (starting size for the adaptive engine;
+    /// total budget split across shards for the sharded engines).
     pub table_entries: u64,
     /// Heap size in words.
     pub heap_words: u64,
@@ -127,9 +150,19 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// The identity a comparison matches runs by.
+    /// The identity a comparison matches runs by. Sharded cells append the
+    /// shard axis (`/sN`), so the same engine at different shard counts
+    /// gates against distinct baseline rows; unsharded cells keep the
+    /// pre-v5 three-part key.
     pub fn key(&self) -> String {
-        format!("{}/{}/t{}", self.engine, self.scenario, self.threads)
+        if self.shards > 1 {
+            format!(
+                "{}/{}/t{}/s{}",
+                self.engine, self.scenario, self.threads, self.shards
+            )
+        } else {
+            format!("{}/{}/t{}", self.engine, self.scenario, self.threads)
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -139,6 +172,9 @@ impl RunResult {
             ("engine", s(&self.engine)),
             ("scenario", s(&self.scenario)),
             ("threads", unum(self.threads as u64)),
+            ("shards", unum(self.shards as u64)),
+            ("cross_shard_commits", opt_u(self.cross_shard_commits)),
+            ("cross_shard_aborts", opt_u(self.cross_shard_aborts)),
             ("table_entries", unum(self.table_entries)),
             ("heap_words", unum(self.heap_words)),
             ("seed", unum(self.seed)),
@@ -217,6 +253,9 @@ impl RunResult {
             engine: str_field("engine")?,
             scenario: str_field("scenario")?,
             threads: u64_field("threads")? as u32,
+            shards: u64_field("shards")? as u32,
+            cross_shard_commits: opt_u64("cross_shard_commits"),
+            cross_shard_aborts: opt_u64("cross_shard_aborts"),
             table_entries: u64_field("table_entries")?,
             heap_words: u64_field("heap_words")?,
             seed: u64_field("seed")?,
@@ -358,6 +397,9 @@ pub(crate) fn sample_run(engine: &str, scenario: &str, throughput: f64) -> RunRe
         engine: engine.to_string(),
         scenario: scenario.to_string(),
         threads: 4,
+        shards: 1,
+        cross_shard_commits: None,
+        cross_shard_aborts: None,
         table_entries: 4096,
         heap_words: 1 << 16,
         seed: 7,
@@ -409,6 +451,22 @@ mod tests {
         let text = report.to_json_string();
         let back = HarnessReport::from_json_str(&text).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sharded_run_round_trips_with_shard_axis_key() {
+        let mut run = sample_run("sharded", "cross-shard-mix", 1500.0);
+        run.shards = 4;
+        run.cross_shard_commits = Some(321);
+        run.cross_shard_aborts = Some(12);
+        assert_eq!(run.key(), "sharded/cross-shard-mix/t4/s4");
+        let report = HarnessReport::new(false, vec![run]);
+        let back = HarnessReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.runs[0].cross_shard_commits, Some(321));
+        // shards == 1 keeps the historical three-part key, so v4-era
+        // baseline keys for unsharded engines are unchanged under v5.
+        assert_eq!(sample_run("e", "s", 1.0).key(), "e/s/t4");
     }
 
     #[test]

@@ -11,10 +11,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use tm_adaptive::{AdaptiveStmBuilder, ResizePolicy};
+use tm_adaptive::{tick_shards, AdaptiveStmBuilder, ResizePolicy};
 use tm_model::lockstep;
+use tm_shard::{ShardedStm, ShardedStmBuilder};
 use tm_sim::closed::{run_closed_system, ClosedSystemParams};
-use tm_stm::{AbortCause, Recorder, StmBuilder, TelemetrySnapshot};
+use tm_stm::{
+    AbortCause, ConcurrentTable, Probe, Recorder, ShardStats, StmBuilder, TelemetrySnapshot,
+};
 
 use crate::driver::{
     build_replay_streams, run_replay_phase, run_synthetic_phase, Phase, ThreadTally,
@@ -33,7 +36,11 @@ pub struct RunSpec {
     pub scenario: Scenario,
     /// Worker OS threads.
     pub threads: u32,
-    /// Ownership-table entries (the starting size for the adaptive engine).
+    /// Shard count for the `tm-shard` engines (`1` elsewhere — unsharded
+    /// engines ignore the axis and their report rows stay keyed as before).
+    pub shards: usize,
+    /// Ownership-table entries (the starting size for the adaptive engine;
+    /// the **total** budget, split per shard, for the sharded engines).
     pub table_entries: usize,
     /// Heap size in words.
     pub heap_words: usize,
@@ -53,6 +60,7 @@ impl RunSpec {
             engine,
             scenario,
             threads: 4,
+            shards: 1,
             table_entries: 4096,
             heap_words: 1 << 16,
             seed: 0xB1DA,
@@ -92,6 +100,7 @@ pub fn execute_traced(spec: &RunSpec) -> (RunResult, TelemetrySnapshot) {
     let builder = StmBuilder::new()
         .heap_words(spec.heap_words)
         .table_entries(spec.table_entries)
+        .shards(spec.shards)
         .classify_conflicts(true)
         .probe(Arc::clone(&recorder));
     let mut extra = AdaptiveExtra::default();
@@ -99,6 +108,47 @@ pub fn execute_traced(spec: &RunSpec) -> (RunResult, TelemetrySnapshot) {
         EngineKind::EagerTagless => drive(&builder.build_tagless(), spec, &recorder),
         EngineKind::EagerTagged => drive(&builder.build_tagged(), spec, &recorder),
         EngineKind::Lazy => drive(&builder.build_lazy(), spec, &recorder),
+        EngineKind::Sharded => {
+            let stm = builder.build_sharded_tagless();
+            let mut outcome = drive(&stm, spec, &recorder);
+            attach_shard_rows(&stm, &mut outcome);
+            outcome
+        }
+        EngineKind::ShardedAdaptive => {
+            let (stm, mut controllers) =
+                builder.build_sharded_adaptive(ResizePolicy::default(), spec.threads);
+            let stop = AtomicBool::new(false);
+            let mut outcome = None;
+            crossbeam::scope(|s| {
+                let (stop_ref, stm_ref) = (&stop, &stm);
+                // One operator loop ticking every shard's controller: each
+                // shard's table tracks its own workload slice online.
+                s.spawn(move |_| {
+                    while !stop_ref.load(Ordering::Acquire) {
+                        let _ = tick_shards(stm_ref, &mut controllers);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                });
+                outcome = Some(drive(&stm, spec, &recorder));
+                stop.store(true, Ordering::Release);
+            })
+            .expect("sharded adaptive controller scope");
+            let mut outcome = outcome.expect("scope body ran");
+            attach_shard_rows(&stm, &mut outcome);
+            extra = AdaptiveExtra {
+                final_table_entries: Some(
+                    (0..stm.shard_count())
+                        .map(|i| stm.shard_table(i).live_config().num_entries() as u64)
+                        .sum(),
+                ),
+                resizes: Some(
+                    (0..stm.shard_count())
+                        .map(|i| stm.shard_table(i).resize_stats().resizes)
+                        .sum(),
+                ),
+            };
+            outcome
+        }
         EngineKind::Adaptive => {
             let (stm, mut controller) =
                 builder.build_adaptive(ResizePolicy::default(), spec.threads);
@@ -137,6 +187,29 @@ pub fn execute_traced(spec: &RunSpec) -> (RunResult, TelemetrySnapshot) {
 struct AdaptiveExtra {
     final_table_entries: Option<u64>,
     resizes: Option<u64>,
+}
+
+/// Convert a sharded engine's per-shard counters into the telemetry rows
+/// the snapshot carries (whole-run cumulative, unlike the windowed global
+/// counters — the rows are a load-balance diagnostic, not a gated rate).
+fn attach_shard_rows<T: ConcurrentTable, P: Probe>(
+    stm: &ShardedStm<T, P>,
+    outcome: &mut DriveOutcome,
+) {
+    outcome.telemetry.shard_stats = stm
+        .shard_snapshots()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ShardStats {
+            shard: i as u32,
+            commits: s.commits,
+            aborts: s.aborts,
+            stall_retries: s.stall_retries,
+            committed_write_blocks: s.committed_write_blocks,
+            read_only_commits: s.read_only_commits,
+            table_entries: stm.shard_table(i).num_entries() as u64,
+        })
+        .collect();
 }
 
 /// Drive any scenario family on any engine. The recorder's window is reset
@@ -305,10 +378,26 @@ fn finish(spec: &RunSpec, outcome: &DriveOutcome, extra: AdaptiveExtra) -> RunRe
         )
         .min(1.0)
     });
+    // The shard axis only keys cells of engines that honor it, so
+    // unsharded rows keep their pre-v5 identity whatever `--shards` says.
+    let shards = if spec.engine.is_sharded() {
+        spec.shards.max(1) as u32
+    } else {
+        1
+    };
     RunResult {
         engine: spec.engine.name().to_string(),
         scenario: spec.scenario.name.clone(),
         threads: spec.threads,
+        shards,
+        cross_shard_commits: spec
+            .engine
+            .is_sharded()
+            .then_some(telemetry.cross_shard_commits),
+        cross_shard_aborts: spec
+            .engine
+            .is_sharded()
+            .then_some(telemetry.cross_shard_aborts),
         table_entries: spec.table_entries as u64,
         heap_words: spec.heap_words as u64,
         seed: spec.seed,
@@ -354,6 +443,8 @@ pub struct MatrixConfig {
     pub scenarios: Vec<Scenario>,
     /// Worker threads per run.
     pub threads: u32,
+    /// Shard count for the `tm-shard` engines' cells (`--shards`).
+    pub shards: usize,
     /// Ownership-table entries.
     pub table_entries: usize,
     /// Heap words.
@@ -375,6 +466,7 @@ impl MatrixConfig {
             engines: EngineKind::all().to_vec(),
             scenarios: Scenario::standard_matrix(),
             threads: 4,
+            shards: 4,
             table_entries: 4096,
             heap_words: 1 << 16,
             seed: 0xB1DA,
@@ -424,6 +516,7 @@ pub fn run_matrix_traced(
             engine,
             scenario,
             threads: config.threads,
+            shards: config.shards,
             table_entries: config.table_entries,
             heap_words: config.heap_words,
             seed: config.seed,
@@ -534,11 +627,67 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cell_reports_cross_shard_counters() {
+        let mut spec = quick_spec(EngineKind::Sharded, Scenario::cross_shard_mix());
+        spec.shards = 4;
+        let r = execute(&spec);
+        assert_eq!(r.commits, 120);
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.invariant_violations, 0);
+        assert!(
+            r.cross_shard_commits.expect("sharded cell populates") > 0,
+            "30% transfers must cross shards"
+        );
+        assert!(r.cross_shard_aborts.is_some());
+        assert_eq!(r.key(), "sharded/cross-shard-mix/t2/s4");
+    }
+
+    #[test]
+    fn sharded_cell_attaches_per_shard_telemetry_rows() {
+        let mut spec = quick_spec(EngineKind::Sharded, Scenario::shard_uniform());
+        spec.shards = 2;
+        let (r, telemetry) = execute_traced(&spec);
+        assert_eq!(r.invariant_violations, 0);
+        assert_eq!(telemetry.shard_stats.len(), 2);
+        // Rows are whole-run cumulative: they cover warmup + measure, so
+        // their sum dominates the measured-phase window.
+        let total: u64 = telemetry.shard_stats.iter().map(|s| s.commits).sum();
+        assert!(total >= r.commits, "{total} < {}", r.commits);
+        for (i, row) in telemetry.shard_stats.iter().enumerate() {
+            assert_eq!(row.shard, i as u32);
+            assert!(row.table_entries > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_adaptive_cell_reports_aggregate_table_state() {
+        let mut spec = quick_spec(EngineKind::ShardedAdaptive, Scenario::shard_hot());
+        spec.shards = 4;
+        let r = execute(&spec);
+        assert_eq!(r.invariant_violations, 0);
+        // Aggregate across shards: 4 shards × (2048/4 = 512 entries) unless
+        // a controller resized mid-run.
+        assert!(r.final_table_entries.is_some());
+        assert!(r.resizes.is_some());
+    }
+
+    #[test]
+    fn unsharded_cells_ignore_the_shard_axis() {
+        let mut spec = quick_spec(EngineKind::EagerTagless, Scenario::uniform_mixed());
+        spec.shards = 4;
+        let r = execute(&spec);
+        assert_eq!(r.shards, 1, "unsharded rows keep their v4 identity");
+        assert!(r.cross_shard_commits.is_none());
+        assert_eq!(r.key(), "eager-tagless/uniform-mixed/t2");
+    }
+
+    #[test]
     fn small_matrix_covers_supported_cells() {
         let config = MatrixConfig {
             engines: vec![EngineKind::EagerTagged, EngineKind::Lazy],
             scenarios: vec![Scenario::uniform_mixed(), Scenario::counter()],
             threads: 2,
+            shards: 1,
             table_entries: 1024,
             heap_words: 1 << 13,
             seed: 3,

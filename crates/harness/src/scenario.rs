@@ -71,6 +71,16 @@ pub struct SyntheticSpec {
     /// tosses no coin at all, leaving the RNG streams of pre-existing
     /// scenarios untouched.
     pub forced_abort_pct: u32,
+    /// Percent (0–100) of update transactions issued as **transfers**: two
+    /// RMW increments, one drawn uniformly from each half of the heap. On a
+    /// sharded engine (`tm-shard`, contiguous block spans) the two halves
+    /// map to disjoint shard sets for any even shard count, so each
+    /// transfer exercises the ordered cross-shard commit; on unsharded
+    /// engines it is just a wide two-write transaction, so the scenario
+    /// stays runnable on every engine. Transfers keep the heap-checksum
+    /// invariant (two increments ⇒ two committed write ops). `0` draws no
+    /// coin, leaving pre-existing RNG streams untouched.
+    pub cross_shard_pct: u32,
 }
 
 /// Block-address distribution of a synthetic workload.
@@ -160,6 +170,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -176,6 +187,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -196,6 +208,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 90,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -212,6 +225,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -228,6 +242,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -247,6 +262,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -264,6 +280,7 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -284,6 +301,72 @@ impl Scenario {
                 yield_per_op: false,
                 read_fraction: 0,
                 forced_abort_pct: 60,
+                cross_shard_pct: 0,
+            },
+        )
+    }
+
+    /// Shard-skew stressor: 90% of accesses land in a 32-block hot region
+    /// — on a sharded engine a single shard absorbs nearly all traffic
+    /// (its adaptive controller must grow *that* table while the idle
+    /// shards stay small), the worst case for shard-level load balance.
+    pub fn shard_hot() -> Self {
+        Self::synthetic(
+            "shard-hot",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 8,
+                pattern: AccessPattern::Hotspot {
+                    hot_blocks: 32,
+                    hot_pct: 90,
+                },
+                disjoint: false,
+                yield_per_op: false,
+                read_fraction: 0,
+                forced_abort_pct: 0,
+                cross_shard_pct: 0,
+            },
+        )
+    }
+
+    /// Shard-friendly spread: disjoint per-thread partitions (zero true
+    /// conflicts). On a sharded engine whose shard count divides the
+    /// thread count, every per-thread slice sits inside one shard, so all
+    /// transactions take the unchanged single-shard eager fast path — the
+    /// scaling showcase for per-shard tables and striped statistics.
+    pub fn shard_uniform() -> Self {
+        Self::synthetic(
+            "shard-uniform",
+            SyntheticSpec {
+                writes_per_txn: 4,
+                reads_per_txn: 4,
+                pattern: AccessPattern::Uniform,
+                disjoint: true,
+                yield_per_op: false,
+                read_fraction: 0,
+                forced_abort_pct: 0,
+                cross_shard_pct: 0,
+            },
+        )
+    }
+
+    /// Mixed single-/cross-shard traffic: 30% of update transactions are
+    /// heap-half transfers (see [`SyntheticSpec::cross_shard_pct`]), the
+    /// rest the uniform 2-write + 6-read mix. The cell that measures the
+    /// ordered two-phase commit's cost against the single-shard fast path
+    /// it shares the run with.
+    pub fn cross_shard_mix() -> Self {
+        Self::synthetic(
+            "cross-shard-mix",
+            SyntheticSpec {
+                writes_per_txn: 2,
+                reads_per_txn: 6,
+                pattern: AccessPattern::Uniform,
+                disjoint: false,
+                yield_per_op: false,
+                read_fraction: 0,
+                forced_abort_pct: 0,
+                cross_shard_pct: 30,
             },
         )
     }
@@ -302,6 +385,7 @@ impl Scenario {
                 yield_per_op: true,
                 read_fraction: 0,
                 forced_abort_pct: 0,
+                cross_shard_pct: 0,
             },
         )
     }
@@ -379,6 +463,9 @@ impl Scenario {
             Self::hotspot(),
             Self::disjoint(),
             Self::abort_storm(),
+            Self::shard_hot(),
+            Self::shard_uniform(),
+            Self::cross_shard_mix(),
             Self::counter(),
             Self::map(),
             Self::queue(),
@@ -565,6 +652,7 @@ mod tests {
             yield_per_op: false,
             read_fraction: 0,
             forced_abort_pct: 0,
+            cross_shard_pct: 0,
         };
         let universe = 1024;
         let mut seen = Vec::new();
@@ -596,6 +684,7 @@ mod tests {
             yield_per_op: false,
             read_fraction: 0,
             forced_abort_pct: 0,
+            cross_shard_pct: 0,
         };
         let sampler = BlockSampler::new(&spec, 4096, 0, 1);
         let mut rng = StdRng::seed_from_u64(42);

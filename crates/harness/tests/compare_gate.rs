@@ -11,6 +11,7 @@ fn tiny_matrix() -> MatrixConfig {
         engines: vec![EngineKind::EagerTagless, EngineKind::EagerTagged],
         scenarios: vec![Scenario::uniform_mixed(), Scenario::queue()],
         threads: 2,
+        shards: 2,
         table_entries: 1024,
         heap_words: 1 << 13,
         seed: 17,

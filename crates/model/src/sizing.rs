@@ -58,6 +58,42 @@ pub fn max_concurrency(commit_prob: f64, w: u32, n: u64, alpha: f64) -> u32 {
     c.max(1)
 }
 
+/// Minimum **per-shard** table entries for a sharded engine (`tm-shard`)
+/// whose `shards` ownership tables each see `1/S` of every transaction's
+/// footprint (a uniformly spread workload over a contiguous shard map).
+///
+/// Derivation: with `W/S` writes landing in each shard, the per-shard
+/// pairwise collision mass of Eq. 8 scales by `1/S²`; summing over the `S`
+/// shards (a conflict in *any* shard kills the transaction) leaves a net
+/// `1/S`:
+///
+/// ```text
+/// L_total = S · C(C−1)(1+2α)(W/S)² / (2·N_s) = C(C−1)(1+2α)W² / (2·N_s·S)
+/// ```
+///
+/// so `N_s = ceil(C(C−1)(1+2α)W² / (2·S·(1−p)))` — each shard needs `1/S`
+/// of the global table, and the *total* sharded budget equals the
+/// unsharded requirement. Sharding buys throughput isolation, not a
+/// smaller aggregate table; skewed workloads (everything in one shard)
+/// degrade toward needing the full global size in the hot shard.
+///
+/// At `shards == 1` this is exactly
+/// [`table_entries_for_commit_prob`] — the property test below pins that.
+///
+/// # Panics
+/// Same domain as [`table_entries_for_commit_prob`], plus `shards >= 1`.
+pub fn per_shard(commit_prob: f64, c: u32, w: u32, alpha: f64, shards: u32) -> u64 {
+    assert!(
+        (0.0..1.0).contains(&commit_prob),
+        "commit probability must be in [0, 1)"
+    );
+    assert!(c >= 2 && w >= 1, "need c >= 2 and w >= 1");
+    assert!(shards >= 1, "need at least one shard");
+    let cf = c as f64;
+    let numerator = cf * (cf - 1.0) * (1.0 + 2.0 * alpha) * (w as f64).powi(2) / 2.0;
+    (numerator / (f64::from(shards) * (1.0 - commit_prob))).ceil() as u64
+}
+
 /// How the table must scale to *hold the conflict rate constant*: growing
 /// footprint by `footprint_factor` and concurrency by `concurrency_factor`
 /// requires the table to grow by roughly
@@ -140,6 +176,53 @@ mod tests {
         assert_eq!(required_table_scaling(2.0, 2.0), 16.0);
         // The Fig. 4(b) clusters: doubling C alone → ~4x table.
         assert_eq!(required_table_scaling(1.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn per_shard_paper_point_splits_linearly() {
+        // The 95 % / C=8 "half a million per pair" table: at 8 shards each
+        // shard needs an eighth of the global requirement.
+        let global = table_entries_for_commit_prob(0.95, 8, PAPER_W, PAPER_ALPHA);
+        let shard = per_shard(0.95, 8, PAPER_W, PAPER_ALPHA, 8);
+        assert!(shard >= global / 8);
+        assert!(shard <= global / 8 + 1);
+    }
+
+    mod per_shard_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// One shard is exactly the unsharded Eq. 8 solver.
+            #[test]
+            fn one_shard_is_global(
+                p in 0.0f64..0.999,
+                c in 2u32..64,
+                w in 1u32..512,
+                alpha in 0.0f64..8.0,
+            ) {
+                prop_assert_eq!(
+                    per_shard(p, c, w, alpha, 1),
+                    table_entries_for_commit_prob(p, c, w, alpha)
+                );
+            }
+
+            /// The aggregate sharded budget never drops below the global
+            /// requirement, and per-shard need is monotone in shard count.
+            #[test]
+            fn aggregate_covers_global(
+                p in 0.0f64..0.999,
+                c in 2u32..64,
+                w in 1u32..512,
+                alpha in 0.0f64..8.0,
+                s in 1u32..64,
+            ) {
+                let global = table_entries_for_commit_prob(p, c, w, alpha);
+                let shard = per_shard(p, c, w, alpha, s);
+                prop_assert!(u128::from(shard) * u128::from(s) >= u128::from(global));
+                prop_assert!(per_shard(p, c, w, alpha, s + 1) <= shard);
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! ```text
 //! harness [--fast] [--out results.json] [--trace-out events.jsonl]
 //!         [--engine NAME]... [--scenario NAME]... [--read-fraction PCT]
-//!         [--threads N] [--table-entries N] [--seed N]
+//!         [--threads N] [--shards S] [--table-entries N] [--seed N]
 //!         [--warmup-ms N] [--measure-ms N]
 //! harness compare <baseline.json> <candidate.json> [--tolerance-pct P]
 //! harness compare --baseline <path> --candidate <path> [--tolerance-pct P]
@@ -38,12 +38,15 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: harness [--fast] [--out FILE] [--trace-out FILE]\n\
          \x20              [--engine NAME]... [--scenario NAME]...\n\
-         \x20              [--read-fraction PCT] [--threads N] [--table-entries N]\n\
-         \x20              [--seed N] [--warmup-ms N] [--measure-ms N]\n\
+         \x20              [--read-fraction PCT] [--threads N] [--shards S]\n\
+         \x20              [--table-entries N] [--seed N]\n\
+         \x20              [--warmup-ms N] [--measure-ms N]\n\
          \x20      harness compare <baseline> <candidate> [--tolerance-pct P]\n\
          --read-fraction runs PCT% of each synthetic scenario's transactions\n\
          as wait-free read-only transactions (run_read); the scenario gains a\n\
          '+roPCT' name suffix. Non-synthetic scenarios are left unchanged.\n\
+         --shards sets the tm-shard engines' shard count (their report keys\n\
+         gain a '/sS' component when S > 1); unsharded engines ignore it.\n\
          engines:   {}  (or 'all')\n\
          scenarios: {}  (or 'all')",
         EngineKind::all().map(|e| e.name()).join(", "),
@@ -112,6 +115,7 @@ fn run_matrix_cli(args: &[String]) -> ExitCode {
             }
             "--read-fraction" => read_fraction = Some(parse_num(&mut it, "--read-fraction")),
             "--threads" => config.threads = parse_num(&mut it, "--threads"),
+            "--shards" => config.shards = parse_num(&mut it, "--shards"),
             "--table-entries" => config.table_entries = parse_num(&mut it, "--table-entries"),
             "--seed" => config.seed = parse_num(&mut it, "--seed"),
             "--warmup-ms" => config.warmup = Phase::DurationMs(parse_num(&mut it, "--warmup-ms")),

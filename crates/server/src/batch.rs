@@ -76,6 +76,15 @@ pub enum WriteOp {
         /// Added amount per key.
         delta: u64,
     },
+    /// Overwrite each key with its paired value, atomically. `keys` and
+    /// `values` are parallel vectors of equal length (split apart so the
+    /// footprint accounting can borrow the keys as one slice).
+    MultiPut {
+        /// Canonical keys (a repeated key keeps its last value).
+        keys: Vec<u64>,
+        /// Value written to the same-index key.
+        values: Vec<u64>,
+    },
 }
 
 impl WriteOp {
@@ -83,7 +92,7 @@ impl WriteOp {
     pub fn keys(&self) -> &[u64] {
         match self {
             WriteOp::Put { key, .. } | WriteOp::Add { key, .. } => std::slice::from_ref(key),
-            WriteOp::MultiAdd { keys, .. } => keys,
+            WriteOp::MultiAdd { keys, .. } | WriteOp::MultiPut { keys, .. } => keys,
         }
     }
 }

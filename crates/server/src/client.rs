@@ -181,7 +181,7 @@ impl RetryClient {
         let delta_bound = match &op {
             Request::Add { .. } => 1,
             Request::MultiAdd { keys, .. } => keys.len() as u64,
-            Request::Put { .. } => 0,
+            Request::Put { .. } | Request::MultiPut { .. } => 0,
             other => panic!("call_write needs a write, got {other:?}"),
         };
         let token = self.next_token;
@@ -250,6 +250,7 @@ impl RetryClient {
                     }
                     resp @ (Response::Added(_)
                     | Response::MultiAdded { .. }
+                    | Response::MultiWritten { .. }
                     | Response::Written) => {
                         self.stats.acked_writes += 1;
                         self.stats.acked_delta += match resp {

@@ -475,7 +475,7 @@ fn drain_responses(s: &mut SessionSim, cfg: &LoadgenConfig, report: &mut LoadRep
                 report.applied_delta += u64::from(applied);
                 report.write_latency.record(nanos);
             }
-            Response::Written => {
+            Response::Written | Response::MultiWritten { .. } => {
                 report.acked_writes += 1;
                 report.write_latency.record(nanos);
             }

@@ -72,6 +72,15 @@ pub enum Request {
         /// Amount added to each.
         delta: u64,
     },
+    /// Overwrite several keys in **one transaction** (all-or-nothing). On
+    /// a sharded engine the pairs may land on different shards; the
+    /// engine's ordered cross-shard commit keeps the writes atomic, so a
+    /// concurrent [`Request::MultiGet`] sees either all of them or none.
+    MultiPut {
+        /// `(key, value)` pairs, written in order (a repeated key keeps
+        /// its last value).
+        pairs: Vec<(u64, u64)>,
+    },
     /// Graceful goodbye: the server completes the session's earlier writes,
     /// answers [`Response::Closed`], and forgets the session.
     Close,
@@ -115,6 +124,11 @@ pub enum Response {
     /// Answer to [`Request::MultiAdd`].
     MultiAdded {
         /// Number of keys bumped (the request's key count).
+        applied: u32,
+    },
+    /// Answer to [`Request::MultiPut`].
+    MultiWritten {
+        /// Number of pairs written (the request's pair count).
         applied: u32,
     },
     /// Load shed: admission control refused the write. The operation was
@@ -276,6 +290,19 @@ impl<'a> Reader<'a> {
         (0..count).map(|_| self.u64()).collect()
     }
 
+    /// A `u32` count followed by that many `(u64, u64)` pairs, vetted the
+    /// same way as [`Reader::u64_list`].
+    fn pair_list(&mut self) -> Result<Vec<(u64, u64)>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count > MAX_KEYS_PER_REQUEST {
+            return Err(DecodeError::CountTooLarge);
+        }
+        if self.buf.len().saturating_sub(self.pos) < count * 16 {
+            return Err(DecodeError::Truncated);
+        }
+        (0..count).map(|_| Ok((self.u64()?, self.u64()?))).collect()
+    }
+
     fn finish(&self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -356,6 +383,13 @@ fn put_request_payload(out: &mut Vec<u8>, req: &Request) {
             keys.iter().for_each(|k| put_u64(out, *k));
             put_u64(out, *delta);
         }
+        Request::MultiPut { pairs } => {
+            put_u32(out, pairs.len() as u32);
+            pairs.iter().for_each(|(k, v)| {
+                put_u64(out, *k);
+                put_u64(out, *v);
+            });
+        }
         Request::Idempotent { token, op } => {
             put_u64(out, *token);
             out.push(op.tag());
@@ -390,7 +424,7 @@ fn read_request_payload(tag: u8, r: &mut Reader<'_>) -> Result<Request, DecodeEr
             let inner_tag = r.u8()?;
             // Only plain writes may be wrapped: reads need no idempotency
             // and nested wrappers are meaningless.
-            if !matches!(inner_tag, 2 | 3 | 5) {
+            if !matches!(inner_tag, 2 | 3 | 5 | 8) {
                 return Err(DecodeError::BadInner(inner_tag));
             }
             let op = read_request_payload(inner_tag, r)?;
@@ -399,6 +433,9 @@ fn read_request_payload(tag: u8, r: &mut Reader<'_>) -> Result<Request, DecodeEr
                 op: Box::new(op),
             }
         }
+        8 => Request::MultiPut {
+            pairs: r.pair_list()?,
+        },
         t => return Err(DecodeError::BadTag(t)),
     })
 }
@@ -433,6 +470,7 @@ impl Request {
             Request::MultiAdd { .. } => 5,
             Request::Close => 6,
             Request::Idempotent { .. } => 7,
+            Request::MultiPut { .. } => 8,
         }
     }
 
@@ -442,7 +480,10 @@ impl Request {
         assert!(
             matches!(
                 op,
-                Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }
+                Request::Put { .. }
+                    | Request::Add { .. }
+                    | Request::MultiAdd { .. }
+                    | Request::MultiPut { .. }
             ),
             "only plain writes can carry an idempotency token"
         );
@@ -473,7 +514,10 @@ impl Request {
     pub fn is_write(&self) -> bool {
         matches!(
             self.op(),
-            Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }
+            Request::Put { .. }
+                | Request::Add { .. }
+                | Request::MultiAdd { .. }
+                | Request::MultiPut { .. }
         )
     }
 
@@ -484,6 +528,7 @@ impl Request {
             Request::Get { .. } | Request::Put { .. } | Request::Add { .. } => 1,
             Request::MultiGet { keys } => keys.len() as u64,
             Request::MultiAdd { keys, .. } => keys.len() as u64,
+            Request::MultiPut { pairs } => pairs.len() as u64,
             Request::Idempotent { op, .. } => op.cost(),
         }
     }
@@ -500,7 +545,9 @@ impl ResponseFrame {
                 put_u32(out, vs.len() as u32);
                 vs.iter().for_each(|v| put_u64(out, *v));
             }
-            Response::MultiAdded { applied } => put_u32(out, *applied),
+            Response::MultiAdded { applied } | Response::MultiWritten { applied } => {
+                put_u32(out, *applied)
+            }
             Response::Error(code) => out.push(code.code()),
         })
     }
@@ -519,6 +566,7 @@ impl ResponseFrame {
             6 => Response::Busy,
             7 => Response::Closed,
             8 => Response::Error(ErrorCode::decode(r.u8()?)?),
+            9 => Response::MultiWritten { applied: r.u32()? },
             t => return Err(DecodeError::BadTag(t)),
         };
         r.finish()?;
@@ -538,6 +586,7 @@ impl Response {
             Response::Busy => 6,
             Response::Closed => 7,
             Response::Error(_) => 8,
+            Response::MultiWritten { .. } => 9,
         }
     }
 }
@@ -655,6 +704,16 @@ mod tests {
                 request: Request::Close,
             },
             RequestFrame {
+                id: 10,
+                request: Request::MultiPut {
+                    pairs: vec![(1, 100), (2, 200), (1, 300)],
+                },
+            },
+            RequestFrame {
+                id: 11,
+                request: Request::idempotent(7, Request::MultiPut { pairs: vec![] }),
+            },
+            RequestFrame {
                 id: 4,
                 request: Request::idempotent(99, Request::Add { key: 3, delta: 1 }),
             },
@@ -707,6 +766,10 @@ mod tests {
                 response: Response::MultiAdded { applied: 12 },
             },
             ResponseFrame {
+                id: 10,
+                response: Response::MultiWritten { applied: 3 },
+            },
+            ResponseFrame {
                 id: 6,
                 response: Response::Busy,
             },
@@ -754,6 +817,12 @@ mod tests {
         // Hostile count: claims 2^32-ish keys with no bytes behind it. Must
         // refuse before allocating.
         let hostile = encode_frame(1, 4, |out| put_u32(out, u32::MAX));
+        assert_eq!(
+            RequestFrame::decode(&hostile),
+            Err(DecodeError::CountTooLarge)
+        );
+        // Same for a hostile MultiPut pair count.
+        let hostile = encode_frame(1, 8, |out| put_u32(out, u32::MAX));
         assert_eq!(
             RequestFrame::decode(&hostile),
             Err(DecodeError::CountTooLarge)

@@ -688,7 +688,10 @@ fn handle_frame<E: TmEngine>(
             state.registry.respond(session, id, Response::Closed);
             state.registry.disconnect(session);
         }
-        req @ (Request::Put { .. } | Request::Add { .. } | Request::MultiAdd { .. }) => {
+        req @ (Request::Put { .. }
+        | Request::Add { .. }
+        | Request::MultiAdd { .. }
+        | Request::MultiPut { .. }) => {
             let cost = req.cost();
             if !admission.try_admit(cost) {
                 stats.busy.fetch_add(1, Ordering::Relaxed);
@@ -714,6 +717,10 @@ fn handle_frame<E: TmEngine>(
                 Request::MultiAdd { keys, delta } => WriteOp::MultiAdd {
                     keys: keys.into_iter().map(canon).collect(),
                     delta,
+                },
+                Request::MultiPut { pairs } => WriteOp::MultiPut {
+                    keys: pairs.iter().map(|&(k, _)| canon(k)).collect(),
+                    values: pairs.into_iter().map(|(_, v)| v).collect(),
                 },
                 _ => unreachable!("matched write variants above"),
             };
@@ -820,6 +827,17 @@ fn run_current_group<E: TmEngine>(
                         applied: keys.len() as u32,
                     }
                 }
+                WriteOp::MultiPut { keys, values } => {
+                    for (k, v) in keys.iter().zip(values) {
+                        txn.write(k * WORD_BYTES, *v)?;
+                        if yield_in_txn {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Response::MultiWritten {
+                        applied: keys.len() as u32,
+                    }
+                }
             };
             out.push(resp);
             if yield_in_txn {
@@ -838,6 +856,8 @@ fn run_current_group<E: TmEngine>(
             WriteOp::Put { .. } => puts += 1,
             WriteOp::Add { delta: d, .. } => delta += *d,
             WriteOp::MultiAdd { keys, delta: d } => delta += *d * keys.len() as u64,
+            // Overwrites break increment accounting key-by-key.
+            WriteOp::MultiPut { keys, .. } => puts += keys.len() as u64,
         }
     }
     stats.groups_committed.fetch_add(1, Ordering::Relaxed);

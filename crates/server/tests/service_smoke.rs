@@ -289,6 +289,70 @@ fn shutdown_flushes_pending_batches() {
 }
 
 #[test]
+fn multi_put_is_atomic_across_engine_shards() {
+    // The server over a 4-shard tm-shard engine: a MultiPut whose pairs
+    // land on different engine shards must publish atomically — concurrent
+    // MultiGet snapshots (wait-free run_read) see both writes or neither,
+    // never a torn mix.
+    use tm_shard::ShardedStmBuilder;
+    let universe: u64 = 4096; // 512 blocks → 128-block spans at 4 shards
+    let eng = Arc::new(
+        StmBuilder::new()
+            .heap_words(universe as usize)
+            .table_entries(1 << 12)
+            .shards(4)
+            .build_sharded_tagless(),
+    );
+    // Key 10 lives in shard 0's span, key 3000 in shard 2's.
+    let (lo, hi) = (10u64, 3000u64);
+    let server = start(Arc::clone(&eng), ServerConfig::new(universe));
+
+    let mut writer = server.connect();
+    let mut reader = server.connect();
+    let rounds = 200u64;
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 1..=rounds {
+                let resp = writer
+                    .request(
+                        Request::MultiPut {
+                            pairs: vec![(lo, i), (hi, i)],
+                        },
+                        TIMEOUT,
+                    )
+                    .unwrap()
+                    .response;
+                assert_eq!(resp, Response::MultiWritten { applied: 2 });
+            }
+        });
+        s.spawn(move || loop {
+            let resp = reader
+                .request(Request::MultiGet { keys: vec![lo, hi] }, TIMEOUT)
+                .unwrap()
+                .response;
+            let Response::Values(vals) = resp else {
+                panic!("MultiGet answered {resp:?}");
+            };
+            assert_eq!(
+                vals[0], vals[1],
+                "torn cross-shard read: snapshot saw one half of a MultiPut"
+            );
+            if vals[0] == rounds {
+                return;
+            }
+        });
+    });
+    assert!(
+        eng.cross_shard_commits() >= rounds,
+        "every MultiPut spans two shards; saw {}",
+        eng.cross_shard_commits()
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.put_writes, rounds * 2);
+    assert_eq!(stats.audit_failures, 0);
+}
+
+#[test]
 fn acceptance_fleet_4k_sessions_conserves() {
     // The acceptance criterion: ≥ 4096 concurrent simulated sessions over
     // the channel transport, zero isolation-invariant violations.

@@ -1,0 +1,147 @@
+//! Recycled per-thread scratch for sharded transactions — the same
+//! allocation-free-after-warmup discipline as `tm_stm::scratch`, extended
+//! with the cross-shard mode's read-value log and commit acquisition
+//! buffers.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use tm_stm::{Held, SmallMap};
+
+/// Bundles checked back into a thread's pool beyond this depth are freed
+/// instead (bounds memory under pathological nesting).
+const MAX_POOLED: usize = 8;
+
+/// Every per-attempt structure a sharded transaction needs, in either
+/// mode, recycled across attempts and transactions.
+#[derive(Debug, Default)]
+pub(crate) struct ShardScratch {
+    /// Eager mode: home-shard grant key → held level.
+    pub(crate) log: SmallMap<u64, Held>,
+    /// Both modes: speculative write buffer, word address → value.
+    pub(crate) wbuf: SmallMap<u64, u64>,
+    /// Both modes: distinct written blocks.
+    pub(crate) write_blocks: SmallMap<u64, ()>,
+    /// Cross mode: distinct blocks read outside the write buffer.
+    pub(crate) read_blocks: SmallMap<u64, ()>,
+    /// Cross mode: read-value log `(addr, value)` for commit validation
+    /// and mid-body revalidation when the publication epoch moves.
+    pub(crate) rlog: Vec<(u64, u64)>,
+    /// Cross mode: distinct touched blocks in first-touch order — the
+    /// commit acquisition plan's base order (what
+    /// `AcquireOrder::Unordered` exposes raw and `ShardOrdered` sorts).
+    pub(crate) touched: Vec<u64>,
+    /// Cross commit: footprint acquisition plan
+    /// `(shard, grant key, write?, representative block)`.
+    pub(crate) acq: Vec<(u32, u64, bool, u64)>,
+    /// Cross commit: grants acquired so far `(shard, grant key, held)`,
+    /// released on commit completion or acquisition/validation failure.
+    pub(crate) cgrants: Vec<(u32, u64, Held)>,
+}
+
+impl ShardScratch {
+    /// Clear every structure, retaining all backing storage.
+    pub(crate) fn reset(&mut self) {
+        self.log.clear();
+        self.wbuf.clear();
+        self.write_blocks.clear();
+        self.read_blocks.clear();
+        self.rlog.clear();
+        self.touched.clear();
+        self.acq.clear();
+        self.cgrants.clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_clear(&self) -> bool {
+        self.log.is_empty()
+            && self.wbuf.is_empty()
+            && self.write_blocks.is_empty()
+            && self.read_blocks.is_empty()
+            && self.rlog.is_empty()
+            && self.touched.is_empty()
+            && self.acq.is_empty()
+            && self.cgrants.is_empty()
+    }
+}
+
+thread_local! {
+    #[allow(clippy::vec_box)]
+    static POOL: RefCell<Vec<Box<ShardScratch>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Exclusive ownership of one pooled [`ShardScratch`]; returns it to this
+/// thread's pool on drop. Checkout clears, so a fresh attempt always
+/// observes empty structures.
+#[derive(Debug)]
+pub(crate) struct ShardScratchGuard {
+    scratch: Option<Box<ShardScratch>>,
+}
+
+impl ShardScratchGuard {
+    pub(crate) fn checkout() -> Self {
+        let mut scratch = POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_else(|| Box::new(ShardScratch::default()));
+        scratch.reset();
+        Self {
+            scratch: Some(scratch),
+        }
+    }
+}
+
+impl Deref for ShardScratchGuard {
+    type Target = ShardScratch;
+
+    #[inline]
+    fn deref(&self) -> &ShardScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ShardScratchGuard {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut ShardScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ShardScratchGuard {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            let _ = POOL.try_with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < MAX_POOLED {
+                    pool.push(scratch);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_returns_cleared_bundles() {
+        {
+            let mut g = ShardScratchGuard::checkout();
+            g.wbuf.insert(8, 1);
+            g.rlog.push((0, 0));
+            g.cgrants.push((0, 0, Held::Read));
+        }
+        let g = ShardScratchGuard::checkout();
+        assert!(g.is_clear());
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        let mut a = ShardScratchGuard::checkout();
+        let mut b = ShardScratchGuard::checkout();
+        a.wbuf.insert(0, 1);
+        b.wbuf.insert(0, 2);
+        assert_eq!(a.wbuf.get(0), Some(1));
+        assert_eq!(b.wbuf.get(0), Some(2));
+    }
+}

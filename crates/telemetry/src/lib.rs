@@ -343,6 +343,16 @@ pub trait Probe: Send + Sync {
     /// A read-only transaction committed after `txn_ns` (all attempts).
     #[inline]
     fn on_read_commit(&self, thread: u32, txn_ns: u64) {}
+
+    /// A transaction whose committed footprint spanned `shards` (≥ 2)
+    /// shards finished its ordered two-phase commit (sharded engine only).
+    #[inline]
+    fn on_cross_shard_commit(&self, thread: u32, shards: u32) {}
+
+    /// A cross-shard transaction attempt aborted during commit — the
+    /// ordered grant-acquisition budget ran out or value validation failed.
+    #[inline]
+    fn on_cross_shard_abort(&self, thread: u32) {}
 }
 
 /// The default probe: disabled, every hook empty, zero cost.
@@ -392,6 +402,14 @@ impl<P: Probe> Probe for std::sync::Arc<P> {
     fn on_read_commit(&self, thread: u32, txn_ns: u64) {
         (**self).on_read_commit(thread, txn_ns);
     }
+    #[inline]
+    fn on_cross_shard_commit(&self, thread: u32, shards: u32) {
+        (**self).on_cross_shard_commit(thread, shards);
+    }
+    #[inline]
+    fn on_cross_shard_abort(&self, thread: u32) {
+        (**self).on_cross_shard_abort(thread);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -439,6 +457,14 @@ pub enum EventKind {
         /// Whole-transaction duration including validation retries.
         txn_ns: u64,
     },
+    /// A cross-shard transaction finished its ordered two-phase commit.
+    CrossShardCommit {
+        /// Shards the committed footprint spanned (≥ 2).
+        shards: u32,
+    },
+    /// A cross-shard commit attempt aborted (acquisition budget or
+    /// value-validation failure).
+    CrossShardAbort,
 }
 
 impl EventKind {
@@ -454,6 +480,8 @@ impl EventKind {
             EventKind::ReadBegin => "read-begin",
             EventKind::ReadRetry => "read-retry",
             EventKind::ReadCommit { .. } => "read-commit",
+            EventKind::CrossShardCommit { .. } => "cross-shard-commit",
+            EventKind::CrossShardAbort => "cross-shard-abort",
         }
     }
 }
@@ -485,7 +513,11 @@ impl TxnEvent {
             | EventKind::Grant
             | EventKind::Stall
             | EventKind::ReadBegin
-            | EventKind::ReadRetry => {}
+            | EventKind::ReadRetry
+            | EventKind::CrossShardAbort => {}
+            EventKind::CrossShardCommit { shards } => {
+                s.push_str(&format!(",\"shards\":{shards}"));
+            }
             EventKind::ReadCommit { txn_ns } => {
                 s.push_str(&format!(",\"txn_ns\":{txn_ns}"));
             }
@@ -548,6 +580,8 @@ struct Stripe {
     causes: [AtomicU64; AbortCause::COUNT],
     read_begins: AtomicU64,
     read_retries: AtomicU64,
+    cross_commits: AtomicU64,
+    cross_aborts: AtomicU64,
     events: Mutex<EventRing>,
 }
 
@@ -560,12 +594,41 @@ impl Stripe {
             causes: Default::default(),
             read_begins: AtomicU64::new(0),
             read_retries: AtomicU64::new(0),
+            cross_commits: AtomicU64::new(0),
+            cross_aborts: AtomicU64::new(0),
             events: Mutex::new(EventRing {
                 buf: VecDeque::with_capacity(ring_capacity),
                 dropped: 0,
             }),
         }
     }
+}
+
+/// Per-shard engine counters attached to a [`TelemetrySnapshot`] when the
+/// run drove a sharded engine.
+///
+/// Telemetry sits *below* the engine crates, so it cannot name their stats
+/// types; the driver (harness, server) converts each shard's engine
+/// snapshot into this plain-data row via
+/// [`Recorder::set_shard_stats`] before taking the telemetry snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: u32,
+    /// Committed transactions attributed to this shard (cross-shard
+    /// transactions count once, in their lowest participating shard).
+    pub commits: u64,
+    /// Aborted attempts attributed to this shard.
+    pub aborts: u64,
+    /// Acquire re-attempts under the stall policy in this shard.
+    pub stall_retries: u64,
+    /// Distinct written blocks of committed transactions that landed in
+    /// this shard.
+    pub committed_write_blocks: u64,
+    /// Read-only commits attributed to this shard.
+    pub read_only_commits: u64,
+    /// Current ownership-table entries (tracks per-shard adaptive resizes).
+    pub table_entries: u64,
 }
 
 /// Everything a [`Recorder`] captured, in plain-data form.
@@ -588,6 +651,14 @@ pub struct TelemetrySnapshot {
     pub events: Vec<TxnEvent>,
     /// Events evicted from the bounded rings.
     pub dropped_events: u64,
+    /// Transactions whose committed footprint spanned ≥ 2 shards.
+    pub cross_shard_commits: u64,
+    /// Cross-shard commit attempts that aborted (ordering budget or
+    /// validation failure).
+    pub cross_shard_aborts: u64,
+    /// Per-shard engine counters (empty unless the driver attached them
+    /// via [`Recorder::set_shard_stats`]).
+    pub shard_stats: Vec<ShardStats>,
 }
 
 impl TelemetrySnapshot {
@@ -621,6 +692,9 @@ impl TelemetrySnapshot {
 pub struct Recorder {
     epoch: Instant,
     stripes: Vec<Stripe>,
+    /// Per-shard rows the driver attaches at snapshot time (see
+    /// [`ShardStats`]); not touched by the hot-path hooks.
+    shard_stats: Mutex<Vec<ShardStats>>,
 }
 
 impl Default for Recorder {
@@ -642,7 +716,16 @@ impl Recorder {
         Recorder {
             epoch: Instant::now(),
             stripes,
+            shard_stats: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attach (replace) the per-shard counter rows subsequent
+    /// [`snapshot`](Recorder::snapshot)s report. Drivers of sharded engines
+    /// call this with converted per-shard engine stats; runs on unsharded
+    /// engines leave it empty.
+    pub fn set_shard_stats(&self, stats: Vec<ShardStats>) {
+        *self.shard_stats.lock().unwrap_or_else(|e| e.into_inner()) = stats;
     }
 
     #[inline]
@@ -694,10 +777,16 @@ impl Recorder {
             }
             stripe.read_begins.store(0, Ordering::Relaxed);
             stripe.read_retries.store(0, Ordering::Relaxed);
+            stripe.cross_commits.store(0, Ordering::Relaxed);
+            stripe.cross_aborts.store(0, Ordering::Relaxed);
             let mut ring = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
             ring.buf.clear();
             ring.dropped = 0;
         }
+        self.shard_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     /// Merge every stripe into one plain-data snapshot.
@@ -708,6 +797,8 @@ impl Recorder {
         let mut abort_causes = [0u64; AbortCause::COUNT];
         let mut read_begins = 0;
         let mut read_validation_retries = 0;
+        let mut cross_shard_commits = 0;
+        let mut cross_shard_aborts = 0;
         let mut events = Vec::new();
         let mut dropped_events = 0;
         for stripe in &self.stripes {
@@ -719,6 +810,8 @@ impl Recorder {
             }
             read_begins += stripe.read_begins.load(Ordering::Relaxed);
             read_validation_retries += stripe.read_retries.load(Ordering::Relaxed);
+            cross_shard_commits += stripe.cross_commits.load(Ordering::Relaxed);
+            cross_shard_aborts += stripe.cross_aborts.load(Ordering::Relaxed);
             let ring = stripe.events.lock().unwrap_or_else(|e| e.into_inner());
             events.extend(ring.buf.iter().copied());
             dropped_events += ring.dropped;
@@ -733,6 +826,13 @@ impl Recorder {
             read_validation_retries,
             events,
             dropped_events,
+            cross_shard_commits,
+            cross_shard_aborts,
+            shard_stats: self
+                .shard_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
         }
     }
 }
@@ -809,6 +909,22 @@ impl Probe for Recorder {
     fn on_read_commit(&self, thread: u32, txn_ns: u64) {
         self.stripe(thread).read_txn.record(txn_ns);
         self.push_event(thread, EventKind::ReadCommit { txn_ns });
+    }
+
+    #[inline]
+    fn on_cross_shard_commit(&self, thread: u32, shards: u32) {
+        self.stripe(thread)
+            .cross_commits
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(thread, EventKind::CrossShardCommit { shards });
+    }
+
+    #[inline]
+    fn on_cross_shard_abort(&self, thread: u32) {
+        self.stripe(thread)
+            .cross_aborts
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(thread, EventKind::CrossShardAbort);
     }
 }
 
@@ -970,6 +1086,50 @@ mod tests {
         assert_eq!(snap.read_begins, 0);
         assert_eq!(snap.read_validation_retries, 0);
         assert!(snap.read_txn.is_empty());
+    }
+
+    #[test]
+    fn cross_shard_hooks_are_counted_and_traced() {
+        let r = Recorder::new();
+        r.on_cross_shard_commit(1, 3);
+        r.on_cross_shard_commit(2, 2);
+        r.on_cross_shard_abort(1);
+        r.set_shard_stats(vec![
+            ShardStats {
+                shard: 0,
+                commits: 10,
+                ..Default::default()
+            },
+            ShardStats {
+                shard: 1,
+                commits: 4,
+                aborts: 1,
+                ..Default::default()
+            },
+        ]);
+        let snap = r.snapshot();
+        assert_eq!(snap.cross_shard_commits, 2);
+        assert_eq!(snap.cross_shard_aborts, 1);
+        assert_eq!(snap.shard_stats.len(), 2);
+        assert_eq!(snap.shard_stats[1].commits, 4);
+        let commit = snap
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::CrossShardCommit { .. }))
+            .unwrap();
+        assert!(commit.to_json_line().contains("\"shards\":3"));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind.as_str() == "cross-shard-abort"));
+        // Cross-shard hooks stay off the write-side instruments.
+        assert_eq!(snap.txn.count(), 0);
+        assert_eq!(snap.total_aborts(), 0);
+        r.reset_window();
+        let snap = r.snapshot();
+        assert_eq!(snap.cross_shard_commits, 0);
+        assert_eq!(snap.cross_shard_aborts, 0);
+        assert!(snap.shard_stats.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | [`ownership`] | `tm-ownership` | Tagless and tagged ownership tables |
 //! | [`stm`] | `tm-stm` | Word-based software transactional memory |
 //! | [`adaptive`] | `tm-adaptive` | Online-resizable tables + sizing controller |
+//! | [`shard`] | `tm-shard` | S-way sharded engine with ordered cross-shard commit |
 //! | [`traces`] | `tm-traces` | Synthetic address-trace generators |
 //! | [`cache_sim`] | `tm-cache-sim` | L1 cache model for HTM overflow |
 //! | [`model`] | `tm-model` | Analytical conflict-likelihood model |
@@ -109,6 +110,7 @@
 /// ```
 pub mod prelude {
     pub use tm_adaptive::{AdaptiveController, AdaptiveStmBuilder, ResizePolicy};
+    pub use tm_shard::{ShardMap, ShardedStm, ShardedStmBuilder};
     pub use tm_stm::{
         Aborted, CapacityError, ContentionPolicy, EngineStats, LazyStm, ReadOps, ReadPathPolicy,
         Region, RetryLimitExceeded, RetryPolicy, Stm, StmBuilder, TRef, TmEngine, TxAlloc,
@@ -122,6 +124,7 @@ pub use tm_cache_sim as cache_sim;
 pub use tm_model as model;
 pub use tm_ownership as ownership;
 pub use tm_server as server;
+pub use tm_shard as shard;
 pub use tm_sim as sim;
 pub use tm_stm as stm;
 pub use tm_structs as structs;
